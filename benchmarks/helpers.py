@@ -1,0 +1,36 @@
+"""Shared machinery for the benchmark harness.
+
+Every benchmark prints the table behind one EXPERIMENTS.md row.  pytest
+captures stdout, so :func:`emit` writes to the *real* stdout (visible in
+``pytest benchmarks/ --benchmark-only`` runs and in bench_output.txt) and
+also archives the table under ``benchmarks/results/`` so EXPERIMENTS.md
+can be regenerated from disk.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.analysis.tables import Table
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(table: Table, experiment: str) -> None:
+    """Print a table to the unredirected stdout and archive it."""
+    text = table.render()
+    print(f"\n{text}\n", file=sys.__stdout__, flush=True)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{experiment}.txt").write_text(text + "\n")
+
+
+def geometric_mean(values) -> float:
+    """Geometric mean (for ratio summaries)."""
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    product = 1.0
+    for v in values:
+        product *= v
+    return product ** (1.0 / len(values))

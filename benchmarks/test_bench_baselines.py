@@ -1,0 +1,79 @@
+"""E12 -- the baseline landscape: CLPR10 vs DK11 vs modified greedy.
+
+The literature's size story, measured: [CLPR10] (~kf overhead) >
+[DK11] (f^(2-1/k) log n) > modified greedy (k f^(1-1/k)) on dense
+inputs, with the non-fault-tolerant [ADD+93] greedy as the floor.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.helpers import emit
+from repro.analysis.tables import Table
+from repro.baselines import (
+    classic_greedy_spanner,
+    clpr_fault_tolerant_spanner,
+    dk_fault_tolerant_spanner,
+)
+from repro.core.greedy_modified import fault_tolerant_spanner
+from repro.graph import generators
+
+N, K = 50, 2
+
+
+def test_bench_baseline_sizes(benchmark):
+    def run():
+        g = generators.complete_graph(N)
+        rows = []
+        for f in (1, 2, 4):
+            greedy = fault_tolerant_spanner(g, K, f).num_edges
+            # DK11's guarantee needs Theta(f^3 log n) iterations with a
+            # substantial constant at this scale; 120 * f empirically
+            # yields genuinely fault-tolerant outputs (cf. the test
+            # suite), making the size comparison fair.
+            dk = dk_fault_tolerant_spanner(
+                g, K, f, seed=1100 + f, iterations=120 * f
+            ).num_edges
+            clpr = clpr_fault_tolerant_spanner(g, K, f, seed=1100 + f).num_edges
+            rows.append((f, greedy, dk, clpr))
+        floor = classic_greedy_spanner(g, K).num_edges
+        return rows, floor
+
+    (rows, floor) = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = Table(
+        f"E12: fault-tolerant spanner sizes on K_{N} (k={K}); "
+        f"non-FT greedy floor = {floor}",
+        ["f", "modified greedy", "DK11", "CLPR10",
+         "greedy/floor", "DK/greedy", "CLPR/greedy"],
+    )
+    for f, greedy, dk, clpr in rows:
+        table.add_row([
+            f, greedy, dk, clpr,
+            greedy / floor, dk / max(greedy, 1), clpr / max(greedy, 1),
+        ])
+        # The paper's claim: the greedy is the sparsest FT construction.
+        assert greedy <= dk
+        assert greedy <= clpr
+    emit(table, "E12_baselines")
+    # The greedy's win must be substantial at every f (the paper's size
+    # improvement is a polynomial factor, not marginal constants).
+    for f, greedy, dk, clpr in rows:
+        assert dk / max(greedy, 1) >= 1.5
+        assert clpr / max(greedy, 1) >= 1.5
+
+
+def test_bench_dk_build(benchmark):
+    g = generators.complete_graph(N)
+    benchmark.pedantic(
+        lambda: dk_fault_tolerant_spanner(g, K, 2, seed=5),
+        rounds=2, iterations=1,
+    )
+
+
+def test_bench_clpr_build(benchmark):
+    g = generators.complete_graph(N)
+    benchmark.pedantic(
+        lambda: clpr_fault_tolerant_spanner(g, K, 2, seed=5),
+        rounds=2, iterations=1,
+    )

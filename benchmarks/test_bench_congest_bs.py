@@ -1,0 +1,79 @@
+"""E10 -- Theorem 14: Baswana-Sen in CONGEST.
+
+Rounds must follow the O(k^2) schedule independent of n, every message
+must fit the O(log n)-bit budget (the engine enforces it; we report the
+measured maximum), and the output must be a (2k-1)-spanner of the
+expected size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.helpers import emit
+from repro.analysis.tables import Table
+from repro.core.bounds import bs_size_bound
+from repro.distributed import congest_baswana_sen
+from repro.graph import generators
+from repro.verification import max_stretch
+
+
+def test_bench_congest_bs_rounds_vs_k(benchmark):
+    def run():
+        rows = []
+        g = generators.weighted_gnp(60, 0.15, seed=900)
+        for k in (1, 2, 3, 4, 5):
+            result = congest_baswana_sen(g, k, seed=900 + k)
+            stretch = max_stretch(g, result.spanner)
+            rows.append((k, result, stretch))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = Table(
+        "E10a: CONGEST Baswana-Sen rounds vs k (weighted G(60, .15))",
+        ["k", "rounds", "k^2", "rounds/k^2", "max msg words",
+         "|E(H)|", "stretch", "guarantee"],
+    )
+    for k, result, stretch in rows:
+        table.add_row([
+            k, result.rounds, k * k, (result.rounds or 0) / (k * k),
+            int(result.extra["max_message_words"]),
+            result.num_edges, stretch, 2 * k - 1,
+        ])
+        assert stretch <= 2 * k - 1 + 1e-9
+        assert result.extra["max_message_words"] <= 8
+    emit(table, "E10a_congest_bs_k")
+    # O(k^2): normalized rounds bounded.
+    normalized = [(r[1].rounds or 0) / (r[0] ** 2) for r in rows]
+    assert max(normalized) <= 8
+
+
+def test_bench_congest_bs_rounds_vs_n(benchmark):
+    """Rounds must NOT grow with n (the whole point of CONGEST BS)."""
+
+    def run():
+        rows = []
+        for n in (30, 60, 120, 240):
+            g = generators.weighted_gnp(n, min(1.0, 8.0 / n), seed=901 + n)
+            result = congest_baswana_sen(g, 3, seed=n)
+            rows.append((n, result.rounds, result.num_edges))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = Table(
+        "E10b: CONGEST Baswana-Sen rounds vs n (k=3)",
+        ["n", "rounds", "|E(H)|", "size bound k n^(1+1/k)"],
+    )
+    for n, rounds, size in rows:
+        table.add_row([n, rounds, size, bs_size_bound(n, 3)])
+        assert size <= 6 * bs_size_bound(n, 3)
+    emit(table, "E10b_congest_bs_n")
+    round_counts = [r[1] for r in rows]
+    assert max(round_counts) - min(round_counts) <= 2
+
+
+def test_bench_congest_bs_build(benchmark):
+    g = generators.weighted_gnp(80, 0.1, seed=903)
+    benchmark.pedantic(
+        lambda: congest_baswana_sen(g, 2, seed=1), rounds=3, iterations=1
+    )

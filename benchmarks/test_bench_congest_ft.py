@@ -1,0 +1,79 @@
+"""E11 -- Theorem 15: the CONGEST fault-tolerant construction.
+
+Reports the pipelined round decomposition (phase 1 packing + phase 2
+congestion-scheduled Baswana-Sen) against the theorem's
+O(f^2(log f + log log n) + k^2 f log n) shape, plus size vs the
+O(k f^(2-1/k) n^(1+1/k) log n) bound.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.helpers import emit
+from repro.analysis.tables import Table
+from repro.core.bounds import congest_round_bound, congest_size_bound
+from repro.distributed import congest_ft_spanner
+from repro.graph import generators
+from repro.verification import verify_ft_spanner
+
+N, K = 40, 2
+
+
+def test_bench_congest_ft_vs_f(benchmark):
+    def run():
+        rows = []
+        g = generators.gnp_random_graph(N, 0.25, seed=1000)
+        for f in (1, 2, 3):
+            result = congest_ft_spanner(
+                g, K, f, seed=1000 + f, iteration_constant=1.0
+            )
+            rows.append((f, result))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = Table(
+        f"E11: CONGEST FT spanner (G({N}, .25), k={K})",
+        ["f", "iterations", "rounds", "phase1", "phase2",
+         "edge congestion", "round bound shape", "|E(H)|", "size bound"],
+    )
+    for f, result in rows:
+        table.add_row([
+            f,
+            int(result.extra["iterations"]),
+            result.rounds,
+            int(result.extra["phase1_rounds"]),
+            int(result.extra["phase2_rounds"]),
+            int(result.extra["edge_congestion"]),
+            congest_round_bound(N, K, f),
+            result.num_edges,
+            congest_size_bound(N, K, f),
+        ])
+        assert result.extra["max_message_words"] <= 8
+        assert result.num_edges <= 4 * congest_size_bound(N, K, f)
+    emit(table, "E11_congest_ft")
+    # Rounds grow with f (more iterations, more congestion).
+    round_counts = [r[1].rounds or 0 for r in rows]
+    assert round_counts[0] <= round_counts[-1]
+
+
+def test_bench_congest_ft_correctness(benchmark):
+    """Whp correctness at the theorem's iteration count (small n)."""
+
+    def run():
+        g = generators.gnp_random_graph(20, 0.3, seed=1001)
+        result = congest_ft_spanner(g, 2, 1, seed=7, iterations=120)
+        report = verify_ft_spanner(g, result.spanner, t=3, f=1)
+        return result, report
+
+    result, report = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = Table(
+        "E11b: CONGEST FT correctness (n=20, k=2, f=1, 120 iterations)",
+        ["|E(G)|", "|E(H)|", "rounds", "verification"],
+    )
+    table.add_row([
+        result.edges_considered or "-", result.num_edges, result.rounds,
+        "OK (exhaustive)" if report.ok and report.exhaustive else str(report.ok),
+    ])
+    emit(table, "E11b_congest_ft_correct")
+    assert report.ok, str(report.counterexample)

@@ -1,0 +1,67 @@
+"""E13 -- edge fault tolerance: same bounds, edge-based LBC.
+
+The paper: "the proofs for the edge fault-tolerant case are essentially
+identical."  We measure EFT sizes next to VFT sizes across f and verify
+the EFT outputs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.helpers import emit
+from repro.analysis.tables import Table
+from repro.core.bounds import modified_greedy_size_bound
+from repro.core.greedy_modified import fault_tolerant_spanner
+from repro.graph import generators
+from repro.verification import verify_ft_spanner
+
+N, K = 60, 2
+
+
+def test_bench_eft_vs_vft(benchmark):
+    def run():
+        g = generators.complete_graph(N)
+        rows = []
+        for f in (1, 2, 4):
+            vft = fault_tolerant_spanner(g, K, f, fault_model="vertex")
+            eft = fault_tolerant_spanner(g, K, f, fault_model="edge")
+            rows.append((f, vft.num_edges, eft.num_edges))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = Table(
+        f"E13a: EFT vs VFT spanner sizes (K_{N}, k={K})",
+        ["f", "|E| VFT", "|E| EFT", "EFT/VFT", "bound shape"],
+    )
+    for f, vft, eft in rows:
+        bound = modified_greedy_size_bound(N, K, f)
+        table.add_row([f, vft, eft, eft / max(vft, 1), bound])
+        assert eft <= 4 * bound
+    emit(table, "E13a_eft_sizes")
+
+
+def test_bench_eft_correctness(benchmark):
+    def run():
+        g = generators.gnp_random_graph(22, 0.35, seed=1200)
+        out = []
+        for f in (1, 2):
+            result = fault_tolerant_spanner(g, 2, f, fault_model="edge")
+            report = verify_ft_spanner(
+                g, result.spanner, t=3, f=f, fault_model="edge",
+                exhaustive_budget=8_000, samples=300, seed=f,
+            )
+            out.append((f, g.num_edges, result.num_edges, report))
+        return out
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = Table(
+        "E13b: EFT correctness (G(22, .35), k=2)",
+        ["f", "|E(G)|", "|E(H)|", "verification"],
+    )
+    for f, m, size, report in rows:
+        kind = "exhaustive" if report.exhaustive else "sampled"
+        table.add_row([f, m, size,
+                       f"{'OK' if report.ok else 'FAIL'} ({kind})"])
+        assert report.ok, str(report.counterexample)
+    emit(table, "E13b_eft_correct")

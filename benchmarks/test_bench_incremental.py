@@ -1,0 +1,79 @@
+"""E19 (extension) -- incremental maintenance vs batch rebuilds.
+
+Theorem 8 holds for any edge order, so the greedy works online for
+unweighted graphs.  This bench measures the amortized per-insertion
+cost against the naive alternative (rebuild from scratch every R
+insertions) and confirms stream-equals-batch equality.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from benchmarks.helpers import emit
+from repro.analysis.tables import Table
+from repro.core.greedy_modified import modified_greedy_unweighted
+from repro.core.incremental import IncrementalSpanner
+from repro.graph import generators
+
+
+def test_bench_incremental_vs_rebuild(benchmark):
+    def run():
+        g = generators.gnp_random_graph(80, 0.15, seed=1900)
+        order = list(g.edges())
+        random.Random(0).shuffle(order)
+
+        # Online: one pass.
+        inc = IncrementalSpanner(k=2, f=1)
+        for u in g.nodes():
+            inc.add_node(u)
+        start = time.perf_counter()
+        inc.insert_many(order)
+        online = time.perf_counter() - start
+
+        # Batch-equivalence check.
+        batch = modified_greedy_unweighted(g, 2, 1, order=order)
+        assert inc.spanner == batch.spanner
+
+        # Rebuild-every-R alternative.
+        rebuild_times = {}
+        for period in (10, 50):
+            start = time.perf_counter()
+            for i in range(period, len(order) + 1, period):
+                prefix = g.edge_subgraph(order[:i])
+                modified_greedy_unweighted(prefix, 2, 1, order=order[:i])
+            rebuild_times[period] = time.perf_counter() - start
+        return len(order), inc, online, rebuild_times
+
+    m, inc, online, rebuild_times = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    table = Table(
+        "E19: incremental maintenance vs periodic rebuild "
+        "(G(80, .15), k=2, f=1; outputs identical)",
+        ["strategy", "total seconds", "us per insertion"],
+    )
+    table.add_row(["incremental (one pass)", online, 1e6 * online / m])
+    for period, seconds in sorted(rebuild_times.items()):
+        table.add_row([
+            f"rebuild every {period}", seconds, 1e6 * seconds / m,
+        ])
+    emit(table, "E19_incremental")
+    # Incremental must beat frequent rebuilds by a wide margin.
+    assert online < rebuild_times[10] / 3
+
+
+def test_bench_insertion_op(benchmark):
+    g = generators.gnp_random_graph(80, 0.15, seed=1901)
+    edges = list(g.edges())
+
+    def build():
+        inc = IncrementalSpanner(k=2, f=1)
+        inc.insert_many(edges)
+        return inc
+
+    inc = benchmark(build)
+    assert inc.kept > 0

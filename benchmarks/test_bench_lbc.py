@@ -1,0 +1,88 @@
+"""E1 -- Theorem 4: LBC(t, alpha) correctness and O((m+n) alpha) time.
+
+Tables reported:
+* approximation quality vs the exact solver on gadgets with known cuts;
+* runtime scaling in alpha (should be linear) and in m (should be linear).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.helpers import emit
+from repro.analysis.tables import Table
+from repro.core.bounds import lbc_time_bound
+from repro.graph import generators
+from repro.lbc.approx import lbc_vertex
+from repro.lbc.exact import exact_vertex_lbc
+
+
+def test_bench_lbc_single_call(benchmark):
+    """Microbenchmark: one LBC(3, 4) call on G(200, 0.05)."""
+    g = generators.gnp_random_graph(200, 0.05, seed=1)
+    result = benchmark(lambda: lbc_vertex(g, 0, 199, t=3, alpha=4))
+    assert result is not None
+
+
+def test_bench_lbc_quality_vs_exact(benchmark):
+    """Gap-decision contract on gadgets with known exact cut sizes."""
+
+    def run():
+        rows = []
+        for width in (2, 3, 4, 5, 6):
+            g = generators.layered_path_gadget(layers=1, width=width)
+            exact = exact_vertex_lbc(g, "s", "t", t=2)
+            exact_size = len(exact) if exact is not None else 0
+            t = 2
+            yes_at = None
+            for alpha in range(0, 3 * width):
+                if lbc_vertex(g, "s", "t", t=t, alpha=alpha).is_yes:
+                    yes_at = alpha
+                    break
+            rows.append((width, exact_size, yes_at))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = Table(
+        "E1a: LBC approximation vs exact (layered gadget, t=2)",
+        ["width", "exact min cut", "smallest alpha answering YES",
+         "within alpha<=exact (Thm 4)"],
+    )
+    for width, exact_size, yes_at in rows:
+        table.add_row([width, exact_size, yes_at, yes_at <= exact_size])
+        # Theorem 4 YES-guarantee: alpha = exact size must answer YES.
+        assert yes_at is not None and yes_at <= exact_size
+    emit(table, "E1a_lbc_quality")
+
+
+def test_bench_lbc_time_linear_in_alpha(benchmark):
+    """Runtime vs alpha at fixed graph (Theorem 4: linear)."""
+    g = generators.gnp_random_graph(300, 0.04, seed=2)
+    pairs = [(i, 299 - i) for i in range(25)]
+
+    def run_alpha(alpha):
+        start = time.perf_counter()
+        for u, v in pairs:
+            if not g.has_edge(u, v):
+                lbc_vertex(g, u, v, t=3, alpha=alpha)
+        return time.perf_counter() - start
+
+    def sweep():
+        return [(alpha, run_alpha(alpha)) for alpha in (1, 2, 4, 8, 16)]
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = Table(
+        "E1b: LBC runtime vs alpha (G(300, .04), t=3, 25 terminal pairs)",
+        ["alpha", "seconds", "bound shape (m+n)*alpha",
+         "seconds / shape (x1e6)"],
+    )
+    for alpha, seconds in rows:
+        shape = lbc_time_bound(300, g.num_edges, alpha)
+        table.add_row([alpha, seconds, shape, 1e6 * seconds / shape])
+    emit(table, "E1b_lbc_alpha")
+    # Linearity: 16x alpha should cost way less than 16^2 x time.
+    t1 = rows[0][1]
+    t16 = rows[-1][1]
+    assert t16 <= 70 * max(t1, 1e-5)

@@ -1,0 +1,67 @@
+"""E9 -- Theorem 12: the LOCAL algorithm.
+
+Round counts should grow like O(log n) (compare doubling n to the round
+delta) and the size should exceed the centralized greedy by at most an
+O(log n) factor.  Every output is verified fault tolerant.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from benchmarks.helpers import emit
+from repro.analysis.tables import Table
+from repro.core.greedy_modified import fault_tolerant_spanner
+from repro.distributed import local_ft_spanner
+from repro.graph import generators
+from repro.verification import verify_ft_spanner
+
+K, F = 2, 1
+NS = (20, 40, 80, 160)
+
+
+def test_bench_local_sweep(benchmark):
+    def run():
+        rows = []
+        for n in NS:
+            g = generators.gnp_random_graph(n, min(1.0, 8.0 / n), seed=800 + n)
+            local = local_ft_spanner(g, K, F, seed=n)
+            central = fault_tolerant_spanner(g, K, F)
+            report = verify_ft_spanner(
+                g, local.spanner, t=2 * K - 1, f=F,
+                exhaustive_budget=2_000, samples=150, seed=n,
+            )
+            rows.append((n, g.num_edges, local, central.num_edges, report))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = Table(
+        f"E9: LOCAL FT spanner (k={K}, f={F}, G(n, 8/n))",
+        ["n", "m", "rounds", "log2 n", "rounds/log2 n",
+         "|E| local", "|E| central", "size overhead", "verified"],
+    )
+    for n, m, local, central_edges, report in rows:
+        log_n = math.log2(n)
+        overhead = local.num_edges / max(central_edges, 1)
+        table.add_row([
+            n, m, local.rounds, log_n, local.rounds / log_n,
+            local.num_edges, central_edges, overhead,
+            "OK" if report.ok else "FAIL",
+        ])
+        assert report.ok, str(report.counterexample)
+        # Theorem 12 overhead: O(log n); allow the constant room.
+        assert overhead <= 3 * log_n
+    emit(table, "E9_local")
+    # O(log n) rounds: rounds/log n must not grow as n doubles 3 times.
+    normalized = [r[2].rounds / math.log2(r[0]) for r in rows]
+    assert normalized[-1] <= 2.5 * normalized[0]
+
+
+def test_bench_local_build(benchmark):
+    g = generators.gnp_random_graph(60, 0.12, seed=801)
+    result = benchmark.pedantic(
+        lambda: local_ft_spanner(g, K, F, seed=9), rounds=2, iterations=1
+    )
+    assert result.rounds is not None

@@ -1,0 +1,110 @@
+"""E18 (extension) -- the fault-tolerant distance oracle application.
+
+Measures what an adopter cares about: preprocessing cost, storage
+savings, query latency (cold / warm-cache), guarantee compliance, and
+the Monte-Carlo degradation profile beyond the design budget.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+
+import pytest
+
+from benchmarks.helpers import emit
+from repro.analysis.tables import Table
+from repro.applications import (
+    FaultTolerantDistanceOracle,
+    degradation_profile,
+)
+from repro.graph import generators
+from repro.graph.traversal import dijkstra
+from repro.graph.views import VertexFaultView
+
+
+def test_bench_oracle_quality(benchmark):
+    def run():
+        g = generators.ensure_connected(
+            generators.gnp_random_graph(120, 0.1, seed=1800), seed=1800
+        )
+        start = time.perf_counter()
+        oracle = FaultTolerantDistanceOracle(g, k=2, f=2)
+        prep = time.perf_counter() - start
+        rng = random.Random(0)
+        nodes = sorted(g.nodes())
+        # Measure stretch compliance on random (pair, fault) samples.
+        worst = 1.0
+        for _ in range(60):
+            faults = rng.sample(nodes, 2)
+            candidates = [x for x in nodes if x not in faults]
+            u, v = rng.sample(candidates, 2)
+            gv = VertexFaultView(g, set(faults))
+            true = dijkstra(gv, u, target=v).get(v, math.inf)
+            est = oracle.distance(u, v, faults=faults)
+            if math.isinf(true):
+                continue
+            worst = max(worst, est / true)
+        # Query latency: cold vs warm (same fault set, many pairs).
+        faults = [nodes[3], nodes[50]]
+        start = time.perf_counter()
+        oracle.distance(nodes[0], nodes[90], faults=faults)
+        cold = time.perf_counter() - start
+        start = time.perf_counter()
+        queries = 200
+        for _ in range(queries):
+            u, v = rng.sample(nodes[:100], 2)
+            if u not in faults and v not in faults:
+                oracle.distance(u, v, faults=faults)
+        warm = (time.perf_counter() - start) / queries
+        return g, oracle, prep, worst, cold, warm
+
+    g, oracle, prep, worst, cold, warm = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    table = Table(
+        "E18a: FT distance oracle (G(120, .1), k=2, f=2)",
+        ["quantity", "value"],
+    )
+    table.add_row(["graph edges", g.num_edges])
+    table.add_row(["oracle edges", oracle.size])
+    table.add_row(["storage ratio", oracle.size / g.num_edges])
+    table.add_row(["preprocess seconds", prep])
+    table.add_row(["worst sampled stretch", worst])
+    table.add_row(["stretch guarantee", oracle.stretch])
+    table.add_row(["cold query seconds", cold])
+    table.add_row(["warm query seconds", warm])
+    emit(table, "E18a_oracle")
+    assert worst <= oracle.stretch + 1e-9
+    assert warm < cold  # the SSSP cache must pay off
+
+
+def test_bench_degradation_profile(benchmark):
+    def run():
+        g = generators.ensure_connected(
+            generators.gnp_random_graph(80, 0.12, seed=1801), seed=1801
+        )
+        oracle = FaultTolerantDistanceOracle(g, k=2, f=2)
+        return g, oracle, degradation_profile(
+            g, oracle.spanner, guarantee=3.0, max_failures=5,
+            scenarios=20, pairs_per_scenario=15, seed=2,
+        )
+
+    g, oracle, profile = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = Table(
+        "E18b: degradation beyond the design budget (f=2, guarantee 3)",
+        ["failures", "connectivity", "mean stretch", "p95", "max",
+         "violations"],
+    )
+    for j, report in profile:
+        table.add_row([
+            j, report.connectivity, report.mean_stretch,
+            report.p95_stretch, report.max_stretch,
+            report.guarantee_violations,
+        ])
+        if j <= 2:
+            # Within budget: the theorem forbids violations.
+            assert report.guarantee_violations == 0
+            assert report.connectivity == 1.0
+    emit(table, "E18b_degradation")

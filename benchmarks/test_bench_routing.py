@@ -1,0 +1,90 @@
+"""E21 (extension) -- spanner-based routing with fault fallback.
+
+The [TZ01] motivation made operational: next-hop tables on the spanner,
+per-fault-scenario fallback.  Measures table materialization cost,
+route stretch against the guarantee, and fallback latency.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+
+import pytest
+
+from benchmarks.helpers import emit
+from repro.analysis.tables import Table
+from repro.applications.routing import SpannerRouter
+from repro.graph import generators
+from repro.graph.traversal import dijkstra
+from repro.graph.views import VertexFaultView
+
+
+def test_bench_routing(benchmark):
+    def run():
+        g = generators.ensure_connected(
+            generators.gnp_random_graph(100, 0.08, seed=2100), seed=2100
+        )
+        start = time.perf_counter()
+        router = SpannerRouter(g, k=2, f=1)
+        build = time.perf_counter() - start
+        rng = random.Random(0)
+        nodes = sorted(g.nodes())
+
+        # Fault-free route stretch over random pairs.
+        worst = 1.0
+        true = {s: dijkstra(g, s) for s in nodes[:10]}
+        for s in nodes[:10]:
+            for _ in range(10):
+                d = rng.choice(nodes)
+                if d == s or d not in true[s] or true[s][d] == 0:
+                    continue
+                cost = router.route_cost(s, d)
+                worst = max(worst, cost / true[s][d])
+
+        # Fallback: first route under a fresh fault set (table build) vs
+        # subsequent routes in the same scenario.
+        fault = [nodes[37]]
+        start = time.perf_counter()
+        router.route(nodes[0], nodes[90], faults=fault)
+        first = time.perf_counter() - start
+        start = time.perf_counter()
+        count = 0
+        for s in nodes[1:40]:
+            if s in fault:
+                continue
+            router.route(s, nodes[90], faults=fault)
+            count += 1
+        warm = (time.perf_counter() - start) / count
+
+        # Guarantee under the fault.
+        gv = VertexFaultView(g, set(fault))
+        true_f = dijkstra(gv, nodes[90])
+        worst_f = 1.0
+        for s in nodes[1:40]:
+            if s in fault or s not in true_f or true_f[s] == 0:
+                continue
+            cost = router.route_cost(s, nodes[90], faults=fault)
+            worst_f = max(worst_f, cost / true_f[s])
+        return g, router, build, worst, worst_f, first, warm
+
+    g, router, build, worst, worst_f, first, warm = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    table = Table(
+        "E21: spanner routing (G(100, .08), k=2, f=1)",
+        ["quantity", "value"],
+    )
+    table.add_row(["spanner edges / graph edges",
+                   f"{router.spanner.num_edges}/{g.num_edges}"])
+    table.add_row(["router build seconds", build])
+    table.add_row(["worst route stretch (fault-free)", worst])
+    table.add_row(["worst route stretch (1 fault)", worst_f])
+    table.add_row(["stretch guarantee", 3])
+    table.add_row(["first faulted route seconds", first])
+    table.add_row(["warm faulted route seconds", warm])
+    emit(table, "E21_routing")
+    assert worst <= 3.0 + 1e-9
+    assert worst_f <= 3.0 + 1e-9
+    assert warm <= first

@@ -1,0 +1,67 @@
+"""E17 (extension) -- the degree-shortcut ablation.
+
+An engineering extension beyond the paper: skip LBC calls whose YES
+answer is forced by Theorem 4 (an endpoint's whole H-neighborhood is a
+cut of size <= f).  The output is provably identical; this bench
+measures the BFS savings and wall-clock effect across densities.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.helpers import emit
+from repro.analysis.tables import Table
+from repro.core.greedy_modified import modified_greedy_unweighted
+from repro.graph import generators
+
+K, F = 2, 3
+
+
+def test_bench_shortcut_ablation(benchmark):
+    def run():
+        rows = []
+        for name, g in [
+            ("sparse G(150, 4/n)", generators.gnp_random_graph(
+                150, 4.0 / 150, seed=1700)),
+            ("medium G(120, 12/n)", generators.gnp_random_graph(
+                120, 12.0 / 120, seed=1701)),
+            ("dense K_60", generators.complete_graph(60)),
+        ]:
+            start = time.perf_counter()
+            plain = modified_greedy_unweighted(g, K, F)
+            t_plain = time.perf_counter() - start
+            start = time.perf_counter()
+            fast = modified_greedy_unweighted(g, K, F, degree_shortcut=True)
+            t_fast = time.perf_counter() - start
+            assert plain.spanner == fast.spanner  # exactness
+            rows.append((name, g.num_edges, plain.bfs_calls,
+                         fast.bfs_calls,
+                         int(fast.extra["degree_shortcuts"]),
+                         t_plain, t_fast))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = Table(
+        f"E17: degree-shortcut ablation (k={K}, f={F}); output verified "
+        "identical in every row",
+        ["workload", "m", "BFS plain", "BFS shortcut", "shortcuts taken",
+         "sec plain", "sec shortcut", "speedup"],
+    )
+    for name, m, bfs_plain, bfs_fast, taken, tp, tf in rows:
+        table.add_row([name, m, bfs_plain, bfs_fast, taken, tp, tf,
+                       tp / max(tf, 1e-6)])
+        assert bfs_fast <= bfs_plain
+    emit(table, "E17_shortcut")
+    # On the sparse workload most edges are forced: big BFS savings.
+    sparse = rows[0]
+    assert sparse[3] < sparse[2]
+
+
+def test_bench_shortcut_build(benchmark):
+    g = generators.gnp_random_graph(150, 4.0 / 150, seed=1702)
+    benchmark(
+        lambda: modified_greedy_unweighted(g, K, F, degree_shortcut=True)
+    )

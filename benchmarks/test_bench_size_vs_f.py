@@ -1,0 +1,58 @@
+"""E4 -- Theorem 8: spanner size scaling in f.
+
+|E(H)| should grow sublinearly in f -- as f^(1-1/k) -- and the measured
+exponent should be below 1 (far below linear-in-f constructions like
+[CLPR10]).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.helpers import emit
+from repro.analysis.experiments import fit_power_law
+from repro.analysis.tables import Table
+from repro.core.bounds import modified_greedy_size_bound
+from repro.core.greedy_modified import fault_tolerant_spanner
+from repro.graph import generators
+
+N, K = 70, 2
+FS = (1, 2, 4, 8)
+
+
+def _sweep():
+    g = generators.complete_graph(N)
+    rows = []
+    for f in FS:
+        result = fault_tolerant_spanner(g, K, f)
+        rows.append((f, result.num_edges,
+                     modified_greedy_size_bound(N, K, f)))
+    return rows
+
+
+def test_bench_size_vs_f(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    table = Table(
+        f"E4: size vs f (K_{N}, k={K}; bound shape ~ f^(1-1/k) = f^0.5)",
+        ["f", "|E(H)|", "bound shape", "ratio"],
+    )
+    for f, size, bound in rows:
+        table.add_row([f, size, bound, size / bound])
+    exponent = fit_power_law([r[0] for r in rows], [r[1] for r in rows])
+    table.add_row(["fit", f"f^{exponent:.2f}",
+                   f"theory f^{1 - 1/K:.2f}", ""])
+    emit(table, "E4_size_vs_f")
+    # Growth must be clearly sublinear in f (the paper's improvement over
+    # the f^2 of [DK11] and ~f of [CLPR10]).
+    assert exponent < 1.0
+    # Monotone nondecreasing in f.
+    sizes = [r[1] for r in rows]
+    assert all(a <= b + 3 for a, b in zip(sizes, sizes[1:]))
+
+
+def test_bench_build_f8(benchmark):
+    g = generators.complete_graph(N)
+    result = benchmark.pedantic(
+        lambda: fault_tolerant_spanner(g, K, 8), rounds=2, iterations=1
+    )
+    assert result.num_edges > 0

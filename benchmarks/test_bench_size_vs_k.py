@@ -1,0 +1,53 @@
+"""E5 -- Theorem 8: spanner size scaling in k.
+
+Larger stretch buys sparsity: |E(H)| should fall as k grows (the
+n^(1+1/k) factor dominates the linear k factor on dense inputs).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.helpers import emit
+from repro.analysis.tables import Table
+from repro.core.bounds import modified_greedy_size_bound
+from repro.core.greedy_modified import fault_tolerant_spanner
+from repro.graph import generators
+
+N, F = 70, 2
+KS = (1, 2, 3, 4)
+
+
+def _sweep():
+    g = generators.complete_graph(N)
+    rows = []
+    for k in KS:
+        result = fault_tolerant_spanner(g, k, F)
+        rows.append((k, 2 * k - 1, result.num_edges,
+                     modified_greedy_size_bound(N, k, F)))
+    return rows
+
+
+def test_bench_size_vs_k(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    table = Table(
+        f"E5: size vs k (K_{N}, f={F})",
+        ["k", "stretch", "|E(H)|", "bound shape", "ratio"],
+    )
+    for k, stretch, size, bound in rows:
+        table.add_row([k, stretch, size, bound, size / bound])
+    emit(table, "E5_size_vs_k")
+    sizes = [r[2] for r in rows]
+    # k = 1 keeps everything; k = 2 must already compress a clique hard.
+    assert sizes[0] == N * (N - 1) // 2
+    assert sizes[1] < sizes[0] / 3
+    # Nonincreasing thereafter (small noise slack).
+    assert all(a >= b - 3 for a, b in zip(sizes[1:], sizes[2:]))
+
+
+def test_bench_build_k4(benchmark):
+    g = generators.complete_graph(N)
+    result = benchmark.pedantic(
+        lambda: fault_tolerant_spanner(g, 4, F), rounds=2, iterations=1
+    )
+    assert result.num_edges > 0

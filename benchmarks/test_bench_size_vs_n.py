@@ -1,0 +1,62 @@
+"""E3 -- Theorem 8: spanner size scaling in n.
+
+|E(H)| should scale as n^(1+1/k) (times k f^(1-1/k)).  We sweep n on
+dense-enough G(n, p) so the input never binds, fit the measured exponent,
+and compare to 1 + 1/k.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.helpers import emit
+from repro.analysis.experiments import fit_power_law
+from repro.analysis.tables import Table
+from repro.core.bounds import modified_greedy_size_bound
+from repro.core.greedy_modified import fault_tolerant_spanner
+from repro.graph import generators
+
+NS = (40, 60, 90, 130, 190)
+K, F = 2, 2
+
+
+def _sweep():
+    rows = []
+    for n in NS:
+        # Complete graphs: the input never constrains the spanner, so the
+        # measured size is purely the algorithm's output density.
+        g = generators.complete_graph(n)
+        result = fault_tolerant_spanner(g, K, F)
+        rows.append((n, g.num_edges, result.num_edges,
+                     modified_greedy_size_bound(n, K, F)))
+    return rows
+
+
+def test_bench_size_vs_n(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    table = Table(
+        f"E3: size vs n (k={K}, f={F}; bound shape k f^(1-1/k) n^(1+1/k))",
+        ["n", "|E(G)|", "|E(H)|", "bound shape", "ratio"],
+    )
+    for n, m, size, bound in rows:
+        table.add_row([n, m, size, bound, size / bound])
+    ns = [r[0] for r in rows]
+    sizes = [r[2] for r in rows]
+    exponent = fit_power_law(ns, sizes)
+    table.add_row(["fit", "", f"n^{exponent:.2f}",
+                   f"theory n^{1 + 1/K:.2f}", ""])
+    emit(table, "E3_size_vs_n")
+    # The measured exponent should be near 1 + 1/k = 1.5 (within the
+    # noise of small-n experiments and input-density effects).
+    assert exponent <= 1.0 + 1.0 / K + 0.35
+    # Ratios must not diverge: last ratio within 3x of first.
+    ratios = [r[2] / r[3] for r in rows]
+    assert ratios[-1] <= 3.0 * ratios[0]
+
+
+def test_bench_single_large_build(benchmark):
+    g = generators.complete_graph(120)
+    result = benchmark.pedantic(
+        lambda: fault_tolerant_spanner(g, K, F), rounds=2, iterations=1
+    )
+    assert result.num_edges > 0

@@ -1,0 +1,23 @@
+"""Legacy setup shim.
+
+The canonical project metadata lives in pyproject.toml.  This file exists
+so `pip install -e .` works in offline environments whose setuptools lacks
+PEP 660 editable-wheel support (no `wheel` package available): without a
+[build-system] table, pip falls back to `setup.py develop`, which this
+shim serves.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Fault-tolerant graph spanners: efficient and simple algorithms "
+        "(Dinitz & Robelle, PODC 2020)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    entry_points={"console_scripts": ["ftspanner = repro.cli:main"]},
+)

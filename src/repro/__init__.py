@@ -1,0 +1,94 @@
+"""repro: fault-tolerant graph spanners.
+
+A complete implementation of *"Efficient and Simple Algorithms for
+Fault-Tolerant Spanners"* (Dinitz & Robelle, PODC 2020): the
+polynomial-time modified greedy (Theorems 2, 5, 8-10), the
+Length-Bounded Cut approximation it is built on (Theorem 4), the
+exponential-time optimal greedy baseline [BDPW18, BP19], the LOCAL and
+CONGEST distributed constructions (Theorems 12, 14, 15) on a synchronous
+message-passing simulator, the prior-work baselines ([ADD+93], [TZ05],
+[CLPR10], [BS07], [DK11]), and verification machinery for everything.
+
+Quickstart
+----------
+>>> from repro import fault_tolerant_spanner, generators, verify_ft_spanner
+>>> g = generators.gnp_random_graph(100, 0.2, seed=0)
+>>> result = fault_tolerant_spanner(g, k=2, f=2)   # 2-fault 3-spanner
+>>> result.spanner.num_edges < g.num_edges
+True
+>>> bool(verify_ft_spanner(g, result.spanner, t=3, f=2, samples=50))
+True
+"""
+
+from repro.core import (
+    FaultModel,
+    IncrementalSpanner,
+    SpannerResult,
+    bounds,
+    exponential_greedy_spanner,
+    fault_tolerant_spanner,
+    modified_greedy_unweighted,
+    modified_greedy_weighted,
+)
+from repro.graph import Graph, generators
+from repro.graph import io as graph_io
+from repro.lbc import lbc_edge, lbc_vertex
+from repro.baselines import (
+    baswana_sen_spanner,
+    classic_greedy_spanner,
+    clpr_fault_tolerant_spanner,
+    dk_fault_tolerant_spanner,
+    thorup_zwick_spanner,
+)
+from repro.distributed import (
+    congest_baswana_sen,
+    congest_ft_spanner,
+    local_ft_spanner,
+    padded_decomposition,
+)
+from repro.verification import (
+    is_spanner,
+    max_stretch,
+    max_stretch_under_faults,
+    verify_ft_spanner,
+)
+from repro.applications import (
+    FaultTolerantDistanceOracle,
+    availability_analysis,
+    degradation_profile,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "FaultModel",
+    "SpannerResult",
+    "bounds",
+    "generators",
+    "graph_io",
+    "fault_tolerant_spanner",
+    "modified_greedy_unweighted",
+    "modified_greedy_weighted",
+    "exponential_greedy_spanner",
+    "IncrementalSpanner",
+    "lbc_vertex",
+    "lbc_edge",
+    "classic_greedy_spanner",
+    "thorup_zwick_spanner",
+    "baswana_sen_spanner",
+    "dk_fault_tolerant_spanner",
+    "clpr_fault_tolerant_spanner",
+    "local_ft_spanner",
+    "congest_baswana_sen",
+    "congest_ft_spanner",
+    "padded_decomposition",
+    "is_spanner",
+    "max_stretch",
+    "max_stretch_under_faults",
+    "verify_ft_spanner",
+    "FaultTolerantDistanceOracle",
+    "availability_analysis",
+    "degradation_profile",
+    "__version__",
+]

@@ -1,0 +1,29 @@
+"""Experiment harness and reporting.
+
+:mod:`~repro.analysis.tables` renders aligned ASCII tables (the benches
+print these -- the library's equivalent of the paper's "Table N").
+:mod:`~repro.analysis.experiments` contains the parameter-sweep runners
+behind every row of EXPERIMENTS.md; each returns plain data structures so
+tests can assert on trends while benches print them.
+"""
+
+from repro.analysis.tables import Table, format_table
+from repro.analysis import hard_instances
+from repro.analysis.experiments import (
+    SweepPoint,
+    fit_power_law,
+    optimality_gap_sweep,
+    ratio_trend,
+    size_sweep,
+)
+
+__all__ = [
+    "Table",
+    "format_table",
+    "SweepPoint",
+    "fit_power_law",
+    "optimality_gap_sweep",
+    "ratio_trend",
+    "size_sweep",
+    "hard_instances",
+]

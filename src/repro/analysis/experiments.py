@@ -1,0 +1,128 @@
+"""Parameter-sweep runners shared by the benchmark harness and tests.
+
+Each runner performs one kind of sweep and returns plain dataclasses;
+benches format them with :mod:`repro.analysis.tables`, tests assert on
+the trends.  Runners take explicit seeds so EXPERIMENTS.md numbers are
+reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.bounds import modified_greedy_size_bound
+from repro.core.greedy_exact import exponential_greedy_spanner
+from repro.core.greedy_modified import fault_tolerant_spanner
+from repro.graph.generators import gnp_random_graph
+from repro.graph.graph import Graph
+
+
+@dataclass
+class SweepPoint:
+    """One measured point of a parameter sweep."""
+
+    n: int
+    m: int
+    k: int
+    f: int
+    spanner_edges: int
+    bound: float
+    seconds: float
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def bound_ratio(self) -> float:
+        """measured / theoretical-shape; should stay O(1) along a sweep."""
+        return self.spanner_edges / self.bound if self.bound else math.inf
+
+
+def size_sweep(
+    configs: Sequence[Tuple[int, float, int, int]],
+    seed: int = 0,
+    fault_model: str = "vertex",
+    builder: Optional[Callable[[Graph, int, int], object]] = None,
+) -> List[SweepPoint]:
+    """Measure spanner size across (n, p, k, f) configurations.
+
+    ``builder(graph, k, f)`` defaults to the modified greedy and must
+    return an object with ``.spanner`` (the benches pass baselines in).
+    """
+    points: List[SweepPoint] = []
+    for idx, (n, p, k, f) in enumerate(configs):
+        g = gnp_random_graph(n, p, seed=seed + idx)
+        start = time.perf_counter()
+        if builder is None:
+            result = fault_tolerant_spanner(g, k, f, fault_model=fault_model)
+        else:
+            result = builder(g, k, f)
+        elapsed = time.perf_counter() - start
+        points.append(
+            SweepPoint(
+                n=n,
+                m=g.num_edges,
+                k=k,
+                f=f,
+                spanner_edges=result.spanner.num_edges,
+                bound=modified_greedy_size_bound(n, k, f),
+                seconds=elapsed,
+            )
+        )
+    return points
+
+
+def optimality_gap_sweep(
+    configs: Sequence[Tuple[int, float, int, int]], seed: int = 0
+) -> List[Tuple[SweepPoint, SweepPoint]]:
+    """Modified vs exponential greedy on instances small enough for both.
+
+    Returns pairs (modified_point, exact_point) sharing the same graph.
+    Experiment E8: the size ratio should stay <= O(k).
+    """
+    out: List[Tuple[SweepPoint, SweepPoint]] = []
+    for idx, (n, p, k, f) in enumerate(configs):
+        g = gnp_random_graph(n, p, seed=seed + idx)
+        start = time.perf_counter()
+        modified = fault_tolerant_spanner(g, k, f)
+        mod_s = time.perf_counter() - start
+        start = time.perf_counter()
+        exact = exponential_greedy_spanner(g, k, f)
+        exact_s = time.perf_counter() - start
+        bound = modified_greedy_size_bound(n, k, f)
+        out.append(
+            (
+                SweepPoint(n, g.num_edges, k, f, modified.spanner.num_edges,
+                           bound, mod_s),
+                SweepPoint(n, g.num_edges, k, f, exact.spanner.num_edges,
+                           bound, exact_s),
+            )
+        )
+    return out
+
+
+def ratio_trend(points: Sequence[SweepPoint]) -> List[float]:
+    """The bound ratios along a sweep (should not diverge)."""
+    return [p.bound_ratio for p in points]
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares exponent b of ``y ~ a * x^b`` (log-log regression).
+
+    Used to check measured scaling exponents against the theorems, e.g.
+    spanner size vs n should fit an exponent close to 1 + 1/k.
+    """
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need two sequences of equal length >= 2")
+    if any(x <= 0 for x in xs) or any(y <= 0 for y in ys):
+        raise ValueError("power-law fit needs positive data")
+    lx = [math.log(x) for x in xs]
+    ly = [math.log(y) for y in ys]
+    mean_x = sum(lx) / len(lx)
+    mean_y = sum(ly) / len(ly)
+    cov = sum((a - mean_x) * (b - mean_y) for a, b in zip(lx, ly))
+    var = sum((a - mean_x) ** 2 for a in lx)
+    if var == 0:
+        raise ValueError("x values are all equal; exponent undefined")
+    return cov / var

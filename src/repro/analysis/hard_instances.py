@@ -1,0 +1,86 @@
+"""Hard (lower-bound-style) instances for fault-tolerant spanners.
+
+[BDPW18]'s size lower bound uses a *blow-up* construction: start from an
+extremal high-girth graph and replace every vertex with a group of
+``f + 1`` copies, every edge with the complete bipartite bundle between
+its endpoint groups.  Any f-VFT spanner with finite stretch must keep
+many edges of every bundle: faulting f copies of a group can kill every
+kept edge of a bundle except those through the remaining copy, so each
+bundle needs edges touching all (or nearly all) copies -- ~f edges per
+base edge, which is how the f^(1-1/k) n^(1+1/k) lower bound arises.
+
+These generators exist to *stress* the constructions where random
+workloads are easy: experiment E20 measures how close the modified
+greedy comes to the forced density on blow-ups.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+from repro.baselines.greedy_classic import classic_greedy_spanner
+from repro.graph.generators import gnp_random_graph
+from repro.graph.graph import Graph, Node
+
+
+def blowup(base: Graph, copies: int) -> Graph:
+    """Replace every vertex with ``copies`` clones; edges become bundles.
+
+    Node ``v`` becomes ``(v, 0) .. (v, copies-1)``; edge ``{u, v}``
+    becomes the complete bipartite bundle between the two groups (no
+    intra-group edges -- clones are interchangeable, not connected).
+    """
+    if copies < 1:
+        raise ValueError(f"need copies >= 1, got {copies}")
+    g = Graph()
+    for v in base.nodes():
+        for i in range(copies):
+            g.add_node((v, i))
+    for u, v, w in base.weighted_edges():
+        for i in range(copies):
+            for j in range(copies):
+                g.add_edge((u, i), (v, j), weight=w)
+    return g
+
+
+def high_girth_base(n: int, k: int, seed: Optional[int] = None) -> Graph:
+    """A (near-)extremal girth > 2k graph on ``n`` nodes.
+
+    True extremal graphs (generalized polygons) exist only for special
+    k; the classic greedy run on a dense random graph gets within
+    constants of the Moore bound and has girth > 2k by construction --
+    good enough for a stress workload.
+    """
+    if n < 3:
+        raise ValueError(f"need n >= 3, got {n}")
+    dense = gnp_random_graph(n, min(1.0, 0.8), seed=seed)
+    return classic_greedy_spanner(dense, k).spanner
+
+
+def vft_lower_bound_instance(
+    base_n: int, k: int, f: int, seed: Optional[int] = None
+) -> Tuple[Graph, Graph, int]:
+    """The [BDPW18]-style hard instance for f-VFT (2k-1)-spanners.
+
+    Returns ``(instance, base, copies)`` where ``instance`` is the
+    (f+1)-fold blow-up of a girth > 2k base.  The lower-bound argument
+    forces any f-VFT spanner with stretch < girth-1 to keep, for each
+    base edge, edges covering every copy of each endpoint group --
+    at least ``f + 1`` per bundle.
+    """
+    base = high_girth_base(base_n, k, seed=seed)
+    copies = f + 1
+    return blowup(base, copies), base, copies
+
+
+def forced_bundle_edges(base: Graph, f: int) -> int:
+    """The per-instance forced-size floor: (f + 1) edges per base edge.
+
+    For each bundle, faulting all f clones that carry kept edges of one
+    endpoint group (if fewer than f+1 carry them) would disconnect a
+    surviving clone pair whose only short route is the bundle itself
+    (the base has girth > 2k, so every alternative route is longer than
+    the stretch budget).  Hence >= f + 1 kept edges per bundle.
+    """
+    return (f + 1) * base.num_edges

@@ -1,0 +1,69 @@
+"""ASCII table rendering for experiment output.
+
+The benchmark harness prints one table per reproduced claim; EXPERIMENTS.md
+archives these verbatim.  No external dependency -- just aligned columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, List, Optional, Sequence
+
+
+def _render_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A titled table accumulated row by row.
+
+    >>> t = Table("demo", ["n", "edges"])
+    >>> t.add_row([10, 45])
+    >>> print(t.render())  # doctest: +ELLIPSIS
+    demo
+    ...
+    """
+
+    title: str
+    columns: Sequence[str]
+    rows: List[List[str]] = field(default_factory=list)
+
+    def add_row(self, values: Iterable[Any]) -> None:
+        row = [_render_cell(v) for v in values]
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(row)
+
+    def render(self) -> str:
+        return format_table(self.title, self.columns, self.rows)
+
+    def print(self) -> None:  # pragma: no cover - console convenience
+        print()
+        print(self.render())
+
+
+def format_table(
+    title: str, columns: Sequence[str], rows: Sequence[Sequence[str]]
+) -> str:
+    """Render an aligned table with a title and a header rule."""
+    widths = [len(c) for c in columns]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    header = "  ".join(c.ljust(widths[i]) for i, c in enumerate(columns))
+    rule = "-" * len(header)
+    lines = [title, rule, header, rule]
+    for row in rows:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)

@@ -1,0 +1,207 @@
+"""Spanner-based routing with fault fallback.
+
+Compact routing [TZ01] is among the original motivations for spanners:
+route over a sparse subgraph instead of the full topology, paying a
+bounded detour.  With an f-fault-tolerant spanner underneath, the same
+tables keep working through failures.
+
+:class:`SpannerRouter` precomputes, per destination, a shortest-path
+tree *on the spanner* and answers next-hop queries from it.  When a
+fault set is reported (up to the spanner's f), affected destinations
+are rerouted on the faulted spanner -- by the FT guarantee a route
+within stretch (2k-1) of the true post-fault distance always exists.
+
+Routes are loop-free by construction (next hops follow a shortest-path
+tree for the current fault set), which the tests check by walking every
+route to termination.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple, Union
+
+from repro.core.greedy_modified import fault_tolerant_spanner
+from repro.core.spanner import FaultModel, SpannerResult
+from repro.graph.graph import Edge, Graph, Node, edge_key
+from repro.graph.traversal import dijkstra
+from repro.graph.views import EdgeFaultView, VertexFaultView
+
+INFINITY = math.inf
+
+
+class RoutingError(RuntimeError):
+    """Raised when no surviving route exists for a query."""
+
+
+class SpannerRouter:
+    """Next-hop routing over a fault-tolerant spanner.
+
+    Parameters mirror :func:`repro.core.greedy_modified.
+    fault_tolerant_spanner`; a prebuilt :class:`SpannerResult` may be
+    supplied instead of rebuilding.
+
+    Examples
+    --------
+    >>> from repro.graph import generators
+    >>> g = generators.cycle_graph(6)
+    >>> router = SpannerRouter(g, k=2, f=1)
+    >>> router.next_hop(0, 3) in (1, 5)
+    True
+    """
+
+    def __init__(
+        self,
+        g: Graph,
+        k: int,
+        f: int,
+        fault_model: Union[FaultModel, str] = FaultModel.VERTEX,
+        prebuilt: Optional[SpannerResult] = None,
+    ) -> None:
+        self.k = k
+        self.f = f
+        self.fault_model = FaultModel.coerce(fault_model)
+        if prebuilt is not None:
+            result = prebuilt
+        else:
+            result = fault_tolerant_spanner(
+                g, k, f, fault_model=self.fault_model
+            )
+        self.spanner = result.spanner
+        self.construction = result
+        # Per fault set: per destination: node -> next hop toward dest.
+        self._tables: Dict[FrozenSet, Dict[Node, Dict[Node, Node]]] = {}
+
+    # ------------------------------------------------------------- #
+
+    def next_hop(
+        self, source: Node, dest: Node, faults: Optional[Iterable] = None
+    ) -> Node:
+        """The neighbor ``source`` forwards to for ``dest``.
+
+        Raises :class:`RoutingError` when the destination is unreachable
+        in the faulted spanner and ``ValueError``/``KeyError`` on invalid
+        queries (too many faults, faulted endpoints, unknown nodes).
+        """
+        if source == dest:
+            raise ValueError("source equals destination")
+        table = self._table_for(self._normalize(faults), dest)
+        hop = table.get(source)
+        if hop is None:
+            raise RoutingError(
+                f"no surviving route from {source!r} to {dest!r}"
+            )
+        return hop
+
+    def route(
+        self, source: Node, dest: Node, faults: Optional[Iterable] = None
+    ) -> List[Node]:
+        """The full node sequence from ``source`` to ``dest``."""
+        fault_key = self._normalize(faults)
+        table = self._table_for(fault_key, dest)
+        path = [source]
+        current = source
+        limit = self.spanner.num_nodes + 1
+        while current != dest:
+            nxt = table.get(current)
+            if nxt is None:
+                raise RoutingError(
+                    f"no surviving route from {source!r} to {dest!r}"
+                )
+            path.append(nxt)
+            current = nxt
+            if len(path) > limit:  # pragma: no cover - defensive
+                raise RoutingError("routing loop detected")
+        return path
+
+    def route_cost(
+        self, source: Node, dest: Node, faults: Optional[Iterable] = None
+    ) -> float:
+        """Total weight of the route returned by :meth:`route`."""
+        path = self.route(source, dest, faults=faults)
+        return sum(
+            self.spanner.weight(a, b) for a, b in zip(path, path[1:])
+        )
+
+    def table_size(self) -> int:
+        """Total next-hop entries currently materialized (all scenarios)."""
+        return sum(
+            len(table)
+            for per_dest in self._tables.values()
+            for table in per_dest.values()
+        )
+
+    # ------------------------------------------------------------- #
+
+    def _normalize(self, faults: Optional[Iterable]) -> FrozenSet:
+        if faults is None:
+            return frozenset()
+        if self.fault_model is FaultModel.VERTEX:
+            out = frozenset(faults)
+        else:
+            out = frozenset(edge_key(u, v) for u, v in faults)
+        if len(out) > self.f:
+            raise ValueError(
+                f"{len(out)} faults declared; the spanner tolerates "
+                f"at most f={self.f}"
+            )
+        return out
+
+    def _view(self, fault_key: FrozenSet):
+        if not fault_key:
+            return self.spanner
+        if self.fault_model is FaultModel.VERTEX:
+            return VertexFaultView(self.spanner, fault_key)
+        return EdgeFaultView(self.spanner, fault_key)
+
+    def _table_for(
+        self, fault_key: FrozenSet, dest: Node
+    ) -> Dict[Node, Node]:
+        """Next-hop table toward ``dest`` under ``fault_key`` (cached).
+
+        Built from one Dijkstra rooted at the destination: each reached
+        node's next hop is its parent toward ``dest`` (reversed tree).
+        """
+        if not self.spanner.has_node(dest):
+            raise KeyError(f"destination {dest!r} not in graph")
+        if (
+            self.fault_model is FaultModel.VERTEX
+            and dest in fault_key
+        ):
+            raise ValueError(f"destination {dest!r} is in the fault set")
+        per_dest = self._tables.setdefault(fault_key, {})
+        cached = per_dest.get(dest)
+        if cached is not None:
+            return cached
+        view = self._view(fault_key)
+        parent = _dijkstra_parents(view, dest)
+        # parent[x] is x's predecessor on the dest-rooted tree, i.e. the
+        # next hop on x's shortest route TOWARD dest.
+        per_dest[dest] = parent
+        return parent
+
+
+def _dijkstra_parents(view, root: Node) -> Dict[Node, Node]:
+    """Map each reachable node to its parent toward ``root``."""
+    import heapq
+
+    parent: Dict[Node, Node] = {}
+    best: Dict[Node, float] = {root: 0.0}
+    done = set()
+    heap: List = [(0.0, 0, root)]
+    counter = 1
+    while heap:
+        d, _, u = heapq.heappop(heap)
+        if u in done:
+            continue
+        done.add(u)
+        for v, w in view.neighbor_items(u):
+            if v in done:
+                continue
+            nd = d + w
+            if v not in best or nd < best[v]:
+                best[v] = nd
+                parent[v] = u
+                heapq.heappush(heap, (nd, counter, v))
+                counter += 1
+    return parent

@@ -1,0 +1,150 @@
+"""The Baswana-Sen randomized (2k-1)-spanner [BS07] (centralized form).
+
+The classic cluster-growing construction, here in its sequential form;
+:mod:`repro.distributed.congest_bs` implements the same logic as a
+node-local CONGEST protocol (Theorem 14).
+
+Phase 1 (k - 1 rounds): maintain a clustering, initially every vertex a
+singleton cluster.  Each round, cluster centers survive independently
+with probability ``n^(-1/k)``.  A vertex v adjacent to a surviving
+cluster joins the one offering its lightest connecting edge (adding that
+edge to the spanner); a vertex adjacent to no surviving cluster adds its
+lightest edge to *every* adjacent (old) cluster and leaves the clustering.
+
+Phase 2: every vertex still clustered adds its lightest edge to each
+adjacent cluster of the final clustering.
+
+Expected size O(k n^(1+1/k)); stretch 2k - 1 for weighted graphs.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, Optional, Set, Tuple, Union
+
+from repro.core.spanner import FaultModel, SpannerResult
+from repro.graph.graph import Graph, Node
+
+RngLike = Union[int, random.Random, None]
+
+
+def baswana_sen_spanner(
+    g: Graph, k: int, seed: RngLike = None
+) -> SpannerResult:
+    """Build a (2k-1)-spanner of (possibly weighted) ``g`` per [BS07]."""
+    if k < 1:
+        raise ValueError(f"need k >= 1, got {k}")
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    n = g.num_nodes
+    h = g.spanning_skeleton()
+    if n == 0:
+        return _result(h, g, k)
+
+    # center[v]: the center of v's cluster, or None once v has left.
+    center: Dict[Node, Optional[Node]] = {v: v for v in g.nodes()}
+    # live[v]: edges of v not yet "resolved" (intra-cluster or discarded).
+    live: Dict[Node, Dict[Node, float]] = {
+        v: dict(g.neighbor_items(v)) for v in g.nodes()
+    }
+    p = n ** (-1.0 / k)
+
+    for _ in range(k - 1):
+        survivors = _sample_centers(center, p, rng)
+        new_center: Dict[Node, Optional[Node]] = {}
+        for v in g.nodes():
+            c = center[v]
+            if c is None:
+                new_center[v] = None
+                continue
+            if c in survivors:
+                # v's own cluster survived; stay put.
+                new_center[v] = c
+                continue
+            best = _lightest_edge_per_cluster(v, live[v], center)
+            surviving_best: Optional[Tuple[float, Node, Node]] = None
+            for cluster, (w, u) in best.items():
+                if cluster in survivors:
+                    cand = (w, repr(u), u, cluster)
+                    if surviving_best is None or cand[:2] < surviving_best[:2]:
+                        surviving_best = cand
+            if surviving_best is not None:
+                # Join the surviving cluster with the lightest edge.
+                join_weight, _, u, cluster = surviving_best
+                h.add_edge(v, u, weight=live[v][u])
+                new_center[v] = cluster
+                # [BS07] join rule: also connect to every adjacent cluster
+                # whose lightest edge is strictly lighter than the joining
+                # edge (these clusters would otherwise offer shortcuts the
+                # stretch argument needs), then drop edges into the joined
+                # and the connected clusters.
+                resolved = {cluster}
+                for other, (w, x) in best.items():
+                    if other != cluster and w < join_weight:
+                        h.add_edge(v, x, weight=live[v][x])
+                        resolved.add(other)
+                live[v] = {
+                    x: w
+                    for x, w in live[v].items()
+                    if center.get(x) not in resolved
+                }
+            else:
+                # No adjacent surviving cluster: connect to every adjacent
+                # old cluster with its lightest edge, then leave.
+                for cluster, (w, u) in best.items():
+                    h.add_edge(v, u, weight=live[v][u])
+                new_center[v] = None
+                live[v] = {}
+        center = new_center
+
+    # Phase 2: lightest edge to each adjacent final cluster.
+    for v in g.nodes():
+        if center[v] is None:
+            continue
+        best = _lightest_edge_per_cluster(v, dict(g.neighbor_items(v)), center)
+        for cluster, (w, u) in best.items():
+            if cluster == center[v]:
+                continue
+            h.add_edge(v, u, weight=g.weight(v, u))
+    return _result(h, g, k)
+
+
+def _sample_centers(
+    center: Dict[Node, Optional[Node]], p: float, rng: random.Random
+) -> Set[Node]:
+    """Each current cluster center survives independently w.p. ``p``."""
+    centers = sorted(
+        {c for c in center.values() if c is not None}, key=repr
+    )
+    return {c for c in centers if rng.random() < p}
+
+
+def _lightest_edge_per_cluster(
+    v: Node,
+    incident: Dict[Node, float],
+    center: Dict[Node, Optional[Node]],
+) -> Dict[Node, Tuple[float, Node]]:
+    """For each adjacent cluster: (weight, endpoint) of v's lightest edge.
+
+    Ties broken by endpoint repr for determinism.
+    """
+    best: Dict[Node, Tuple[float, Node]] = {}
+    for u, w in incident.items():
+        c = center.get(u)
+        if c is None:
+            continue
+        cur = best.get(c)
+        if cur is None or (w, repr(u)) < (cur[0], repr(cur[1])):
+            best[c] = (w, u)
+    return best
+
+
+def _result(h: Graph, g: Graph, k: int) -> SpannerResult:
+    return SpannerResult(
+        spanner=h,
+        k=k,
+        f=0,
+        fault_model=FaultModel.VERTEX,
+        algorithm="baswana-sen",
+        edges_considered=g.num_edges,
+    )

@@ -1,0 +1,218 @@
+"""Command-line interface: ``ftspanner``.
+
+Subcommands
+-----------
+``build``    Build a fault-tolerant spanner of a graph file (or a
+             generated random graph) and write/print the result.
+``verify``   Check that one graph file is an f-FT t-spanner of another.
+``info``     Print structural statistics of a graph file.
+``demo``     Run a small end-to-end demonstration (no files needed).
+
+Graph files use the library's text edge-list format
+(:mod:`repro.graph.io`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.baselines import (
+    baswana_sen_spanner,
+    classic_greedy_spanner,
+    clpr_fault_tolerant_spanner,
+    dk_fault_tolerant_spanner,
+    thorup_zwick_spanner,
+)
+from repro.core import exponential_greedy_spanner, fault_tolerant_spanner
+from repro.distributed import congest_ft_spanner, local_ft_spanner
+from repro.graph import generators
+from repro.graph import io as graph_io
+from repro.graph.traversal import connected_components, hop_diameter
+from repro.verification import max_stretch, verify_ft_spanner
+
+_ALGORITHMS = {
+    "greedy": lambda g, k, f, seed, model: fault_tolerant_spanner(
+        g, k, f, fault_model=model
+    ),
+    "exact-greedy": lambda g, k, f, seed, model: exponential_greedy_spanner(
+        g, k, f, fault_model=model
+    ),
+    "dk": lambda g, k, f, seed, model: dk_fault_tolerant_spanner(
+        g, k, max(f, 1), seed=seed
+    ),
+    "clpr": lambda g, k, f, seed, model: clpr_fault_tolerant_spanner(
+        g, k, f, seed=seed
+    ),
+    "local": lambda g, k, f, seed, model: local_ft_spanner(
+        g, k, f, fault_model=model, seed=seed
+    ),
+    "congest": lambda g, k, f, seed, model: congest_ft_spanner(
+        g, k, max(f, 1), seed=seed
+    ),
+    "classic": lambda g, k, f, seed, model: classic_greedy_spanner(g, k),
+    "baswana-sen": lambda g, k, f, seed, model: baswana_sen_spanner(
+        g, k, seed=seed
+    ),
+    "thorup-zwick": lambda g, k, f, seed, model: thorup_zwick_spanner(
+        g, k, seed=seed
+    ),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ftspanner",
+        description="Fault-tolerant spanner constructions (Dinitz-Robelle PODC 2020)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    build = sub.add_parser("build", help="build a fault-tolerant spanner")
+    build.add_argument("--input", help="graph file (edge-list format)")
+    build.add_argument("--random", type=int, metavar="N",
+                       help="generate a G(n, p) input instead of reading a file")
+    build.add_argument("--p", type=float, default=0.1,
+                       help="edge probability for --random (default 0.1)")
+    build.add_argument("-k", type=int, default=2,
+                       help="stretch parameter: stretch = 2k-1 (default 2)")
+    build.add_argument("-f", type=int, default=1,
+                       help="number of faults tolerated (default 1)")
+    build.add_argument("--fault-model", choices=["vertex", "edge"],
+                       default="vertex")
+    build.add_argument("--algorithm", choices=sorted(_ALGORITHMS),
+                       default="greedy")
+    build.add_argument("--seed", type=int, default=0)
+    build.add_argument("--output", help="write the spanner here (edge-list)")
+    build.add_argument("--verify", action="store_true",
+                       help="verify the output before reporting")
+
+    verify = sub.add_parser("verify", help="verify a spanner file")
+    verify.add_argument("graph", help="original graph file")
+    verify.add_argument("spanner", help="candidate spanner file")
+    verify.add_argument("-t", type=float, required=True, help="stretch bound")
+    verify.add_argument("-f", type=int, default=0, help="fault budget")
+    verify.add_argument("--fault-model", choices=["vertex", "edge"],
+                        default="vertex")
+    verify.add_argument("--samples", type=int, default=300)
+    verify.add_argument("--seed", type=int, default=0)
+
+    info = sub.add_parser("info", help="print graph statistics")
+    info.add_argument("graph", help="graph file")
+
+    sub.add_parser("demo", help="run a small end-to-end demo")
+    return parser
+
+
+def _load_or_generate(args) -> "Graph":
+    from repro.graph.graph import Graph
+
+    if args.input and args.random:
+        raise SystemExit("give --input or --random, not both")
+    if args.input:
+        return graph_io.load(args.input)
+    if args.random:
+        return generators.gnp_random_graph(args.random, args.p, seed=args.seed)
+    raise SystemExit("need --input FILE or --random N")
+
+
+def _cmd_build(args) -> int:
+    g = _load_or_generate(args)
+    build = _ALGORITHMS[args.algorithm]
+    start = time.perf_counter()
+    result = build(g, args.k, args.f, args.seed, args.fault_model)
+    elapsed = time.perf_counter() - start
+    print(result.describe())
+    print(f"input edges: {g.num_edges}   kept: "
+          f"{result.spanner.num_edges} "
+          f"({100.0 * result.compression_ratio(g):.1f}%)   "
+          f"time: {elapsed:.3f}s")
+    if args.verify:
+        report = verify_ft_spanner(
+            g, result.spanner, t=2 * args.k - 1, f=args.f,
+            fault_model=args.fault_model, seed=args.seed,
+        )
+        kind = "exhaustive" if report.exhaustive else "sampled"
+        print(f"verification ({kind}, {report.fault_sets_checked} fault sets): "
+              f"{'OK' if report.ok else 'FAILED'}")
+        if not report.ok:
+            print(f"  counterexample: {report.counterexample}")
+            return 1
+    if args.output:
+        graph_io.save(result.spanner, args.output)
+        print(f"spanner written to {args.output}")
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    g = graph_io.load(args.graph)
+    h = graph_io.load(args.spanner)
+    report = verify_ft_spanner(
+        g, h, t=args.t, f=args.f, fault_model=args.fault_model,
+        samples=args.samples, seed=args.seed,
+    )
+    kind = "exhaustive" if report.exhaustive else "sampled"
+    print(f"checked {report.fault_sets_checked} fault sets ({kind})")
+    if report.ok:
+        print("OK: spanner property holds on everything checked")
+        return 0
+    print(f"FAILED: {report.counterexample}")
+    return 1
+
+
+def _cmd_info(args) -> int:
+    from repro.graph.metrics import DegreeStats, average_clustering, weight_stats
+
+    g = graph_io.load(args.graph)
+    components = connected_components(g)
+    degrees = DegreeStats.of(g)
+    print(f"nodes:      {g.num_nodes}")
+    print(f"edges:      {g.num_edges}")
+    print(f"components: {len(components)}")
+    print(f"degrees:    min {degrees.minimum}  median {degrees.median}  "
+          f"mean {degrees.mean:.2f}  max {degrees.maximum}")
+    print(f"density:    {g.density():.4f}")
+    if g.num_nodes <= 500:
+        print(f"clustering: {average_clustering(g):.3f}")
+    if len(components) == 1 and g.num_nodes <= 2000:
+        print(f"hop diameter: {hop_diameter(g)}")
+    unit = g.is_unit_weighted()
+    print(f"weighted:   {'no' if unit else 'yes'}")
+    if not unit:
+        lo, mean, hi = weight_stats(g)
+        print(f"weights:    min {lo:.3g}  mean {mean:.3g}  max {hi:.3g}")
+    return 0
+
+
+def _cmd_demo(args) -> int:
+    print("Building a 2-fault-tolerant 3-spanner of G(80, 0.15)...")
+    g = generators.gnp_random_graph(80, 0.15, seed=42)
+    result = fault_tolerant_spanner(g, k=2, f=2)
+    print(f"  {result.describe()}")
+    print(f"  kept {result.spanner.num_edges} of {g.num_edges} edges "
+          f"({100.0 * result.compression_ratio(g):.1f}%)")
+    stretch = max_stretch(g, result.spanner)
+    print(f"  fault-free stretch: {stretch:.3f} (guarantee: 3)")
+    report = verify_ft_spanner(g, result.spanner, t=3, f=2,
+                               samples=200, seed=0)
+    kind = "exhaustive" if report.exhaustive else "sampled"
+    print(f"  fault-tolerance verification ({kind}): "
+          f"{'OK' if report.ok else 'FAILED'}")
+    return 0 if report.ok else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point (also installed as the ``ftspanner`` script)."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "build": _cmd_build,
+        "verify": _cmd_verify,
+        "info": _cmd_info,
+        "demo": _cmd_demo,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,172 @@
+"""Closed-form bounds from the paper's theorems.
+
+Every experiment in EXPERIMENTS.md compares a measured quantity against
+one of these expressions.  The big-O constants are of course not specified
+by the paper; each function returns the *bound shape* with constant 1, and
+the experiment harness reports measured / shape ratios (which should stay
+bounded as the swept parameter grows -- that is what "matches the theorem"
+means empirically).
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def greedy_size_bound(n: int, k: int, f: int) -> float:
+    """Theorem 8 / BP19: size of the *exponential* greedy spanner.
+
+    ``O(f^(1-1/k) * n^(1+1/k))`` -- the optimal bound for vertex faults.
+    """
+    _check(n, k, f)
+    return f ** (1.0 - 1.0 / k) * n ** (1.0 + 1.0 / k)
+
+
+def modified_greedy_size_bound(n: int, k: int, f: int) -> float:
+    """Theorem 2/8: size of the polynomial-time modified greedy.
+
+    ``O(k * f^(1-1/k) * n^(1+1/k))`` -- a factor k above optimal.
+    """
+    return k * greedy_size_bound(n, k, f)
+
+
+def modified_greedy_time_bound(n: int, m: int, k: int, f: int) -> float:
+    """Theorem 9: worst-case running time of the modified greedy.
+
+    ``O(m * k * f^(2-1/k) * n^(1+1/k))``.
+    """
+    _check(n, k, f)
+    return m * k * f ** (2.0 - 1.0 / k) * n ** (1.0 + 1.0 / k)
+
+
+def lbc_time_bound(n: int, m: int, alpha: int) -> float:
+    """Theorem 4: running time of Algorithm 2, ``O((m + n) * alpha)``."""
+    if alpha < 0:
+        raise ValueError(f"alpha must be >= 0, got {alpha}")
+    return (m + n) * max(alpha, 1)
+
+
+def blocking_set_bound(spanner_edges: int, k: int, f: int) -> float:
+    """Lemma 6: the modified greedy's blocking set has size
+
+    ``<= (2k - 1) * f * |E(H)|``.
+    """
+    _check(max(spanner_edges, 1), k, f)
+    return (2 * k - 1) * f * spanner_edges
+
+
+def high_girth_subgraph_nodes(n: int, k: int, f: int) -> float:
+    """Lemma 7: the extracted subgraph has exactly
+
+    ``floor(n / (2 * (2k - 1) * f))`` nodes (``O(n / (k f))``).
+    """
+    _check(n, k, f)
+    return math.floor(n / (2 * (2 * k - 1) * f))
+
+
+def high_girth_subgraph_edges(m: int, k: int, f: int) -> float:
+    """Lemma 7: expected edges of the extracted subgraph,
+
+    ``~ m / (8 * ((2k - 1) f)^2)`` (``Omega(m / (kf)^2)``).
+    """
+    _check(max(m, 1), k, f)
+    return m / (8.0 * ((2 * k - 1) * f) ** 2)
+
+
+def moore_bound(n: int, k: int) -> float:
+    """Girth > 2k implies at most ``O(n^(1+1/k))`` edges.
+
+    We use the standard explicit form ``n^(1+1/k) + n`` (the additive n
+    covers small-n rounding), which upper-bounds every graph of girth
+    > 2k.  This is the [ADD+93] fact at the root of all spanner size
+    analyses.
+    """
+    if n < 0 or k < 1:
+        raise ValueError(f"need n >= 0 and k >= 1, got n={n}, k={k}")
+    return n ** (1.0 + 1.0 / k) + n
+
+
+def classic_greedy_size_bound(n: int, k: int) -> float:
+    """[ADD+93]: the non-fault-tolerant greedy has < n^(1+1/k) + n edges."""
+    return moore_bound(n, k)
+
+
+def local_size_bound(n: int, k: int, f: int) -> float:
+    """Theorem 12: LOCAL construction size,
+
+    ``O(f^(1-1/k) * n^(1+1/k) * log n)``.
+    """
+    _check(n, k, f)
+    return greedy_size_bound(n, k, f) * max(math.log(n), 1.0)
+
+
+def local_round_bound(n: int) -> float:
+    """Theorem 12: LOCAL construction runs in ``O(log n)`` rounds."""
+    if n < 1:
+        raise ValueError(f"need n >= 1, got {n}")
+    return max(math.log2(n), 1.0)
+
+
+def dk_size_bound(n: int, k: int, f: int) -> float:
+    """Theorem 13 with g(n) = n^(1+1/k): DK11 spanner size,
+
+    ``O(f^(2-1/k) * n^(1+1/k) * log n)``.
+    """
+    _check(n, k, f)
+    return (
+        f ** (2.0 - 1.0 / k) * n ** (1.0 + 1.0 / k) * max(math.log(n), 1.0)
+    )
+
+
+def dk_iterations(n: int, f: int, constant: float = 1.0) -> int:
+    """Theorem 13: number of sampling iterations, ``O(f^3 log n)``.
+
+    ``constant`` scales the count; experiments use small constants to keep
+    runtimes reasonable while noting the theorem's requirement.
+    """
+    if n < 2 or f < 1:
+        raise ValueError(f"need n >= 2 and f >= 1, got n={n}, f={f}")
+    return max(1, math.ceil(constant * f ** 3 * math.log(n)))
+
+
+def congest_size_bound(n: int, k: int, f: int) -> float:
+    """Theorem 15: CONGEST construction size,
+
+    ``O(k * f^(2-1/k) * n^(1+1/k) * log n)``.
+    """
+    return k * dk_size_bound(n, k, f)
+
+
+def congest_round_bound(n: int, k: int, f: int) -> float:
+    """Theorem 15: CONGEST round complexity,
+
+    ``O(f^2 (log f + log log n) + k^2 f log n)``.
+    """
+    _check(n, k, f)
+    log_n = max(math.log2(n), 2.0)
+    log_f = max(math.log2(max(f, 2)), 1.0)
+    return f ** 2 * (log_f + math.log2(log_n)) + k ** 2 * f * log_n
+
+
+def bs_round_bound(k: int) -> float:
+    """Theorem 14: Baswana-Sen runs in ``O(k^2)`` CONGEST rounds."""
+    if k < 1:
+        raise ValueError(f"need k >= 1, got {k}")
+    return float(k * k)
+
+
+def bs_size_bound(n: int, k: int) -> float:
+    """Theorem 14: Baswana-Sen spanner has ``O(k * n^(1+1/k))`` edges."""
+    if n < 1 or k < 1:
+        raise ValueError(f"need n >= 1 and k >= 1, got n={n}, k={k}")
+    return k * n ** (1.0 + 1.0 / k)
+
+
+def _check(n: int, k: int, f: int) -> None:
+    """Shared parameter validation."""
+    if n < 1:
+        raise ValueError(f"need n >= 1, got {n}")
+    if k < 1:
+        raise ValueError(f"need k >= 1, got {k}")
+    if f < 1:
+        raise ValueError(f"need f >= 1, got {f}")

@@ -1,0 +1,177 @@
+"""Algorithm 1: the exponential-time greedy of [BDPW18, BP19].
+
+For each edge ``{u, v}`` in nondecreasing weight order, add it to ``H``
+iff there exists a fault set ``F`` (``|F| <= f``) such that
+``d_{H \\ F}(u, v) > (2k - 1) * w(u, v)``.  The existence test is NP-hard,
+so this construction is exponential in ``f`` -- but its output meets the
+*optimal* size bound ``O(f^(1-1/k) n^(1+1/k))`` [BP19], which makes it the
+reference baseline for experiment E8 (the optimality gap of the
+polynomial-time modified greedy).
+
+Implementation notes
+--------------------
+* For unweighted graphs the condition simplifies (Lemma 3) to "some F with
+  |F| <= f makes the hop distance exceed 2k - 1", which is exactly an
+  existence query for a vertex/edge length-bounded cut -- answered by the
+  branch-and-bound solver in :mod:`repro.lbc.exact`.
+* For weighted graphs the condition is the weighted distance exceeding
+  ``(2k - 1) w(u, v)``.  We enumerate fault sets with the same
+  branch-on-a-violating-path strategy, but paths are weighted shortest
+  paths truncated at the stretch budget.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Optional, Set, Union
+
+from repro.core.spanner import FaultModel, SpannerResult
+from repro.graph.graph import Edge, Graph, Node, edge_key
+from repro.graph.traversal import dijkstra, shortest_path
+from repro.graph.views import EdgeFaultView, GraphView, VertexFaultView
+from repro.lbc.exact import exact_edge_lbc, exact_vertex_lbc
+
+
+def exponential_greedy_spanner(
+    g: Graph,
+    k: int,
+    f: int,
+    fault_model: Union[FaultModel, str] = FaultModel.VERTEX,
+) -> SpannerResult:
+    """Run Algorithm 1 and return the (size-optimal) greedy FT spanner.
+
+    Warning: worst-case exponential in ``f``; intended for n up to a few
+    dozen and f up to ~3.  Use
+    :func:`repro.core.greedy_modified.fault_tolerant_spanner` for anything
+    larger.
+    """
+    model = FaultModel.coerce(fault_model)
+    if k < 1:
+        raise ValueError(f"need k >= 1, got {k}")
+    if f < 0:
+        raise ValueError(f"need f >= 0, got {f}")
+    t = 2 * k - 1
+    h = g.spanning_skeleton()
+    certificates = {}
+    considered = 0
+    unit = g.is_unit_weighted()
+
+    edges = sorted(g.weighted_edges(), key=lambda e: e[2])
+    for u, v, w in edges:
+        considered += 1
+        cut = _find_violating_fault_set(h, u, v, t, f, w, model, unit)
+        if cut is not None:
+            h.add_edge(u, v, weight=w)
+            certificates[edge_key(u, v)] = cut
+    return SpannerResult(
+        spanner=h,
+        k=k,
+        f=f,
+        fault_model=model,
+        algorithm="exponential-greedy",
+        certificates=certificates,
+        edges_considered=considered,
+    )
+
+
+def _find_violating_fault_set(
+    h: Graph,
+    u: Node,
+    v: Node,
+    t: int,
+    f: int,
+    weight: float,
+    model: FaultModel,
+    unit: bool,
+) -> Optional[FrozenSet]:
+    """A fault set F, |F| <= f, with d_{H\\F}(u, v) > (2k-1) w(u,v), or None.
+
+    The empty set counts: if u and v are already too far apart in H (e.g.
+    disconnected), the edge must be added.
+    """
+    if unit:
+        # Lemma 3 reduces the condition to hop distance > t = 2k - 1.
+        if model is FaultModel.VERTEX:
+            return exact_vertex_lbc(h, u, v, t, max_size=f)
+        return exact_edge_lbc(h, u, v, t, max_size=f)
+    budget = t * weight
+    if model is FaultModel.VERTEX:
+        return _weighted_vertex_search(h, u, v, budget, f)
+    return _weighted_edge_search(h, u, v, budget, f)
+
+
+def _weighted_vertex_search(
+    h: Graph, u: Node, v: Node, budget: float, f: int
+) -> Optional[FrozenSet[Node]]:
+    """Branch-and-bound: find F (|F| <= f) with weighted d > budget.
+
+    Branches on the interior vertices of a currently-too-short path; any
+    violating F must hit every path of weight <= budget, in particular the
+    one found.  Complete for the same reason as the LBC exact solver.
+    """
+    found: List[Optional[FrozenSet[Node]]] = [None]
+
+    def search(faults: Set[Node], remaining: int) -> None:
+        if found[0] is not None:
+            return
+        view = VertexFaultView(h, faults) if faults else h
+        path = _short_weighted_path(view, u, v, budget)
+        if path is None:
+            found[0] = frozenset(faults)
+            return
+        interior = path[1:-1]
+        if not interior or remaining == 0:
+            return
+        for x in interior:
+            faults.add(x)
+            search(faults, remaining - 1)
+            faults.remove(x)
+            if found[0] is not None:
+                return
+
+    search(set(), f)
+    return found[0]
+
+
+def _weighted_edge_search(
+    h: Graph, u: Node, v: Node, budget: float, f: int
+) -> Optional[FrozenSet[Edge]]:
+    """Edge-fault analogue of :func:`_weighted_vertex_search`."""
+    found: List[Optional[FrozenSet[Edge]]] = [None]
+
+    def search(faults: Set[Edge], remaining: int) -> None:
+        if found[0] is not None:
+            return
+        view = EdgeFaultView(h, faults) if faults else h
+        path = _short_weighted_path(view, u, v, budget)
+        if path is None:
+            found[0] = frozenset(faults)
+            return
+        if remaining == 0:
+            return
+        for i in range(len(path) - 1):
+            e = edge_key(path[i], path[i + 1])
+            faults.add(e)
+            search(faults, remaining - 1)
+            faults.remove(e)
+            if found[0] is not None:
+                return
+
+    search(set(), f)
+    return found[0]
+
+
+def _short_weighted_path(
+    view, u: Node, v: Node, budget: float
+) -> Optional[List[Node]]:
+    """A u-v path of weight <= budget in ``view``, or None.
+
+    A shortest path suffices: if even it exceeds the budget, no path is
+    within budget.
+    """
+    path = shortest_path(view, u, v)
+    if path is None:
+        return None
+    total = sum(
+        view.weight(path[i], path[i + 1]) for i in range(len(path) - 1)
+    )
+    return path if total <= budget else None

@@ -1,0 +1,262 @@
+"""Theorem 12: fault-tolerant spanners in the LOCAL model.
+
+The paper's LOCAL algorithm, run end to end on the simulator:
+
+1. Build the Theorem 11 padded decomposition (O(log n) rounds,
+   :mod:`repro.distributed.decomposition`).
+2. In every cluster (all partitions in parallel -- LOCAL messages are
+   unbounded), *gather* the cluster's induced subgraph at the center by
+   convergecast along the flood tree: each round, every node forwards all
+   cluster edges it has learned to its tree parent.  After ``radius``
+   rounds the center knows G[C].
+3. The center locally computes an f-FT (2k-1)-spanner of G[C] with the
+   greedy algorithm and *floods the chosen edge set back down* the tree
+   (another ``radius`` rounds).
+4. Every node outputs the chosen edges incident to it; the final spanner
+   is the union over all clusters (Theorem 12: whp an f-VFT
+   (2k-1)-spanner with O(f^(1-1/k) n^(1+1/k) log n) edges, O(log n)
+   rounds).
+
+Substitution note: the paper's cluster centers run the *exponential*
+greedy (Algorithm 1).  That is infeasible beyond toy clusters, so by
+default centers run the paper's own polynomial modified greedy
+(Algorithm 3/4), which costs one extra factor k in the size bound --
+exactly the trade the paper itself makes in the centralized setting.
+``use_exact_greedy=True`` restores Algorithm 1 for small inputs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple, Union
+
+from repro.core.greedy_exact import exponential_greedy_spanner
+from repro.core.greedy_modified import fault_tolerant_spanner
+from repro.core.spanner import FaultModel, SpannerResult
+from repro.distributed.decomposition import Decomposition, padded_decomposition
+from repro.distributed.runtime import (
+    Message,
+    NodeContext,
+    NodeProtocol,
+    SyncNetwork,
+)
+from repro.graph.graph import Graph, Node, edge_key
+
+
+class _GatherComputeProtocol(NodeProtocol):
+    """Phases 2-4: convergecast G[C] to centers, compute, flood back.
+
+    Construction-time closure hands each node its per-partition cluster
+    assignment (center / parent / depth) -- information the node itself
+    computed during the decomposition flood, so locality is respected.
+    """
+
+    def __init__(
+        self,
+        node: Node,
+        decomposition: Decomposition,
+        radius: int,
+        k: int,
+        f: int,
+        fault_model: FaultModel,
+        use_exact_greedy: bool,
+    ) -> None:
+        self.node = node
+        self.decomposition = decomposition
+        self.radius = radius
+        self.k = k
+        self.f = f
+        self.fault_model = fault_model
+        self.use_exact_greedy = use_exact_greedy
+        # Per partition: known intra-cluster edges (u, v, w), grown by
+        # convergecast; and chosen spanner edges flowing back down.
+        self.known: List[Set[Tuple[Node, Node, float]]] = []
+        self.sent_up: List[Set[Tuple[Node, Node, float]]] = []
+        self.chosen: Set[Tuple[Node, Node]] = set()
+        self.sent_down: List[Set[Tuple[Node, Node]]] = []
+
+    # ------------------------------------------------------------- #
+
+    def init(self, ctx: NodeContext) -> None:
+        num = self.decomposition.num_partitions
+        self.known = [set() for _ in range(num)]
+        self.sent_up = [set() for _ in range(num)]
+        self.sent_down = [set() for _ in range(num)]
+        for i in range(num):
+            center = self.decomposition.assignment[i][self.node]
+            for v, w in ctx.edge_weights.items():
+                if self.decomposition.assignment[i].get(v) == center:
+                    u1, u2 = edge_key(self.node, v)
+                    self.known[i].add((u1, u2, w))
+        self._push_up(ctx)
+
+    def receive(self, ctx: NodeContext, messages: List[Message]) -> None:
+        for msg in messages:
+            tag, i, payload = msg.payload
+            if tag == "up":
+                self.known[i] |= set(payload)
+            elif tag == "down":
+                self._absorb_down(i, set(payload))
+        if ctx.round < self.radius + 1:
+            self._push_up(ctx)
+        elif ctx.round == self.radius + 1:
+            # Gather is complete at centers: compute cluster spanners.
+            self._compute_at_centers(ctx)
+            self._push_down(ctx)
+        elif ctx.round <= 2 * (self.radius + 1):
+            self._push_down(ctx)
+        else:
+            ctx.halt()
+
+    # ------------------------------------------------------------- #
+
+    def _push_up(self, ctx: NodeContext) -> None:
+        """Forward newly learned cluster edges to the tree parent."""
+        for i in range(self.decomposition.num_partitions):
+            parent = self.decomposition.parent[i][self.node]
+            if parent is None:
+                continue
+            fresh = self.known[i] - self.sent_up[i]
+            if fresh:
+                ctx.send(parent, ("up", i, frozenset(fresh)))
+                self.sent_up[i] |= fresh
+
+    def _compute_at_centers(self, ctx: NodeContext) -> None:
+        """If this node centers a cluster, build its FT spanner locally."""
+        for i in range(self.decomposition.num_partitions):
+            if self.decomposition.assignment[i][self.node] != self.node:
+                continue
+            cluster_graph = Graph()
+            cluster_graph.add_node(self.node)
+            for u, v, w in self.known[i]:
+                cluster_graph.add_edge(u, v, weight=w)
+            if cluster_graph.num_edges == 0:
+                continue
+            if self.use_exact_greedy:
+                result = exponential_greedy_spanner(
+                    cluster_graph, self.k, self.f, self.fault_model
+                )
+            else:
+                result = fault_tolerant_spanner(
+                    cluster_graph, self.k, self.f, self.fault_model
+                )
+            picked = frozenset(
+                edge_key(u, v) for u, v in result.spanner.edges()
+            )
+            self._absorb_down(i, set(picked))
+
+    def _absorb_down(self, i: int, edges: Set[Tuple[Node, Node]]) -> None:
+        for u, v in edges:
+            if self.node in (u, v):
+                self.chosen.add(edge_key(u, v))
+        self.sent_down[i] |= set()  # touched lazily in _push_down
+        self._pending_down = getattr(self, "_pending_down", {})
+        self._pending_down.setdefault(i, set()).update(edges)
+
+    def _push_down(self, ctx: NodeContext) -> None:
+        """Flood chosen edges away from the center along cluster edges."""
+        pending = getattr(self, "_pending_down", {})
+        for i in range(self.decomposition.num_partitions):
+            fresh = pending.get(i, set()) - self.sent_down[i]
+            if not fresh:
+                continue
+            center = self.decomposition.assignment[i][self.node]
+            for v in ctx.neighbors:
+                if self.decomposition.assignment[i].get(v) == center:
+                    ctx.send(v, ("down", i, frozenset(fresh)))
+            self.sent_down[i] |= fresh
+
+    def output(self) -> FrozenSet[Tuple[Node, Node]]:
+        return frozenset(self.chosen)
+
+
+def local_ft_spanner(
+    g: Graph,
+    k: int,
+    f: int,
+    fault_model: Union[FaultModel, str] = FaultModel.VERTEX,
+    beta: float = 0.25,
+    num_partitions: Optional[int] = None,
+    seed: Optional[int] = None,
+    use_exact_greedy: bool = False,
+) -> SpannerResult:
+    """Run the Theorem 12 LOCAL fault-tolerant spanner end to end.
+
+    Returns a :class:`SpannerResult` whose ``rounds`` field is the *total*
+    simulator rounds (decomposition + gather + compute + flood-down) and
+    whose ``extra`` carries the decomposition statistics.
+    """
+    model = FaultModel.coerce(fault_model)
+    if k < 1:
+        raise ValueError(f"need k >= 1, got {k}")
+    if f < 0:
+        raise ValueError(f"need f >= 0, got {f}")
+    decomposition, decomp_stats = padded_decomposition(
+        g, beta=beta, num_partitions=num_partitions, seed=seed
+    )
+    if g.num_nodes == 0:
+        return SpannerResult(
+            spanner=g.spanning_skeleton(),
+            k=k,
+            f=f,
+            fault_model=model,
+            algorithm="local-ft",
+            rounds=0,
+        )
+    # Effective radius: the deepest tree depth actually realized (the
+    # theoretical bound decomposition.radius_bound is very loose).
+    realized = max(
+        (
+            max(depths.values(), default=0)
+            for depths in decomposition.depth
+        ),
+        default=0,
+    )
+    radius = max(1, realized)
+    network = SyncNetwork(g, model="LOCAL", seed=None if seed is None else seed + 1)
+    outputs = network.run(
+        lambda_factory(decomposition, radius, k, f, model, use_exact_greedy, g),
+        max_rounds=2 * radius + 8,
+    )
+    spanner = network.collect_spanner(outputs)
+    total_rounds = decomposition.rounds + network.stats.rounds
+    return SpannerResult(
+        spanner=spanner,
+        k=k,
+        f=f,
+        fault_model=model,
+        algorithm="local-ft",
+        rounds=total_rounds,
+        extra={
+            "decomposition_rounds": float(decomposition.rounds),
+            "gather_rounds": float(network.stats.rounds),
+            "num_partitions": float(decomposition.num_partitions),
+            "messages": float(
+                network.stats.messages + decomp_stats.messages
+            ),
+        },
+    )
+
+
+def lambda_factory(decomposition, radius, k, f, model, use_exact, g):
+    """Per-node protocol factory closing over node-local knowledge.
+
+    The engine calls the factory once per node in its own iteration
+    order; we mirror that order here, handing each instance its node ID
+    and the decomposition rows that node computed in phase 1.
+    """
+    order = iter(sorted(g.nodes(), key=repr))
+
+    def make() -> _GatherComputeProtocol:
+        node = next(order)
+        return _GatherComputeProtocol(
+            node=node,
+            decomposition=decomposition,
+            radius=radius,
+            k=k,
+            f=f,
+            fault_model=model,
+            use_exact_greedy=use_exact,
+        )
+
+    return make

@@ -1,0 +1,322 @@
+"""Synchronous message-passing simulator for LOCAL and CONGEST.
+
+The paper's distributed results are statements about *rounds* and
+*message sizes* in the standard synchronous models [Pel00]:
+
+* LOCAL: per round, each node may send one arbitrarily large message on
+  each incident edge; unlimited local computation.
+* CONGEST: identical, but each message is at most O(log n) bits -- i.e.
+  O(1) "words", where a word holds a node ID or an edge weight.
+
+This engine runs protocols honestly under either model:
+
+* A protocol is a :class:`NodeProtocol` subclass.  Each node instance
+  sees only its node ID, its local neighborhood (incident edges +
+  weights), the global parameters the model grants (n, and the protocol's
+  public parameters), and the messages it receives.
+* Rounds are fully synchronous: messages sent in round r arrive at the
+  start of round r + 1.
+* Message sizes are measured in words via :func:`message_words`; in
+  CONGEST mode a message exceeding ``congest_word_limit`` raises
+  :class:`CongestViolation` -- the simulator *enforces* the model rather
+  than trusting the implementation.
+* The engine reports :class:`RunStats`: rounds used, message count,
+  total words, and the maximum single-message size.
+
+Determinism: protocols receive a ``random.Random`` seeded per node from
+the engine seed, so runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.graph.graph import Graph, Node
+
+
+class CongestViolation(RuntimeError):
+    """A protocol sent a message larger than the CONGEST budget."""
+
+
+@dataclass(frozen=True)
+class Message:
+    """A message in flight: ``sender -> receiver`` with a payload.
+
+    Payloads must be built from ints, floats, strings, booleans, None,
+    tuples and frozensets thereof -- things whose "word count" is
+    well-defined by :func:`message_words`.
+    """
+
+    sender: Node
+    receiver: Node
+    payload: Any
+
+
+def message_words(payload: Any) -> int:
+    """Size of a payload in words (1 word = 1 ID / weight / small int).
+
+    The accounting convention: atoms cost one word each; containers cost
+    the sum of their elements.  A CONGEST message must fit in O(1) words;
+    the engine's default limit is 8 (enough for a tag, an iteration
+    number, a couple of IDs and a weight -- what Theorem 15's messages
+    need).
+    """
+    if payload is None or isinstance(payload, (int, float, bool)):
+        return 1
+    if isinstance(payload, str):
+        # A short tag is one word; long strings are charged per 8 chars.
+        return max(1, (len(payload) + 7) // 8)
+    if isinstance(payload, (tuple, list, frozenset, set)):
+        return sum(message_words(item) for item in payload)
+    if isinstance(payload, dict):
+        return sum(
+            message_words(k) + message_words(v) for k, v in payload.items()
+        )
+    # Opaque objects (used by LOCAL protocols, where size is unlimited):
+    # charged generously so CONGEST mode rejects them.
+    return 1 << 20
+
+
+class NodeProtocol:
+    """Base class for node-local protocol logic.
+
+    Lifecycle per node::
+
+        init(ctx)                 # round 0, before any communication
+        receive(ctx, messages)    # once per round, with that round's inbox
+
+    Both hooks communicate by calling ``ctx.send(neighbor, payload)`` and
+    finish by ``ctx.halt()`` when the node is done.  The run ends when
+    every node has halted or ``max_rounds`` is hit.
+
+    Implementations must only use ``ctx`` and their own attributes --
+    the engine gives them no access to other nodes or the global graph.
+    """
+
+    def init(self, ctx: "NodeContext") -> None:
+        """Called once before round 1.  Override to send initial messages."""
+
+    def receive(self, ctx: "NodeContext", messages: List[Message]) -> None:
+        """Called every round with the messages delivered this round."""
+        raise NotImplementedError
+
+    def output(self) -> Any:
+        """The node's local output after the run (protocol-specific)."""
+        return None
+
+
+class NodeContext:
+    """What a node is allowed to see and do.
+
+    Attributes
+    ----------
+    node:
+        This node's ID.
+    n:
+        Number of nodes in the network (standard assumption: n, or a
+        polynomial upper bound on it, is global knowledge).
+    neighbors:
+        Tuple of neighbor IDs.
+    edge_weights:
+        Mapping neighbor -> weight of the connecting edge.
+    rng:
+        Private randomness (seeded deterministically per node).
+    round:
+        Current round number (0 during init).
+    """
+
+    __slots__ = (
+        "node",
+        "n",
+        "neighbors",
+        "edge_weights",
+        "rng",
+        "round",
+        "_outbox",
+        "_halted",
+        "_network",
+    )
+
+    def __init__(
+        self,
+        node: Node,
+        n: int,
+        neighbors: Tuple[Node, ...],
+        edge_weights: Dict[Node, float],
+        rng: random.Random,
+        network: "SyncNetwork",
+    ) -> None:
+        self.node = node
+        self.n = n
+        self.neighbors = neighbors
+        self.edge_weights = edge_weights
+        self.rng = rng
+        self.round = 0
+        self._outbox: List[Message] = []
+        self._halted = False
+        self._network = network
+
+    def send(self, neighbor: Node, payload: Any) -> None:
+        """Queue a message to ``neighbor`` for delivery next round."""
+        if neighbor not in self.edge_weights:
+            raise ValueError(
+                f"node {self.node!r} has no edge to {neighbor!r}"
+            )
+        self._network._check_size(payload)
+        self._outbox.append(Message(self.node, neighbor, payload))
+
+    def broadcast(self, payload: Any) -> None:
+        """Send ``payload`` to every neighbor."""
+        for v in self.neighbors:
+            self.send(v, payload)
+
+    def halt(self) -> None:
+        """Declare this node finished (it still receives messages)."""
+        self._halted = True
+
+    @property
+    def halted(self) -> bool:
+        return self._halted
+
+
+@dataclass
+class RunStats:
+    """Cost metrics of a protocol run."""
+
+    rounds: int = 0
+    messages: int = 0
+    total_words: int = 0
+    max_message_words: int = 0
+
+    def record(self, payload: Any) -> None:
+        words = message_words(payload)
+        self.messages += 1
+        self.total_words += words
+        self.max_message_words = max(self.max_message_words, words)
+
+
+class SyncNetwork:
+    """The synchronous engine.
+
+    Parameters
+    ----------
+    graph:
+        The communication topology (also the algorithms' input graph).
+    model:
+        ``'LOCAL'`` (unbounded messages) or ``'CONGEST'`` (enforced word
+        budget per message).
+    congest_word_limit:
+        Per-message budget in words for CONGEST mode.
+    seed:
+        Engine seed; node RNGs derive from it deterministically.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        model: str = "LOCAL",
+        congest_word_limit: int = 8,
+        seed: Optional[int] = None,
+    ) -> None:
+        if model not in ("LOCAL", "CONGEST"):
+            raise ValueError(f"unknown model {model!r}")
+        self.graph = graph
+        self.model = model
+        self.congest_word_limit = congest_word_limit
+        self.seed = seed
+        self.stats = RunStats()
+        self._contexts: Dict[Node, NodeContext] = {}
+        self._protocols: Dict[Node, NodeProtocol] = {}
+
+    def _check_size(self, payload: Any) -> None:
+        if self.model == "CONGEST":
+            words = message_words(payload)
+            if words > self.congest_word_limit:
+                raise CongestViolation(
+                    f"message of {words} words exceeds the CONGEST budget "
+                    f"of {self.congest_word_limit}"
+                )
+
+    def run(
+        self,
+        protocol_factory,
+        max_rounds: int = 10_000,
+    ) -> Dict[Node, Any]:
+        """Execute the protocol until all nodes halt (or ``max_rounds``).
+
+        ``protocol_factory`` is called once per node (with no arguments)
+        to create that node's :class:`NodeProtocol` instance.  Returns
+        each node's ``output()``; cost metrics land in ``self.stats``.
+        """
+        g = self.graph
+        n = g.num_nodes
+        base = random.Random(self.seed)
+        nodes = sorted(g.nodes(), key=repr)
+        # Per-node deterministic sub-seeds (independent of dict order).
+        node_seeds = {v: base.getrandbits(64) for v in nodes}
+        self._contexts = {}
+        self._protocols = {}
+        for v in nodes:
+            ctx = NodeContext(
+                node=v,
+                n=n,
+                neighbors=tuple(sorted(g.neighbors(v), key=repr)),
+                edge_weights=dict(g.neighbor_items(v)),
+                rng=random.Random(node_seeds[v]),
+                network=self,
+            )
+            self._contexts[v] = ctx
+            self._protocols[v] = protocol_factory()
+
+        for v in nodes:
+            self._protocols[v].init(self._contexts[v])
+
+        self.stats = RunStats()
+        for round_no in range(1, max_rounds + 1):
+            inboxes: Dict[Node, List[Message]] = {v: [] for v in nodes}
+            any_message = False
+            for v in nodes:
+                ctx = self._contexts[v]
+                for msg in ctx._outbox:
+                    self.stats.record(msg.payload)
+                    inboxes[msg.receiver].append(msg)
+                    any_message = True
+                ctx._outbox = []
+            if not any_message and all(
+                self._contexts[v]._halted for v in nodes
+            ):
+                break
+            self.stats.rounds = round_no
+            for v in nodes:
+                ctx = self._contexts[v]
+                ctx.round = round_no
+                # Halted nodes still receive (a neighbor may not know they
+                # halted), but their receive hook is not invoked.
+                if not ctx._halted:
+                    self._protocols[v].receive(ctx, inboxes[v])
+            if all(self._contexts[v]._halted for v in nodes) and not any(
+                self._contexts[v]._outbox for v in nodes
+            ):
+                break
+        else:
+            raise RuntimeError(
+                f"protocol did not terminate within {max_rounds} rounds"
+            )
+        return {v: self._protocols[v].output() for v in nodes}
+
+    def collect_spanner(self, outputs: Dict[Node, Any]) -> Graph:
+        """Union per-node edge outputs into a spanning subgraph.
+
+        Convention: each node outputs an iterable of (u, v) edges it knows
+        belong to the spanner (both endpoints may report the same edge).
+        """
+        h = self.graph.spanning_skeleton()
+        for edges in outputs.values():
+            if not edges:
+                continue
+            for u, v in edges:
+                if not h.has_edge(u, v):
+                    h.add_edge(u, v, weight=self.graph.weight(u, v))
+        return h

@@ -1,0 +1,67 @@
+"""Graph substrate for the fault-tolerant spanner library.
+
+This subpackage provides the minimal, fast graph machinery the paper's
+algorithms are phrased on:
+
+- :class:`~repro.graph.graph.Graph` -- an undirected (optionally weighted)
+  graph with dict-of-dict adjacency.
+- :class:`~repro.graph.views.VertexFaultView` /
+  :class:`~repro.graph.views.EdgeFaultView` -- lazy ``G \\ F`` views used by
+  every fault-tolerance routine (O(1) to construct, no copying).
+- Traversal primitives (:mod:`~repro.graph.traversal`): BFS distances,
+  hop-bounded BFS path extraction (the inner loop of the paper's Algorithm 2),
+  and Dijkstra for weighted distances.
+- Girth computation (:mod:`~repro.graph.girth`), used to validate the
+  Moore-bound argument behind the size analysis (Lemma 7 / Theorem 8).
+- Workload generators (:mod:`~repro.graph.generators`) for every experiment
+  in EXPERIMENTS.md.
+- Edge-list I/O (:mod:`~repro.graph.io`).
+"""
+
+from repro.graph.graph import Graph, edge_key
+from repro.graph.views import (
+    EdgeFaultView,
+    GraphView,
+    IdentityView,
+    VertexFaultView,
+    fault_view,
+)
+from repro.graph.traversal import (
+    bfs_distances,
+    bfs_tree,
+    bounded_bfs_path,
+    connected_components,
+    dijkstra,
+    hop_distance,
+    is_connected,
+    shortest_path,
+    weighted_distance,
+)
+from repro.graph.girth import girth, has_cycle_shorter_than
+from repro.graph import generators
+from repro.graph import io
+from repro.graph import metrics
+
+__all__ = [
+    "Graph",
+    "edge_key",
+    "GraphView",
+    "IdentityView",
+    "VertexFaultView",
+    "EdgeFaultView",
+    "fault_view",
+    "bfs_distances",
+    "bfs_tree",
+    "bounded_bfs_path",
+    "connected_components",
+    "dijkstra",
+    "hop_distance",
+    "is_connected",
+    "shortest_path",
+    "weighted_distance",
+    "girth",
+    "has_cycle_shorter_than",
+    "generators",
+    "io",
+    "metrics",
+]

@@ -1,0 +1,360 @@
+"""Workload generators for every experiment in EXPERIMENTS.md.
+
+All generators are deterministic given an explicit ``seed`` (or
+``random.Random`` instance), so every number in EXPERIMENTS.md can be
+regenerated bit-for-bit.
+
+The sweeps in the paper's theorems are over Erdos-Renyi graphs (the default
+"hard" workload for spanner size experiments -- dense random graphs have no
+exploitable structure), plus structured families (grids, hypercubes,
+geometric graphs) that exercise qualitatively different fault behavior:
+grids have small separators so few faults disconnect them, hypercubes are
+highly fault-tolerant, geometric graphs model wireless deployments (the
+original motivation for fault-tolerant spanners in [LNS98]).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import random
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.graph.graph import Graph, Node
+
+RngLike = Union[int, random.Random, None]
+
+
+def _rng(seed: RngLike) -> random.Random:
+    """Coerce an int seed / Random / None into a Random instance."""
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+# --------------------------------------------------------------------- #
+# Deterministic families
+# --------------------------------------------------------------------- #
+
+
+def complete_graph(n: int) -> Graph:
+    """K_n: the densest workload; spanner compression is most visible here."""
+    g = Graph()
+    g.add_nodes(range(n))
+    for u in range(n):
+        for v in range(u + 1, n):
+            g.add_edge(u, v)
+    return g
+
+
+def path_graph(n: int) -> Graph:
+    """P_n: a path 0-1-...-(n-1).  The spanner must keep every edge."""
+    g = Graph()
+    g.add_nodes(range(n))
+    for u in range(n - 1):
+        g.add_edge(u, u + 1)
+    return g
+
+
+def cycle_graph(n: int) -> Graph:
+    """C_n: a single cycle.  Useful for exact girth / blocking-set checks."""
+    if n < 3:
+        raise ValueError(f"cycle needs at least 3 nodes, got {n}")
+    g = path_graph(n)
+    g.add_edge(n - 1, 0)
+    return g
+
+
+def star_graph(n: int) -> Graph:
+    """K_{1,n-1}: node 0 is the hub.  One vertex fault shatters it."""
+    g = Graph()
+    g.add_nodes(range(n))
+    for leaf in range(1, n):
+        g.add_edge(0, leaf)
+    return g
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """A rows x cols grid with 4-neighbor connectivity.
+
+    Nodes are ``(r, c)`` tuples.  Grids have small vertex cuts, so even
+    modest fault sets change distances dramatically -- a stress test for
+    the fault-tolerance guarantee.
+    """
+    g = Graph()
+    for r in range(rows):
+        for c in range(cols):
+            g.add_node((r, c))
+    for r in range(rows):
+        for c in range(cols):
+            if r + 1 < rows:
+                g.add_edge((r, c), (r + 1, c))
+            if c + 1 < cols:
+                g.add_edge((r, c), (r, c + 1))
+    return g
+
+
+def hypercube_graph(dim: int) -> Graph:
+    """The dim-dimensional hypercube Q_dim on 2^dim nodes.
+
+    Hypercubes are the classical highly-fault-tolerant topology
+    (cf. [PU89], the paper that introduced spanners for synchronizers).
+    """
+    g = Graph()
+    n = 1 << dim
+    g.add_nodes(range(n))
+    for u in range(n):
+        for b in range(dim):
+            v = u ^ (1 << b)
+            if u < v:
+                g.add_edge(u, v)
+    return g
+
+
+def complete_bipartite_graph(a: int, b: int) -> Graph:
+    """K_{a,b} with left nodes ``('L', i)`` and right nodes ``('R', j)``."""
+    g = Graph()
+    for i in range(a):
+        g.add_node(("L", i))
+    for j in range(b):
+        g.add_node(("R", j))
+    for i in range(a):
+        for j in range(b):
+            g.add_edge(("L", i), ("R", j))
+    return g
+
+
+def layered_path_gadget(layers: int, width: int) -> Graph:
+    """A series of complete bipartite layers: s - W - W - ... - W - t.
+
+    Nodes ``'s'`` and ``'t'`` are joined through ``layers`` layers of
+    ``width`` parallel vertices each; consecutive layers are completely
+    connected.  Every s-t path has exactly ``layers + 1`` hops and every
+    length-(layers+1) cut must take a full layer (``width`` vertices), so
+    the instance has a known exact Length-Bounded Cut value -- ground truth
+    for experiment E1.
+    """
+    g = Graph()
+    g.add_node("s")
+    g.add_node("t")
+    prev: List[Node] = ["s"]
+    for layer in range(layers):
+        cur: List[Node] = [("mid", layer, i) for i in range(width)]
+        for node in cur:
+            g.add_node(node)
+        for p in prev:
+            for c in cur:
+                g.add_edge(p, c)
+        prev = cur
+    for p in prev:
+        g.add_edge(p, "t")
+    return g
+
+
+# --------------------------------------------------------------------- #
+# Random families
+# --------------------------------------------------------------------- #
+
+
+def gnp_random_graph(n: int, p: float, seed: RngLike = None) -> Graph:
+    """Erdos-Renyi G(n, p).
+
+    Uses the skip-ahead geometric sampling trick so generation costs
+    O(n + m) rather than O(n^2) for sparse p.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must be in [0, 1], got {p}")
+    rng = _rng(seed)
+    g = Graph()
+    g.add_nodes(range(n))
+    if p == 0.0:
+        return g
+    if p == 1.0:
+        return complete_graph(n)
+    # Iterate over the C(n,2) potential edges with geometric skips.
+    log_q = math.log(1.0 - p)
+    v = 1
+    w = -1
+    while v < n:
+        r = rng.random()
+        w += 1 + int(math.log(1.0 - r) / log_q)
+        while w >= v and v < n:
+            w -= v
+            v += 1
+        if v < n:
+            g.add_edge(v, w)
+    return g
+
+
+def gnm_random_graph(n: int, m: int, seed: RngLike = None) -> Graph:
+    """Uniform random graph with exactly ``n`` nodes and ``m`` edges."""
+    max_edges = n * (n - 1) // 2
+    if m > max_edges:
+        raise ValueError(f"cannot place {m} edges on {n} nodes (max {max_edges})")
+    rng = _rng(seed)
+    g = Graph()
+    g.add_nodes(range(n))
+    while g.num_edges < m:
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u != v and not g.has_edge(u, v):
+            g.add_edge(u, v)
+    return g
+
+
+def random_geometric_graph(
+    n: int, radius: float, seed: RngLike = None, weighted: bool = True
+) -> Graph:
+    """Random geometric graph on the unit square.
+
+    Points are uniform in [0,1]^2; nodes within ``radius`` are joined, with
+    edge weight equal to Euclidean distance when ``weighted``.  This is the
+    model of the geometric fault-tolerant spanner literature ([LNS98],
+    [NS07]) that motivated the problem.
+    """
+    rng = _rng(seed)
+    points = [(rng.random(), rng.random()) for _ in range(n)]
+    g = Graph()
+    g.add_nodes(range(n))
+    r2 = radius * radius
+    for u in range(n):
+        xu, yu = points[u]
+        for v in range(u + 1, n):
+            xv, yv = points[v]
+            d2 = (xu - xv) ** 2 + (yu - yv) ** 2
+            if d2 <= r2:
+                g.add_edge(u, v, weight=math.sqrt(d2) if weighted else 1.0)
+    return g
+
+
+def barabasi_albert_graph(n: int, attach: int, seed: RngLike = None) -> Graph:
+    """Preferential-attachment (power-law) graph.
+
+    Starts from a clique on ``attach + 1`` nodes; each new node attaches to
+    ``attach`` existing nodes chosen proportionally to degree.  Models
+    internet-like topologies where hub faults are the dominant risk.
+    """
+    if attach < 1 or attach >= n:
+        raise ValueError(f"need 1 <= attach < n, got attach={attach}, n={n}")
+    rng = _rng(seed)
+    g = complete_graph(attach + 1)
+    # Repeated-endpoint list: sampling uniformly from it is sampling
+    # proportionally to degree.
+    endpoints: List[int] = []
+    for u, v in g.edges():
+        endpoints.extend((u, v))
+    for new in range(attach + 1, n):
+        targets: set = set()
+        while len(targets) < attach:
+            targets.add(rng.choice(endpoints))
+        for t in targets:
+            g.add_edge(new, t)
+            endpoints.extend((new, t))
+    return g
+
+
+def random_regular_graphish(n: int, degree: int, seed: RngLike = None) -> Graph:
+    """An (approximately) regular random graph via the pairing model.
+
+    Exact uniform regular graph generation needs rejection; for workload
+    purposes we pair half-edges and silently drop self-loops/multi-edges,
+    yielding degrees within O(1) of ``degree`` -- adequate for benchmarks.
+    """
+    if n * degree % 2 != 0:
+        raise ValueError("n * degree must be even")
+    rng = _rng(seed)
+    stubs = [u for u in range(n) for _ in range(degree)]
+    rng.shuffle(stubs)
+    g = Graph()
+    g.add_nodes(range(n))
+    for i in range(0, len(stubs) - 1, 2):
+        u, v = stubs[i], stubs[i + 1]
+        if u != v and not g.has_edge(u, v):
+            g.add_edge(u, v)
+    return g
+
+
+def clustered_graph(
+    clusters: int,
+    cluster_size: int,
+    p_intra: float,
+    p_inter: float,
+    seed: RngLike = None,
+) -> Graph:
+    """A planted-partition graph: dense clusters, sparse cross edges.
+
+    This is the workload where the LOCAL decomposition-based algorithm
+    shines (clusters align with the partition), and where fault tolerance
+    matters most on the sparse inter-cluster bridges.
+    """
+    rng = _rng(seed)
+    n = clusters * cluster_size
+    g = Graph()
+    g.add_nodes(range(n))
+    for u in range(n):
+        for v in range(u + 1, n):
+            same = (u // cluster_size) == (v // cluster_size)
+            p = p_intra if same else p_inter
+            if rng.random() < p:
+                g.add_edge(u, v)
+    return g
+
+
+# --------------------------------------------------------------------- #
+# Weight assignment
+# --------------------------------------------------------------------- #
+
+
+def with_random_weights(
+    g: Graph,
+    low: float = 1.0,
+    high: float = 10.0,
+    seed: RngLike = None,
+    integral: bool = False,
+) -> Graph:
+    """A copy of ``g`` with i.i.d. uniform edge weights in [low, high]."""
+    if low < 0 or high < low:
+        raise ValueError(f"need 0 <= low <= high, got [{low}, {high}]")
+    rng = _rng(seed)
+    out = Graph()
+    out.add_nodes(g.nodes())
+    for u, v in g.edges():
+        w = rng.uniform(low, high)
+        if integral:
+            w = float(round(w))
+        out.add_edge(u, v, weight=w)
+    return out
+
+
+def weighted_gnp(
+    n: int,
+    p: float,
+    low: float = 1.0,
+    high: float = 10.0,
+    seed: RngLike = None,
+) -> Graph:
+    """G(n, p) with uniform random weights -- the standard weighted workload."""
+    rng = _rng(seed)
+    return with_random_weights(
+        gnp_random_graph(n, p, seed=rng), low=low, high=high, seed=rng
+    )
+
+
+def ensure_connected(g: Graph, seed: RngLike = None) -> Graph:
+    """A copy of ``g`` with random edges added until connected.
+
+    Experiments that measure stretch need connected inputs; this patches
+    random graphs whose G(n,p) draw came out disconnected without changing
+    their character (it adds at most #components - 1 edges).
+    """
+    from repro.graph.traversal import connected_components
+
+    rng = _rng(seed)
+    out = g.copy()
+    components = connected_components(out)
+    while len(components) > 1:
+        a = rng.choice(sorted(components[0]))
+        b = rng.choice(sorted(components[1]))
+        out.add_edge(a, b)
+        components = connected_components(out)
+    return out

@@ -1,0 +1,69 @@
+"""Edge-list serialization.
+
+A deliberately simple text format so spanner outputs can be diffed,
+archived alongside EXPERIMENTS.md, and reloaded as test fixtures:
+
+* Lines starting with ``#`` are comments.
+* ``node\\t<repr>`` declares an isolated node.
+* ``edge\\t<u>\\t<v>\\t<weight>`` declares an edge (tab-separated, so
+  node labels may contain spaces).
+
+Node labels are serialized with ``repr`` and parsed back with
+``ast.literal_eval``, so ints, strings, and tuples round-trip exactly.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import List, Union
+
+from repro.graph.graph import Graph
+
+
+def dumps(g: Graph) -> str:
+    """Serialize a graph to the text format described in the module docs."""
+    lines: List[str] = [f"# graph n={g.num_nodes} m={g.num_edges}"]
+    edge_endpoints = set()
+    for u, v, w in g.weighted_edges():
+        edge_endpoints.add(u)
+        edge_endpoints.add(v)
+        lines.append(f"edge\t{u!r}\t{v!r}\t{w!r}")
+    for u in g.nodes():
+        if u not in edge_endpoints:
+            lines.append(f"node\t{u!r}")
+    return "\n".join(lines) + "\n"
+
+
+def loads(text: str) -> Graph:
+    """Parse a graph from the text format produced by :func:`dumps`."""
+    g = Graph()
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        kind, _, rest = line.partition("\t")
+        if kind == "node":
+            g.add_node(ast.literal_eval(rest))
+        elif kind == "edge":
+            fields = rest.split("\t")
+            if len(fields) != 3:
+                raise ValueError(
+                    f"line {lineno}: edge needs 3 fields, got {len(fields)}"
+                )
+            u = ast.literal_eval(fields[0])
+            v = ast.literal_eval(fields[1])
+            g.add_edge(u, v, weight=float(ast.literal_eval(fields[2])))
+        else:
+            raise ValueError(f"line {lineno}: unknown record kind {kind!r}")
+    return g
+
+
+def save(g: Graph, path: Union[str, Path]) -> None:
+    """Write a graph to ``path`` in the text edge-list format."""
+    Path(path).write_text(dumps(g))
+
+
+def load(path: Union[str, Path]) -> Graph:
+    """Read a graph from ``path`` (text edge-list format)."""
+    return loads(Path(path).read_text())

@@ -1,0 +1,147 @@
+"""Structural graph statistics.
+
+Used by the CLI's ``info`` command and by experiment logs to
+characterize workloads (a spanner result is only interpretable next to
+the density/degree profile of its input).  Pure functions over the
+:class:`~repro.graph.graph.Graph` protocol; nothing here mutates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.graph.graph import Graph, Node
+from repro.graph.traversal import bfs_distances, connected_components
+
+
+@dataclass(frozen=True)
+class DegreeStats:
+    """Degree distribution summary."""
+
+    minimum: int
+    maximum: int
+    mean: float
+    median: float
+
+    @classmethod
+    def of(cls, g: Graph) -> "DegreeStats":
+        degrees = sorted(g.degree(v) for v in g.nodes())
+        if not degrees:
+            return cls(0, 0, 0.0, 0.0)
+        n = len(degrees)
+        median = (
+            float(degrees[n // 2])
+            if n % 2
+            else (degrees[n // 2 - 1] + degrees[n // 2]) / 2.0
+        )
+        return cls(
+            minimum=degrees[0],
+            maximum=degrees[-1],
+            mean=sum(degrees) / n,
+            median=median,
+        )
+
+
+def degree_histogram(g: Graph) -> Dict[int, int]:
+    """Map degree -> number of nodes with that degree."""
+    hist: Dict[int, int] = {}
+    for v in g.nodes():
+        d = g.degree(v)
+        hist[d] = hist.get(d, 0) + 1
+    return hist
+
+
+def clustering_coefficient(g: Graph, v: Node) -> float:
+    """Local clustering coefficient of ``v`` (0 for degree < 2).
+
+    Fraction of neighbor pairs that are themselves adjacent -- high
+    clustering means many triangles, i.e. many redundant 2-hop detours
+    for a spanner to exploit.
+    """
+    neighbors = list(g.neighbors(v))
+    d = len(neighbors)
+    if d < 2:
+        return 0.0
+    links = 0
+    for i in range(d):
+        for j in range(i + 1, d):
+            if g.has_edge(neighbors[i], neighbors[j]):
+                links += 1
+    return 2.0 * links / (d * (d - 1))
+
+
+def average_clustering(g: Graph) -> float:
+    """Mean local clustering coefficient over all nodes."""
+    nodes = list(g.nodes())
+    if not nodes:
+        return 0.0
+    return sum(clustering_coefficient(g, v) for v in nodes) / len(nodes)
+
+
+def triangle_count(g: Graph) -> int:
+    """Number of triangles (each counted once)."""
+    count = 0
+    order = {v: i for i, v in enumerate(sorted(g.nodes(), key=repr))}
+    for u in g.nodes():
+        higher = [v for v in g.neighbors(u) if order[v] > order[u]]
+        for i in range(len(higher)):
+            for j in range(i + 1, len(higher)):
+                if g.has_edge(higher[i], higher[j]):
+                    count += 1
+    return count
+
+
+def weight_stats(g: Graph) -> Tuple[float, float, float]:
+    """(min, mean, max) edge weight; (0, 0, 0) for the edgeless graph."""
+    weights = [w for _, _, w in g.weighted_edges()]
+    if not weights:
+        return (0.0, 0.0, 0.0)
+    return (min(weights), sum(weights) / len(weights), max(weights))
+
+
+def effective_diameter(
+    g: Graph, percentile: float = 0.9, sample: Optional[int] = None
+) -> float:
+    """Hop distance covering ``percentile`` of connected pairs.
+
+    More robust than the exact diameter on noisy random graphs.  When
+    ``sample`` is given, only that many BFS sources (in sorted order)
+    are used -- an approximation adequate for workload description.
+    """
+    if not 0.0 < percentile <= 1.0:
+        raise ValueError(f"percentile must be in (0, 1], got {percentile}")
+    nodes = sorted(g.nodes(), key=repr)
+    if len(nodes) < 2:
+        return 0.0
+    sources = nodes if sample is None else nodes[:sample]
+    distances: List[int] = []
+    for s in sources:
+        dist = bfs_distances(g, s)
+        distances.extend(d for v, d in dist.items() if v != s)
+    if not distances:
+        return math.inf
+    distances.sort()
+    index = min(len(distances) - 1, int(percentile * len(distances)))
+    return float(distances[index])
+
+
+def summarize(g: Graph) -> Dict[str, float]:
+    """One-call workload characterization (used by the CLI and logs)."""
+    degrees = DegreeStats.of(g)
+    lo, mean_w, hi = weight_stats(g)
+    return {
+        "nodes": float(g.num_nodes),
+        "edges": float(g.num_edges),
+        "components": float(len(connected_components(g))),
+        "density": g.density(),
+        "min_degree": float(degrees.minimum),
+        "max_degree": float(degrees.maximum),
+        "mean_degree": degrees.mean,
+        "avg_clustering": average_clustering(g),
+        "triangles": float(triangle_count(g)),
+        "min_weight": lo,
+        "mean_weight": mean_w,
+        "max_weight": hi,
+    }

@@ -1,0 +1,271 @@
+"""Traversal primitives: BFS, hop-bounded BFS, and Dijkstra.
+
+These are the time-critical inner loops of the library.  The paper's
+Algorithm 2 runs a BFS per iteration to find a path of at most ``t`` hops
+between two terminals, so :func:`bounded_bfs_path` is written to terminate
+as early as possible (stop at the hop budget, stop when the target is
+reached) and to work directly on the lazy fault views from
+:mod:`repro.graph.views` without materializing subgraphs.
+
+All functions accept either a :class:`~repro.graph.graph.Graph` or any
+object satisfying the :class:`~repro.graph.views.GraphView` protocol.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Set, Union
+
+from repro.graph.graph import Graph, Node
+from repro.graph.views import GraphView, IdentityView
+
+GraphLike = Union[Graph, GraphView]
+
+INFINITY = math.inf
+
+
+def _as_view(g: GraphLike) -> GraphLike:
+    """Graphs already satisfy the view protocol; pass through unchanged."""
+    return g
+
+
+def bfs_distances(
+    g: GraphLike, source: Node, max_hops: Optional[int] = None
+) -> Dict[Node, int]:
+    """Hop distances from ``source`` to every reachable node.
+
+    ``max_hops`` truncates the search: nodes further than that many hops are
+    simply absent from the result.  Unreachable nodes are likewise absent
+    (callers treat missing entries as distance infinity).
+    """
+    if not g.has_node(source):
+        raise KeyError(f"source {source!r} not in graph")
+    dist = {source: 0}
+    frontier = deque([source])
+    while frontier:
+        u = frontier.popleft()
+        d = dist[u]
+        if max_hops is not None and d >= max_hops:
+            continue
+        for v in g.neighbors(u):
+            if v not in dist:
+                dist[v] = d + 1
+                frontier.append(v)
+    return dist
+
+
+def bfs_tree(
+    g: GraphLike, source: Node, max_hops: Optional[int] = None
+) -> Dict[Node, Optional[Node]]:
+    """BFS parent pointers from ``source`` (source maps to ``None``)."""
+    if not g.has_node(source):
+        raise KeyError(f"source {source!r} not in graph")
+    parent: Dict[Node, Optional[Node]] = {source: None}
+    depth = {source: 0}
+    frontier = deque([source])
+    while frontier:
+        u = frontier.popleft()
+        d = depth[u]
+        if max_hops is not None and d >= max_hops:
+            continue
+        for v in g.neighbors(u):
+            if v not in parent:
+                parent[v] = u
+                depth[v] = d + 1
+                frontier.append(v)
+    return parent
+
+
+def bounded_bfs_path(
+    g: GraphLike, source: Node, target: Node, max_hops: int
+) -> Optional[List[Node]]:
+    """A path from ``source`` to ``target`` with at most ``max_hops`` edges.
+
+    Returns the node sequence (including both endpoints) of a *shortest-hop*
+    path, or ``None`` if no path within the budget exists.  This is the exact
+    primitive the paper's Algorithm 2 invokes: "Run BFS to find a path P of
+    length at most t from u to v in G \\ F if one exists."
+
+    The search stops expanding as soon as the target is dequeued or the hop
+    budget is exhausted, so the cost is O(m + n) worst case but typically far
+    less on sparse spanner subgraphs.
+    """
+    if not g.has_node(source):
+        raise KeyError(f"source {source!r} not in graph")
+    if not g.has_node(target):
+        raise KeyError(f"target {target!r} not in graph")
+    if source == target:
+        return [source]
+    if max_hops <= 0:
+        return None
+    parent: Dict[Node, Optional[Node]] = {source: None}
+    depth = {source: 0}
+    frontier = deque([source])
+    while frontier:
+        u = frontier.popleft()
+        d = depth[u]
+        if d >= max_hops:
+            # Every later entry is at least this deep; nothing can reach
+            # the target within budget anymore.
+            break
+        for v in g.neighbors(u):
+            if v in parent:
+                continue
+            parent[v] = u
+            depth[v] = d + 1
+            if v == target:
+                return _reconstruct(parent, target)
+            frontier.append(v)
+    return None
+
+
+def _reconstruct(
+    parent: Dict[Node, Optional[Node]], target: Node
+) -> List[Node]:
+    """Walk parent pointers back from ``target`` to the BFS root."""
+    path = [target]
+    u = parent[target]
+    while u is not None:
+        path.append(u)
+        u = parent[u]
+    path.reverse()
+    return path
+
+
+def hop_distance(g: GraphLike, source: Node, target: Node) -> float:
+    """Number of edges on a shortest-hop path, or ``inf`` if disconnected."""
+    if source == target:
+        if not g.has_node(source):
+            raise KeyError(f"node {source!r} not in graph")
+        return 0
+    path = bounded_bfs_path(g, source, target, max_hops=_node_count(g))
+    return INFINITY if path is None else len(path) - 1
+
+
+def _node_count(g: GraphLike) -> int:
+    return g.num_nodes
+
+
+def dijkstra(
+    g: GraphLike,
+    source: Node,
+    target: Optional[Node] = None,
+    max_dist: Optional[float] = None,
+) -> Dict[Node, float]:
+    """Weighted shortest-path distances from ``source``.
+
+    Stops early if ``target`` is settled or if distances exceed
+    ``max_dist``.  Unreachable (or pruned) nodes are absent from the result.
+    """
+    if not g.has_node(source):
+        raise KeyError(f"source {source!r} not in graph")
+    dist: Dict[Node, float] = {}
+    heap: List = [(0.0, 0, source)]
+    counter = 1  # tie-break so heterogeneous node types never compare
+    while heap:
+        d, _, u = heapq.heappop(heap)
+        if u in dist:
+            continue
+        dist[u] = d
+        if u == target:
+            break
+        for v, w in g.neighbor_items(u):
+            if v in dist:
+                continue
+            nd = d + w
+            if max_dist is not None and nd > max_dist:
+                continue
+            heapq.heappush(heap, (nd, counter, v))
+            counter += 1
+    return dist
+
+
+def weighted_distance(g: GraphLike, source: Node, target: Node) -> float:
+    """Weighted shortest-path distance, or ``inf`` if disconnected."""
+    dist = dijkstra(g, source, target=target)
+    return dist.get(target, INFINITY)
+
+
+def shortest_path(
+    g: GraphLike, source: Node, target: Node
+) -> Optional[List[Node]]:
+    """A minimum-weight path from ``source`` to ``target`` as a node list.
+
+    Returns ``None`` when the endpoints are disconnected.  Uses Dijkstra
+    with parent pointers (weights are non-negative by construction).
+    """
+    if not g.has_node(source):
+        raise KeyError(f"source {source!r} not in graph")
+    if not g.has_node(target):
+        raise KeyError(f"target {target!r} not in graph")
+    if source == target:
+        return [source]
+    parent: Dict[Node, Node] = {}
+    best: Dict[Node, float] = {source: 0.0}
+    done: Set[Node] = set()
+    heap: List = [(0.0, 0, source)]
+    counter = 1
+    while heap:
+        d, _, u = heapq.heappop(heap)
+        if u in done:
+            continue
+        done.add(u)
+        if u == target:
+            path = [target]
+            while path[-1] != source:
+                path.append(parent[path[-1]])
+            path.reverse()
+            return path
+        for v, w in g.neighbor_items(u):
+            if v in done:
+                continue
+            nd = d + w
+            # heapq keeps stale entries; the `done` check discards them.
+            if v not in best or nd < best[v]:
+                best[v] = nd
+                parent[v] = u
+                heapq.heappush(heap, (nd, counter, v))
+                counter += 1
+    return None
+
+
+def connected_components(g: GraphLike) -> List[Set[Node]]:
+    """All connected components as a list of node sets."""
+    seen: Set[Node] = set()
+    components: List[Set[Node]] = []
+    for start in g.nodes():
+        if start in seen:
+            continue
+        component = set(bfs_distances(g, start))
+        seen |= component
+        components.append(component)
+    return components
+
+
+def is_connected(g: GraphLike) -> bool:
+    """Whether the graph is connected (the empty graph counts as connected)."""
+    nodes = list(g.nodes())
+    if not nodes:
+        return True
+    return len(bfs_distances(g, nodes[0])) == len(nodes)
+
+
+def eccentricity(g: GraphLike, source: Node) -> float:
+    """Max hop distance from ``source`` to any node, ``inf`` if disconnected."""
+    dist = bfs_distances(g, source)
+    if len(dist) != g.num_nodes:
+        return INFINITY
+    return max(dist.values(), default=0)
+
+
+def hop_diameter(g: GraphLike) -> float:
+    """Unweighted (hop) diameter; ``inf`` if the graph is disconnected."""
+    best = 0.0
+    for u in g.nodes():
+        ecc = eccentricity(g, u)
+        if ecc == INFINITY:
+            return INFINITY
+        best = max(best, ecc)
+    return best

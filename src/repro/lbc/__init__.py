@@ -1,0 +1,37 @@
+"""Length-Bounded Cut (LBC).
+
+The paper's key technical ingredient: deciding whether a small fault set
+can separate two terminals by more than ``t`` hops.  The exact problem is
+NP-hard [BEH+06]; the paper's Algorithm 2 solves the gap decision version
+``LBC(t, alpha)`` by iterated BFS path removal (the classic "frequency"
+approximation of Hitting Set):
+
+* return YES when a length-t cut of size <= alpha exists,
+* return NO when every length-t cut has size > alpha * t,
+* either answer is acceptable in between.
+
+This subpackage provides that algorithm for both vertex cuts
+(:func:`~repro.lbc.approx.lbc_vertex`) and edge cuts
+(:func:`~repro.lbc.approx.lbc_edge`), plus exact exponential-time solvers
+(:mod:`repro.lbc.exact`) used as ground truth in tests and in experiment E1.
+"""
+
+from repro.lbc.approx import LBCAnswer, LBCResult, lbc_decide, lbc_edge, lbc_vertex
+from repro.lbc.exact import (
+    exact_edge_lbc,
+    exact_vertex_lbc,
+    is_edge_length_cut,
+    is_vertex_length_cut,
+)
+
+__all__ = [
+    "LBCAnswer",
+    "LBCResult",
+    "lbc_decide",
+    "lbc_vertex",
+    "lbc_edge",
+    "exact_vertex_lbc",
+    "exact_edge_lbc",
+    "is_vertex_length_cut",
+    "is_edge_length_cut",
+]

@@ -1,0 +1,45 @@
+"""Verification: is this subgraph really an f-fault-tolerant t-spanner?
+
+Fault-tolerant spanner verification is itself expensive -- there are
+``C(n, f)`` vertex fault sets -- so this subpackage offers a spectrum:
+
+* :func:`~repro.verification.spanner_check.verify_ft_spanner` --
+  exhaustive over all fault sets up to a budget, else randomized with
+  adversarial fault-set heuristics; returns a verdict plus a
+  counterexample when one is found.
+* :func:`~repro.verification.stretch.max_stretch` and friends -- measure
+  the *actual* worst-case stretch (with or without faults), used by the
+  experiments to report measured stretch against the 2k-1 guarantee.
+* :mod:`~repro.verification.certificates` -- check LBC cut certificates
+  and greedy addition decisions independently of the construction code.
+"""
+
+from repro.verification.spanner_check import (
+    Counterexample,
+    VerificationReport,
+    is_spanner,
+    verify_ft_spanner,
+)
+from repro.verification.stretch import (
+    max_stretch,
+    max_stretch_under_faults,
+    pairwise_stretch,
+    stretch_of_pair,
+)
+from repro.verification.certificates import (
+    check_certificates,
+    check_cut_certificate,
+)
+
+__all__ = [
+    "Counterexample",
+    "VerificationReport",
+    "is_spanner",
+    "verify_ft_spanner",
+    "max_stretch",
+    "max_stretch_under_faults",
+    "pairwise_stretch",
+    "stretch_of_pair",
+    "check_certificates",
+    "check_cut_certificate",
+]

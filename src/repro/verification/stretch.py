@@ -1,0 +1,121 @@
+"""Stretch measurement.
+
+The stretch of a spanner H w.r.t. G (possibly after removing a fault set
+F) is ``max over pairs u,v of d_{H\\F}(u, v) / d_{G\\F}(u, v)``.  By the
+paper's Lemma 3 it suffices to range over pairs that are *edges of G*
+whose weight is realized as the post-fault distance; we expose both the
+edge-restricted measure (fast, what the proofs bound) and the full
+all-pairs measure (what a user of the spanner experiences).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Optional, Tuple, Union
+
+from repro.graph.graph import Edge, Graph, Node
+from repro.graph.traversal import dijkstra
+from repro.graph.views import GraphView, fault_view
+
+INFINITY = math.inf
+
+GraphLike = Union[Graph, GraphView]
+
+
+def stretch_of_pair(
+    g: GraphLike, h: GraphLike, u: Node, v: Node
+) -> float:
+    """d_H(u, v) / d_G(u, v) for one pair.
+
+    Conventions: 0/0 (same node) and inf/inf (disconnected in both) are
+    stretch 1; finite/inf cannot happen for subgraphs of G; inf/finite is
+    stretch inf (H lost the connection).
+    """
+    dg = dijkstra(g, u, target=v).get(v, INFINITY)
+    dh = dijkstra(h, u, target=v).get(v, INFINITY)
+    if dg == 0.0 or (math.isinf(dg) and math.isinf(dh)):
+        return 1.0
+    if math.isinf(dh):
+        return INFINITY
+    return dh / dg
+
+
+def pairwise_stretch(
+    g: GraphLike,
+    h: GraphLike,
+    pairs: Optional[Iterable[Tuple[Node, Node]]] = None,
+) -> Dict[Tuple[Node, Node], float]:
+    """Stretch for each pair (default: every edge of ``g``).
+
+    Edge pairs are exactly the set Lemma 3 says suffices; full all-pairs
+    measurement is available by passing explicit pairs.
+    """
+    if pairs is None:
+        pairs = _edge_pairs(g)
+    return {(u, v): stretch_of_pair(g, h, u, v) for u, v in pairs}
+
+
+def max_stretch(
+    g: GraphLike,
+    h: GraphLike,
+    pairs: Optional[Iterable[Tuple[Node, Node]]] = None,
+) -> float:
+    """Worst-case stretch of H over the given pairs (default: edges of G).
+
+    For subgraphs H of G, maximizing over the edges of G provably equals
+    maximizing over all pairs (the Lemma 3 argument: concatenate per-edge
+    detours along a shortest path).
+    """
+    if pairs is None:
+        pairs = _edge_pairs(g)
+    worst = 1.0
+    for u, v in pairs:
+        s = stretch_of_pair(g, h, u, v)
+        worst = max(worst, s)
+        if math.isinf(worst):
+            break
+    return worst
+
+
+def max_stretch_under_faults(
+    g: Graph,
+    h: Graph,
+    faults: Iterable,
+    fault_model: str = "vertex",
+) -> float:
+    """Worst-case stretch of ``H \\ F`` w.r.t. ``G \\ F``.
+
+    ``faults`` is a vertex set or edge set per ``fault_model``.  Pairs
+    range over the edges of ``G \\ F`` (sufficient by Lemma 3).
+    """
+    faults = list(faults)
+    if fault_model == "vertex":
+        gv = fault_view(g, vertex_faults=faults)
+        hv = fault_view(h, vertex_faults=faults)
+    elif fault_model == "edge":
+        gv = fault_view(g, edge_faults=faults)
+        hv = fault_view(h, edge_faults=faults)
+    else:
+        raise ValueError(f"unknown fault model {fault_model!r}")
+    return max_stretch(gv, hv, pairs=_surviving_edge_pairs(g, gv))
+
+
+def _edge_pairs(g: GraphLike) -> Iterable[Tuple[Node, Node]]:
+    """Edge endpoints of a graph or view (views filter faulted edges)."""
+    if isinstance(g, Graph):
+        return list(g.edges())
+    pairs = []
+    seen = set()
+    for u in g.nodes():
+        for v in g.neighbors(u):
+            if (v, u) not in seen:
+                seen.add((u, v))
+                pairs.append((u, v))
+    return pairs
+
+
+def _surviving_edge_pairs(g: Graph, view) -> Iterable[Tuple[Node, Node]]:
+    """Edges of ``g`` that survive in ``view``."""
+    return [
+        (u, v) for u, v in g.edges() if view.has_node(u) and view.has_edge(u, v)
+    ]

@@ -1,0 +1,77 @@
+"""Shared fixtures for the test suite.
+
+Graphs used across many test modules, all deterministic.  Small enough
+that exhaustive fault-set verification is feasible wherever the test
+needs a *proof* rather than sampled evidence.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import generators
+from repro.graph.graph import Graph
+
+
+@pytest.fixture
+def triangle() -> Graph:
+    """K_3."""
+    return generators.complete_graph(3)
+
+
+@pytest.fixture
+def path5() -> Graph:
+    """Path on 5 nodes: 0-1-2-3-4."""
+    return generators.path_graph(5)
+
+
+@pytest.fixture
+def cycle6() -> Graph:
+    """Cycle on 6 nodes."""
+    return generators.cycle_graph(6)
+
+
+@pytest.fixture
+def k5() -> Graph:
+    """K_5."""
+    return generators.complete_graph(5)
+
+
+@pytest.fixture
+def grid4x4() -> Graph:
+    """4x4 grid."""
+    return generators.grid_graph(4, 4)
+
+
+@pytest.fixture
+def small_gnp() -> Graph:
+    """Connected G(20, 0.3), the workhorse for exhaustive checks."""
+    return generators.ensure_connected(
+        generators.gnp_random_graph(20, 0.3, seed=101), seed=101
+    )
+
+
+@pytest.fixture
+def medium_gnp() -> Graph:
+    """Connected G(50, 0.15) for sampled checks and size measurements."""
+    return generators.ensure_connected(
+        generators.gnp_random_graph(50, 0.15, seed=202), seed=202
+    )
+
+
+@pytest.fixture
+def weighted_gnp_graph() -> Graph:
+    """Connected weighted G(25, 0.3) with weights in [1, 10]."""
+    return generators.ensure_connected(
+        generators.weighted_gnp(25, 0.3, low=1.0, high=10.0, seed=303),
+        seed=303,
+    )
+
+
+def assert_is_subgraph(h: Graph, g: Graph) -> None:
+    """Every node and edge of h appears in g with the same weight."""
+    for u in h.nodes():
+        assert g.has_node(u), f"extra node {u!r}"
+    for u, v, w in h.weighted_edges():
+        assert g.has_edge(u, v), f"extra edge ({u!r}, {v!r})"
+        assert g.weight(u, v) == w, f"weight mismatch on ({u!r}, {v!r})"

@@ -1,0 +1,101 @@
+"""The analysis harness: tables, sweeps, power-law fits."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.experiments import (
+    fit_power_law,
+    optimality_gap_sweep,
+    ratio_trend,
+    size_sweep,
+)
+from repro.analysis.tables import Table, format_table
+
+
+class TestTables:
+    def test_format_basic(self):
+        out = format_table("title", ["a", "bb"], [["1", "2"], ["30", "4"]])
+        lines = out.splitlines()
+        assert lines[0] == "title"
+        assert "a" in lines[2] and "bb" in lines[2]
+        assert len(lines) == 6
+
+    def test_table_add_row_renders_values(self):
+        t = Table("demo", ["n", "x"])
+        t.add_row([10, 3.14159])
+        t.add_row([20, 0.0001])
+        out = t.render()
+        assert "3.142" in out
+        assert "0.0001" in out
+
+    def test_table_rejects_bad_row(self):
+        t = Table("demo", ["n"])
+        with pytest.raises(ValueError):
+            t.add_row([1, 2])
+
+    def test_large_and_zero_floats(self):
+        t = Table("demo", ["v"])
+        t.add_row([123456.789])
+        t.add_row([0.0])
+        out = t.render()
+        assert "1.23e+05" in out
+        assert "0" in out
+
+
+class TestPowerLawFit:
+    def test_exact_power_law(self):
+        xs = [10, 20, 40, 80]
+        ys = [x ** 1.5 for x in xs]
+        assert fit_power_law(xs, ys) == pytest.approx(1.5)
+
+    def test_constant_data_gives_zero(self):
+        xs = [1, 2, 4]
+        ys = [7.0, 7.0, 7.0]
+        assert fit_power_law(xs, ys) == pytest.approx(0.0)
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1], [1])
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [0, 1])
+        with pytest.raises(ValueError):
+            fit_power_law([1, 1], [2, 3])
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2, 3], [1, 2])
+
+
+class TestSweeps:
+    def test_size_sweep_returns_points(self):
+        points = size_sweep([(20, 0.3, 2, 1), (30, 0.3, 2, 1)], seed=5)
+        assert len(points) == 2
+        assert points[0].n == 20
+        assert points[0].spanner_edges > 0
+        assert points[0].bound > 0
+        assert 0 < points[0].bound_ratio < 10
+        assert points[0].seconds >= 0
+
+    def test_ratio_trend(self):
+        points = size_sweep([(20, 0.4, 2, 1), (40, 0.4, 2, 1)], seed=6)
+        ratios = ratio_trend(points)
+        assert len(ratios) == 2
+        assert all(r > 0 for r in ratios)
+
+    def test_custom_builder(self):
+        from repro.baselines import classic_greedy_spanner
+
+        points = size_sweep(
+            [(20, 0.3, 2, 1)],
+            seed=7,
+            builder=lambda g, k, f: classic_greedy_spanner(g, k),
+        )
+        assert points[0].spanner_edges > 0
+
+    def test_optimality_gap_sweep(self):
+        pairs = optimality_gap_sweep([(12, 0.4, 2, 1)], seed=8)
+        assert len(pairs) == 1
+        modified, exact = pairs[0]
+        assert exact.spanner_edges <= modified.spanner_edges + 5
+        assert modified.n == exact.n == 12

@@ -1,0 +1,114 @@
+"""The closed-form bound expressions of repro.core.bounds."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import bounds
+
+
+class TestShapes:
+    def test_greedy_size_bound_values(self):
+        # f^(1-1/k) n^(1+1/k) at k=2, f=4, n=100: 2 * 1000 = 2000.
+        assert bounds.greedy_size_bound(100, 2, 4) == pytest.approx(2000.0)
+
+    def test_modified_adds_factor_k(self):
+        assert bounds.modified_greedy_size_bound(100, 2, 4) == pytest.approx(
+            2 * bounds.greedy_size_bound(100, 2, 4)
+        )
+
+    def test_k1_linear_in_f_and_quadratic_in_n(self):
+        assert bounds.greedy_size_bound(10, 1, 3) == pytest.approx(100.0)
+
+    def test_time_bound_monotone(self):
+        a = bounds.modified_greedy_time_bound(50, 100, 2, 1)
+        b = bounds.modified_greedy_time_bound(50, 100, 2, 2)
+        c = bounds.modified_greedy_time_bound(100, 100, 2, 2)
+        assert a < b < c
+
+    def test_lbc_time_bound(self):
+        assert bounds.lbc_time_bound(10, 20, 3) == 90
+        assert bounds.lbc_time_bound(10, 20, 0) == 30  # alpha clamped to 1
+
+    def test_blocking_set_bound(self):
+        assert bounds.blocking_set_bound(10, 2, 3) == 90
+
+    def test_high_girth_subgraph_nodes(self):
+        assert bounds.high_girth_subgraph_nodes(120, 2, 2) == 10
+
+    def test_high_girth_subgraph_edges(self):
+        assert bounds.high_girth_subgraph_edges(288, 2, 1) == pytest.approx(4.0)
+
+    def test_moore_bound(self):
+        assert bounds.moore_bound(100, 2) == pytest.approx(1000.0 + 100.0)
+
+    def test_local_bounds(self):
+        assert bounds.local_round_bound(1024) == 10.0
+        assert bounds.local_size_bound(100, 2, 1) > bounds.greedy_size_bound(
+            100, 2, 1
+        )
+
+    def test_dk_bounds(self):
+        assert bounds.dk_size_bound(100, 2, 2) > bounds.greedy_size_bound(
+            100, 2, 2
+        )
+        assert bounds.dk_iterations(100, 2) == math.ceil(8 * math.log(100))
+        assert bounds.dk_iterations(100, 2, constant=0.5) == math.ceil(
+            4 * math.log(100)
+        )
+
+    def test_congest_bounds(self):
+        assert bounds.congest_size_bound(100, 2, 2) == pytest.approx(
+            2 * bounds.dk_size_bound(100, 2, 2)
+        )
+        r = bounds.congest_round_bound(1000, 2, 3)
+        assert r > 0
+        assert bounds.bs_round_bound(4) == 16.0
+        assert bounds.bs_size_bound(100, 2) == pytest.approx(2000.0)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "fn,args",
+        [
+            (bounds.greedy_size_bound, (0, 2, 1)),
+            (bounds.greedy_size_bound, (10, 0, 1)),
+            (bounds.greedy_size_bound, (10, 2, 0)),
+            (bounds.lbc_time_bound, (10, 20, -1)),
+            (bounds.moore_bound, (10, 0)),
+            (bounds.local_round_bound, (0,)),
+            (bounds.dk_iterations, (1, 1)),
+            (bounds.bs_round_bound, (0,)),
+            (bounds.bs_size_bound, (0, 1)),
+        ],
+    )
+    def test_rejects_bad_parameters(self, fn, args):
+        with pytest.raises(ValueError):
+            fn(*args)
+
+
+class TestAsymptoticShape:
+    """Spot-check the growth directions the theorems assert."""
+
+    def test_size_sublinear_in_f(self):
+        # f^(1-1/k): doubling f should multiply by 2^(1-1/k) < 2.
+        k = 3
+        ratio = bounds.greedy_size_bound(100, k, 8) / bounds.greedy_size_bound(
+            100, k, 4
+        )
+        assert ratio == pytest.approx(2 ** (1 - 1 / k))
+
+    def test_size_exponent_in_n(self):
+        k = 2
+        ratio = bounds.greedy_size_bound(200, k, 1) / bounds.greedy_size_bound(
+            100, k, 1
+        )
+        assert ratio == pytest.approx(2 ** 1.5)
+
+    def test_bigger_k_smaller_n_exponent(self):
+        n_small, n_big = 100, 10_000
+        growth_k2 = bounds.greedy_size_bound(n_big, 2, 1) / bounds.greedy_size_bound(n_small, 2, 1)
+        growth_k5 = bounds.greedy_size_bound(n_big, 5, 1) / bounds.greedy_size_bound(n_small, 5, 1)
+        assert growth_k5 < growth_k2

@@ -1,0 +1,115 @@
+"""The ftspanner command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.graph import generators
+from repro.graph import io as graph_io
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    g = generators.ensure_connected(
+        generators.gnp_random_graph(20, 0.3, seed=5), seed=5
+    )
+    path = tmp_path / "g.txt"
+    graph_io.save(g, path)
+    return path
+
+
+class TestBuild:
+    def test_build_random(self, capsys):
+        rc = main(["build", "--random", "25", "--p", "0.3", "-k", "2", "-f", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "3-spanner" in out
+        assert "kept" in out
+
+    def test_build_from_file_with_output(self, graph_file, tmp_path, capsys):
+        out_path = tmp_path / "spanner.txt"
+        rc = main([
+            "build", "--input", str(graph_file),
+            "-k", "2", "-f", "1", "--output", str(out_path),
+        ])
+        assert rc == 0
+        spanner = graph_io.load(out_path)
+        original = graph_io.load(graph_file)
+        assert spanner.num_edges <= original.num_edges
+
+    def test_build_verify_flag(self, graph_file, capsys):
+        rc = main([
+            "build", "--input", str(graph_file),
+            "-k", "2", "-f", "1", "--verify",
+        ])
+        assert rc == 0
+        assert "OK" in capsys.readouterr().out
+
+    @pytest.mark.parametrize(
+        "algorithm",
+        ["greedy", "classic", "baswana-sen", "thorup-zwick", "dk", "clpr"],
+    )
+    def test_algorithms_run(self, algorithm, capsys):
+        rc = main([
+            "build", "--random", "20", "--p", "0.3",
+            "--algorithm", algorithm, "-k", "2", "-f", "1",
+        ])
+        assert rc == 0
+
+    def test_local_and_congest_algorithms(self, capsys):
+        for algorithm in ("local", "congest"):
+            rc = main([
+                "build", "--random", "18", "--p", "0.3",
+                "--algorithm", algorithm, "-k", "2", "-f", "1",
+            ])
+            assert rc == 0
+            assert "rounds" in capsys.readouterr().out
+
+    def test_build_needs_source(self):
+        with pytest.raises(SystemExit):
+            main(["build", "-k", "2"])
+
+    def test_build_rejects_both_sources(self, graph_file):
+        with pytest.raises(SystemExit):
+            main(["build", "--input", str(graph_file), "--random", "10"])
+
+
+class TestVerify:
+    def test_verify_valid_spanner(self, graph_file, tmp_path, capsys):
+        out_path = tmp_path / "spanner.txt"
+        main(["build", "--input", str(graph_file), "-k", "2", "-f", "1",
+              "--output", str(out_path)])
+        rc = main([
+            "verify", str(graph_file), str(out_path), "-t", "3", "-f", "1",
+        ])
+        assert rc == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_verify_catches_bad_spanner(self, graph_file, tmp_path, capsys):
+        g = graph_io.load(graph_file)
+        bad = g.spanning_skeleton()
+        bad_path = tmp_path / "bad.txt"
+        graph_io.save(bad, bad_path)
+        rc = main([
+            "verify", str(graph_file), str(bad_path), "-t", "3", "-f", "0",
+        ])
+        assert rc == 1
+        assert "FAILED" in capsys.readouterr().out
+
+
+class TestInfoAndDemo:
+    def test_info(self, graph_file, capsys):
+        rc = main(["info", str(graph_file)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "nodes:" in out
+        assert "edges:" in out
+        assert "hop diameter" in out
+
+    def test_demo(self, capsys):
+        rc = main(["demo"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "verification" in out
+        assert "OK" in out

@@ -1,0 +1,63 @@
+"""Extra CLI coverage: weighted info output, doctest smoke of docstrings."""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+from repro.cli import main
+from repro.graph import generators
+from repro.graph import io as graph_io
+
+
+class TestInfoWeighted:
+    def test_weighted_graph_shows_weight_stats(self, tmp_path, capsys):
+        g = generators.weighted_gnp(15, 0.4, low=2.0, high=9.0, seed=21)
+        path = tmp_path / "w.txt"
+        graph_io.save(g, path)
+        rc = main(["info", str(path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "weighted:   yes" in out
+        assert "weights:" in out
+        assert "clustering:" in out
+
+    def test_unit_graph_hides_weight_stats(self, tmp_path, capsys):
+        g = generators.gnp_random_graph(10, 0.4, seed=22)
+        path = tmp_path / "u.txt"
+        graph_io.save(g, path)
+        main(["info", str(path)])
+        out = capsys.readouterr().out
+        assert "weighted:   no" in out
+        assert "weights:" not in out
+
+
+class TestBuildEdgeModel:
+    def test_edge_fault_model_build_and_verify(self, capsys):
+        rc = main([
+            "build", "--random", "16", "--p", "0.4",
+            "-k", "2", "-f", "1", "--fault-model", "edge", "--verify",
+        ])
+        assert rc == 0
+        assert "EFT" in capsys.readouterr().out
+
+
+class TestDocstringExamples:
+    """The examples embedded in public docstrings must run."""
+
+    @pytest.mark.parametrize(
+        "module_name",
+        [
+            "repro.graph.graph",
+            "repro.core.incremental",
+            "repro.applications.oracle",
+            "repro.applications.routing",
+        ],
+    )
+    def test_module_doctests(self, module_name):
+        import importlib
+
+        module = importlib.import_module(module_name)
+        result = doctest.testmod(module, verbose=False)
+        assert result.failed == 0

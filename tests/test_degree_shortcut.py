@@ -1,0 +1,80 @@
+"""The degree-shortcut optimization: exactness and effect.
+
+The shortcut skips LBC calls whose YES answer is forced (an endpoint's
+whole H-neighborhood is a small-enough cut).  Theorem 4's YES guarantee
+makes the skip exact: the produced spanner must be IDENTICAL to the
+unshortcut run, edge for edge.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.greedy_modified import (
+    fault_tolerant_spanner,
+    modified_greedy_unweighted,
+    modified_greedy_weighted,
+)
+from repro.graph import generators
+from repro.verification import check_certificates, verify_ft_spanner
+
+
+class TestExactness:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    @pytest.mark.parametrize("k,f", [(2, 1), (2, 3), (3, 2)])
+    def test_identical_spanner_vertex_model(self, seed, k, f):
+        g = generators.gnp_random_graph(30, 0.3, seed=seed)
+        plain = modified_greedy_unweighted(g, k, f)
+        fast = modified_greedy_unweighted(g, k, f, degree_shortcut=True)
+        assert plain.spanner == fast.spanner
+
+    @pytest.mark.parametrize("seed", [5, 6])
+    def test_identical_spanner_edge_model(self, seed):
+        g = generators.gnp_random_graph(25, 0.3, seed=seed)
+        plain = modified_greedy_unweighted(g, 2, 2, fault_model="edge")
+        fast = modified_greedy_unweighted(
+            g, 2, 2, fault_model="edge", degree_shortcut=True
+        )
+        assert plain.spanner == fast.spanner
+
+    def test_identical_spanner_weighted(self):
+        g = generators.weighted_gnp(25, 0.3, seed=7)
+        plain = modified_greedy_weighted(g, 2, 2)
+        fast = modified_greedy_weighted(g, 2, 2, degree_shortcut=True)
+        assert plain.spanner == fast.spanner
+
+    def test_shortcut_certificates_still_valid(self):
+        g = generators.gnp_random_graph(25, 0.3, seed=8)
+        fast = modified_greedy_unweighted(g, 2, 2, degree_shortcut=True)
+        assert check_certificates(g, fast) == []
+
+    def test_shortcut_output_verified(self):
+        g = generators.gnp_random_graph(20, 0.35, seed=9)
+        fast = modified_greedy_unweighted(g, 2, 1, degree_shortcut=True)
+        report = verify_ft_spanner(g, fast.spanner, t=3, f=1)
+        assert report.ok
+
+
+class TestEffect:
+    def test_bfs_calls_reduced(self):
+        g = generators.gnp_random_graph(60, 0.15, seed=10)
+        plain = modified_greedy_unweighted(g, 2, 3)
+        fast = modified_greedy_unweighted(g, 2, 3, degree_shortcut=True)
+        assert fast.bfs_calls < plain.bfs_calls
+        assert fast.extra["degree_shortcuts"] > 0
+
+    def test_shortcut_counter_absent_without_flag(self):
+        g = generators.gnp_random_graph(15, 0.3, seed=11)
+        plain = modified_greedy_unweighted(g, 2, 1)
+        assert "degree_shortcuts" not in plain.extra
+
+    def test_sparse_graph_mostly_shortcuts(self):
+        # On a tree every edge is forced; with f >= 1 the shortcut fires
+        # for every single edge (the endpoint being attached has H-degree
+        # 0 <= f when its first edge arrives... subsequent edges attach
+        # new leaves, degree 0 again).
+        g = generators.path_graph(30)
+        fast = modified_greedy_unweighted(g, 2, 1, degree_shortcut=True)
+        assert fast.spanner.num_edges == 29
+        assert fast.extra["degree_shortcuts"] == 29
+        assert fast.bfs_calls == 0

@@ -1,0 +1,180 @@
+"""Workload generator properties."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.graph import generators
+from repro.graph.girth import girth
+from repro.graph.graph import Graph
+from repro.graph.traversal import hop_distance, is_connected
+
+
+class TestDeterministicFamilies:
+    def test_complete(self):
+        g = generators.complete_graph(6)
+        assert g.num_nodes == 6
+        assert g.num_edges == 15
+        assert all(g.degree(v) == 5 for v in g.nodes())
+
+    def test_path(self):
+        g = generators.path_graph(5)
+        assert g.num_edges == 4
+        assert g.degree(0) == 1
+        assert g.degree(2) == 2
+
+    def test_cycle(self):
+        g = generators.cycle_graph(5)
+        assert g.num_edges == 5
+        assert all(g.degree(v) == 2 for v in g.nodes())
+
+    def test_cycle_too_small_raises(self):
+        with pytest.raises(ValueError):
+            generators.cycle_graph(2)
+
+    def test_star(self):
+        g = generators.star_graph(6)
+        assert g.degree(0) == 5
+        assert g.num_edges == 5
+
+    def test_grid(self):
+        g = generators.grid_graph(3, 4)
+        assert g.num_nodes == 12
+        assert g.num_edges == 3 * 3 + 2 * 4  # 17
+        assert g.degree((0, 0)) == 2
+        assert g.degree((1, 1)) == 4
+
+    def test_hypercube(self):
+        g = generators.hypercube_graph(4)
+        assert g.num_nodes == 16
+        assert all(g.degree(v) == 4 for v in g.nodes())
+        assert g.num_edges == 32
+
+    def test_complete_bipartite(self):
+        g = generators.complete_bipartite_graph(2, 3)
+        assert g.num_nodes == 5
+        assert g.num_edges == 6
+        assert girth(g) == 4
+
+    def test_layered_gadget_structure(self):
+        g = generators.layered_path_gadget(layers=3, width=4)
+        # s, t, 3 layers of 4.
+        assert g.num_nodes == 2 + 12
+        # Every s-t path has exactly layers+1 = 4 hops.
+        assert hop_distance(g, "s", "t") == 4
+
+
+class TestRandomFamilies:
+    def test_gnp_determinism(self):
+        a = generators.gnp_random_graph(30, 0.2, seed=9)
+        b = generators.gnp_random_graph(30, 0.2, seed=9)
+        assert a == b
+
+    def test_gnp_different_seeds_differ(self):
+        a = generators.gnp_random_graph(30, 0.2, seed=1)
+        b = generators.gnp_random_graph(30, 0.2, seed=2)
+        assert a != b
+
+    def test_gnp_extremes(self):
+        assert generators.gnp_random_graph(10, 0.0, seed=0).num_edges == 0
+        g = generators.gnp_random_graph(10, 1.0, seed=0)
+        assert g.num_edges == 45
+
+    def test_gnp_bad_p_raises(self):
+        with pytest.raises(ValueError):
+            generators.gnp_random_graph(10, 1.5)
+
+    def test_gnp_edge_count_near_expectation(self):
+        n, p = 100, 0.3
+        g = generators.gnp_random_graph(n, p, seed=3)
+        expected = p * n * (n - 1) / 2
+        assert abs(g.num_edges - expected) < 0.2 * expected
+
+    def test_gnm_exact_edges(self):
+        g = generators.gnm_random_graph(20, 37, seed=4)
+        assert g.num_edges == 37
+        assert g.num_nodes == 20
+
+    def test_gnm_too_many_edges_raises(self):
+        with pytest.raises(ValueError):
+            generators.gnm_random_graph(5, 11)
+
+    def test_geometric_weights_are_distances(self):
+        g = generators.random_geometric_graph(40, 0.3, seed=5)
+        for _, _, w in g.weighted_edges():
+            assert 0 < w <= 0.3 + 1e-9
+
+    def test_geometric_unweighted_option(self):
+        g = generators.random_geometric_graph(30, 0.4, seed=5, weighted=False)
+        assert g.is_unit_weighted()
+
+    def test_barabasi_albert(self):
+        g = generators.barabasi_albert_graph(50, 3, seed=6)
+        assert g.num_nodes == 50
+        # Each new node adds `attach` edges to the seed clique's edges.
+        expected = 6 + (50 - 4) * 3
+        assert g.num_edges == expected
+
+    def test_barabasi_albert_bad_attach(self):
+        with pytest.raises(ValueError):
+            generators.barabasi_albert_graph(5, 5)
+
+    def test_random_regularish_degrees(self):
+        g = generators.random_regular_graphish(40, 4, seed=7)
+        assert g.num_nodes == 40
+        assert g.max_degree() <= 4
+        # Pairing drops few edges; average degree should be close to 4.
+        assert g.num_edges >= 0.8 * (40 * 4 / 2)
+
+    def test_random_regularish_parity(self):
+        with pytest.raises(ValueError):
+            generators.random_regular_graphish(5, 3)
+
+    def test_clustered_graph_structure(self):
+        g = generators.clustered_graph(3, 8, p_intra=0.9, p_inter=0.02, seed=8)
+        assert g.num_nodes == 24
+        intra = sum(
+            1 for u, v in g.edges() if u // 8 == v // 8
+        )
+        inter = g.num_edges - intra
+        assert intra > inter
+
+
+class TestWeights:
+    def test_with_random_weights_range(self):
+        g = generators.gnp_random_graph(20, 0.3, seed=1)
+        w = generators.with_random_weights(g, low=2.0, high=5.0, seed=1)
+        assert w.num_edges == g.num_edges
+        for _, _, weight in w.weighted_edges():
+            assert 2.0 <= weight <= 5.0
+
+    def test_with_random_weights_integral(self):
+        g = generators.gnp_random_graph(20, 0.3, seed=1)
+        w = generators.with_random_weights(g, seed=1, integral=True)
+        assert all(
+            weight == int(weight) for _, _, weight in w.weighted_edges()
+        )
+
+    def test_with_random_weights_bad_range(self):
+        g = generators.gnp_random_graph(5, 0.5, seed=1)
+        with pytest.raises(ValueError):
+            generators.with_random_weights(g, low=5.0, high=1.0)
+
+    def test_weighted_gnp_deterministic(self):
+        a = generators.weighted_gnp(20, 0.3, seed=12)
+        b = generators.weighted_gnp(20, 0.3, seed=12)
+        assert a == b
+
+    def test_ensure_connected(self):
+        g = Graph([(1, 2), (3, 4)])
+        g.add_node(5)
+        connected = generators.ensure_connected(g, seed=0)
+        assert is_connected(connected)
+        # Adds exactly components-1 edges.
+        assert connected.num_edges == g.num_edges + 2
+
+    def test_ensure_connected_noop_when_connected(self):
+        g = generators.cycle_graph(5)
+        assert generators.ensure_connected(g, seed=0) == g

@@ -1,0 +1,79 @@
+"""Girth computation, cross-validated against networkx."""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.graph import generators
+from repro.graph.girth import girth, girth_exceeds, has_cycle_shorter_than
+from repro.graph.graph import Graph
+
+
+class TestGirthExact:
+    def test_tree_is_acyclic(self):
+        g = generators.path_graph(6)
+        assert girth(g) == math.inf
+
+    def test_triangle(self):
+        assert girth(generators.complete_graph(3)) == 3
+
+    def test_cycle(self):
+        for n in (3, 4, 5, 8, 13):
+            assert girth(generators.cycle_graph(n)) == n
+
+    def test_complete_graph(self):
+        assert girth(generators.complete_graph(6)) == 3
+
+    def test_grid_has_girth_4(self):
+        assert girth(generators.grid_graph(3, 3)) == 4
+
+    def test_hypercube_has_girth_4(self):
+        assert girth(generators.hypercube_graph(3)) == 4
+
+    def test_bipartite_girth_4(self):
+        assert girth(generators.complete_bipartite_graph(3, 3)) == 4
+
+    def test_matches_networkx_on_random_graphs(self):
+        for seed in range(6):
+            g = generators.gnp_random_graph(25, 0.12, seed=seed)
+            nxg = g.to_networkx()
+            if not hasattr(nx, "girth"):  # pragma: no cover
+                pytest.skip("networkx too old for nx.girth")
+            expected = nx.girth(nxg)
+            ours = girth(g)
+            if expected in (math.inf, None):
+                assert ours == math.inf
+            else:
+                assert ours == expected
+
+    def test_disjoint_cycles(self):
+        g = Graph()
+        for u, v in [(0, 1), (1, 2), (2, 0)]:  # triangle
+            g.add_edge(u, v)
+        for u, v in [(10, 11), (11, 12), (12, 13), (13, 10)]:  # square
+            g.add_edge(u, v)
+        assert girth(g) == 3
+
+
+class TestGirthBounded:
+    def test_upper_bound_short_circuit(self):
+        g = generators.cycle_graph(10)
+        assert girth(g, upper_bound=5) == math.inf  # every cycle longer
+        assert girth(g, upper_bound=10) == 10
+
+    def test_has_cycle_shorter_than(self):
+        g = generators.cycle_graph(6)
+        assert not has_cycle_shorter_than(g, 6)
+        assert has_cycle_shorter_than(g, 7)
+
+    def test_girth_exceeds(self):
+        g = generators.cycle_graph(7)
+        assert girth_exceeds(g, 6)
+        assert not girth_exceeds(g, 7)
+
+    def test_girth_exceeds_on_forest(self):
+        g = generators.path_graph(8)
+        assert girth_exceeds(g, 1000)

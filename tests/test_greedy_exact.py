@@ -1,0 +1,112 @@
+"""Algorithm 1: the exponential-time greedy of [BDPW18, BP19].
+
+Small instances only (the whole point of the paper is that this is
+expensive).  Covers correctness, the optimal size bound, and the
+relationship to the modified greedy (experiment E8's basis).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bounds import greedy_size_bound
+from repro.core.greedy_exact import exponential_greedy_spanner
+from repro.core.greedy_modified import fault_tolerant_spanner
+from repro.graph import generators
+from repro.graph.girth import girth_exceeds
+from repro.graph.graph import Graph
+from repro.verification import is_spanner, verify_ft_spanner
+from tests.conftest import assert_is_subgraph
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("k,f", [(2, 1), (2, 2), (3, 1)])
+    def test_gnp_exhaustive(self, k, f):
+        g = generators.gnp_random_graph(14, 0.4, seed=31)
+        result = exponential_greedy_spanner(g, k, f)
+        report = verify_ft_spanner(g, result.spanner, t=2 * k - 1, f=f)
+        assert report.exhaustive
+        assert report.ok, str(report.counterexample)
+
+    def test_edge_fault_model(self):
+        g = generators.gnp_random_graph(12, 0.4, seed=33)
+        result = exponential_greedy_spanner(g, 2, 1, fault_model="edge")
+        report = verify_ft_spanner(
+            g, result.spanner, t=3, f=1, fault_model="edge"
+        )
+        assert report.ok
+
+    def test_weighted_graph(self):
+        g = generators.weighted_gnp(12, 0.4, seed=35)
+        result = exponential_greedy_spanner(g, 2, 1)
+        report = verify_ft_spanner(g, result.spanner, t=3, f=1)
+        assert report.ok, str(report.counterexample)
+
+    def test_weighted_edge_faults(self):
+        g = generators.weighted_gnp(10, 0.5, seed=37)
+        result = exponential_greedy_spanner(g, 2, 1, fault_model="edge")
+        report = verify_ft_spanner(
+            g, result.spanner, t=3, f=1, fault_model="edge",
+            exhaustive_budget=3_000,
+        )
+        assert report.ok
+
+    def test_subgraph_property(self):
+        g = generators.gnp_random_graph(12, 0.5, seed=39)
+        result = exponential_greedy_spanner(g, 2, 1)
+        assert_is_subgraph(result.spanner, g)
+
+    def test_f0_matches_classic_greedy_girth(self):
+        # With f = 0 the exact greedy IS the [ADD+93] greedy; its output
+        # must have girth > 2k.
+        g = generators.gnp_random_graph(16, 0.5, seed=41)
+        result = exponential_greedy_spanner(g, k=2, f=0)
+        assert girth_exceeds(result.spanner, 4)
+        assert is_spanner(g, result.spanner, t=3)
+
+
+class TestOptimalSize:
+    def test_within_bound(self):
+        g = generators.gnp_random_graph(16, 0.6, seed=43)
+        result = exponential_greedy_spanner(g, 2, 2)
+        # Theorem (BP19): O(f^(1-1/k) n^(1+1/k)); generous constant.
+        assert result.num_edges <= 4 * greedy_size_bound(16, 2, 2)
+
+    def test_never_larger_than_modified_greedy_plus_slack(self):
+        """The exact greedy is the size-optimal baseline.
+
+        On any single instance either algorithm may win by a little
+        (different edge decisions), but the exact greedy should never be
+        dramatically bigger.
+        """
+        for seed in (45, 46, 47):
+            g = generators.gnp_random_graph(14, 0.5, seed=seed)
+            exact = exponential_greedy_spanner(g, 2, 1).num_edges
+            modified = fault_tolerant_spanner(g, 2, 1).num_edges
+            assert exact <= modified + 4
+
+    def test_cycle_f1_keeps_cycle(self):
+        g = generators.cycle_graph(8)
+        result = exponential_greedy_spanner(g, 2, 1)
+        assert result.num_edges == 8
+
+    def test_certificates_present(self):
+        g = generators.gnp_random_graph(12, 0.5, seed=49)
+        result = exponential_greedy_spanner(g, 2, 1)
+        assert set(result.certificates) == set(result.spanner.edges())
+        for cut in result.certificates.values():
+            assert len(cut) <= 1  # |F| <= f = 1 for the exact greedy
+
+
+class TestValidation:
+    def test_bad_k(self):
+        with pytest.raises(ValueError):
+            exponential_greedy_spanner(Graph(), 0, 1)
+
+    def test_bad_f(self):
+        with pytest.raises(ValueError):
+            exponential_greedy_spanner(Graph(), 2, -1)
+
+    def test_empty_graph(self):
+        result = exponential_greedy_spanner(Graph(), 2, 1)
+        assert result.num_edges == 0

@@ -1,0 +1,80 @@
+"""Hard-instance generators (repro.analysis.hard_instances)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.hard_instances import (
+    blowup,
+    forced_bundle_edges,
+    high_girth_base,
+    vft_lower_bound_instance,
+)
+from repro.core.greedy_modified import fault_tolerant_spanner
+from repro.graph import generators
+from repro.graph.girth import girth_exceeds
+from repro.graph.graph import Graph
+from repro.verification import verify_ft_spanner
+
+
+class TestBlowup:
+    def test_node_and_edge_counts(self):
+        base = generators.cycle_graph(5)
+        g = blowup(base, 3)
+        assert g.num_nodes == 15
+        assert g.num_edges == 5 * 9
+
+    def test_no_intra_group_edges(self):
+        base = generators.path_graph(3)
+        g = blowup(base, 2)
+        assert not g.has_edge((0, 0), (0, 1))
+        assert g.has_edge((0, 0), (1, 1))
+
+    def test_weights_preserved(self):
+        base = Graph([(1, 2, 7.0)])
+        g = blowup(base, 2)
+        assert g.weight((1, 0), (2, 1)) == 7.0
+
+    def test_copies_one_is_isomorphic_relabel(self):
+        base = generators.cycle_graph(4)
+        g = blowup(base, 1)
+        assert g.num_nodes == 4
+        assert g.num_edges == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            blowup(Graph(), 0)
+
+
+class TestHighGirthBase:
+    def test_girth_exceeds_2k(self):
+        for k in (2, 3):
+            base = high_girth_base(16, k, seed=1)
+            assert girth_exceeds(base, 2 * k)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            high_girth_base(2, 2)
+
+
+class TestLowerBoundInstance:
+    def test_structure(self):
+        inst, base, copies = vft_lower_bound_instance(10, 2, 2, seed=2)
+        assert copies == 3
+        assert inst.num_nodes == 10 * 3
+        assert inst.num_edges == base.num_edges * 9
+
+    def test_greedy_forced_dense(self):
+        """The greedy must keep at least the forced floor on blow-ups."""
+        inst, base, copies = vft_lower_bound_instance(12, 2, 1, seed=3)
+        result = fault_tolerant_spanner(inst, 2, 1)
+        assert result.num_edges >= forced_bundle_edges(base, 1)
+
+    def test_greedy_output_still_correct(self):
+        inst, base, copies = vft_lower_bound_instance(8, 2, 1, seed=4)
+        result = fault_tolerant_spanner(inst, 2, 1)
+        report = verify_ft_spanner(
+            inst, result.spanner, t=3, f=1, exhaustive_budget=2_000,
+            samples=200, seed=0,
+        )
+        assert report.ok

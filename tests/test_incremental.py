@@ -1,0 +1,120 @@
+"""Incremental spanner maintenance (repro.core.incremental)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.greedy_modified import modified_greedy_unweighted
+from repro.core.incremental import IncrementalSpanner
+from repro.graph import generators
+from repro.verification import check_certificates, verify_ft_spanner
+
+
+class TestEquivalenceWithBatch:
+    """The online run must equal Algorithm 3 with the arrival order."""
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_matches_batch_greedy(self, seed):
+        g = generators.gnp_random_graph(25, 0.3, seed=seed)
+        order = list(g.edges())
+        random.Random(seed).shuffle(order)
+
+        inc = IncrementalSpanner(k=2, f=1)
+        for u in g.nodes():
+            inc.add_node(u)
+        inc.insert_many(order)
+
+        batch = modified_greedy_unweighted(g, 2, 1, order=order)
+        assert inc.spanner == batch.spanner
+
+    def test_matches_batch_edge_model(self):
+        g = generators.gnp_random_graph(20, 0.3, seed=4)
+        order = list(g.edges())
+        inc = IncrementalSpanner(k=2, f=2, fault_model="edge")
+        for u in g.nodes():
+            inc.add_node(u)
+        inc.insert_many(order)
+        batch = modified_greedy_unweighted(
+            g, 2, 2, fault_model="edge", order=order
+        )
+        assert inc.spanner == batch.spanner
+
+
+class TestContinuousGuarantee:
+    def test_ft_property_holds_at_checkpoints(self):
+        g = generators.gnp_random_graph(18, 0.35, seed=5)
+        edges = list(g.edges())
+        inc = IncrementalSpanner(k=2, f=1)
+        for u in g.nodes():
+            inc.add_node(u)
+        for i, (u, v) in enumerate(edges):
+            inc.insert(u, v)
+            if i % 20 == 19 or i == len(edges) - 1:
+                report = verify_ft_spanner(
+                    inc.graph, inc.spanner, t=3, f=1,
+                    exhaustive_budget=3_000,
+                )
+                assert report.ok, f"after {i + 1} insertions: " \
+                                  f"{report.counterexample}"
+
+    def test_certificates_valid(self):
+        g = generators.gnp_random_graph(20, 0.3, seed=6)
+        inc = IncrementalSpanner(k=2, f=1)
+        inc.insert_many(g.edges())
+        result = inc.as_result()
+        assert check_certificates(inc.graph, result) == []
+
+
+class TestAPI:
+    def test_insert_returns_kept(self):
+        inc = IncrementalSpanner(k=2, f=0)
+        assert inc.insert(1, 2) is True  # first edge always needed
+        assert inc.insert(2, 3) is True
+        # The chord closes a triangle; with f = 0 the surviving 2-hop
+        # route is within stretch 3, so the chord is declined.
+        assert inc.insert(1, 3) is False
+        assert not inc.spanner.has_edge(1, 3)
+
+    def test_redundant_edge_declined(self):
+        inc = IncrementalSpanner(k=2, f=0)
+        # Dense component: eventually an edge is declined.
+        g = generators.complete_graph(8)
+        kept = inc.insert_many(g.edges())
+        assert kept < g.num_edges
+
+    def test_duplicate_insert_noop(self):
+        inc = IncrementalSpanner(k=2, f=1)
+        assert inc.insert(1, 2)
+        before = inc.inserted
+        assert inc.insert(1, 2) is True  # kept previously
+        assert inc.inserted == before
+
+    def test_weighted_rejected(self):
+        inc = IncrementalSpanner(k=2, f=1)
+        with pytest.raises(ValueError, match="unweighted"):
+            inc.insert(1, 2, weight=2.5)
+
+    def test_counters(self):
+        g = generators.complete_graph(10)
+        inc = IncrementalSpanner(k=2, f=1)
+        inc.insert_many(g.edges())
+        assert inc.inserted == g.num_edges
+        assert inc.kept == inc.spanner.num_edges
+        assert inc.bfs_calls > 0
+        assert "kept=" in repr(inc)
+
+    def test_as_result_snapshot(self):
+        inc = IncrementalSpanner(k=3, f=2)
+        inc.insert(1, 2)
+        result = inc.as_result()
+        assert result.stretch == 5
+        assert result.algorithm == "incremental-greedy"
+        assert result.num_edges == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IncrementalSpanner(k=0, f=1)
+        with pytest.raises(ValueError):
+            IncrementalSpanner(k=2, f=-1)

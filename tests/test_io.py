@@ -1,0 +1,64 @@
+"""Edge-list serialization roundtrips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import generators
+from repro.graph import io as graph_io
+from repro.graph.graph import Graph
+
+
+class TestRoundtrip:
+    def test_simple(self):
+        g = Graph([(1, 2, 3.0), (2, 3, 1.5)])
+        assert graph_io.loads(graph_io.dumps(g)) == g
+
+    def test_isolated_nodes_survive(self):
+        g = Graph([(1, 2)])
+        g.add_node(7)
+        g2 = graph_io.loads(graph_io.dumps(g))
+        assert g2.has_node(7)
+        assert g2 == g
+
+    def test_string_nodes(self):
+        g = Graph([("alpha", "beta", 2.0)])
+        assert graph_io.loads(graph_io.dumps(g)) == g
+
+    def test_tuple_nodes_with_spaces(self):
+        g = generators.grid_graph(2, 3)
+        assert graph_io.loads(graph_io.dumps(g)) == g
+
+    def test_mixed_label_types(self):
+        g = Graph()
+        g.add_edge("s", ("mid", 0, 1), weight=4.5)
+        g.add_edge(("mid", 0, 1), 42)
+        assert graph_io.loads(graph_io.dumps(g)) == g
+
+    def test_empty_graph(self):
+        assert graph_io.loads(graph_io.dumps(Graph())) == Graph()
+
+    def test_random_graph_roundtrip(self):
+        g = generators.weighted_gnp(30, 0.2, seed=3)
+        assert graph_io.loads(graph_io.dumps(g)) == g
+
+
+class TestFileIO:
+    def test_save_load(self, tmp_path):
+        g = generators.gnp_random_graph(15, 0.3, seed=1)
+        path = tmp_path / "graph.txt"
+        graph_io.save(g, path)
+        assert graph_io.load(path) == g
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "# a comment\n\nedge\t1\t2\t1.0\n# another\n"
+        g = graph_io.loads(text)
+        assert g.has_edge(1, 2)
+
+    def test_unknown_record_raises(self):
+        with pytest.raises(ValueError, match="unknown record"):
+            graph_io.loads("vertex\t1\n")
+
+    def test_wrong_field_count_raises(self):
+        with pytest.raises(ValueError, match="3 fields"):
+            graph_io.loads("edge\t1\t2\n")

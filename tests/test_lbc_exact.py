@@ -1,0 +1,134 @@
+"""Exact Length-Bounded Cut solvers, cross-validated with brute force."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import generators
+from repro.graph.graph import Graph
+from repro.lbc.exact import (
+    brute_force_edge_lbc,
+    brute_force_vertex_lbc,
+    exact_edge_lbc,
+    exact_vertex_lbc,
+    exists_edge_cut,
+    exists_vertex_cut,
+    is_edge_length_cut,
+    is_vertex_length_cut,
+)
+
+
+class TestCutPredicates:
+    def test_vertex_cut_true(self):
+        g = generators.path_graph(5)
+        assert is_vertex_length_cut(g, 0, 4, t=4, faults=[2])
+
+    def test_vertex_cut_false(self):
+        g = generators.cycle_graph(6)
+        assert not is_vertex_length_cut(g, 0, 3, t=3, faults=[1])
+
+    def test_vertex_cut_terminal_rejected(self):
+        g = generators.path_graph(3)
+        with pytest.raises(ValueError):
+            is_vertex_length_cut(g, 0, 2, t=2, faults=[0])
+
+    def test_edge_cut_true(self):
+        g = generators.path_graph(3)
+        assert is_edge_length_cut(g, 0, 2, t=2, faults=[(1, 2)])
+
+    def test_edge_cut_orientation_independent(self):
+        g = generators.path_graph(3)
+        assert is_edge_length_cut(g, 0, 2, t=2, faults=[(2, 1)])
+
+    def test_empty_cut_when_already_far(self):
+        g = generators.path_graph(8)
+        assert is_vertex_length_cut(g, 0, 7, t=3, faults=[])
+
+
+class TestExactVertexLBC:
+    def test_path_min_cut_is_one(self):
+        g = generators.path_graph(7)
+        cut = exact_vertex_lbc(g, 0, 6, t=6)
+        assert cut is not None and len(cut) == 1
+
+    def test_layered_gadget_min_cut_is_width(self):
+        for width in (2, 3, 4):
+            g = generators.layered_path_gadget(layers=1, width=width)
+            cut = exact_vertex_lbc(g, "s", "t", t=2)
+            assert cut is not None and len(cut) == width
+
+    def test_adjacent_terminals_none(self):
+        g = generators.complete_graph(4)
+        assert exact_vertex_lbc(g, 0, 1, t=1) is None
+
+    def test_budget_respected(self):
+        g = generators.layered_path_gadget(layers=1, width=5)
+        assert exact_vertex_lbc(g, "s", "t", t=2, max_size=4) is None
+        cut = exact_vertex_lbc(g, "s", "t", t=2, max_size=5)
+        assert cut is not None and len(cut) == 5
+
+    def test_matches_brute_force(self):
+        for seed in range(10):
+            g = generators.gnp_random_graph(9, 0.3, seed=seed)
+            nodes = sorted(g.nodes())
+            for u, v in [(0, 8), (1, 7)]:
+                if g.has_edge(u, v):
+                    continue
+                for t in (2, 3):
+                    fast = exact_vertex_lbc(g, u, v, t, max_size=3)
+                    brute = brute_force_vertex_lbc(g, u, v, t, max_size=3)
+                    if brute is None:
+                        assert fast is None
+                    else:
+                        assert fast is not None
+                        assert len(fast) == len(brute)
+                        assert is_vertex_length_cut(g, u, v, t, fast)
+
+    def test_same_terminals_raise(self):
+        g = generators.path_graph(3)
+        with pytest.raises(ValueError):
+            exact_vertex_lbc(g, 1, 1, t=2)
+
+
+class TestExactEdgeLBC:
+    def test_path_min_cut_is_one(self):
+        g = generators.path_graph(5)
+        cut = exact_edge_lbc(g, 0, 4, t=4)
+        assert cut is not None and len(cut) == 1
+
+    def test_cycle_min_cut_is_two(self):
+        g = generators.cycle_graph(6)
+        cut = exact_edge_lbc(g, 0, 3, t=6)
+        assert cut is not None and len(cut) == 2
+
+    def test_direct_edge_must_be_cut(self):
+        g = Graph([(0, 1), (0, 2), (2, 1)])
+        cut = exact_edge_lbc(g, 0, 1, t=2)
+        assert cut is not None
+        assert (0, 1) in cut
+
+    def test_matches_brute_force(self):
+        for seed in range(8):
+            g = generators.gnp_random_graph(8, 0.3, seed=seed)
+            for u, v in [(0, 7), (1, 6)]:
+                for t in (2, 3):
+                    fast = exact_edge_lbc(g, u, v, t, max_size=3)
+                    brute = brute_force_edge_lbc(g, u, v, t, max_size=3)
+                    if brute is None:
+                        assert fast is None
+                    else:
+                        assert fast is not None
+                        assert len(fast) == len(brute)
+                        assert is_edge_length_cut(g, u, v, t, fast)
+
+
+class TestExistenceQueries:
+    def test_exists_vertex_cut(self):
+        g = generators.path_graph(5)
+        assert exists_vertex_cut(g, 0, 4, t=4, f=1)
+        assert not exists_vertex_cut(generators.complete_graph(5), 0, 1, t=1, f=3)
+
+    def test_exists_edge_cut(self):
+        g = generators.cycle_graph(6)
+        assert exists_edge_cut(g, 0, 3, t=6, f=2)
+        assert not exists_edge_cut(g, 0, 3, t=6, f=1)

@@ -1,0 +1,119 @@
+"""Graph metrics (repro.graph.metrics)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.graph import generators
+from repro.graph.graph import Graph
+from repro.graph.metrics import (
+    DegreeStats,
+    average_clustering,
+    clustering_coefficient,
+    degree_histogram,
+    effective_diameter,
+    summarize,
+    triangle_count,
+    weight_stats,
+)
+
+
+class TestDegreeStats:
+    def test_star(self):
+        stats = DegreeStats.of(generators.star_graph(5))
+        assert stats.minimum == 1
+        assert stats.maximum == 4
+        assert stats.mean == pytest.approx(8 / 5)
+
+    def test_empty(self):
+        stats = DegreeStats.of(Graph())
+        assert stats == DegreeStats(0, 0, 0.0, 0.0)
+
+    def test_median_even(self):
+        g = generators.path_graph(4)  # degrees 1,2,2,1
+        assert DegreeStats.of(g).median == pytest.approx(1.5)
+
+    def test_histogram(self):
+        hist = degree_histogram(generators.star_graph(4))
+        assert hist == {3: 1, 1: 3}
+
+
+class TestClustering:
+    def test_triangle_fully_clustered(self):
+        g = generators.complete_graph(3)
+        assert clustering_coefficient(g, 0) == 1.0
+        assert average_clustering(g) == 1.0
+
+    def test_path_zero(self):
+        g = generators.path_graph(4)
+        assert average_clustering(g) == 0.0
+
+    def test_degree_one_zero(self):
+        g = generators.star_graph(4)
+        assert clustering_coefficient(g, 1) == 0.0
+
+    def test_complete_graph(self):
+        assert average_clustering(generators.complete_graph(6)) == 1.0
+
+    def test_empty_graph(self):
+        assert average_clustering(Graph()) == 0.0
+
+
+class TestTriangles:
+    def test_complete(self):
+        assert triangle_count(generators.complete_graph(5)) == 10
+
+    def test_bipartite_none(self):
+        assert triangle_count(generators.complete_bipartite_graph(3, 3)) == 0
+
+    def test_cycle(self):
+        assert triangle_count(generators.cycle_graph(3)) == 1
+        assert triangle_count(generators.cycle_graph(5)) == 0
+
+    def test_matches_networkx(self):
+        import networkx as nx
+
+        g = generators.gnp_random_graph(30, 0.25, seed=2)
+        expected = sum(nx.triangles(g.to_networkx()).values()) // 3
+        assert triangle_count(g) == expected
+
+
+class TestWeightsAndDiameter:
+    def test_weight_stats(self):
+        g = Graph([(1, 2, 2.0), (2, 3, 4.0), (3, 4, 6.0)])
+        assert weight_stats(g) == (2.0, 4.0, 6.0)
+
+    def test_weight_stats_empty(self):
+        assert weight_stats(Graph()) == (0.0, 0.0, 0.0)
+
+    def test_effective_diameter_path(self):
+        g = generators.path_graph(11)
+        # 100th percentile = true diameter.
+        assert effective_diameter(g, percentile=1.0) == 10.0
+        assert effective_diameter(g, percentile=0.5) < 10.0
+
+    def test_effective_diameter_validation(self):
+        with pytest.raises(ValueError):
+            effective_diameter(generators.path_graph(3), percentile=0.0)
+
+    def test_effective_diameter_tiny(self):
+        assert effective_diameter(Graph()) == 0.0
+
+    def test_effective_diameter_sampled(self):
+        g = generators.gnp_random_graph(40, 0.2, seed=3)
+        full = effective_diameter(g, percentile=0.9)
+        sampled = effective_diameter(g, percentile=0.9, sample=10)
+        assert abs(full - sampled) <= 1.0
+
+
+class TestSummary:
+    def test_summarize_keys(self):
+        g = generators.weighted_gnp(15, 0.4, seed=4)
+        summary = summarize(g)
+        assert summary["nodes"] == 15
+        assert summary["edges"] == g.num_edges
+        assert summary["components"] >= 1
+        assert 0 <= summary["avg_clustering"] <= 1
+        assert summary["min_weight"] <= summary["mean_weight"] <= summary["max_weight"]

@@ -1,0 +1,196 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+Strategies generate small random graphs directly (node/edge lists) so
+shrinking produces readable counterexamples.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.greedy_modified import fault_tolerant_spanner
+from repro.graph.girth import girth
+from repro.graph.graph import Graph, edge_key
+from repro.graph.traversal import (
+    bfs_distances,
+    bounded_bfs_path,
+    dijkstra,
+    hop_distance,
+)
+from repro.graph.views import EdgeFaultView, VertexFaultView
+from repro.lbc.approx import LBCAnswer, lbc_vertex
+from repro.lbc.exact import exact_vertex_lbc, is_vertex_length_cut
+from repro.verification import verify_ft_spanner
+
+
+@st.composite
+def graphs(draw, max_nodes=10, max_extra_edges=12, weighted=False):
+    """A connected-ish random graph as an edge list over 0..n-1."""
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    g = Graph()
+    g.add_nodes(range(n))
+    # A random spanning skeleton keeps most draws connected.
+    for v in range(1, n):
+        u = draw(st.integers(min_value=0, max_value=v - 1))
+        w = draw(st.floats(1.0, 9.0)) if weighted else 1.0
+        g.add_edge(u, v, weight=round(w, 2))
+    extra = draw(st.integers(min_value=0, max_value=max_extra_edges))
+    for _ in range(extra):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u != v and not g.has_edge(u, v):
+            w = draw(st.floats(1.0, 9.0)) if weighted else 1.0
+            g.add_edge(u, v, weight=round(w, 2))
+    return g
+
+
+class TestGraphInvariants:
+    @given(graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_degree_sum_is_twice_edges(self, g):
+        assert sum(g.degree(v) for v in g.nodes()) == 2 * g.num_edges
+
+    @given(graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_edges_iteration_matches_count(self, g):
+        assert len(list(g.edges())) == g.num_edges
+
+    @given(graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_copy_equals_original(self, g):
+        assert g.copy() == g
+
+    @given(graphs(), st.integers(0, 9))
+    @settings(max_examples=60, deadline=None)
+    def test_subgraph_is_subset(self, g, pivot):
+        keep = [v for v in g.nodes() if v <= pivot]
+        sub = g.subgraph(keep)
+        assert sub.num_nodes == len(keep)
+        for u, v in sub.edges():
+            assert g.has_edge(u, v)
+
+
+class TestTraversalInvariants:
+    @given(graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_bfs_triangle_inequality_on_edges(self, g):
+        dist = bfs_distances(g, 0)
+        for u, v in g.edges():
+            if u in dist and v in dist:
+                assert abs(dist[u] - dist[v]) <= 1
+
+    @given(graphs(weighted=True))
+    @settings(max_examples=60, deadline=None)
+    def test_dijkstra_vs_bfs_on_unit_weights(self, g):
+        unit = g.unit_weighted()
+        bfs = bfs_distances(unit, 0)
+        dij = dijkstra(unit, 0)
+        assert set(bfs) == set(dij)
+        for v in bfs:
+            assert bfs[v] == dij[v]
+
+    @given(graphs(), st.integers(1, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_bounded_path_really_bounded(self, g, budget):
+        path = bounded_bfs_path(g, 0, g.num_nodes - 1, max_hops=budget)
+        if path is not None:
+            assert len(path) - 1 <= budget
+            assert path[0] == 0 and path[-1] == g.num_nodes - 1
+            for a, b in zip(path, path[1:]):
+                assert g.has_edge(a, b)
+
+    @given(graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_vertex_fault_view_monotone(self, g):
+        """Removing a vertex never shortens any distance."""
+        target = g.num_nodes - 1
+        base = hop_distance(g, 0, target)
+        for fault in list(g.nodes()):
+            if fault in (0, target):
+                continue
+            view = VertexFaultView(g, {fault})
+            after = hop_distance(view, 0, target)
+            assert after >= base
+            break  # one fault per example keeps runtime sane
+
+
+class TestLBCContract:
+    @given(graphs(max_nodes=8, max_extra_edges=8), st.integers(1, 4),
+           st.integers(0, 2))
+    @settings(
+        max_examples=50,
+        deadline=None,
+        suppress_health_check=[HealthCheck.filter_too_much],
+    )
+    def test_yes_certificates_are_cuts(self, g, t, alpha):
+        u, v = 0, g.num_nodes - 1
+        if g.has_edge(u, v):
+            return
+        result = lbc_vertex(g, u, v, t, alpha)
+        if result.answer is LBCAnswer.YES:
+            assert len(result.cut) <= alpha * t
+            assert is_vertex_length_cut(g, u, v, t, result.cut)
+
+    @given(graphs(max_nodes=8, max_extra_edges=8), st.integers(1, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_yes_guaranteed_when_small_cut_exists(self, g, t):
+        u, v = 0, g.num_nodes - 1
+        if g.has_edge(u, v):
+            return
+        alpha = 2
+        exact = exact_vertex_lbc(g, u, v, t, max_size=alpha)
+        if exact is not None:
+            assert lbc_vertex(g, u, v, t, alpha).is_yes
+
+
+class TestGreedyInvariants:
+    @given(graphs(max_nodes=9, max_extra_edges=10))
+    @settings(max_examples=25, deadline=None)
+    def test_greedy_output_always_ft(self, g):
+        result = fault_tolerant_spanner(g, k=2, f=1)
+        report = verify_ft_spanner(
+            g, result.spanner, t=3, f=1, exhaustive_budget=2_000
+        )
+        assert report.ok, str(report.counterexample)
+
+    @given(graphs(max_nodes=9, max_extra_edges=10, weighted=True))
+    @settings(max_examples=20, deadline=None)
+    def test_weighted_greedy_output_always_ft(self, g):
+        result = fault_tolerant_spanner(g, k=2, f=1)
+        report = verify_ft_spanner(
+            g, result.spanner, t=3, f=1, exhaustive_budget=2_000
+        )
+        assert report.ok, str(report.counterexample)
+
+    @given(graphs(max_nodes=10, max_extra_edges=12))
+    @settings(max_examples=25, deadline=None)
+    def test_greedy_f0_high_girth(self, g):
+        """f=0 greedy output has girth > 2k (the [ADD+93] invariant)."""
+        result = fault_tolerant_spanner(g, k=2, f=0)
+        assert girth(result.spanner) > 4
+
+    @given(graphs(max_nodes=9, max_extra_edges=10))
+    @settings(max_examples=25, deadline=None)
+    def test_certificates_within_bound(self, g):
+        k, f = 2, 1
+        result = fault_tolerant_spanner(g, k, f)
+        for e, cut in result.certificates.items():
+            assert len(cut) <= (2 * k - 1) * f
+            assert e[0] not in cut and e[1] not in cut
+
+
+class TestEdgeKeyProperties:
+    @given(st.integers(), st.integers())
+    @settings(max_examples=100, deadline=None)
+    def test_symmetric(self, a, b):
+        if a != b:
+            assert edge_key(a, b) == edge_key(b, a)
+
+    @given(st.text(max_size=5), st.text(max_size=5))
+    @settings(max_examples=60, deadline=None)
+    def test_symmetric_strings(self, a, b):
+        if a != b:
+            assert edge_key(a, b) == edge_key(b, a)

@@ -1,0 +1,113 @@
+"""Second property-based pass: applications, incremental, io, metrics."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.applications import FaultTolerantDistanceOracle, SpannerRouter
+from repro.core.incremental import IncrementalSpanner
+from repro.core.greedy_modified import modified_greedy_unweighted
+from repro.graph import io as graph_io
+from repro.graph.girth import girth
+from repro.graph.graph import Graph
+from repro.graph.metrics import (
+    DegreeStats,
+    average_clustering,
+    triangle_count,
+)
+from repro.graph.traversal import dijkstra, is_connected
+from tests.test_properties import graphs
+
+
+class TestIORoundtripProperty:
+    @given(graphs(weighted=True))
+    @settings(max_examples=50, deadline=None)
+    def test_any_graph_roundtrips(self, g):
+        assert graph_io.loads(graph_io.dumps(g)) == g
+
+    @given(graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_preserves_counts(self, g):
+        g2 = graph_io.loads(graph_io.dumps(g))
+        assert g2.num_nodes == g.num_nodes
+        assert g2.num_edges == g.num_edges
+
+
+class TestMetricsProperties:
+    @given(graphs())
+    @settings(max_examples=50, deadline=None)
+    def test_clustering_in_unit_interval(self, g):
+        assert 0.0 <= average_clustering(g) <= 1.0
+
+    @given(graphs())
+    @settings(max_examples=50, deadline=None)
+    def test_triangles_iff_girth_three(self, g):
+        has_triangle = triangle_count(g) > 0
+        assert has_triangle == (girth(g) == 3)
+
+    @given(graphs())
+    @settings(max_examples=50, deadline=None)
+    def test_degree_stats_consistent(self, g):
+        stats = DegreeStats.of(g)
+        assert stats.minimum <= stats.median <= stats.maximum
+        assert stats.minimum <= stats.mean <= stats.maximum
+
+
+class TestIncrementalProperties:
+    @given(graphs(max_nodes=9, max_extra_edges=8), st.integers(0, 2))
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_stream_equals_batch(self, g, f):
+        order = list(g.edges())
+        inc = IncrementalSpanner(k=2, f=f)
+        for u in g.nodes():
+            inc.add_node(u)
+        inc.insert_many(order)
+        batch = modified_greedy_unweighted(g, 2, f, order=order)
+        assert inc.spanner == batch.spanner
+
+    @given(graphs(max_nodes=8, max_extra_edges=8))
+    @settings(max_examples=20, deadline=None)
+    def test_kept_counter_matches(self, g):
+        inc = IncrementalSpanner(k=2, f=1)
+        inc.insert_many(g.edges())
+        assert inc.kept == inc.spanner.num_edges
+
+
+class TestOracleProperties:
+    @given(graphs(max_nodes=9, max_extra_edges=10))
+    @settings(max_examples=20, deadline=None)
+    def test_oracle_never_underestimates(self, g):
+        oracle = FaultTolerantDistanceOracle(g, k=2, f=0)
+        true = dijkstra(g, 0)
+        for v in g.nodes():
+            if v == 0:
+                continue
+            est = oracle.distance(0, v)
+            if v in true:
+                assert est >= true[v] - 1e-9
+                assert est <= 3 * true[v] + 1e-9
+            else:
+                assert math.isinf(est)
+
+
+class TestRouterProperties:
+    @given(graphs(max_nodes=9, max_extra_edges=10))
+    @settings(max_examples=20, deadline=None)
+    def test_routes_terminate_and_are_simple(self, g):
+        if not is_connected(g):
+            return
+        router = SpannerRouter(g, k=2, f=0)
+        target = g.num_nodes - 1
+        for source in g.nodes():
+            if source == target:
+                continue
+            route = router.route(source, target)
+            assert route[-1] == target
+            assert len(route) == len(set(route))

@@ -1,0 +1,63 @@
+"""The SpannerResult / FaultModel types."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.spanner import FaultModel, SpannerResult
+from repro.graph import generators
+from repro.graph.graph import Graph
+
+
+class TestFaultModel:
+    def test_coerce_enum(self):
+        assert FaultModel.coerce(FaultModel.EDGE) is FaultModel.EDGE
+
+    def test_coerce_string(self):
+        assert FaultModel.coerce("vertex") is FaultModel.VERTEX
+        assert FaultModel.coerce("edge") is FaultModel.EDGE
+
+    def test_coerce_bad(self):
+        with pytest.raises(ValueError, match="vertex' or 'edge"):
+            FaultModel.coerce("node")
+
+
+class TestSpannerResult:
+    def _result(self, **kwargs):
+        g = Graph([(1, 2), (2, 3)])
+        defaults = dict(
+            spanner=g,
+            k=2,
+            f=1,
+            fault_model=FaultModel.VERTEX,
+            algorithm="test",
+        )
+        defaults.update(kwargs)
+        return SpannerResult(**defaults)
+
+    def test_stretch(self):
+        assert self._result(k=3).stretch == 5
+
+    def test_counts(self):
+        r = self._result()
+        assert r.num_edges == 2
+        assert r.num_nodes == 3
+
+    def test_compression_ratio(self):
+        g = generators.complete_graph(4)  # 6 edges
+        r = self._result(spanner=g.subgraph([0, 1, 2]))  # 3 edges
+        assert r.compression_ratio(g) == pytest.approx(0.5)
+
+    def test_compression_ratio_empty_graph(self):
+        r = self._result()
+        assert r.compression_ratio(Graph()) == 1.0
+
+    def test_describe_vft(self):
+        text = self._result().describe()
+        assert "1-VFT 3-spanner" in text
+        assert "test" in text
+
+    def test_describe_eft_with_rounds(self):
+        text = self._result(fault_model=FaultModel.EDGE, rounds=12).describe()
+        assert "EFT" in text
+        assert "rounds=12" in text

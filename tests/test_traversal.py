@@ -1,0 +1,215 @@
+"""Traversal primitives, cross-validated against networkx."""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.graph import generators
+from repro.graph.graph import Graph
+from repro.graph.traversal import (
+    bfs_distances,
+    bfs_tree,
+    bounded_bfs_path,
+    connected_components,
+    dijkstra,
+    eccentricity,
+    hop_diameter,
+    hop_distance,
+    is_connected,
+    shortest_path,
+    weighted_distance,
+)
+from repro.graph.views import EdgeFaultView, VertexFaultView
+
+
+class TestBFS:
+    def test_distances_on_path(self):
+        g = generators.path_graph(5)
+        assert bfs_distances(g, 0) == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_distances_respect_max_hops(self):
+        g = generators.path_graph(10)
+        dist = bfs_distances(g, 0, max_hops=3)
+        assert max(dist.values()) == 3
+        assert set(dist) == {0, 1, 2, 3}
+
+    def test_unreachable_absent(self):
+        g = Graph([(1, 2)])
+        g.add_node(3)
+        assert 3 not in bfs_distances(g, 1)
+
+    def test_missing_source_raises(self):
+        with pytest.raises(KeyError):
+            bfs_distances(Graph(), 1)
+
+    def test_matches_networkx(self):
+        g = generators.gnp_random_graph(40, 0.1, seed=5)
+        nxg = g.to_networkx()
+        ours = bfs_distances(g, 0)
+        theirs = nx.single_source_shortest_path_length(nxg, 0)
+        assert ours == dict(theirs)
+
+    def test_bfs_tree_parents_consistent(self):
+        g = generators.gnp_random_graph(30, 0.15, seed=6)
+        parent = bfs_tree(g, 0)
+        dist = bfs_distances(g, 0)
+        for v, p in parent.items():
+            if p is None:
+                assert v == 0
+            else:
+                assert dist[v] == dist[p] + 1
+                assert g.has_edge(v, p)
+
+
+class TestBoundedBFSPath:
+    def test_finds_short_path(self):
+        g = generators.cycle_graph(8)
+        path = bounded_bfs_path(g, 0, 3, max_hops=3)
+        assert path == [0, 1, 2, 3]
+
+    def test_respects_budget(self):
+        g = generators.path_graph(6)
+        assert bounded_bfs_path(g, 0, 5, max_hops=4) is None
+        assert bounded_bfs_path(g, 0, 5, max_hops=5) == [0, 1, 2, 3, 4, 5]
+
+    def test_same_node(self):
+        g = generators.path_graph(3)
+        assert bounded_bfs_path(g, 1, 1, max_hops=0) == [1]
+
+    def test_zero_budget_distinct(self):
+        g = generators.path_graph(3)
+        assert bounded_bfs_path(g, 0, 1, max_hops=0) is None
+
+    def test_on_vertex_fault_view(self):
+        g = generators.cycle_graph(6)  # 0-1-2-3-4-5-0
+        view = VertexFaultView(g, {1})
+        path = bounded_bfs_path(view, 0, 2, max_hops=6)
+        assert path == [0, 5, 4, 3, 2]
+
+    def test_on_edge_fault_view(self):
+        g = generators.cycle_graph(4)
+        view = EdgeFaultView(g, [(0, 1)])
+        path = bounded_bfs_path(view, 0, 1, max_hops=4)
+        assert path == [0, 3, 2, 1]
+
+    def test_disconnected_returns_none(self):
+        g = Graph([(1, 2)])
+        g.add_node(3)
+        assert bounded_bfs_path(g, 1, 3, max_hops=10) is None
+
+    def test_path_is_shortest_in_hops(self):
+        g = generators.gnp_random_graph(30, 0.2, seed=7)
+        nxg = g.to_networkx()
+        for u, v in [(0, 10), (3, 25), (5, 17)]:
+            try:
+                expected = nx.shortest_path_length(nxg, u, v)
+            except nx.NetworkXNoPath:
+                continue
+            path = bounded_bfs_path(g, u, v, max_hops=g.num_nodes)
+            assert path is not None
+            assert len(path) - 1 == expected
+
+
+class TestHopDistance:
+    def test_basic(self):
+        g = generators.path_graph(4)
+        assert hop_distance(g, 0, 3) == 3
+        assert hop_distance(g, 2, 2) == 0
+
+    def test_disconnected_is_inf(self):
+        g = Graph([(1, 2)])
+        g.add_node(3)
+        assert hop_distance(g, 1, 3) == math.inf
+
+
+class TestDijkstra:
+    def test_weighted_distances(self):
+        g = Graph([(1, 2, 1.0), (2, 3, 1.0), (1, 3, 5.0)])
+        dist = dijkstra(g, 1)
+        assert dist[3] == 2.0
+
+    def test_early_stop_at_target(self):
+        g = generators.path_graph(100)
+        dist = dijkstra(g, 0, target=3)
+        assert dist[3] == 3.0
+        # Early termination: far nodes unexplored.
+        assert 99 not in dist
+
+    def test_max_dist_prunes(self):
+        g = generators.path_graph(10)
+        dist = dijkstra(g, 0, max_dist=4.0)
+        assert set(dist) == {0, 1, 2, 3, 4}
+
+    def test_matches_networkx_weighted(self):
+        g = generators.weighted_gnp(35, 0.2, seed=11)
+        nxg = g.to_networkx()
+        ours = dijkstra(g, 0)
+        theirs = nx.single_source_dijkstra_path_length(nxg, 0)
+        assert set(ours) == set(theirs)
+        for v in ours:
+            assert ours[v] == pytest.approx(theirs[v])
+
+    def test_weighted_distance_disconnected(self):
+        g = Graph([(1, 2, 1.0)])
+        g.add_node(3)
+        assert weighted_distance(g, 1, 3) == math.inf
+
+
+class TestShortestPath:
+    def test_prefers_light_path(self):
+        g = Graph([(1, 2, 1.0), (2, 3, 1.0), (1, 3, 5.0)])
+        assert shortest_path(g, 1, 3) == [1, 2, 3]
+
+    def test_same_node(self):
+        g = Graph([(1, 2)])
+        assert shortest_path(g, 1, 1) == [1]
+
+    def test_none_when_disconnected(self):
+        g = Graph([(1, 2)])
+        g.add_node(3)
+        assert shortest_path(g, 1, 3) is None
+
+    def test_path_weight_matches_networkx(self):
+        g = generators.weighted_gnp(30, 0.25, seed=13)
+        nxg = g.to_networkx()
+        for u, v in [(0, 10), (5, 20), (3, 29)]:
+            path = shortest_path(g, u, v)
+            expected = nx.dijkstra_path_length(nxg, u, v)
+            total = sum(
+                g.weight(a, b) for a, b in zip(path, path[1:])
+            )
+            assert total == pytest.approx(expected)
+
+    def test_missing_endpoint_raises(self):
+        g = Graph([(1, 2)])
+        with pytest.raises(KeyError):
+            shortest_path(g, 1, 99)
+
+
+class TestConnectivity:
+    def test_components(self):
+        g = Graph([(1, 2), (3, 4)])
+        g.add_node(5)
+        comps = connected_components(g)
+        assert sorted(sorted(c) for c in comps) == [[1, 2], [3, 4], [5]]
+
+    def test_is_connected(self):
+        assert is_connected(generators.cycle_graph(5))
+        assert is_connected(Graph())
+        g = Graph([(1, 2)])
+        g.add_node(3)
+        assert not is_connected(g)
+
+    def test_eccentricity_and_diameter(self):
+        g = generators.path_graph(5)
+        assert eccentricity(g, 0) == 4
+        assert eccentricity(g, 2) == 2
+        assert hop_diameter(g) == 4
+
+    def test_diameter_disconnected_inf(self):
+        g = Graph([(1, 2)])
+        g.add_node(3)
+        assert hop_diameter(g) == math.inf

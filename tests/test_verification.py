@@ -1,0 +1,201 @@
+"""The verifier itself: it must accept correct spanners and catch planted
+violations -- a verifier that always says OK would make every other test
+meaningless."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.greedy_modified import fault_tolerant_spanner
+from repro.graph import generators
+from repro.graph.graph import Graph
+from repro.verification import (
+    check_certificates,
+    check_cut_certificate,
+    is_spanner,
+    max_stretch,
+    max_stretch_under_faults,
+    pairwise_stretch,
+    stretch_of_pair,
+    verify_ft_spanner,
+)
+from repro.verification.spanner_check import Counterexample
+
+
+class TestStretchMeasures:
+    def test_identity_spanner_stretch_one(self, small_gnp):
+        assert max_stretch(small_gnp, small_gnp) == 1.0
+
+    def test_stretch_of_pair_detour(self):
+        g = Graph([(1, 2), (2, 3), (1, 3)])
+        h = Graph([(1, 2), (2, 3)])
+        h.add_node(3)
+        assert stretch_of_pair(g, h, 1, 3) == 2.0
+
+    def test_stretch_infinite_when_disconnected(self):
+        g = Graph([(1, 2)])
+        h = g.spanning_skeleton()
+        assert stretch_of_pair(g, h, 1, 2) == math.inf
+
+    def test_stretch_same_node(self):
+        g = Graph([(1, 2)])
+        assert stretch_of_pair(g, g, 1, 1) == 1.0
+
+    def test_pairwise_defaults_to_edges(self):
+        g = Graph([(1, 2), (2, 3), (1, 3)])
+        h = Graph([(1, 2), (2, 3)])
+        h.add_node(3)
+        stretches = pairwise_stretch(g, h)
+        assert stretches[(1, 3)] == 2.0
+        assert stretches[(1, 2)] == 1.0
+
+    def test_max_stretch_under_faults(self):
+        g = generators.cycle_graph(6)
+        # H = G: stretch 1 under any fault set.
+        assert max_stretch_under_faults(g, g, [0], "vertex") == 1.0
+
+    def test_max_stretch_under_faults_detects_loss(self):
+        g = generators.cycle_graph(4)
+        h = g.copy()
+        h.remove_edge(0, 1)
+        # Faulting edge (2,3) disconnects 0 from 1 in H but not in G.
+        s = max_stretch_under_faults(g, h, [(2, 3)], "edge")
+        assert s == math.inf
+
+    def test_unknown_fault_model(self):
+        g = generators.cycle_graph(4)
+        with pytest.raises(ValueError):
+            max_stretch_under_faults(g, g, [0], "hyper")
+
+
+class TestIsSpanner:
+    def test_accepts_valid(self, medium_gnp):
+        result = fault_tolerant_spanner(medium_gnp, 2, 0)
+        assert is_spanner(medium_gnp, result.spanner, t=3)
+
+    def test_rejects_skeleton(self, small_gnp):
+        assert not is_spanner(small_gnp, small_gnp.spanning_skeleton(), t=3)
+
+    def test_weighted_edge_case(self):
+        g = Graph([(1, 2, 2.0), (2, 3, 2.0), (1, 3, 5.0)])
+        h = Graph([(1, 2, 2.0), (2, 3, 2.0)])
+        h.add_node(3)
+        # d_H(1,3) = 4 <= t * 5 for t = 1? 4 <= 5 yes -> 1-spanner? The
+        # pair (1,3) has d_G = 4 (via 2), and w(1,3)=5 is not realized,
+        # so the edge is skippable: H is a 1-spanner of G.
+        assert is_spanner(g, h, t=1)
+
+
+class TestVerifyFTSpanner:
+    def test_accepts_correct_spanner_exhaustive(self, small_gnp):
+        result = fault_tolerant_spanner(small_gnp, 2, 1)
+        report = verify_ft_spanner(small_gnp, result.spanner, t=3, f=1)
+        assert report.ok and report.exhaustive
+        assert report.fault_sets_checked > small_gnp.num_nodes
+
+    def test_catches_planted_violation_exhaustive(self):
+        # C_6 minus one edge is NOT a 1-VFT 5-spanner of C_6.
+        g = generators.cycle_graph(6)
+        h = g.copy()
+        h.remove_edge(0, 1)
+        report = verify_ft_spanner(g, h, t=5, f=1)
+        assert not report.ok
+        assert report.counterexample is not None
+        cx = report.counterexample
+        assert isinstance(cx, Counterexample)
+        assert "d_G" in str(cx)
+
+    def test_catches_violation_in_sampled_mode(self):
+        # Star: remove a leaf edge; faulting anything else leaves the
+        # missing pair disconnected -- easily found by sampling.
+        g = generators.star_graph(30)
+        h = g.copy()
+        h.remove_edge(0, 7)
+        report = verify_ft_spanner(
+            g, h, t=3, f=2, exhaustive_budget=10, samples=300, seed=0
+        )
+        assert not report.ok
+
+    def test_exhaustive_iff_budget_allows(self, small_gnp):
+        result = fault_tolerant_spanner(small_gnp, 2, 1)
+        exhaustive = verify_ft_spanner(
+            small_gnp, result.spanner, t=3, f=1, exhaustive_budget=10_000
+        )
+        sampled = verify_ft_spanner(
+            small_gnp, result.spanner, t=3, f=1,
+            exhaustive_budget=3, samples=40, seed=1,
+        )
+        assert exhaustive.exhaustive
+        assert not sampled.exhaustive
+        assert sampled.fault_sets_checked == 40
+
+    def test_f0_reduces_to_plain_spanner_check(self, small_gnp):
+        result = fault_tolerant_spanner(small_gnp, 2, 0)
+        report = verify_ft_spanner(small_gnp, result.spanner, t=3, f=0)
+        assert report.ok and report.exhaustive
+        assert report.fault_sets_checked == 1
+
+    def test_edge_fault_verification(self, small_gnp):
+        result = fault_tolerant_spanner(small_gnp, 2, 1, fault_model="edge")
+        report = verify_ft_spanner(
+            small_gnp, result.spanner, t=3, f=1, fault_model="edge",
+            exhaustive_budget=10_000,
+        )
+        assert report.ok
+
+    def test_edge_fault_violation_caught(self):
+        g = generators.cycle_graph(5)
+        h = g.copy()
+        h.remove_edge(1, 2)
+        report = verify_ft_spanner(g, h, t=9, f=1, fault_model="edge")
+        assert not report.ok
+
+    def test_bool_protocol(self, small_gnp):
+        result = fault_tolerant_spanner(small_gnp, 2, 1)
+        assert bool(verify_ft_spanner(small_gnp, result.spanner, t=3, f=1))
+
+    def test_bad_params(self, small_gnp):
+        with pytest.raises(ValueError):
+            verify_ft_spanner(small_gnp, small_gnp, t=3, f=-1)
+        with pytest.raises(ValueError):
+            verify_ft_spanner(small_gnp, small_gnp, t=3, f=1, fault_model="x")
+
+
+class TestCertificateChecks:
+    def test_check_cut_certificate_positive(self):
+        g = generators.path_graph(5)
+        assert check_cut_certificate(g, 0, 4, t=4, cut=frozenset({2}))
+
+    def test_check_cut_certificate_negative(self):
+        g = generators.cycle_graph(6)
+        assert not check_cut_certificate(g, 0, 3, t=3, cut=frozenset({1}))
+
+    def test_check_cut_certificate_rejects_terminal(self):
+        g = generators.path_graph(3)
+        with pytest.raises(ValueError):
+            check_cut_certificate(g, 0, 2, t=2, cut=frozenset({0}))
+
+    def test_check_certificates_flags_tampering(self, small_gnp):
+        result = fault_tolerant_spanner(small_gnp, 2, 1)
+        assert check_certificates(small_gnp, result) == []
+        # Tamper: drop one certificate.
+        victim = next(iter(result.certificates))
+        del result.certificates[victim]
+        problems = check_certificates(small_gnp, result)
+        assert any("no certificate" in p for p in problems)
+
+    def test_check_certificates_flags_oversized(self, small_gnp):
+        result = fault_tolerant_spanner(small_gnp, 2, 1)
+        victim = next(iter(result.certificates))
+        bogus = frozenset(
+            x for x in small_gnp.nodes() if x not in victim
+        )
+        result.certificates[victim] = bogus
+        problems = check_certificates(small_gnp, result, replay=False)
+        assert any("size" in p for p in problems)
+
+    def test_edge_model_certificates(self, small_gnp):
+        result = fault_tolerant_spanner(small_gnp, 2, 1, fault_model="edge")
+        assert check_certificates(small_gnp, result) == []

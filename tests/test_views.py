@@ -1,0 +1,119 @@
+"""Tests for fault views: G \\ F semantics without copying."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.graph import Graph
+from repro.graph.views import (
+    EdgeFaultView,
+    IdentityView,
+    VertexFaultView,
+    fault_view,
+)
+
+
+@pytest.fixture
+def diamond() -> Graph:
+    """1-2, 2-4, 1-3, 3-4, plus chord 2-3."""
+    return Graph([(1, 2), (2, 4), (1, 3), (3, 4), (2, 3)])
+
+
+class TestIdentityView:
+    def test_passthrough(self, diamond):
+        view = IdentityView(diamond)
+        assert view.num_nodes == 4
+        assert sorted(view.neighbors(1)) == [2, 3]
+        assert view.has_edge(2, 3)
+        assert view.weight(1, 2) == 1.0
+        assert set(view.nodes()) == {1, 2, 3, 4}
+
+    def test_fault_view_dispatch_none(self, diamond):
+        assert isinstance(fault_view(diamond), IdentityView)
+
+
+class TestVertexFaultView:
+    def test_faulted_node_disappears(self, diamond):
+        view = VertexFaultView(diamond, {2})
+        assert not view.has_node(2)
+        assert view.num_nodes == 3
+        assert 2 not in set(view.nodes())
+
+    def test_incident_edges_disappear(self, diamond):
+        view = VertexFaultView(diamond, {2})
+        assert sorted(view.neighbors(1)) == [3]
+        assert not view.has_edge(1, 2)
+        assert view.has_edge(3, 4)
+
+    def test_neighbors_of_faulted_raises(self, diamond):
+        view = VertexFaultView(diamond, {2})
+        with pytest.raises(KeyError):
+            list(view.neighbors(2))
+        with pytest.raises(KeyError):
+            list(view.neighbor_items(2))
+
+    def test_weight_of_faulted_edge_raises(self, diamond):
+        view = VertexFaultView(diamond, {2})
+        with pytest.raises(KeyError):
+            view.weight(1, 2)
+
+    def test_neighbor_items_filters(self, diamond):
+        view = VertexFaultView(diamond, {3})
+        assert dict(view.neighbor_items(1)) == {2: 1.0}
+
+    def test_multiple_faults(self, diamond):
+        view = VertexFaultView(diamond, {2, 3})
+        assert view.num_nodes == 2
+        assert list(view.neighbors(1)) == []
+        assert list(view.neighbors(4)) == []
+
+    def test_fault_not_in_graph_ignored_in_count(self, diamond):
+        view = VertexFaultView(diamond, {99})
+        assert view.num_nodes == 4
+
+    def test_base_mutation_visible(self, diamond):
+        view = VertexFaultView(diamond, {2})
+        diamond.add_edge(1, 4)
+        assert view.has_edge(1, 4)
+
+    def test_fault_view_dispatch(self, diamond):
+        view = fault_view(diamond, vertex_faults=[2])
+        assert isinstance(view, VertexFaultView)
+
+    def test_repr(self, diamond):
+        assert "|F|=1" in repr(VertexFaultView(diamond, {2}))
+
+
+class TestEdgeFaultView:
+    def test_faulted_edge_disappears(self, diamond):
+        view = EdgeFaultView(diamond, [(1, 2)])
+        assert not view.has_edge(1, 2)
+        assert not view.has_edge(2, 1)
+        assert view.has_edge(1, 3)
+
+    def test_nodes_survive(self, diamond):
+        view = EdgeFaultView(diamond, [(1, 2)])
+        assert view.num_nodes == 4
+        assert view.has_node(1) and view.has_node(2)
+
+    def test_orientation_irrelevant(self, diamond):
+        view = EdgeFaultView(diamond, [(2, 1)])
+        assert not view.has_edge(1, 2)
+
+    def test_neighbors_filtered(self, diamond):
+        view = EdgeFaultView(diamond, [(1, 2), (1, 3)])
+        assert list(view.neighbors(1)) == []
+        assert sorted(view.neighbors(2)) == [3, 4]
+
+    def test_weight_of_faulted_raises(self, diamond):
+        view = EdgeFaultView(diamond, [(1, 2)])
+        with pytest.raises(KeyError):
+            view.weight(2, 1)
+
+    def test_fault_view_dispatch(self, diamond):
+        view = fault_view(diamond, edge_faults=[(1, 2)])
+        assert isinstance(view, EdgeFaultView)
+
+    def test_both_fault_kinds_rejected(self, diamond):
+        with pytest.raises(ValueError):
+            fault_view(diamond, vertex_faults=[1], edge_faults=[(1, 2)])
