@@ -1,0 +1,103 @@
+"""Micro-benchmark: dict vs CSR execution backend for the modified greedy.
+
+Times ``fault_tolerant_spanner`` under both backends on three seeded
+G(n, p) instances, checks edge-set parity, and writes the results to
+``BENCH_backend.json`` at the repository root so successive PRs can
+track the backend's performance trajectory.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_backend.py
+
+This is a plain script (not a pytest benchmark) so it can run quickly in
+CI and emit machine-readable output; the statistical benchmarks live in
+``benchmarks/test_bench_*.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.core.greedy_modified import fault_tolerant_spanner
+from repro.graph import generators
+
+# (n, p) per instance, smallest to largest; seeds are fixed so the
+# numbers are comparable across PRs.
+INSTANCES = [(200, 0.10), (400, 0.05), (600, 0.04)]
+SEED = 42
+K = 2
+F = 2
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_backend.json"
+
+
+def _time_build(g, backend: str, repeats: int):
+    """Best-of-``repeats`` wall clock and the result of the last run."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fault_tolerant_spanner(g, K, F, backend=backend)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def run(repeats: int = 3):
+    """Benchmark every instance; returns the report dict."""
+    rows = []
+    for n, p in INSTANCES:
+        g = generators.gnp_random_graph(n, p, seed=SEED)
+        t_dict, r_dict = _time_build(g, "dict", repeats)
+        t_csr, r_csr = _time_build(g, "csr", repeats)
+        identical = set(r_dict.spanner.edges()) == set(r_csr.spanner.edges())
+        rows.append({
+            "n": n,
+            "p": p,
+            "m": g.num_edges,
+            "spanner_edges": r_csr.spanner.num_edges,
+            "bfs_calls": r_csr.bfs_calls,
+            "seconds_dict": round(t_dict, 4),
+            "seconds_csr": round(t_csr, 4),
+            "speedup": round(t_dict / t_csr, 2),
+            "identical_edge_sets": identical,
+        })
+        print(
+            f"n={n:4d} m={g.num_edges:5d}  dict {t_dict:7.3f}s  "
+            f"csr {t_csr:7.3f}s  speedup {t_dict / t_csr:5.2f}x  "
+            f"parity={'ok' if identical else 'FAIL'}"
+        )
+    return {
+        "benchmark": "dict vs csr backend, fault_tolerant_spanner",
+        "parameters": {
+            "k": K, "f": F, "fault_model": "vertex", "seed": SEED,
+            "repeats": repeats, "timing": "best-of-repeats",
+        },
+        "python": platform.python_version(),
+        "instances": rows,
+        "largest_instance_speedup": rows[-1]["speedup"],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help=f"where to write the JSON report "
+                             f"(default: {DEFAULT_OUTPUT})")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repetitions per backend (default 3)")
+    args = parser.parse_args(argv)
+    report = run(repeats=args.repeats)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"report written to {args.output}")
+    if not all(r["identical_edge_sets"] for r in report["instances"]):
+        print("ERROR: backend parity violated")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

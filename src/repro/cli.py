@@ -26,38 +26,46 @@ from repro.baselines import (
     dk_fault_tolerant_spanner,
     thorup_zwick_spanner,
 )
-from repro.core import exponential_greedy_spanner, fault_tolerant_spanner
+from repro.core import (
+    exponential_greedy_spanner,
+    fault_tolerant_spanner,
+    resolve_backend,
+)
 from repro.distributed import congest_ft_spanner, local_ft_spanner
 from repro.graph import generators
 from repro.graph import io as graph_io
 from repro.graph.traversal import connected_components, hop_diameter
 from repro.verification import max_stretch, verify_ft_spanner
 
+# Each entry takes (g, k, f, seed, model, backend); constructions without
+# a notion of seed or execution backend simply ignore those arguments.
 _ALGORITHMS = {
-    "greedy": lambda g, k, f, seed, model: fault_tolerant_spanner(
-        g, k, f, fault_model=model
+    "greedy": lambda g, k, f, seed, model, backend: fault_tolerant_spanner(
+        g, k, f, fault_model=model, seed=seed, backend=backend
     ),
-    "exact-greedy": lambda g, k, f, seed, model: exponential_greedy_spanner(
-        g, k, f, fault_model=model
+    "exact-greedy": lambda g, k, f, seed, model, backend: (
+        exponential_greedy_spanner(g, k, f, fault_model=model, backend=backend)
     ),
-    "dk": lambda g, k, f, seed, model: dk_fault_tolerant_spanner(
+    "dk": lambda g, k, f, seed, model, backend: dk_fault_tolerant_spanner(
         g, k, max(f, 1), seed=seed
     ),
-    "clpr": lambda g, k, f, seed, model: clpr_fault_tolerant_spanner(
+    "clpr": lambda g, k, f, seed, model, backend: clpr_fault_tolerant_spanner(
         g, k, f, seed=seed
     ),
-    "local": lambda g, k, f, seed, model: local_ft_spanner(
+    "local": lambda g, k, f, seed, model, backend: local_ft_spanner(
         g, k, f, fault_model=model, seed=seed
     ),
-    "congest": lambda g, k, f, seed, model: congest_ft_spanner(
+    "congest": lambda g, k, f, seed, model, backend: congest_ft_spanner(
         g, k, max(f, 1), seed=seed
     ),
-    "classic": lambda g, k, f, seed, model: classic_greedy_spanner(g, k),
-    "baswana-sen": lambda g, k, f, seed, model: baswana_sen_spanner(
+    "classic": lambda g, k, f, seed, model, backend: classic_greedy_spanner(
+        g, k
+    ),
+    "baswana-sen": lambda g, k, f, seed, model, backend: baswana_sen_spanner(
         g, k, seed=seed
     ),
-    "thorup-zwick": lambda g, k, f, seed, model: thorup_zwick_spanner(
-        g, k, seed=seed
+    "thorup-zwick": lambda g, k, f, seed, model, backend: (
+        thorup_zwick_spanner(g, k, seed=seed)
     ),
 }
 
@@ -83,7 +91,15 @@ def _build_parser() -> argparse.ArgumentParser:
                        default="vertex")
     build.add_argument("--algorithm", choices=sorted(_ALGORITHMS),
                        default="greedy")
-    build.add_argument("--seed", type=int, default=0)
+    build.add_argument("--backend", choices=["dict", "csr"], default=None,
+                       help="execution backend for the greedy family: 'csr' "
+                            "(flat-array hot path) or 'dict' (reference "
+                            "dict-of-dict path); both produce identical "
+                            "spanners (default: csr, or the REPRO_BACKEND "
+                            "environment variable when set)")
+    build.add_argument("--seed", type=int, default=0,
+                       help="random seed for --random generation and for "
+                            "seeded constructions (default 0)")
     build.add_argument("--output", help="write the spanner here (edge-list)")
     build.add_argument("--verify", action="store_true",
                        help="verify the output before reporting")
@@ -120,8 +136,14 @@ def _load_or_generate(args) -> "Graph":
 def _cmd_build(args) -> int:
     g = _load_or_generate(args)
     build = _ALGORITHMS[args.algorithm]
+    try:
+        # Resolve here so a bad REPRO_BACKEND value fails like a bad
+        # --backend flag (clean usage error), not a traceback mid-build.
+        backend = resolve_backend(args.backend)
+    except ValueError as exc:
+        raise SystemExit(f"ftspanner build: error: {exc}")
     start = time.perf_counter()
-    result = build(g, args.k, args.f, args.seed, args.fault_model)
+    result = build(g, args.k, args.f, args.seed, args.fault_model, backend)
     elapsed = time.perf_counter() - start
     print(result.describe())
     print(f"input edges: {g.num_edges}   kept: "

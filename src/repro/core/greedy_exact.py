@@ -24,11 +24,18 @@ from __future__ import annotations
 
 from typing import FrozenSet, List, Optional, Set, Union
 
-from repro.core.spanner import FaultModel, SpannerResult
+from repro.core.spanner import FaultModel, SpannerResult, resolve_backend
+from repro.graph.csr import CSRBuilder
 from repro.graph.graph import Edge, Graph, Node, edge_key
-from repro.graph.traversal import dijkstra, shortest_path
+from repro.graph.index import NodeIndexer
+from repro.graph.traversal import BFSWorkspace, dijkstra, shortest_path
 from repro.graph.views import EdgeFaultView, GraphView, VertexFaultView
-from repro.lbc.exact import exact_edge_lbc, exact_vertex_lbc
+from repro.lbc.exact import (
+    exact_edge_lbc,
+    exact_edge_lbc_csr,
+    exact_vertex_lbc,
+    exact_vertex_lbc_csr,
+)
 
 
 def exponential_greedy_spanner(
@@ -36,6 +43,7 @@ def exponential_greedy_spanner(
     k: int,
     f: int,
     fault_model: Union[FaultModel, str] = FaultModel.VERTEX,
+    backend: Optional[str] = None,
 ) -> SpannerResult:
     """Run Algorithm 1 and return the (size-optimal) greedy FT spanner.
 
@@ -43,6 +51,12 @@ def exponential_greedy_spanner(
     dozen and f up to ~3.  Use
     :func:`repro.core.greedy_modified.fault_tolerant_spanner` for anything
     larger.
+
+    On unit-weighted inputs ``backend="csr"`` (the default) runs the
+    branch-and-bound cut search over a growing flat-array spanner with a
+    shared BFS workspace, exactly like the modified greedy's fast path;
+    weighted inputs always use the dict path (the weighted search is
+    Dijkstra-based and not CSR-accelerated yet).
     """
     model = FaultModel.coerce(fault_model)
     if k < 1:
@@ -54,13 +68,28 @@ def exponential_greedy_spanner(
     certificates = {}
     considered = 0
     unit = g.is_unit_weighted()
+    # Resolve before the unit check so a bad backend name is rejected on
+    # weighted inputs too, not silently swallowed.
+    use_csr = resolve_backend(backend) == "csr" and unit
+    if use_csr:
+        indexer = NodeIndexer.from_graph(g)
+        index = indexer.index
+        builder = CSRBuilder(len(indexer))
+        workspace = BFSWorkspace(len(indexer))
 
     edges = sorted(g.weighted_edges(), key=lambda e: e[2])
     for u, v, w in edges:
         considered += 1
-        cut = _find_violating_fault_set(h, u, v, t, f, w, model, unit)
+        if use_csr:
+            cut = _csr_violating_fault_set(
+                builder, index(u), index(v), t, f, model, workspace, indexer
+            )
+        else:
+            cut = _find_violating_fault_set(h, u, v, t, f, w, model, unit)
         if cut is not None:
             h.add_edge(u, v, weight=w)
+            if use_csr:
+                builder.add_edge(index(u), index(v), w)
             certificates[edge_key(u, v)] = cut
     return SpannerResult(
         spanner=h,
@@ -70,6 +99,41 @@ def exponential_greedy_spanner(
         algorithm="exponential-greedy",
         certificates=certificates,
         edges_considered=considered,
+    )
+
+
+def _csr_violating_fault_set(
+    builder: CSRBuilder,
+    ui: int,
+    vi: int,
+    t: int,
+    f: int,
+    model: FaultModel,
+    workspace: BFSWorkspace,
+    indexer: NodeIndexer,
+) -> Optional[FrozenSet]:
+    """CSR twin of :func:`_find_violating_fault_set` (unit weights only).
+
+    Runs the exact LBC search on indices, then translates the cut back to
+    node objects / canonical edge tuples so certificates match the dict
+    backend's exactly.
+    """
+    if model is FaultModel.VERTEX:
+        cut = exact_vertex_lbc_csr(
+            builder, ui, vi, t, max_size=f, workspace=workspace
+        )
+        if cut is None:
+            return None
+        return frozenset(indexer.node(i) for i in cut)
+    cut = exact_edge_lbc_csr(
+        builder, ui, vi, t, max_size=f, workspace=workspace
+    )
+    if cut is None:
+        return None
+    node = indexer.node
+    edge_u, edge_v = builder.edge_u, builder.edge_v
+    return frozenset(
+        edge_key(node(edge_u[e]), node(edge_v[e])) for e in cut
     )
 
 

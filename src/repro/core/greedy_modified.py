@@ -19,6 +19,23 @@ decision (Algorithm 2) with ``t = 2k - 1`` and ``alpha = f``:
 
 Both fault models (vertex / edge) are supported through the corresponding
 LBC variant -- the "trivial change" the paper describes.
+
+Execution backends
+------------------
+The greedy loop runs on one of two engines (``backend=`` keyword,
+resolvable from the ``REPRO_BACKEND`` environment variable, default
+``"csr"``):
+
+* ``"csr"`` -- the spanner under construction is mirrored into a growing
+  :class:`~repro.graph.csr.CSRBuilder`; all LBC tests run on flat arrays
+  with one shared :class:`~repro.graph.traversal.BFSWorkspace` and fault
+  masks, so the m-edge loop makes zero per-BFS allocations.
+* ``"dict"`` -- the original path over the dict ``Graph`` with lazy fault
+  views; kept as the reference for differential testing.
+
+Both backends examine identical candidate orders and find identical BFS
+paths, so they produce identical spanners, certificates, and BFS counts
+(`tests/test_backend_parity.py` asserts this).
 """
 
 from __future__ import annotations
@@ -26,9 +43,18 @@ from __future__ import annotations
 import random
 from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
-from repro.core.spanner import FaultModel, SpannerResult
+from repro.core.spanner import FaultModel, SpannerResult, resolve_backend
+from repro.graph.csr import CSRBuilder
 from repro.graph.graph import Edge, Graph, Node, edge_key
-from repro.lbc.approx import LBCAnswer, lbc_edge, lbc_vertex
+from repro.graph.index import NodeIndexer
+from repro.graph.traversal import BFSWorkspace
+from repro.lbc.approx import (
+    LBCAnswer,
+    lbc_edge,
+    lbc_edge_csr,
+    lbc_vertex,
+    lbc_vertex_csr,
+)
 
 EdgeOrder = Union[str, Sequence[Tuple[Node, Node]]]
 
@@ -41,6 +67,7 @@ def fault_tolerant_spanner(
     f: int,
     fault_model: Union[FaultModel, str] = FaultModel.VERTEX,
     seed: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> SpannerResult:
     """Build an f-fault-tolerant (2k-1)-spanner of ``g`` in polynomial time.
 
@@ -63,6 +90,11 @@ def fault_tolerant_spanner(
     seed:
         Unused by the deterministic weight ordering; accepted for API
         uniformity with the randomized constructions.
+    backend:
+        ``'csr'`` (flat-array hot path, the default) or ``'dict'`` (the
+        original view-based path); ``None`` defers to the
+        ``REPRO_BACKEND`` environment variable.  The output is identical
+        either way.
 
     Returns
     -------
@@ -70,8 +102,12 @@ def fault_tolerant_spanner(
         With per-edge cut certificates (Lemma 6) and BFS-call counts.
     """
     if g.is_unit_weighted():
-        return modified_greedy_unweighted(g, k, f, fault_model=fault_model)
-    return modified_greedy_weighted(g, k, f, fault_model=fault_model)
+        return modified_greedy_unweighted(
+            g, k, f, fault_model=fault_model, backend=backend
+        )
+    return modified_greedy_weighted(
+        g, k, f, fault_model=fault_model, backend=backend
+    )
 
 
 def modified_greedy_unweighted(
@@ -82,6 +118,7 @@ def modified_greedy_unweighted(
     order: EdgeOrder = "arbitrary",
     seed: Optional[int] = None,
     degree_shortcut: bool = False,
+    backend: Optional[str] = None,
 ) -> SpannerResult:
     """Algorithm 3 on an unweighted graph, with a pluggable edge order.
 
@@ -98,7 +135,7 @@ def modified_greedy_unweighted(
     edges = _ordered_edges(g, order, seed)
     return _greedy_loop(
         g, edges, k, f, model, algorithm="modified-greedy",
-        degree_shortcut=degree_shortcut,
+        degree_shortcut=degree_shortcut, backend=backend,
     )
 
 
@@ -108,6 +145,7 @@ def modified_greedy_weighted(
     f: int,
     fault_model: Union[FaultModel, str] = FaultModel.VERTEX,
     degree_shortcut: bool = False,
+    backend: Optional[str] = None,
 ) -> SpannerResult:
     """Algorithm 4: nondecreasing-weight order, unweighted LBC test."""
     _validate_params(k, f)
@@ -115,7 +153,7 @@ def modified_greedy_weighted(
     edges = _ordered_edges(g, "weight", seed=None)
     return _greedy_loop(
         g, edges, k, f, model, algorithm="modified-greedy-weighted",
-        degree_shortcut=degree_shortcut,
+        degree_shortcut=degree_shortcut, backend=backend,
     )
 
 
@@ -127,6 +165,7 @@ def _greedy_loop(
     model: FaultModel,
     algorithm: str,
     degree_shortcut: bool = False,
+    backend: Optional[str] = None,
 ) -> SpannerResult:
     """The shared greedy loop of Algorithms 3 and 4.
 
@@ -135,6 +174,14 @@ def _greedy_loop(
     the edge is needed; its certificate cut is retained for the blocking
     set.  NO means every fault set of size <= f leaves a short path, so
     the edge is redundant.
+
+    With ``backend="csr"`` the growing H is mirrored into a
+    :class:`~repro.graph.csr.CSRBuilder` built once for the whole run:
+    the node indexer, adjacency chunks, BFS workspace, and fault masks
+    are all shared across the ``m * (f + 1)`` BFS invocations, which is
+    where the backend's speedup comes from.  The dict ``Graph`` H is
+    still maintained (cheaply -- it only mutates on kept edges) so the
+    returned :class:`SpannerResult` is identical across backends.
 
     ``degree_shortcut`` enables an exact fast path: when an endpoint u of
     the candidate edge has fewer than f+1 neighbors in H (vertex model)
@@ -146,24 +193,53 @@ def _greedy_loop(
     """
     t = 2 * k - 1
     h = g.spanning_skeleton()
-    decide = lbc_vertex if model is FaultModel.VERTEX else lbc_edge
     certificates = {}
     bfs_calls = 0
     considered = 0
     shortcuts = 0
+    if resolve_backend(backend) == "csr":
+        indexer = NodeIndexer.from_graph(g)
+        index = indexer.index
+        builder = CSRBuilder(len(indexer))
+        workspace = BFSWorkspace(len(indexer))
+        csr_decide = (
+            lbc_vertex_csr if model is FaultModel.VERTEX else lbc_edge_csr
+        )
+
+        def decide(u: Node, v: Node):
+            return csr_decide(
+                builder, index(u), index(v), t, f, workspace, indexer
+            )
+
+        def record_kept(u: Node, v: Node, w: float) -> None:
+            builder.add_edge(index(u), index(v), w)
+
+    else:
+        dict_decide = lbc_vertex if model is FaultModel.VERTEX else lbc_edge
+
+        def decide(u: Node, v: Node):
+            return dict_decide(h, u, v, t, f)
+
+        def record_kept(u: Node, v: Node, w: float) -> None:
+            pass
+
     for u, v in edges:
         considered += 1
         if degree_shortcut:
             cut = _isolating_cut(h, u, v, f, model)
             if cut is not None:
                 shortcuts += 1
-                h.add_edge(u, v, weight=g.weight(u, v))
+                w = g.weight(u, v)
+                h.add_edge(u, v, weight=w)
+                record_kept(u, v, w)
                 certificates[edge_key(u, v)] = cut
                 continue
-        result = decide(h, u, v, t, f)
+        result = decide(u, v)
         bfs_calls += result.iterations
         if result.answer is LBCAnswer.YES:
-            h.add_edge(u, v, weight=g.weight(u, v))
+            w = g.weight(u, v)
+            h.add_edge(u, v, weight=w)
+            record_kept(u, v, w)
             certificates[edge_key(u, v)] = result.cut
     return SpannerResult(
         spanner=h,

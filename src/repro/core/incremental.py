@@ -27,9 +27,19 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Optional, Set, Tuple, Union
 
-from repro.core.spanner import FaultModel, SpannerResult
+from repro.core.spanner import FaultModel, SpannerResult, resolve_backend
+from repro.graph.csr import CSRBuilder
 from repro.graph.graph import Edge, Graph, Node, edge_key
-from repro.lbc.approx import LBCAnswer, lbc_edge, lbc_vertex
+from repro.graph.index import NodeIndexer
+from repro.graph.traversal import BFSWorkspace
+from repro.lbc.approx import (
+    LBCAnswer,
+    LBCResult,
+    lbc_edge,
+    lbc_edge_csr,
+    lbc_vertex,
+    lbc_vertex_csr,
+)
 
 
 class IncrementalSpanner:
@@ -51,6 +61,7 @@ class IncrementalSpanner:
         k: int,
         f: int,
         fault_model: Union[FaultModel, str] = FaultModel.VERTEX,
+        backend: Optional[str] = None,
     ) -> None:
         if k < 1:
             raise ValueError(f"need k >= 1, got {k}")
@@ -59,11 +70,23 @@ class IncrementalSpanner:
         self.k = k
         self.f = f
         self.fault_model = FaultModel.coerce(fault_model)
+        self.backend = resolve_backend(backend)
         self._decide = (
             lbc_vertex if self.fault_model is FaultModel.VERTEX else lbc_edge
         )
+        self._decide_csr = (
+            lbc_vertex_csr
+            if self.fault_model is FaultModel.VERTEX
+            else lbc_edge_csr
+        )
         self.graph = Graph()  # everything ever inserted
         self.spanner = Graph()  # the maintained subgraph
+        # CSR mirror of the maintained spanner (backend == "csr"): the
+        # indexer/builder/workspace persist across all insertions, so the
+        # steady-state per-insert cost is the LBC BFS work alone.
+        self._indexer = NodeIndexer()
+        self._builder = CSRBuilder()
+        self._workspace = BFSWorkspace()
         self.certificates: Dict[Edge, FrozenSet] = {}
         self.inserted = 0
         self.kept = 0
@@ -78,6 +101,9 @@ class IncrementalSpanner:
         """Declare a node before any of its edges arrive (optional)."""
         self.graph.add_node(u)
         self.spanner.add_node(u)
+        if self.backend == "csr":
+            self._indexer.add(u)
+            self._builder.ensure_nodes(len(self._indexer))
 
     def insert(self, u: Node, v: Node, weight: float = 1.0) -> bool:
         """Process an arriving edge; returns True iff it was kept.
@@ -97,14 +123,30 @@ class IncrementalSpanner:
         self.spanner.add_node(u)
         self.spanner.add_node(v)
         self.inserted += 1
-        result = self._decide(self.spanner, u, v, self.stretch, self.f)
+        result = self._run_lbc(u, v)
         self.bfs_calls += result.iterations
         if result.answer is LBCAnswer.YES:
             self.spanner.add_edge(u, v)
+            if self.backend == "csr":
+                self._builder.add_edge(
+                    self._indexer.index(u), self._indexer.index(v)
+                )
             self.certificates[edge_key(u, v)] = result.cut
             self.kept += 1
             return True
         return False
+
+    def _run_lbc(self, u: Node, v: Node) -> LBCResult:
+        """LBC(2k-1, f) for the arriving edge, on the selected backend."""
+        if self.backend != "csr":
+            return self._decide(self.spanner, u, v, self.stretch, self.f)
+        ui = self._indexer.add(u)
+        vi = self._indexer.add(v)
+        self._builder.ensure_nodes(len(self._indexer))
+        return self._decide_csr(
+            self._builder, ui, vi, self.stretch, self.f,
+            self._workspace, self._indexer,
+        )
 
     def insert_many(self, edges) -> int:
         """Insert a batch of ``(u, v)`` pairs; returns how many were kept."""

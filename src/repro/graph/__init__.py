@@ -8,9 +8,16 @@ algorithms are phrased on:
 - :class:`~repro.graph.views.VertexFaultView` /
   :class:`~repro.graph.views.EdgeFaultView` -- lazy ``G \\ F`` views used by
   every fault-tolerance routine (O(1) to construct, no copying).
+- The CSR execution backend (:mod:`~repro.graph.index`,
+  :mod:`~repro.graph.csr`): :class:`~repro.graph.index.NodeIndexer`,
+  :class:`~repro.graph.csr.CSRGraph`, :class:`~repro.graph.csr.CSRBuilder`,
+  and :class:`~repro.graph.csr.FaultMask` -- the flat-array twin of the
+  dict structures that the spanner hot path runs on.
 - Traversal primitives (:mod:`~repro.graph.traversal`): BFS distances,
   hop-bounded BFS path extraction (the inner loop of the paper's Algorithm 2),
-  and Dijkstra for weighted distances.
+  and Dijkstra for weighted distances -- each with a dict-backend and a
+  CSR-backend (``csr_*`` + :class:`~repro.graph.traversal.BFSWorkspace`)
+  implementation.
 - Girth computation (:mod:`~repro.graph.girth`), used to validate the
   Moore-bound argument behind the size analysis (Lemma 7 / Theorem 8).
 - Workload generators (:mod:`~repro.graph.generators`) for every experiment
@@ -19,6 +26,8 @@ algorithms are phrased on:
 """
 
 from repro.graph.graph import Graph, edge_key
+from repro.graph.index import NodeIndexer
+from repro.graph.csr import CSRBuilder, CSRGraph, FaultMask
 from repro.graph.views import (
     EdgeFaultView,
     GraphView,
@@ -27,10 +36,14 @@ from repro.graph.views import (
     fault_view,
 )
 from repro.graph.traversal import (
+    BFSWorkspace,
     bfs_distances,
     bfs_tree,
     bounded_bfs_path,
     connected_components,
+    csr_bfs_distances,
+    csr_bounded_bfs_path,
+    csr_bounded_bfs_path_edges,
     dijkstra,
     hop_distance,
     is_connected,
@@ -45,6 +58,14 @@ from repro.graph import metrics
 __all__ = [
     "Graph",
     "edge_key",
+    "NodeIndexer",
+    "CSRGraph",
+    "CSRBuilder",
+    "FaultMask",
+    "BFSWorkspace",
+    "csr_bfs_distances",
+    "csr_bounded_bfs_path",
+    "csr_bounded_bfs_path_edges",
     "GraphView",
     "IdentityView",
     "VertexFaultView",

@@ -1,4 +1,4 @@
-"""Core undirected graph data structure.
+"""Core undirected graph data structure (the dict backend).
 
 The algorithms in this library spend nearly all of their time running
 hop-bounded BFS over subgraphs with a handful of vertices or edges removed
@@ -10,6 +10,30 @@ Nodes may be any hashable object.  Edges are undirected and carry a float
 weight (1.0 for unweighted graphs).  Self-loops are rejected -- spanners are
 defined on simple graphs -- and parallel edges are impossible by
 construction (re-adding an edge overwrites its weight).
+
+Two execution backends share this public API:
+
+* **dict** (this module + :mod:`repro.graph.views`): ``Graph`` holds
+  dict-of-dict adjacency over arbitrary hashable nodes, and ``G \\ F`` is
+  a lazy :class:`~repro.graph.views.GraphView` that filters neighbors on
+  the fly.  Flexible, easy to reason about, and the reference semantics
+  for everything else.
+* **csr** (:mod:`repro.graph.index` + :mod:`repro.graph.csr`): nodes are
+  mapped to dense integers by a :class:`~repro.graph.index.NodeIndexer`
+  and adjacency lives in contiguous stdlib ``array`` buffers
+  (:class:`~repro.graph.csr.CSRGraph` for frozen snapshots,
+  :class:`~repro.graph.csr.CSRBuilder` for the greedy's growing spanner).
+  Fault sets become O(1)-clear :class:`~repro.graph.csr.FaultMask` stamps
+  and BFS scratch is preallocated in a
+  :class:`~repro.graph.traversal.BFSWorkspace`.  This is the hot path the
+  spanner constructions run on by default (``backend="csr"``); results
+  are translated back to node objects, so callers only ever see this
+  module's types.
+
+``Graph`` remains the canonical in-memory representation: CSR structures
+are *derived* from it (``CSRGraph.from_graph``), and both backends order
+each node's neighbors identically (insertion order), which is what lets
+the two backends produce bit-identical spanners.
 """
 
 from __future__ import annotations
@@ -23,14 +47,31 @@ Edge = Tuple[Node, Node]
 def edge_key(u: Node, v: Node) -> Edge:
     """Return a canonical (order-independent) tuple for the edge ``{u, v}``.
 
-    Node pairs are ordered by ``<`` when comparable and by ``repr`` otherwise,
-    so the same physical edge always maps to the same key regardless of the
-    direction it was mentioned in.
+    Node pairs are ordered by ``<=`` when that yields a definite order;
+    everything else -- incomparable types raising ``TypeError`` (``1`` vs
+    ``"1"``) *and* partially ordered types where neither ``u <= v`` nor
+    ``v <= u`` holds (disjoint ``frozenset`` nodes) -- falls back to a
+    deterministic ``(type qualname, repr)`` ordering.  Ordering by
+    ``repr`` alone is not deterministic for mixed-type graphs: two
+    distinct nodes of different types can share a repr (e.g. the int
+    ``1`` and a custom object printing ``1``), in which case the same
+    physical edge would map to two different keys depending on mention
+    order.  When even type and repr tie, ``id()`` breaks the tie, which
+    is stable for the objects' lifetime -- all a canonical key needs
+    within one graph.
     """
     try:
-        return (u, v) if u <= v else (v, u)  # type: ignore[operator]
+        if u <= v:  # type: ignore[operator]
+            return (u, v)
+        if v <= u:  # type: ignore[operator]
+            return (v, u)
     except TypeError:
-        return (u, v) if repr(u) <= repr(v) else (v, u)
+        pass
+    ku = (type(u).__qualname__, repr(u))
+    kv = (type(v).__qualname__, repr(v))
+    if ku == kv:
+        return (u, v) if id(u) <= id(v) else (v, u)
+    return (u, v) if ku <= kv else (v, u)
 
 
 class Graph:

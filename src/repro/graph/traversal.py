@@ -7,8 +7,24 @@ as early as possible (stop at the hop budget, stop when the target is
 reached) and to work directly on the lazy fault views from
 :mod:`repro.graph.views` without materializing subgraphs.
 
-All functions accept either a :class:`~repro.graph.graph.Graph` or any
-object satisfying the :class:`~repro.graph.views.GraphView` protocol.
+Two execution backends live here:
+
+* The dict backend: every function below the "Dict backend" marker accepts
+  a :class:`~repro.graph.graph.Graph` or any object satisfying the
+  :class:`~repro.graph.views.GraphView` protocol, and works node-object by
+  node-object.  It handles arbitrary views and stays the reference
+  implementation.
+* The CSR backend: :func:`csr_bfs_distances` / :func:`csr_bounded_bfs_path`
+  run the same searches over a :class:`~repro.graph.csr.CSRGraph` (or
+  growing :class:`~repro.graph.csr.CSRBuilder`) using integer node ids,
+  generation-stamped visited bytes, and preallocated parent/depth/queue
+  buffers owned by a :class:`BFSWorkspace` -- so a full greedy run makes
+  zero per-call allocations of visited structures.  Fault sets arrive as
+  :class:`~repro.graph.csr.FaultMask` stamps rather than views.
+
+Both backends visit neighbors in identical order (CSR rows preserve dict
+insertion order), so they return the *same* paths, not just paths of the
+same length.
 """
 
 from __future__ import annotations
@@ -16,19 +32,18 @@ from __future__ import annotations
 import heapq
 import math
 from collections import deque
-from typing import Dict, Iterable, List, Optional, Set, Union
+from typing import Dict, List, Optional, Set, Tuple, Union
 
+from repro.graph.csr import CSRLike, FaultMask
 from repro.graph.graph import Graph, Node
-from repro.graph.views import GraphView, IdentityView
+from repro.graph.views import GraphView
 
+#: Anything the dict-backend traversals accept: a concrete ``Graph`` or a
+#: read-only fault view.  CSR graphs do NOT satisfy this protocol -- they
+#: use the dedicated ``csr_*`` entry points below.
 GraphLike = Union[Graph, GraphView]
 
 INFINITY = math.inf
-
-
-def _as_view(g: GraphLike) -> GraphLike:
-    """Graphs already satisfy the view protocol; pass through unchanged."""
-    return g
 
 
 def bfs_distances(
@@ -140,12 +155,370 @@ def hop_distance(g: GraphLike, source: Node, target: Node) -> float:
         if not g.has_node(source):
             raise KeyError(f"node {source!r} not in graph")
         return 0
-    path = bounded_bfs_path(g, source, target, max_hops=_node_count(g))
+    path = bounded_bfs_path(g, source, target, max_hops=g.num_nodes)
     return INFINITY if path is None else len(path) - 1
 
 
-def _node_count(g: GraphLike) -> int:
-    return g.num_nodes
+# --------------------------------------------------------------------- #
+# CSR backend: array-based BFS with a reusable workspace
+# --------------------------------------------------------------------- #
+
+
+class BFSWorkspace:
+    """Preallocated scratch buffers for the CSR BFS primitives.
+
+    One workspace serves an unbounded number of BFS calls over graphs of
+    any (growing) size: ``ensure`` only ever extends the buffers, and a
+    generation-stamped visited array makes per-call reset O(1).  The
+    workspace also owns a vertex :class:`FaultMask` and an edge
+    :class:`FaultMask` so callers running the LBC loop need no further
+    allocations at all.
+
+    Not thread-safe; use one workspace per thread.
+    """
+
+    __slots__ = (
+        "seen", "seen_gen", "parent", "parent_eid", "depth", "queue",
+        "frontier", "vertex_mask", "edge_mask",
+    )
+
+    def __init__(self, num_nodes: int = 0, num_edges: int = 0) -> None:
+        self.seen = bytearray(num_nodes)
+        self.seen_gen = 1
+        self.parent = [0] * num_nodes
+        self.parent_eid = [0] * num_nodes
+        self.depth = [0] * num_nodes
+        self.queue = [0] * num_nodes
+        self.frontier = [0] * num_nodes
+        self.vertex_mask = FaultMask(num_nodes)
+        self.edge_mask = FaultMask(num_edges)
+
+    def ensure(self, num_nodes: int, num_edges: int = 0) -> None:
+        """Grow every buffer to cover the given node/edge counts."""
+        short = num_nodes - len(self.seen)
+        if short > 0:
+            self.seen.extend(bytes(short))
+            self.parent.extend([0] * short)
+            self.parent_eid.extend([0] * short)
+            self.depth.extend([0] * short)
+            self.queue.extend([0] * short)
+            self.frontier.extend([0] * short)
+            self.vertex_mask.ensure(num_nodes)
+        self.edge_mask.ensure(num_edges)
+
+    def next_generation(self) -> int:
+        """Advance and return the visited generation (O(1) amortized)."""
+        self.seen_gen += 1
+        if self.seen_gen == 256:
+            self.seen[:] = bytes(len(self.seen))
+            self.seen_gen = 1
+        return self.seen_gen
+
+
+def _csr_search(
+    csr: CSRLike,
+    source: int,
+    target: int,
+    max_hops: float,
+    ws: BFSWorkspace,
+    vertex_mask: Optional[FaultMask],
+    edge_mask: Optional[FaultMask],
+    need_edge_ids: bool,
+) -> bool:
+    """Core hop-bounded BFS to a target over CSR adjacency.
+
+    Level-synchronized: the two preallocated buffers ``ws.queue`` /
+    ``ws.frontier`` ping-pong as current/next frontier, which keeps the
+    inner loop free of per-node depth bookkeeping.  Visit order is
+    identical to FIFO BFS, so paths match the dict backend node for node.
+
+    Two structural savings relative to a naive queue BFS:
+
+    * Faulted *vertices* are pre-stamped into the visited array (O(|F|)
+      per call, |F| <= alpha * t), so the per-neighbor inner loop
+      carries no vertex-mask test at all; only edge masks are tested.
+    * The final level is never expanded, so its nodes are not stamped or
+      enqueued either -- they can only matter by *being* the target, and
+      a bare equality scan detects that.  For the hop bounds the LBC
+      loop uses, the final level dominates the edge traversals, so this
+      removes most of the per-neighbor work of a typical call.
+
+    Fills ``ws.parent`` (and ``ws.parent_eid`` when ``need_edge_ids``)
+    for every node stamped with the current generation; returns whether
+    ``target`` was reached within ``max_hops`` levels.
+    """
+    ws.ensure(csr.num_nodes, csr.num_edges)
+    gen = ws.next_generation()
+    seen = ws.seen
+    parent = ws.parent
+    cur = ws.queue
+    nxt = ws.frontier
+    rows = csr.neighbors
+    if vertex_mask is not None:
+        for b in vertex_mask.members:
+            seen[b] = gen
+    seen[source] = gen
+    parent[source] = -1
+    cur[0] = source
+    cur_len = 1
+    remaining = max_hops
+    if edge_mask is not None:
+        eid_rows = csr.edge_id_rows
+        parent_eid = ws.parent_eid
+        parent_eid[source] = -1
+        estamp, egen = edge_mask.stamp, edge_mask.gen
+        while cur_len and remaining > 1:
+            remaining -= 1
+            nxt_len = 0
+            for qi in range(cur_len):
+                u = cur[qi]
+                row = rows[u]
+                erow = eid_rows[u]
+                for j in range(len(row)):
+                    v = row[j]
+                    if seen[v] == gen:
+                        continue
+                    e = erow[j]
+                    if estamp[e] == egen:
+                        continue
+                    seen[v] = gen
+                    parent[v] = u
+                    parent_eid[v] = e
+                    if v == target:
+                        return True
+                    nxt[nxt_len] = v
+                    nxt_len += 1
+            cur, nxt = nxt, cur
+            cur_len = nxt_len
+        if cur_len and remaining == 1:
+            for qi in range(cur_len):
+                u = cur[qi]
+                row = rows[u]
+                erow = eid_rows[u]
+                for j in range(len(row)):
+                    if row[j] == target and estamp[erow[j]] != egen:
+                        parent[target] = u
+                        parent_eid[target] = erow[j]
+                        return True
+    elif need_edge_ids:
+        eid_rows = csr.edge_id_rows
+        parent_eid = ws.parent_eid
+        parent_eid[source] = -1
+        while cur_len and remaining > 1:
+            remaining -= 1
+            nxt_len = 0
+            for qi in range(cur_len):
+                u = cur[qi]
+                row = rows[u]
+                erow = eid_rows[u]
+                for j in range(len(row)):
+                    v = row[j]
+                    if seen[v] == gen:
+                        continue
+                    seen[v] = gen
+                    parent[v] = u
+                    parent_eid[v] = erow[j]
+                    if v == target:
+                        return True
+                    nxt[nxt_len] = v
+                    nxt_len += 1
+            cur, nxt = nxt, cur
+            cur_len = nxt_len
+        if cur_len and remaining == 1:
+            for qi in range(cur_len):
+                u = cur[qi]
+                row = rows[u]
+                for j in range(len(row)):
+                    if row[j] == target:
+                        parent[target] = u
+                        parent_eid[target] = eid_rows[u][j]
+                        return True
+    else:
+        while cur_len and remaining > 1:
+            remaining -= 1
+            nxt_len = 0
+            for qi in range(cur_len):
+                u = cur[qi]
+                for v in rows[u]:
+                    if seen[v] == gen:
+                        continue
+                    seen[v] = gen
+                    parent[v] = u
+                    if v == target:
+                        return True
+                    nxt[nxt_len] = v
+                    nxt_len += 1
+            cur, nxt = nxt, cur
+            cur_len = nxt_len
+        if cur_len and remaining == 1:
+            for qi in range(cur_len):
+                u = cur[qi]
+                if target in rows[u]:
+                    parent[target] = u
+                    return True
+    return False
+
+
+def _csr_check_terminal(
+    csr: CSRLike, i: int, vertex_mask: Optional[FaultMask], role: str
+) -> None:
+    """Mirror the dict backend's KeyErrors for bad/faulted terminals."""
+    if not 0 <= i < csr.num_nodes:
+        raise KeyError(f"{role} index {i} not in graph")
+    if vertex_mask is not None and i in vertex_mask:
+        raise KeyError(f"{role} index {i} is faulted")
+
+
+def csr_bfs_distances(
+    csr: CSRLike,
+    source: int,
+    max_hops: Optional[int] = None,
+    workspace: Optional[BFSWorkspace] = None,
+    vertex_mask: Optional[FaultMask] = None,
+    edge_mask: Optional[FaultMask] = None,
+) -> Dict[int, int]:
+    """Hop distances from node index ``source``: CSR twin of
+    :func:`bfs_distances`.
+
+    Returns ``{node_index: hops}`` for every reachable (unmasked) node
+    within ``max_hops``; missing entries mean unreachable/pruned, exactly
+    like the dict variant.
+    """
+    _csr_check_terminal(csr, source, vertex_mask, "source")
+    ws = workspace if workspace is not None else BFSWorkspace()
+    ws.ensure(csr.num_nodes, csr.num_edges)
+    budget = INFINITY if max_hops is None else max_hops
+    gen = ws.next_generation()
+    seen = ws.seen
+    depth = ws.depth
+    cur = ws.queue
+    nxt = ws.frontier
+    rows = csr.neighbors
+    eid_rows = csr.edge_id_rows
+    vstamp = vgen = estamp = egen = None
+    if vertex_mask is not None:
+        vstamp, vgen = vertex_mask.stamp, vertex_mask.gen
+    if edge_mask is not None:
+        estamp, egen = edge_mask.stamp, edge_mask.gen
+    seen[source] = gen
+    depth[source] = 0
+    cur[0] = source
+    cur_len = 1
+    level = 0
+    reached = [source]
+    while cur_len and level < budget:
+        level += 1
+        nxt_len = 0
+        for qi in range(cur_len):
+            u = cur[qi]
+            row = rows[u]
+            erow = eid_rows[u]
+            for j in range(len(row)):
+                v = row[j]
+                if seen[v] == gen:
+                    continue
+                if vstamp is not None and vstamp[v] == vgen:
+                    continue
+                if estamp is not None and estamp[erow[j]] == egen:
+                    continue
+                seen[v] = gen
+                depth[v] = level
+                reached.append(v)
+                nxt[nxt_len] = v
+                nxt_len += 1
+        cur, nxt = nxt, cur
+        cur_len = nxt_len
+    # O(reached), not O(n): a bounded query on a huge graph pays only
+    # for what it touched.
+    return {i: depth[i] for i in reached}
+
+
+def csr_bounded_bfs_path(
+    csr: CSRLike,
+    source: int,
+    target: int,
+    max_hops: int,
+    workspace: Optional[BFSWorkspace] = None,
+    vertex_mask: Optional[FaultMask] = None,
+    edge_mask: Optional[FaultMask] = None,
+) -> Optional[List[int]]:
+    """CSR twin of :func:`bounded_bfs_path`, over node indices.
+
+    Returns the node-index sequence of a shortest-hop ``source -> target``
+    path avoiding masked vertices/edges, or ``None`` when no path of at
+    most ``max_hops`` edges exists.  With a shared ``workspace`` this
+    performs no per-call allocation beyond the returned path itself.
+    """
+    _csr_check_terminal(csr, source, vertex_mask, "source")
+    _csr_check_terminal(csr, target, vertex_mask, "target")
+    if source == target:
+        return [source]
+    if max_hops <= 0:
+        return None
+    ws = workspace if workspace is not None else BFSWorkspace()
+    found = _csr_search(
+        csr, source, target, max_hops, ws, vertex_mask, edge_mask, False
+    )
+    return _csr_path(ws, target) if found else None
+
+
+def _csr_path(ws: BFSWorkspace, target: int) -> List[int]:
+    """Walk ``ws.parent`` pointers back from a just-reached ``target``."""
+    path = [target]
+    parent = ws.parent
+    u = parent[target]
+    while u != -1:
+        path.append(u)
+        u = parent[u]
+    path.reverse()
+    return path
+
+
+def csr_bounded_bfs_path_edges(
+    csr: CSRLike,
+    source: int,
+    target: int,
+    max_hops: int,
+    workspace: Optional[BFSWorkspace] = None,
+    vertex_mask: Optional[FaultMask] = None,
+    edge_mask: Optional[FaultMask] = None,
+) -> Optional[Tuple[List[int], List[int]]]:
+    """Like :func:`csr_bounded_bfs_path` but also returns the edge ids.
+
+    Returns ``(nodes, edge_ids)`` with ``len(edge_ids) == len(nodes) - 1``
+    (the id of each traversed edge, in path order) -- what the edge-fault
+    LBC loop needs to stamp a path into its fault mask without any
+    endpoint->id lookups.
+    """
+    _csr_check_terminal(csr, source, vertex_mask, "source")
+    _csr_check_terminal(csr, target, vertex_mask, "target")
+    if source == target:
+        return [source], []
+    if max_hops <= 0:
+        return None
+    ws = workspace if workspace is not None else BFSWorkspace()
+    found = _csr_search(
+        csr, source, target, max_hops, ws, vertex_mask, edge_mask, True
+    )
+    return _csr_path_edges(ws, target) if found else None
+
+
+def _csr_path_edges(
+    ws: BFSWorkspace, target: int
+) -> Tuple[List[int], List[int]]:
+    """Like :func:`_csr_path` but also collects the traversed edge ids."""
+    nodes = [target]
+    eids: List[int] = []
+    parent = ws.parent
+    parent_eid = ws.parent_eid
+    u = target
+    while parent[u] != -1:
+        eids.append(parent_eid[u])
+        u = parent[u]
+        nodes.append(u)
+    nodes.reverse()
+    eids.reverse()
+    return nodes, eids
 
 
 def dijkstra(

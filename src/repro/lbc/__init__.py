@@ -16,10 +16,20 @@ This subpackage provides that algorithm for both vertex cuts
 (:mod:`repro.lbc.exact`) used as ground truth in tests and in experiment E1.
 """
 
-from repro.lbc.approx import LBCAnswer, LBCResult, lbc_decide, lbc_edge, lbc_vertex
+from repro.lbc.approx import (
+    LBCAnswer,
+    LBCResult,
+    lbc_decide,
+    lbc_edge,
+    lbc_edge_csr,
+    lbc_vertex,
+    lbc_vertex_csr,
+)
 from repro.lbc.exact import (
     exact_edge_lbc,
+    exact_edge_lbc_csr,
     exact_vertex_lbc,
+    exact_vertex_lbc_csr,
     is_edge_length_cut,
     is_vertex_length_cut,
 )
@@ -30,8 +40,12 @@ __all__ = [
     "lbc_decide",
     "lbc_vertex",
     "lbc_edge",
+    "lbc_vertex_csr",
+    "lbc_edge_csr",
     "exact_vertex_lbc",
     "exact_edge_lbc",
+    "exact_vertex_lbc_csr",
+    "exact_edge_lbc_csr",
     "is_vertex_length_cut",
     "is_edge_length_cut",
 ]

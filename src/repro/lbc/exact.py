@@ -24,8 +24,14 @@ from __future__ import annotations
 import itertools
 from typing import FrozenSet, Iterable, List, Optional, Set, Tuple, Union
 
+from repro.graph.csr import CSRLike
 from repro.graph.graph import Edge, Graph, Node, edge_key
-from repro.graph.traversal import bounded_bfs_path
+from repro.graph.traversal import (
+    BFSWorkspace,
+    bounded_bfs_path,
+    csr_bounded_bfs_path,
+    csr_bounded_bfs_path_edges,
+)
 from repro.graph.views import EdgeFaultView, GraphView, VertexFaultView
 
 GraphLike = Union[Graph, GraphView]
@@ -138,6 +144,109 @@ def exact_edge_lbc(
             return
         for i in range(len(path) - 1):
             e = edge_key(path[i], path[i + 1])
+            faults.add(e)
+            search(faults, depth_budget - 1)
+            faults.remove(e)
+
+    search(set(), budget)
+    return best[0]
+
+
+# --------------------------------------------------------------------- #
+# CSR fast paths (index-level; used by the exponential greedy's backend)
+# --------------------------------------------------------------------- #
+
+
+def exact_vertex_lbc_csr(
+    csr: CSRLike,
+    source: int,
+    target: int,
+    t: int,
+    max_size: Optional[int] = None,
+    workspace: Optional[BFSWorkspace] = None,
+) -> Optional[FrozenSet[int]]:
+    """CSR twin of :func:`exact_vertex_lbc`, over node indices.
+
+    Same branch-on-an-uncovered-path search; the candidate fault set is a
+    plain set of indices re-stamped into the workspace's vertex mask
+    before each BFS (O(|F|) <= O(f) per call).  Both backends find paths
+    in identical order, so they return the same minimum cut.
+    """
+    if source == target:
+        raise ValueError("terminals must be distinct")
+    budget = csr.num_nodes if max_size is None else max_size
+    ws = workspace if workspace is not None else BFSWorkspace(
+        csr.num_nodes, csr.num_edges
+    )
+    ws.ensure(csr.num_nodes, csr.num_edges)
+    vmask = ws.vertex_mask
+    best: List[Optional[FrozenSet[int]]] = [None]
+
+    def search(faults: Set[int], depth_budget: int) -> None:
+        if best[0] is not None and len(faults) >= len(best[0]):
+            return
+        if faults:
+            vmask.clear()
+            vmask.add_all(faults)
+            path = csr_bounded_bfs_path(
+                csr, source, target, t, ws, vertex_mask=vmask
+            )
+        else:
+            path = csr_bounded_bfs_path(csr, source, target, t, ws)
+        if path is None:
+            if best[0] is None or len(faults) < len(best[0]):
+                best[0] = frozenset(faults)
+            return
+        interior = path[1:-1]
+        if not interior or depth_budget == 0:
+            return  # direct edge (uncuttable) or out of budget
+        for v in interior:
+            faults.add(v)
+            search(faults, depth_budget - 1)
+            faults.remove(v)
+
+    search(set(), budget)
+    return best[0]
+
+
+def exact_edge_lbc_csr(
+    csr: CSRLike,
+    source: int,
+    target: int,
+    t: int,
+    max_size: Optional[int] = None,
+    workspace: Optional[BFSWorkspace] = None,
+) -> Optional[FrozenSet[int]]:
+    """CSR twin of :func:`exact_edge_lbc`; the cut is a set of edge ids."""
+    if source == target:
+        raise ValueError("terminals must be distinct")
+    budget = csr.num_nodes ** 2 if max_size is None else max_size
+    ws = workspace if workspace is not None else BFSWorkspace(
+        csr.num_nodes, csr.num_edges
+    )
+    ws.ensure(csr.num_nodes, csr.num_edges)
+    emask = ws.edge_mask
+    best: List[Optional[FrozenSet[int]]] = [None]
+
+    def search(faults: Set[int], depth_budget: int) -> None:
+        if best[0] is not None and len(faults) >= len(best[0]):
+            return
+        if faults:
+            emask.clear()
+            emask.add_all(faults)
+            found = csr_bounded_bfs_path_edges(
+                csr, source, target, t, ws, edge_mask=emask
+            )
+        else:
+            found = csr_bounded_bfs_path_edges(csr, source, target, t, ws)
+        if found is None:
+            if best[0] is None or len(faults) < len(best[0]):
+                best[0] = frozenset(faults)
+            return
+        if depth_budget == 0:
+            return
+        _, eids = found
+        for e in eids:
             faults.add(e)
             search(faults, depth_budget - 1)
             faults.remove(e)

@@ -1,0 +1,149 @@
+"""Differential tests: backend="csr" vs backend="dict".
+
+The CSR backend is a pure execution-engine swap: for every construction
+that supports it, the spanner edge set, the certificates, and the BFS
+accounting must be *identical* to the dict backend -- not merely valid.
+This holds because both backends iterate neighbors in the same order and
+therefore find the same shortest-hop paths in every LBC invocation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.greedy_exact import exponential_greedy_spanner
+from repro.core.greedy_modified import (
+    fault_tolerant_spanner,
+    modified_greedy_unweighted,
+    modified_greedy_weighted,
+)
+from repro.core.incremental import IncrementalSpanner
+from repro.core.spanner import BACKEND_ENV_VAR, resolve_backend
+from repro.graph import generators
+
+
+def _instance(seed=7, n=28, p=0.18):
+    return generators.ensure_connected(
+        generators.gnp_random_graph(n, p, seed=seed), seed=seed
+    )
+
+
+class TestModifiedGreedyParity:
+    @pytest.mark.parametrize("k", [2, 3])
+    @pytest.mark.parametrize("f", [0, 1, 2])
+    @pytest.mark.parametrize("fault_model", ["vertex", "edge"])
+    def test_unweighted_identical(self, k, f, fault_model):
+        g = _instance()
+        r_dict = modified_greedy_unweighted(
+            g, k, f, fault_model=fault_model, backend="dict"
+        )
+        r_csr = modified_greedy_unweighted(
+            g, k, f, fault_model=fault_model, backend="csr"
+        )
+        assert set(r_dict.spanner.edges()) == set(r_csr.spanner.edges())
+        assert r_dict.bfs_calls == r_csr.bfs_calls
+        assert r_dict.certificates == r_csr.certificates
+
+    @pytest.mark.parametrize("fault_model", ["vertex", "edge"])
+    def test_weighted_identical(self, fault_model):
+        g = generators.weighted_gnp(24, 0.25, seed=3)
+        r_dict = modified_greedy_weighted(
+            g, 2, 1, fault_model=fault_model, backend="dict"
+        )
+        r_csr = modified_greedy_weighted(
+            g, 2, 1, fault_model=fault_model, backend="csr"
+        )
+        assert set(r_dict.spanner.edges()) == set(r_csr.spanner.edges())
+        assert r_dict.certificates == r_csr.certificates
+
+    def test_degree_shortcut_identical(self):
+        g = _instance(seed=11)
+        r_dict = modified_greedy_unweighted(
+            g, 2, 2, degree_shortcut=True, backend="dict"
+        )
+        r_csr = modified_greedy_unweighted(
+            g, 2, 2, degree_shortcut=True, backend="csr"
+        )
+        assert set(r_dict.spanner.edges()) == set(r_csr.spanner.edges())
+        assert r_dict.extra == r_csr.extra
+
+    @pytest.mark.parametrize("order", ["random", "degree"])
+    def test_alternative_orders_identical(self, order):
+        g = _instance(seed=13)
+        r_dict = modified_greedy_unweighted(
+            g, 2, 1, order=order, seed=5, backend="dict"
+        )
+        r_csr = modified_greedy_unweighted(
+            g, 2, 1, order=order, seed=5, backend="csr"
+        )
+        assert set(r_dict.spanner.edges()) == set(r_csr.spanner.edges())
+
+
+class TestExponentialGreedyParity:
+    @pytest.mark.parametrize("fault_model", ["vertex", "edge"])
+    @pytest.mark.parametrize("f", [1, 2])
+    def test_unit_weighted_identical(self, fault_model, f):
+        g = generators.gnp_random_graph(14, 0.4, seed=3)
+        r_dict = exponential_greedy_spanner(
+            g, 2, f, fault_model=fault_model, backend="dict"
+        )
+        r_csr = exponential_greedy_spanner(
+            g, 2, f, fault_model=fault_model, backend="csr"
+        )
+        assert set(r_dict.spanner.edges()) == set(r_csr.spanner.edges())
+        assert r_dict.certificates == r_csr.certificates
+
+
+class TestIncrementalParity:
+    @pytest.mark.parametrize("fault_model", ["vertex", "edge"])
+    def test_insertion_stream_identical(self, fault_model):
+        g = generators.gnp_random_graph(40, 0.15, seed=11)
+        inc_dict = IncrementalSpanner(2, 1, fault_model=fault_model,
+                                      backend="dict")
+        inc_csr = IncrementalSpanner(2, 1, fault_model=fault_model,
+                                     backend="csr")
+        for u, v in g.edges():
+            assert inc_dict.insert(u, v) == inc_csr.insert(u, v)
+        assert (
+            set(inc_dict.spanner.edges()) == set(inc_csr.spanner.edges())
+        )
+        assert inc_dict.certificates == inc_csr.certificates
+        assert inc_dict.bfs_calls == inc_csr.bfs_calls
+
+    def test_add_node_before_edges(self):
+        inc = IncrementalSpanner(2, 1, backend="csr")
+        inc.add_node("lonely")
+        assert inc.insert("lonely", "buddy")
+        assert inc.spanner.has_edge("lonely", "buddy")
+
+
+class TestBackendSelection:
+    def test_default_is_csr(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert resolve_backend(None) == "csr"
+
+    def test_env_var_overrides_default(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "dict")
+        assert resolve_backend(None) == "dict"
+        # An explicit keyword still wins over the environment.
+        assert resolve_backend("csr") == "csr"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_backend("numpy")
+        with pytest.raises(ValueError):
+            fault_tolerant_spanner(_instance(), 2, 1, backend="numpy")
+
+    def test_unknown_backend_rejected_on_weighted_exact_greedy(self):
+        # The weighted exact greedy never runs CSR, but a typo'd backend
+        # must still be reported, not silently swallowed.
+        g = generators.weighted_gnp(10, 0.4, seed=1)
+        with pytest.raises(ValueError):
+            exponential_greedy_spanner(g, 2, 1, backend="crs")
+
+    def test_env_var_reaches_the_greedy(self, monkeypatch):
+        g = _instance(seed=21, n=16, p=0.3)
+        monkeypatch.setenv(BACKEND_ENV_VAR, "dict")
+        r_env = fault_tolerant_spanner(g, 2, 1)
+        r_csr = fault_tolerant_spanner(g, 2, 1, backend="csr")
+        assert set(r_env.spanner.edges()) == set(r_csr.spanner.edges())

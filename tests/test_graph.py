@@ -209,6 +209,57 @@ class TestEdgeKey:
     def test_strings(self):
         assert edge_key("b", "a") == ("a", "b")
 
+    def test_mixed_types_consistent_both_orientations(self):
+        # Regression: int vs str is incomparable, so the fallback kicks
+        # in; the key must not depend on mention order.
+        for a, b in [(1, "1"), (0, "0"), ((1, 2), ("a", 3))]:
+            assert edge_key(a, b) == edge_key(b, a)
+
+    def test_same_repr_different_type_is_deterministic(self):
+        # Two nodes with *identical* reprs but different types: ordering
+        # by repr alone would canonicalize (a, b) and (b, a) to different
+        # keys.  The (type-qualname, repr) fallback breaks the tie.
+        class FakeInt:
+            def __repr__(self):
+                return "1"
+
+            def __hash__(self):
+                return 1
+
+        a, b = 1, FakeInt()
+        assert repr(a) == repr(b)
+        assert edge_key(a, b) == edge_key(b, a)
+
+    def test_same_type_same_repr_is_consistent(self):
+        # Worst case: distinct unorderable nodes of the same class with a
+        # constant repr -- the (qualname, repr) pair ties, so only the
+        # id() fallback keeps both orientations on one key.
+        class Blob:
+            def __repr__(self):
+                return "Blob"
+
+        a, b = Blob(), Blob()
+        assert edge_key(a, b) == edge_key(b, a)
+
+    def test_partially_ordered_nodes_consistent(self):
+        # frozensets compare by subset relation: for disjoint sets neither
+        # `a <= b` nor `b <= a` holds (and nothing raises), so a naive
+        # `u <= v` canonicalization is mention-order dependent.
+        a, b = frozenset({1}), frozenset({2})
+        assert edge_key(a, b) == edge_key(b, a)
+
+    def test_partially_ordered_nodes_single_edge_in_graph(self):
+        a, b = frozenset({1}), frozenset({2})
+        g = Graph()
+        g.add_edge(a, b)
+        assert list(g.edges()) == [edge_key(b, a)]
+
+    def test_mixed_type_edges_in_graph(self):
+        g = Graph()
+        g.add_edge(1, "1")
+        assert g.has_edge("1", 1)
+        assert list(g.edges()) == [edge_key("1", 1)]
+
 
 class TestNodeTypes:
     def test_tuple_nodes(self):
