@@ -1,0 +1,14 @@
+PYTHON ?= python
+
+.PHONY: test verify bench
+
+test:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+# Tier-1 tests plus a parity-checked smoke run of the backend benchmark.
+verify:
+	sh scripts/verify.sh
+
+# Full benchmark: rewrites BENCH_backend.json at the repository root.
+bench:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_backend.py

@@ -1,13 +1,26 @@
-"""Micro-benchmark: dict vs CSR execution backend for the modified greedy.
+"""Micro-benchmark: dict vs CSR execution backend across the library.
 
-Times ``fault_tolerant_spanner`` under both backends on three seeded
-G(n, p) instances, checks edge-set parity, and writes the results to
-``BENCH_backend.json`` at the repository root so successive PRs can
-track the backend's performance trajectory.
+Times four scenarios under both backends, checks output parity, and
+writes the results to ``BENCH_backend.json`` at the repository root so
+successive PRs can track the backend's performance trajectory:
+
+* ``modified_greedy_unit`` -- ``fault_tolerant_spanner`` on unit-weight
+  G(n, p) (the BFS/LBC hot path).
+* ``classic_greedy_weighted`` -- the [ADD+93] baseline on weighted
+  G(n, p) (one truncated Dijkstra per edge).
+* ``exponential_greedy_weighted`` -- Algorithm 1 on a small weighted
+  instance (the branch-and-bound Dijkstra search).
+* ``verification_sweep`` -- exhaustive ``verify_ft_spanner`` of a
+  weighted spanner (one Dijkstra per surviving edge per fault set).
 
 Run from the repository root::
 
-    PYTHONPATH=src python benchmarks/bench_backend.py
+    PYTHONPATH=src python benchmarks/bench_backend.py [--quick]
+
+``--quick`` shrinks every scenario to a seconds-long smoke run (used by
+``scripts/verify.sh``); the JSON it writes is marked ``"quick": true``
+so a full run's numbers are never silently overwritten by smoke ones
+unless you ask for it.
 
 This is a plain script (not a pytest benchmark) so it can run quickly in
 CI and emit machine-readable output; the statistical benchmarks live in
@@ -22,64 +35,213 @@ import platform
 import time
 from pathlib import Path
 
+from repro.baselines.greedy_classic import classic_greedy_spanner
+from repro.core.greedy_exact import exponential_greedy_spanner
 from repro.core.greedy_modified import fault_tolerant_spanner
 from repro.graph import generators
+from repro.verification import verify_ft_spanner
 
-# (n, p) per instance, smallest to largest; seeds are fixed so the
-# numbers are comparable across PRs.
-INSTANCES = [(200, 0.10), (400, 0.05), (600, 0.04)]
 SEED = 42
 K = 2
 F = 2
 
+# (n, p) per instance, smallest to largest; seeds are fixed so the
+# numbers are comparable across PRs.
+MODIFIED_INSTANCES = [(200, 0.10), (400, 0.05), (600, 0.04)]
+CLASSIC_INSTANCES = [(300, 0.06), (500, 0.04)]
+EXPONENTIAL_INSTANCES = [(24, 0.30), (30, 0.25)]
+VERIFICATION_INSTANCES = [(50, 0.15), (70, 0.10)]
+
+QUICK_MODIFIED = [(100, 0.12)]
+QUICK_CLASSIC = [(120, 0.10)]
+QUICK_EXPONENTIAL = [(12, 0.35)]
+QUICK_VERIFICATION = [(30, 0.20)]
+
 DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_backend.json"
 
 
-def _time_build(g, backend: str, repeats: int):
+def _best_of(fn, repeats: int):
     """Best-of-``repeats`` wall clock and the result of the last run."""
     best = float("inf")
     result = None
     for _ in range(repeats):
         start = time.perf_counter()
-        result = fault_tolerant_spanner(g, K, F, backend=backend)
+        result = fn()
         best = min(best, time.perf_counter() - start)
     return best, result
 
 
-def run(repeats: int = 3):
-    """Benchmark every instance; returns the report dict."""
+def _row(n, p, m, extra, t_dict, t_csr, identical):
+    row = {
+        "n": n,
+        "p": p,
+        "m": m,
+        **extra,
+        "seconds_dict": round(t_dict, 4),
+        "seconds_csr": round(t_csr, 4),
+        "speedup": round(t_dict / t_csr, 2) if t_csr > 0 else float("inf"),
+        "identical_outputs": identical,
+    }
+    print(
+        f"  n={n:4d} m={m:5d}  dict {t_dict:7.3f}s  csr {t_csr:7.3f}s  "
+        f"speedup {row['speedup']:5.2f}x  "
+        f"parity={'ok' if identical else 'FAIL'}"
+    )
+    return row
+
+
+def bench_modified_greedy(instances, repeats):
     rows = []
-    for n, p in INSTANCES:
+    for n, p in instances:
         g = generators.gnp_random_graph(n, p, seed=SEED)
-        t_dict, r_dict = _time_build(g, "dict", repeats)
-        t_csr, r_csr = _time_build(g, "csr", repeats)
+        t_dict, r_dict = _best_of(
+            lambda: fault_tolerant_spanner(g, K, F, backend="dict"), repeats
+        )
+        t_csr, r_csr = _best_of(
+            lambda: fault_tolerant_spanner(g, K, F, backend="csr"), repeats
+        )
         identical = set(r_dict.spanner.edges()) == set(r_csr.spanner.edges())
-        rows.append({
-            "n": n,
-            "p": p,
-            "m": g.num_edges,
+        rows.append(_row(n, p, g.num_edges, {
             "spanner_edges": r_csr.spanner.num_edges,
             "bfs_calls": r_csr.bfs_calls,
-            "seconds_dict": round(t_dict, 4),
-            "seconds_csr": round(t_csr, 4),
-            "speedup": round(t_dict / t_csr, 2),
-            "identical_edge_sets": identical,
-        })
-        print(
-            f"n={n:4d} m={g.num_edges:5d}  dict {t_dict:7.3f}s  "
-            f"csr {t_csr:7.3f}s  speedup {t_dict / t_csr:5.2f}x  "
-            f"parity={'ok' if identical else 'FAIL'}"
-        )
+        }, t_dict, t_csr, identical))
     return {
-        "benchmark": "dict vs csr backend, fault_tolerant_spanner",
-        "parameters": {
-            "k": K, "f": F, "fault_model": "vertex", "seed": SEED,
-            "repeats": repeats, "timing": "best-of-repeats",
-        },
-        "python": platform.python_version(),
+        "description": "fault_tolerant_spanner, unit weights (BFS/LBC)",
+        "parameters": {"k": K, "f": F, "fault_model": "vertex"},
         "instances": rows,
-        "largest_instance_speedup": rows[-1]["speedup"],
     }
+
+
+def bench_classic_greedy(instances, repeats):
+    rows = []
+    for n, p in instances:
+        g = generators.weighted_gnp(n, p, seed=SEED)
+        t_dict, r_dict = _best_of(
+            lambda: classic_greedy_spanner(g, K, backend="dict"), repeats
+        )
+        t_csr, r_csr = _best_of(
+            lambda: classic_greedy_spanner(g, K, backend="csr"), repeats
+        )
+        identical = set(r_dict.spanner.edges()) == set(r_csr.spanner.edges())
+        rows.append(_row(n, p, g.num_edges, {
+            "spanner_edges": r_csr.spanner.num_edges,
+        }, t_dict, t_csr, identical))
+    return {
+        "description": "classic_greedy_spanner, weighted (Dijkstra probes)",
+        "parameters": {"k": K},
+        "instances": rows,
+    }
+
+
+def bench_exponential_greedy(instances, repeats):
+    rows = []
+    f = 2
+    for n, p in instances:
+        g = generators.weighted_gnp(n, p, seed=SEED)
+        t_dict, r_dict = _best_of(
+            lambda: exponential_greedy_spanner(g, K, f, backend="dict"),
+            repeats,
+        )
+        t_csr, r_csr = _best_of(
+            lambda: exponential_greedy_spanner(g, K, f, backend="csr"),
+            repeats,
+        )
+        identical = (
+            set(r_dict.spanner.edges()) == set(r_csr.spanner.edges())
+            and r_dict.certificates == r_csr.certificates
+        )
+        rows.append(_row(n, p, g.num_edges, {
+            "spanner_edges": r_csr.spanner.num_edges,
+        }, t_dict, t_csr, identical))
+    return {
+        "description": "exponential_greedy_spanner, weighted "
+                       "(branch-and-bound Dijkstra)",
+        "parameters": {"k": K, "f": f, "fault_model": "vertex"},
+        "instances": rows,
+    }
+
+
+def bench_verification(instances, repeats):
+    rows = []
+    f = 1
+    t = 2 * K - 1
+    for n, p in instances:
+        g = generators.weighted_gnp(n, p, seed=SEED)
+        h = fault_tolerant_spanner(g, K, f).spanner
+        t_dict, r_dict = _best_of(
+            lambda: verify_ft_spanner(g, h, t=t, f=f, backend="dict"),
+            repeats,
+        )
+        t_csr, r_csr = _best_of(
+            lambda: verify_ft_spanner(g, h, t=t, f=f, backend="csr"),
+            repeats,
+        )
+        identical = (
+            r_dict.ok == r_csr.ok
+            and r_dict.exhaustive == r_csr.exhaustive
+            and r_dict.fault_sets_checked == r_csr.fault_sets_checked
+            and r_dict.counterexample == r_csr.counterexample
+        )
+        rows.append(_row(n, p, g.num_edges, {
+            "spanner_edges": h.num_edges,
+            "fault_sets_checked": r_csr.fault_sets_checked,
+        }, t_dict, t_csr, identical))
+    return {
+        "description": "verify_ft_spanner, weighted, exhaustive "
+                       "(Dijkstra sweep per fault set)",
+        "parameters": {"t": t, "f": f, "fault_model": "vertex"},
+        "instances": rows,
+    }
+
+
+def run(repeats: int = 3, quick: bool = False):
+    """Benchmark every scenario; returns the report dict."""
+    if quick:
+        plan = [
+            ("modified_greedy_unit", bench_modified_greedy, QUICK_MODIFIED),
+            ("classic_greedy_weighted", bench_classic_greedy, QUICK_CLASSIC),
+            ("exponential_greedy_weighted", bench_exponential_greedy,
+             QUICK_EXPONENTIAL),
+            ("verification_sweep", bench_verification, QUICK_VERIFICATION),
+        ]
+        repeats = 1
+    else:
+        plan = [
+            ("modified_greedy_unit", bench_modified_greedy,
+             MODIFIED_INSTANCES),
+            ("classic_greedy_weighted", bench_classic_greedy,
+             CLASSIC_INSTANCES),
+            ("exponential_greedy_weighted", bench_exponential_greedy,
+             EXPONENTIAL_INSTANCES),
+            ("verification_sweep", bench_verification,
+             VERIFICATION_INSTANCES),
+        ]
+    scenarios = {}
+    for name, fn, instances in plan:
+        print(f"{name}:")
+        scenarios[name] = fn(instances, repeats)
+    # Scoped name: this tracks only the BFS/LBC hot-path scenario (the
+    # headline trajectory since PR 1), not the Dijkstra scenarios.
+    modified_rows = scenarios["modified_greedy_unit"]["instances"]
+    return {
+        "benchmark": "dict vs csr backend",
+        "quick": quick,
+        "seed": SEED,
+        "repeats": repeats,
+        "timing": "best-of-repeats",
+        "python": platform.python_version(),
+        "scenarios": scenarios,
+        "modified_greedy_largest_instance_speedup":
+            modified_rows[-1]["speedup"],
+    }
+
+
+def _all_parity_ok(report) -> bool:
+    return all(
+        row["identical_outputs"]
+        for scenario in report["scenarios"].values()
+        for row in scenario["instances"]
+    )
 
 
 def main(argv=None) -> int:
@@ -89,11 +251,17 @@ def main(argv=None) -> int:
                              f"(default: {DEFAULT_OUTPUT})")
     parser.add_argument("--repeats", type=int, default=3,
                         help="timing repetitions per backend (default 3)")
+    parser.add_argument("--quick", action="store_true",
+                        help="smoke run: tiny instances, one repeat "
+                             "(parity checks still apply)")
     args = parser.parse_args(argv)
-    report = run(repeats=args.repeats)
-    args.output.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"report written to {args.output}")
-    if not all(r["identical_edge_sets"] for r in report["instances"]):
+    report = run(repeats=args.repeats, quick=args.quick)
+    if args.quick and args.output == DEFAULT_OUTPUT:
+        print("quick run: skipping JSON write (pass --output to force)")
+    else:
+        args.output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"report written to {args.output}")
+    if not _all_parity_ok(report):
         print("ERROR: backend parity violated")
         return 1
     return 0

@@ -15,6 +15,10 @@ fault-tolerant constructions:
 * :mod:`~repro.applications.availability` -- Monte-Carlo availability
   analysis: how do a network and its spanner degrade under random
   failures beyond the designed fault budget f?
+
+Backends: this layer consumes spanners (built on the CSR backend by
+default) but queries them on the dict reference path -- each module's
+docstring states its own cost model and why CSR is or is not applied.
 """
 
 from repro.applications.oracle import FaultTolerantDistanceOracle

@@ -13,6 +13,13 @@ to expose where the spanner's behavior falls off the guarantee cliff
 (beyond f the stretch bound no longer holds -- measuring by how much it
 is exceeded in practice is exactly the kind of evidence a deployment
 decision needs).
+
+Backend: dict.  Each sampled scenario runs paired Dijkstras over lazy
+``VertexFaultView``s of the graph and the spanner -- O(samples * pairs)
+distance probes overall.  Scenarios here are random and numerous rather
+than enumerated and adversarial, so the per-call mask-reuse pattern the
+CSR verification sweeps exploit matters less; porting this sampler to a
+shared CSR snapshot is future work if it ever dominates a profile.
 """
 
 from __future__ import annotations

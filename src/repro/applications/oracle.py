@@ -15,6 +15,12 @@ instead of m -- and evaluates queries with Dijkstra on the (faulted)
 spanner.  A per-fault-set LRU of single-source runs amortizes batches of
 queries against the same failure scenario, which is the common pattern
 in monitoring workloads (one scenario, many pairs).
+
+Backend: dict.  Each cache miss is one single-source Dijkstra on the
+faulted spanner -- O(m' + n log n) for a spanner with m' edges -- and
+the LRU already amortizes the per-scenario pattern; porting the misses
+to a shared CSR snapshot (as the verification sweeps do) is a noted
+ROADMAP item for batch workloads.
 """
 
 from __future__ import annotations

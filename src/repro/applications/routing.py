@@ -14,6 +14,12 @@ within stretch (2k-1) of the true post-fault distance always exists.
 Routes are loop-free by construction (next hops follow a shortest-path
 tree for the current fault set), which the tests check by walking every
 route to termination.
+
+Backend: dict.  Table construction is n single-source Dijkstras on the
+spanner (O(n (m' + n log n)) total); a reported fault set triggers one
+rebuild per affected destination on the faulted view.  Next-hop lookups
+themselves are O(1) table reads, so the CSR machinery would only touch
+the (precomputed, infrequent) rebuild path.
 """
 
 from __future__ import annotations

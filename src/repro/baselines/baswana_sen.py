@@ -15,6 +15,10 @@ Phase 2: every vertex still clustered adds its lightest edge to each
 adjacent cluster of the final clustering.
 
 Expected size O(k n^(1+1/k)); stretch 2k - 1 for weighted graphs.
+
+Backend: dict only.  The k - 1 clustering rounds touch every edge a
+constant number of times each -- O(k m) total, no shortest-path probes
+at all -- so the CSR traversal machinery is not applicable.
 """
 
 from __future__ import annotations

@@ -59,7 +59,7 @@ _ALGORITHMS = {
         g, k, max(f, 1), seed=seed
     ),
     "classic": lambda g, k, f, seed, model, backend: classic_greedy_spanner(
-        g, k
+        g, k, backend=backend
     ),
     "baswana-sen": lambda g, k, f, seed, model, backend: baswana_sen_spanner(
         g, k, seed=seed
@@ -113,6 +113,10 @@ def _build_parser() -> argparse.ArgumentParser:
                         default="vertex")
     verify.add_argument("--samples", type=int, default=300)
     verify.add_argument("--seed", type=int, default=0)
+    verify.add_argument("--backend", choices=["dict", "csr"], default=None,
+                        help="execution backend for the verification sweep "
+                             "(default: csr, or REPRO_BACKEND when set); "
+                             "the report is identical either way")
 
     info = sub.add_parser("info", help="print graph statistics")
     info.add_argument("graph", help="graph file")
@@ -153,7 +157,7 @@ def _cmd_build(args) -> int:
     if args.verify:
         report = verify_ft_spanner(
             g, result.spanner, t=2 * args.k - 1, f=args.f,
-            fault_model=args.fault_model, seed=args.seed,
+            fault_model=args.fault_model, seed=args.seed, backend=backend,
         )
         kind = "exhaustive" if report.exhaustive else "sampled"
         print(f"verification ({kind}, {report.fault_sets_checked} fault sets): "
@@ -170,9 +174,13 @@ def _cmd_build(args) -> int:
 def _cmd_verify(args) -> int:
     g = graph_io.load(args.graph)
     h = graph_io.load(args.spanner)
+    try:
+        backend = resolve_backend(args.backend)
+    except ValueError as exc:
+        raise SystemExit(f"ftspanner verify: error: {exc}")
     report = verify_ft_spanner(
         g, h, t=args.t, f=args.f, fault_model=args.fault_model,
-        samples=args.samples, seed=args.seed,
+        samples=args.samples, seed=args.seed, backend=backend,
     )
     kind = "exhaustive" if report.exhaustive else "sampled"
     print(f"checked {report.fault_sets_checked} fault sets ({kind})")

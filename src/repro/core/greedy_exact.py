@@ -28,7 +28,14 @@ from repro.core.spanner import FaultModel, SpannerResult, resolve_backend
 from repro.graph.csr import CSRBuilder
 from repro.graph.graph import Edge, Graph, Node, edge_key
 from repro.graph.index import NodeIndexer
-from repro.graph.traversal import BFSWorkspace, dijkstra, shortest_path
+from repro.graph.traversal import (
+    BFSWorkspace,
+    DijkstraWorkspace,
+    csr_bounded_dijkstra_path,
+    csr_bounded_dijkstra_path_edges,
+    dijkstra,
+    shortest_path,
+)
 from repro.graph.views import EdgeFaultView, GraphView, VertexFaultView
 from repro.lbc.exact import (
     exact_edge_lbc,
@@ -52,11 +59,13 @@ def exponential_greedy_spanner(
     :func:`repro.core.greedy_modified.fault_tolerant_spanner` for anything
     larger.
 
-    On unit-weighted inputs ``backend="csr"`` (the default) runs the
-    branch-and-bound cut search over a growing flat-array spanner with a
-    shared BFS workspace, exactly like the modified greedy's fast path;
-    weighted inputs always use the dict path (the weighted search is
-    Dijkstra-based and not CSR-accelerated yet).
+    With ``backend="csr"`` (the default) the branch-and-bound cut search
+    runs over a growing flat-array spanner: unit-weighted inputs use
+    hop-bounded BFS with a shared :class:`BFSWorkspace` (exactly like the
+    modified greedy's fast path), weighted inputs use truncated Dijkstra
+    with a shared :class:`DijkstraWorkspace` and generation-stamped fault
+    masks in place of per-candidate fault views.  Either way the output
+    is identical to ``backend="dict"``.
     """
     model = FaultModel.coerce(fault_model)
     if k < 1:
@@ -68,21 +77,27 @@ def exponential_greedy_spanner(
     certificates = {}
     considered = 0
     unit = g.is_unit_weighted()
-    # Resolve before the unit check so a bad backend name is rejected on
-    # weighted inputs too, not silently swallowed.
-    use_csr = resolve_backend(backend) == "csr" and unit
+    use_csr = resolve_backend(backend) == "csr"
     if use_csr:
         indexer = NodeIndexer.from_graph(g)
         index = indexer.index
         builder = CSRBuilder(len(indexer))
-        workspace = BFSWorkspace(len(indexer))
+        if unit:
+            workspace = BFSWorkspace(len(indexer))
+        else:
+            dworkspace = DijkstraWorkspace(len(indexer))
 
     edges = sorted(g.weighted_edges(), key=lambda e: e[2])
     for u, v, w in edges:
         considered += 1
-        if use_csr:
+        if use_csr and unit:
             cut = _csr_violating_fault_set(
                 builder, index(u), index(v), t, f, model, workspace, indexer
+            )
+        elif use_csr:
+            cut = _csr_weighted_violating_fault_set(
+                builder, index(u), index(v), t * w, f, model, dworkspace,
+                indexer,
             )
         else:
             cut = _find_violating_fault_set(h, u, v, t, f, w, model, unit)
@@ -135,6 +150,95 @@ def _csr_violating_fault_set(
     return frozenset(
         edge_key(node(edge_u[e]), node(edge_v[e])) for e in cut
     )
+
+
+def _csr_weighted_violating_fault_set(
+    builder: CSRBuilder,
+    ui: int,
+    vi: int,
+    budget: float,
+    f: int,
+    model: FaultModel,
+    workspace: DijkstraWorkspace,
+    indexer: NodeIndexer,
+) -> Optional[FrozenSet]:
+    """CSR twin of the weighted branch of :func:`_find_violating_fault_set`.
+
+    Same branch-and-bound as :func:`_weighted_vertex_search` /
+    :func:`_weighted_edge_search`, but the "remove F and re-probe" step
+    is a mask re-stamp (O(|F|), |F| <= f) plus a truncated CSR Dijkstra
+    instead of a fresh fault view and a dict-based shortest-path run.
+    The fault stack and both masks live in ``workspace``, so the whole
+    exponential search allocates nothing but the heaps and found paths.
+    Cuts are translated back to node objects / canonical edge tuples so
+    certificates match the dict backend's exactly.
+    """
+    faults: List[int] = []
+    found: List[Optional[FrozenSet]] = [None]
+    if model is FaultModel.VERTEX:
+        mask = workspace.vertex_mask
+        mask.ensure(builder.num_nodes)
+
+        def probe() -> Optional[List[int]]:
+            mask.clear()
+            mask.add_all(faults)
+            return csr_bounded_dijkstra_path(
+                builder, ui, vi, max_dist=budget, workspace=workspace,
+                vertex_mask=mask,
+            )
+
+        def search(remaining: int) -> None:
+            path = probe()
+            if path is None:
+                found[0] = frozenset(
+                    indexer.node(i) for i in faults
+                )
+                return
+            interior = path[1:-1]
+            if not interior or remaining == 0:
+                return
+            for x in interior:
+                faults.append(x)
+                search(remaining - 1)
+                faults.pop()
+                if found[0] is not None:
+                    return
+
+        search(f)
+        return found[0]
+
+    mask = workspace.edge_mask
+    mask.ensure(builder.num_edges)
+    node = indexer.node
+    edge_u, edge_v = builder.edge_u, builder.edge_v
+
+    def probe_edges() -> Optional[List[int]]:
+        mask.clear()
+        mask.add_all(faults)
+        result = csr_bounded_dijkstra_path_edges(
+            builder, ui, vi, max_dist=budget, workspace=workspace,
+            edge_mask=mask,
+        )
+        return None if result is None else result[1]
+
+    def search_edges(remaining: int) -> None:
+        eids = probe_edges()
+        if eids is None:
+            found[0] = frozenset(
+                edge_key(node(edge_u[e]), node(edge_v[e])) for e in faults
+            )
+            return
+        if remaining == 0:
+            return
+        for e in eids:
+            faults.append(e)
+            search_edges(remaining - 1)
+            faults.pop()
+            if found[0] is not None:
+                return
+
+    search_edges(f)
+    return found[0]
 
 
 def _find_violating_fault_set(

@@ -12,11 +12,11 @@ buffers (classic compressed-sparse-row layout), with O(1)-clear fault
 Three pieces:
 
 * :class:`CSRGraph` -- a frozen snapshot built once from a ``Graph``
-  (``indptr`` / ``indices`` / per-edge ``weights``), with zero-copy
-  per-node ``memoryview`` rows for fast neighbor iteration.
+  (``indptr`` / ``indices`` / per-edge ``weights``), with per-node list
+  rows for fast neighbor iteration.
 * :class:`CSRBuilder` -- an appendable variant for the greedy loop, where
-  the spanner ``H`` grows one edge at a time: chunked per-node adjacency
-  arrays with O(1) amortized appends, and :meth:`CSRBuilder.repack` to
+  the spanner ``H`` grows one edge at a time: per-node adjacency rows
+  with O(1) amortized appends, and :meth:`CSRBuilder.repack` to
   consolidate into a frozen :class:`CSRGraph` when mutation stops.
 * :class:`FaultMask` -- a generation-stamped ``bytearray`` membership
   mask over integer ids (node indices or edge ids).  ``clear()`` is O(1)
@@ -118,9 +118,12 @@ class CSRGraph:
         Parallel to ``indices``: the edge id of each incidence.
     weights, edge_u, edge_v:
         Per-edge-id weight and canonical endpoints (``edge_u < edge_v``).
-    neighbors, edge_id_rows:
-        Per-node zero-copy ``memoryview`` rows into the flat arrays --
-        what the traversal inner loop iterates.
+    neighbors, edge_id_rows, weight_rows:
+        Per-node list rows materialized from the flat arrays -- what the
+        traversal inner loops iterate.  ``weight_rows`` repeats each
+        edge weight per incidence so Dijkstra reads weights in row order
+        instead of the indirect ``weights[erow[j]]``; it is built lazily
+        on first access, so BFS-only consumers never pay for it.
     indexer:
         The :class:`NodeIndexer` mapping node objects to indices (may be
         ``None`` for purely index-level graphs).
@@ -129,7 +132,7 @@ class CSRGraph:
     __slots__ = (
         "num_nodes", "num_edges", "indptr", "indices", "nbr_edge_ids",
         "weights", "edge_u", "edge_v", "neighbors", "edge_id_rows",
-        "indexer", "_eid_of",
+        "_weight_rows", "indexer", "_eid_of",
     )
 
     def __init__(
@@ -157,14 +160,31 @@ class CSRGraph:
                 (edge_u[e], edge_v[e]): e for e in range(len(weights))
             }
         self._eid_of = eid_of
-        mv_idx = memoryview(indices)
-        mv_eid = memoryview(nbr_edge_ids)
+        # Rows are materialized as plain lists: iterating a list of
+        # already-boxed ints/floats is measurably faster in CPython than
+        # iterating an array/memoryview slice (which must box every
+        # element on each pass), and these rows are scanned millions of
+        # times per run.  The flat arrays above stay the storage of
+        # record for edge-level data.
         self.neighbors: List[Sequence[int]] = [
-            mv_idx[indptr[i]:indptr[i + 1]] for i in range(self.num_nodes)
+            indices[indptr[i]:indptr[i + 1]].tolist()
+            for i in range(self.num_nodes)
         ]
         self.edge_id_rows: List[Sequence[int]] = [
-            mv_eid[indptr[i]:indptr[i + 1]] for i in range(self.num_nodes)
+            nbr_edge_ids[indptr[i]:indptr[i + 1]].tolist()
+            for i in range(self.num_nodes)
         ]
+        self._weight_rows: Optional[List[Sequence[float]]] = None
+
+    @property
+    def weight_rows(self) -> List[Sequence[float]]:
+        """Per-incidence weight rows, built on first (Dijkstra) access."""
+        rows = self._weight_rows
+        if rows is None:
+            weights = self.weights
+            rows = [[weights[e] for e in row] for row in self.edge_id_rows]
+            self._weight_rows = rows
+        return rows
 
     @classmethod
     def from_graph(
@@ -276,28 +296,31 @@ class CSRGraph:
 class CSRBuilder:
     """An appendable CSR-style graph for the greedy's growing spanner.
 
-    Adjacency is chunked per node (one ``array('q')`` of neighbor indices
-    and one of edge ids per node), so ``add_edge`` is O(1) amortized and
-    neighbor iteration stays a C-speed scan over a contiguous buffer.
-    :meth:`repack` consolidates the chunks into a frozen :class:`CSRGraph`
-    once mutation stops (or periodically, if a long-lived builder wants
-    flat rows back).
+    Adjacency is chunked per node (one list of neighbor indices, one of
+    edge ids, and one of weights per node), so ``add_edge`` is O(1)
+    amortized and neighbor iteration is a C-speed scan over
+    already-boxed elements.  :meth:`repack` consolidates the chunks into
+    a frozen :class:`CSRGraph` once mutation stops (or periodically, if
+    a long-lived builder wants flat edge arrays back).
 
     The builder exposes the same attributes the traversal layer reads
     from :class:`CSRGraph` (``num_nodes``, ``num_edges``, ``neighbors``,
-    ``edge_id_rows``, ``weights``, ``edge_u``, ``edge_v``), so BFS code
-    is agnostic between the two.
+    ``edge_id_rows``, ``weight_rows``, ``weights``, ``edge_u``,
+    ``edge_v``), so BFS and Dijkstra code is agnostic between the two.
     """
 
     __slots__ = (
-        "neighbors", "edge_id_rows", "weights", "edge_u", "edge_v", "_eid_of",
+        "neighbors", "edge_id_rows", "weight_rows", "weights", "edge_u",
+        "edge_v", "_eid_of",
     )
 
     def __init__(self, num_nodes: int = 0) -> None:
-        self.neighbors: List[array] = [array("q") for _ in range(num_nodes)]
-        self.edge_id_rows: List[array] = [
-            array("q") for _ in range(num_nodes)
-        ]
+        # Plain-list rows for the same reason as CSRGraph: the traversal
+        # inner loops iterate them constantly, and list iteration skips
+        # the per-element boxing an array would pay.
+        self.neighbors: List[List[int]] = [[] for _ in range(num_nodes)]
+        self.edge_id_rows: List[List[int]] = [[] for _ in range(num_nodes)]
+        self.weight_rows: List[List[float]] = [[] for _ in range(num_nodes)]
         self.weights = array("d")
         self.edge_u = array("q")
         self.edge_v = array("q")
@@ -314,8 +337,9 @@ class CSRBuilder:
     def add_node(self) -> int:
         """Append a fresh isolated node; returns its index."""
         i = len(self.neighbors)
-        self.neighbors.append(array("q"))
-        self.edge_id_rows.append(array("q"))
+        self.neighbors.append([])
+        self.edge_id_rows.append([])
+        self.weight_rows.append([])
         return i
 
     def ensure_nodes(self, n: int) -> None:
@@ -336,6 +360,14 @@ class CSRBuilder:
         eid = self._eid_of.get(key)
         if eid is not None:
             self.weights[eid] = weight
+            # Keep the per-incidence weight copies in sync (O(deg) scan;
+            # re-adding an edge is rare -- the greedy never does).
+            for x in key:
+                erow = self.edge_id_rows[x]
+                for pos in range(len(erow)):
+                    if erow[pos] == eid:
+                        self.weight_rows[x][pos] = weight
+                        break
             return eid
         eid = len(self.weights)
         self._eid_of[key] = eid
@@ -344,8 +376,10 @@ class CSRBuilder:
         self.edge_v.append(key[1])
         self.neighbors[i].append(j)
         self.edge_id_rows[i].append(eid)
+        self.weight_rows[i].append(weight)
         self.neighbors[j].append(i)
         self.edge_id_rows[j].append(eid)
+        self.weight_rows[j].append(weight)
         return eid
 
     def degree(self, i: int) -> int:

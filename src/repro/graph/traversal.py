@@ -20,17 +20,25 @@ Two execution backends live here:
   generation-stamped visited bytes, and preallocated parent/depth/queue
   buffers owned by a :class:`BFSWorkspace` -- so a full greedy run makes
   zero per-call allocations of visited structures.  Fault sets arrive as
-  :class:`~repro.graph.csr.FaultMask` stamps rather than views.
+  :class:`~repro.graph.csr.FaultMask` stamps rather than views.  The
+  weighted twins -- :func:`csr_dijkstra`, :func:`csr_weighted_distance`,
+  :func:`csr_bounded_dijkstra_path` and
+  :func:`csr_bounded_dijkstra_path_edges` -- apply the same discipline to
+  binary-heap Dijkstra through a :class:`DijkstraWorkspace` (preallocated
+  distance/predecessor arrays, generation-stamped labels, fault-mask
+  pre-stamping, early exit on the target, ``max_dist`` pruning).
 
 Both backends visit neighbors in identical order (CSR rows preserve dict
-insertion order), so they return the *same* paths, not just paths of the
-same length.
+insertion order) and break distance ties identically (heap entries carry
+an insertion counter), so they return the *same* paths, not just paths of
+the same length.
 """
 
 from __future__ import annotations
 
 import heapq
 import math
+from array import array
 from collections import deque
 from typing import Dict, List, Optional, Set, Tuple, Union
 
@@ -515,6 +523,393 @@ def _csr_path_edges(
     while parent[u] != -1:
         eids.append(parent_eid[u])
         u = parent[u]
+        nodes.append(u)
+    nodes.reverse()
+    eids.reverse()
+    return nodes, eids
+
+
+# --------------------------------------------------------------------- #
+# CSR backend: binary-heap Dijkstra with a reusable workspace
+# --------------------------------------------------------------------- #
+
+
+class DijkstraWorkspace:
+    """Preallocated scratch buffers for the CSR Dijkstra primitives.
+
+    The weighted analogue of :class:`BFSWorkspace`: one workspace serves
+    an unbounded number of Dijkstra calls over graphs of any (growing)
+    size.  ``ensure`` only ever extends the buffers, and two
+    generation-stamped byte arrays (``label``: the node has a valid
+    tentative distance; ``settled``: the node's distance is final) make
+    the per-call reset O(1).  Faulted vertices are pre-stamped as settled
+    so the relaxation inner loop never tests a vertex mask.  The
+    workspace also owns a vertex and an edge :class:`FaultMask`, so
+    callers sweeping many fault sets need no further allocation beyond
+    the heap itself (a plain list, rebuilt per call -- its size is
+    bounded by the number of relaxations, and pushing to a fresh list is
+    cheaper than zeroing a preallocated arena).
+
+    Not thread-safe; use one workspace per thread.
+    """
+
+    __slots__ = (
+        "dist", "pred", "pred_eid", "label", "settled", "gen",
+        "vertex_mask", "edge_mask",
+    )
+
+    def __init__(self, num_nodes: int = 0, num_edges: int = 0) -> None:
+        self.dist = array("d", bytes(8 * num_nodes))
+        self.pred = [0] * num_nodes
+        self.pred_eid = [0] * num_nodes
+        self.label = bytearray(num_nodes)
+        self.settled = bytearray(num_nodes)
+        self.gen = 1
+        self.vertex_mask = FaultMask(num_nodes)
+        self.edge_mask = FaultMask(num_edges)
+
+    def ensure(self, num_nodes: int, num_edges: int = 0) -> None:
+        """Grow every buffer to cover the given node/edge counts."""
+        short = num_nodes - len(self.label)
+        if short > 0:
+            self.dist.extend(array("d", bytes(8 * short)))
+            self.pred.extend([0] * short)
+            self.pred_eid.extend([0] * short)
+            self.label.extend(bytes(short))
+            self.settled.extend(bytes(short))
+            self.vertex_mask.ensure(num_nodes)
+        self.edge_mask.ensure(num_edges)
+
+    def next_generation(self) -> int:
+        """Advance and return the stamp generation (O(1) amortized)."""
+        self.gen += 1
+        if self.gen == 256:
+            self.label[:] = bytes(len(self.label))
+            self.settled[:] = bytes(len(self.settled))
+            self.gen = 1
+        return self.gen
+
+
+def _csr_dijkstra(
+    csr: CSRLike,
+    source: int,
+    target: Optional[int],
+    max_dist: float,
+    ws: DijkstraWorkspace,
+    vertex_mask: Optional[FaultMask],
+    edge_mask: Optional[FaultMask],
+    need_edge_ids: bool = False,
+) -> List[int]:
+    """Core Dijkstra over CSR adjacency; returns settled nodes in order.
+
+    The relaxation mirrors the dict backend's :func:`shortest_path`
+    (update the predecessor only on a *strict* improvement, heap ties
+    broken by push order), so reconstructed paths match the dict backend
+    node for node.  Distances in ``ws.dist`` are valid exactly for the
+    returned nodes; ``ws.pred`` (and, when ``need_edge_ids``,
+    ``ws.pred_eid``) hold the shortest-path tree (``-1`` at the source).
+
+    Structural savings mirror :func:`_csr_search`:
+
+    * Faulted vertices are pre-stamped as settled (O(|F|) per call), so
+      the relaxation loop carries no vertex-mask test; only edge masks
+      are tested, and only when one is present.  Without an edge mask
+      the loop never touches edge ids at all: weights are read from the
+      per-incidence ``weight_rows``.
+    * When ``target`` is given the search stops the moment it is settled
+      (its distance is already final), and ``max_dist`` prunes every
+      relaxation past the budget, keeping the heap small on the truncated
+      queries the greedy and verification sweeps issue.
+
+    Callers that need only the s-t distance should prefer
+    :func:`_csr_probe`, which skips the settled-list and tree
+    bookkeeping entirely.
+    """
+    ws.ensure(csr.num_nodes, csr.num_edges)
+    gen = ws.next_generation()
+    dist = ws.dist
+    settled = ws.settled
+    rows = csr.neighbors
+    wrows = csr.weight_rows
+    if vertex_mask is not None:
+        for b in vertex_mask.members:
+            settled[b] = gen
+    label = ws.label
+    dist[source] = 0.0
+    label[source] = gen
+    heap: List[Tuple[float, int, int]] = [(0.0, 0, source)]
+    counter = 1
+    reached: List[int] = []
+    push = heapq.heappush
+    pop = heapq.heappop
+    estamp = egen = None
+    if edge_mask is not None:
+        estamp, egen = edge_mask.stamp, edge_mask.gen
+    pred = ws.pred
+    pred[source] = -1
+    if edge_mask is not None or need_edge_ids:
+        eid_rows = csr.edge_id_rows
+        pred_eid = ws.pred_eid
+        pred_eid[source] = -1
+        while heap:
+            d, _, u = pop(heap)
+            if settled[u] == gen:
+                continue  # stale heap entry (or pre-stamped fault)
+            settled[u] = gen
+            reached.append(u)
+            if u == target:
+                break
+            for v, e, w in zip(rows[u], eid_rows[u], wrows[u]):
+                if settled[v] == gen:
+                    continue
+                if estamp is not None and estamp[e] == egen:
+                    continue
+                nd = d + w
+                if nd > max_dist:
+                    continue
+                if label[v] != gen or nd < dist[v]:
+                    label[v] = gen
+                    dist[v] = nd
+                    pred[v] = u
+                    pred_eid[v] = e
+                    push(heap, (nd, counter, v))
+                    counter += 1
+    else:
+        while heap:
+            d, _, u = pop(heap)
+            if settled[u] == gen:
+                continue  # stale heap entry (or pre-stamped fault)
+            settled[u] = gen
+            reached.append(u)
+            if u == target:
+                break
+            for v, w in zip(rows[u], wrows[u]):
+                if settled[v] == gen:
+                    continue
+                nd = d + w
+                if nd > max_dist:
+                    continue
+                if label[v] != gen or nd < dist[v]:
+                    label[v] = gen
+                    dist[v] = nd
+                    pred[v] = u
+                    push(heap, (nd, counter, v))
+                    counter += 1
+    return reached
+
+
+def _csr_probe(
+    csr: CSRLike,
+    source: int,
+    target: int,
+    max_dist: float,
+    ws: DijkstraWorkspace,
+    vertex_mask: Optional[FaultMask],
+    edge_mask: Optional[FaultMask],
+) -> float:
+    """Leanest Dijkstra variant: the s-t distance, or ``inf``.
+
+    The per-probe workhorse of the verification sweeps and the classic
+    greedy: no settled list, no predecessor stores -- just the
+    generation-stamped label/settled discipline and the heap.  Returns
+    the exact distance when ``target`` is reachable within ``max_dist``
+    and ``INFINITY`` otherwise (distances are identical to
+    :func:`_csr_dijkstra`; ties cannot change a minimum).
+    """
+    ws.ensure(csr.num_nodes, csr.num_edges)
+    gen = ws.next_generation()
+    dist = ws.dist
+    label = ws.label
+    settled = ws.settled
+    rows = csr.neighbors
+    wrows = csr.weight_rows
+    if vertex_mask is not None:
+        for b in vertex_mask.members:
+            settled[b] = gen
+    dist[source] = 0.0
+    label[source] = gen
+    # (dist, node) pairs suffice here: both elements are always
+    # comparable, and tie order cannot change the minimum distance the
+    # probe returns (unlike the path variants, which carry a push
+    # counter to reproduce the dict backend's tie-breaking).
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    push = heapq.heappush
+    pop = heapq.heappop
+    if edge_mask is not None:
+        estamp, egen = edge_mask.stamp, edge_mask.gen
+        eid_rows = csr.edge_id_rows
+        while heap:
+            d, u = pop(heap)
+            if settled[u] == gen:
+                continue  # stale heap entry (or pre-stamped fault)
+            if u == target:
+                return d  # settled distance is final; row scan unneeded
+            settled[u] = gen
+            for v, e, w in zip(rows[u], eid_rows[u], wrows[u]):
+                if settled[v] == gen or estamp[e] == egen:
+                    continue
+                nd = d + w
+                if nd > max_dist:
+                    continue
+                if label[v] != gen or nd < dist[v]:
+                    label[v] = gen
+                    dist[v] = nd
+                    push(heap, (nd, v))
+    else:
+        while heap:
+            d, u = pop(heap)
+            if settled[u] == gen:
+                continue
+            if u == target:
+                return d
+            settled[u] = gen
+            for v, w in zip(rows[u], wrows[u]):
+                if settled[v] == gen:
+                    continue
+                nd = d + w
+                if nd > max_dist:
+                    continue
+                if label[v] != gen or nd < dist[v]:
+                    label[v] = gen
+                    dist[v] = nd
+                    push(heap, (nd, v))
+    return INFINITY
+
+
+def csr_dijkstra(
+    csr: CSRLike,
+    source: int,
+    target: Optional[int] = None,
+    max_dist: Optional[float] = None,
+    workspace: Optional[DijkstraWorkspace] = None,
+    vertex_mask: Optional[FaultMask] = None,
+    edge_mask: Optional[FaultMask] = None,
+) -> Dict[int, float]:
+    """Weighted distances from node index ``source``: CSR twin of
+    :func:`dijkstra`.
+
+    Returns ``{node_index: distance}`` for every node settled before the
+    search stopped (target reached, budget exceeded, or graph
+    exhausted); missing entries mean unreachable/pruned, exactly like
+    the dict variant.
+    """
+    _csr_check_terminal(csr, source, vertex_mask, "source")
+    ws = workspace if workspace is not None else DijkstraWorkspace()
+    budget = INFINITY if max_dist is None else max_dist
+    reached = _csr_dijkstra(
+        csr, source, target, budget, ws, vertex_mask, edge_mask
+    )
+    dist = ws.dist
+    # O(settled), not O(n): a truncated query pays only for what it
+    # touched.
+    return {i: dist[i] for i in reached}
+
+
+def csr_weighted_distance(
+    csr: CSRLike,
+    source: int,
+    target: int,
+    max_dist: Optional[float] = None,
+    workspace: Optional[DijkstraWorkspace] = None,
+    vertex_mask: Optional[FaultMask] = None,
+    edge_mask: Optional[FaultMask] = None,
+) -> float:
+    """Weighted s-t distance, or ``inf`` if unreachable within ``max_dist``.
+
+    The allocation-free primitive the verification sweeps loop on: no
+    result dict, no path list -- just the scalar distance (early exit on
+    the target, pruning past the budget).
+    """
+    _csr_check_terminal(csr, source, vertex_mask, "source")
+    _csr_check_terminal(csr, target, vertex_mask, "target")
+    if source == target:
+        return 0.0
+    ws = workspace if workspace is not None else DijkstraWorkspace()
+    budget = INFINITY if max_dist is None else max_dist
+    return _csr_probe(csr, source, target, budget, ws, vertex_mask, edge_mask)
+
+
+def csr_bounded_dijkstra_path(
+    csr: CSRLike,
+    source: int,
+    target: int,
+    max_dist: Optional[float] = None,
+    workspace: Optional[DijkstraWorkspace] = None,
+    vertex_mask: Optional[FaultMask] = None,
+    edge_mask: Optional[FaultMask] = None,
+) -> Optional[List[int]]:
+    """A minimum-weight path of total weight <= ``max_dist``, or ``None``.
+
+    CSR twin of the dict backend's :func:`shortest_path` (with
+    ``max_dist=None``) and of the truncated "path within budget" probe
+    the weighted exact greedy branches on.  Returns the node-index
+    sequence of a minimum-weight ``source -> target`` path avoiding
+    masked vertices/edges, or ``None`` when every path exceeds the
+    budget (pruning makes that equivalent to the unbudgeted shortest
+    path being too heavy, since sub-paths of shortest paths are
+    shortest).
+    """
+    _csr_check_terminal(csr, source, vertex_mask, "source")
+    _csr_check_terminal(csr, target, vertex_mask, "target")
+    if source == target:
+        return [source]
+    ws = workspace if workspace is not None else DijkstraWorkspace()
+    budget = INFINITY if max_dist is None else max_dist
+    reached = _csr_dijkstra(
+        csr, source, target, budget, ws, vertex_mask, edge_mask
+    )
+    if reached and reached[-1] == target:
+        return _dijkstra_path(ws, target)
+    return None
+
+
+def _dijkstra_path(ws: DijkstraWorkspace, target: int) -> List[int]:
+    """Walk ``ws.pred`` pointers back from a just-settled ``target``."""
+    path = [target]
+    pred = ws.pred
+    u = pred[target]
+    while u != -1:
+        path.append(u)
+        u = pred[u]
+    path.reverse()
+    return path
+
+
+def csr_bounded_dijkstra_path_edges(
+    csr: CSRLike,
+    source: int,
+    target: int,
+    max_dist: Optional[float] = None,
+    workspace: Optional[DijkstraWorkspace] = None,
+    vertex_mask: Optional[FaultMask] = None,
+    edge_mask: Optional[FaultMask] = None,
+) -> Optional[Tuple[List[int], List[int]]]:
+    """Like :func:`csr_bounded_dijkstra_path` but also returns edge ids.
+
+    Returns ``(nodes, edge_ids)`` with ``len(edge_ids) == len(nodes) - 1``
+    -- what the weighted edge-fault branch-and-bound needs to stamp a
+    path into its fault mask without endpoint->id lookups.
+    """
+    _csr_check_terminal(csr, source, vertex_mask, "source")
+    _csr_check_terminal(csr, target, vertex_mask, "target")
+    if source == target:
+        return [source], []
+    ws = workspace if workspace is not None else DijkstraWorkspace()
+    budget = INFINITY if max_dist is None else max_dist
+    reached = _csr_dijkstra(
+        csr, source, target, budget, ws, vertex_mask, edge_mask,
+        need_edge_ids=True,
+    )
+    if not reached or reached[-1] != target:
+        return None
+    nodes = [target]
+    eids: List[int] = []
+    pred = ws.pred
+    pred_eid = ws.pred_eid
+    u = target
+    while pred[u] != -1:
+        eids.append(pred_eid[u])
+        u = pred[u]
         nodes.append(u)
     nodes.reverse()
     eids.reverse()

@@ -12,6 +12,14 @@ Fault-tolerant spanner verification is itself expensive -- there are
   experiments to report measured stretch against the 2k-1 guarantee.
 * :mod:`~repro.verification.certificates` -- check LBC cut certificates
   and greedy addition decisions independently of the construction code.
+
+Backends: the spanner check and the stretch sweeps run on the CSR
+backend by default (``backend=`` keyword / ``REPRO_BACKEND``; identical
+reports either way): graphs are snapshotted once per call and each
+fault set is an O(|F|) mask re-stamp instead of a fresh view pair.
+Sweep complexity is O(|fault sets| * m) hop-bounded BFS runs on
+unit-weighted inputs, or truncated Dijkstras on weighted ones.  The
+certificate checks are dict-only replays (one BFS per certificate).
 """
 
 from repro.verification.spanner_check import (

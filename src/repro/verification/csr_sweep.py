@@ -1,0 +1,80 @@
+"""Shared flat-array state for CSR verification-style sweeps.
+
+Both the spanner check (:mod:`repro.verification.spanner_check`) and the
+stretch measurement (:mod:`repro.verification.stretch`) follow the same
+pattern on the CSR backend: snapshot G and H once over a *shared*
+:class:`~repro.graph.index.NodeIndexer` (so a vertex mask stamped with
+G-side indices is directly valid against H), then drive many fault sets
+through reusable generation-stamped masks instead of materializing
+``G \\ F`` / ``H \\ F`` views.  :class:`DualCSRSnapshot` is that shared
+base; the sweeps layer their own probe loops on top of it.
+
+Cost model: construction is two O(n + m) snapshots; moving to the next
+fault set is an O(|F|) mask re-stamp.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from repro.graph.csr import CSRGraph, FaultMask
+from repro.graph.graph import Edge, Graph, Node
+from repro.graph.index import NodeIndexer
+
+
+class DualCSRSnapshot:
+    """G and H in CSR form over one shared node-index space, plus masks.
+
+    Owns one vertex mask (valid against both graphs -- the index spaces
+    agree by construction) and one edge mask per graph (edge-id spaces
+    are per-graph).  The ``set_*`` methods re-stamp in O(|F|).
+    """
+
+    __slots__ = (
+        "g", "h", "indexer", "csr_g", "csr_h",
+        "vmask", "emask_g", "emask_h",
+    )
+
+    def __init__(self, g: Graph, h: Graph) -> None:
+        self.g = g
+        self.h = h
+        self.indexer = NodeIndexer.from_graph(g)
+        self.csr_g = CSRGraph.from_graph(g, indexer=self.indexer)
+        self.csr_h = CSRGraph.from_graph(h, indexer=self.indexer)
+        self.vmask = FaultMask(len(self.indexer))
+        self.emask_g = FaultMask(self.csr_g.num_edges)
+        self.emask_h = FaultMask(self.csr_h.num_edges)
+
+    def set_vertex_faults(self, faults: Iterable[Node]) -> FaultMask:
+        """Re-stamp the shared vertex mask with a new fault set.
+
+        Unknown nodes are silently ignored, matching the lazy views
+        (filtering something that is not there is a no-op).
+        """
+        get = self.indexer.get
+        mask = self.vmask
+        mask.clear()
+        mask.add_all(i for i in (get(x) for x in faults) if i is not None)
+        return mask
+
+    def set_edge_faults(
+        self, faults: Iterable[Edge]
+    ) -> Tuple[FaultMask, FaultMask]:
+        """Re-stamp both per-graph edge-id masks with a new fault set.
+
+        Edges absent from a graph are ignored for that graph's mask,
+        matching the lazy views.  Returns ``(mask_g, mask_h)``.
+        """
+        get = self.indexer.get
+        emask_g, emask_h = self.emask_g, self.emask_h
+        emask_g.clear()
+        emask_h.clear()
+        for u, v in faults:
+            iu, iv = get(u), get(v)
+            if iu is None or iv is None:
+                continue
+            if self.csr_g.has_edge(iu, iv):
+                emask_g.add(self.csr_g.edge_id(iu, iv))
+            if self.csr_h.has_edge(iu, iv):
+                emask_h.add(self.csr_h.edge_id(iu, iv))
+        return emask_g, emask_h

@@ -16,6 +16,29 @@ fault sets biased toward likely violations:
   (local separators are how spanner paths actually die),
 * sets built by the LBC path-removal process itself (the strongest
   structured attack available in the library).
+
+Execution backends
+------------------
+The sweep is the library's most repetitive workload -- one distance
+probe per surviving edge per fault set, ``O(|F-sets| * m)`` probes in
+total -- so it runs on either backend (``backend=`` keyword, default
+resolved from ``REPRO_BACKEND``):
+
+* ``"csr"`` -- :class:`_CSRSweep` snapshots G and H into
+  :class:`~repro.graph.csr.CSRGraph` form *once per verification call*
+  (sharing one :class:`~repro.graph.index.NodeIndexer` so node indices
+  agree), and reuses one workspace plus generation-stamped
+  :class:`~repro.graph.csr.FaultMask` buffers across every fault set:
+  moving to the next fault set is an O(|F|) mask re-stamp instead of
+  re-materializing ``G \\ F`` / ``H \\ F`` views.  Unit-weighted inputs
+  probe with hop-bounded CSR BFS, weighted inputs with truncated CSR
+  Dijkstra.
+* ``"dict"`` -- the reference path over lazy fault views, one fresh
+  view pair per fault set.
+
+Both backends check the same fault sets in the same order against the
+same edges, so they return identical reports (including the
+counterexample, when one exists).
 """
 
 from __future__ import annotations
@@ -26,10 +49,20 @@ import random
 from dataclasses import dataclass, field
 from typing import FrozenSet, Iterable, Iterator, List, Optional, Tuple, Union
 
+from repro.core.spanner import resolve_backend
+from repro.graph.csr import FaultMask
 from repro.graph.graph import Edge, Graph, Node, edge_key
-from repro.graph.traversal import bounded_bfs_path, dijkstra
+from repro.graph.traversal import (
+    BFSWorkspace,
+    DijkstraWorkspace,
+    bounded_bfs_path,
+    csr_bounded_bfs_path,
+    csr_weighted_distance,
+    dijkstra,
+)
 from repro.graph.views import EdgeFaultView, VertexFaultView
 from repro.lbc.approx import lbc_edge, lbc_vertex
+from repro.verification.csr_sweep import DualCSRSnapshot
 
 INFINITY = math.inf
 
@@ -70,15 +103,18 @@ class VerificationReport:
         return self.ok
 
 
-def is_spanner(g: Graph, h: Graph, t: float) -> bool:
+def is_spanner(
+    g: Graph, h: Graph, t: float, backend: Optional[str] = None
+) -> bool:
     """Fault-free check: is H a t-spanner of G?
 
     Uses the Lemma 3 edge-sufficiency: it is enough that every edge of G
     has ``d_H(u, v) <= t * w(u, v)``.
     """
-    return _check_fault_set(
-        g, h, t, None, "vertex", g.is_unit_weighted()
-    ) is None
+    unit = g.is_unit_weighted()
+    if resolve_backend(backend) == "csr":
+        return _CSRSweep(g, h, t, "vertex", unit).check(None) is None
+    return _check_fault_set(g, h, t, None, "vertex", unit) is None
 
 
 def verify_ft_spanner(
@@ -90,6 +126,7 @@ def verify_ft_spanner(
     exhaustive_budget: int = 50_000,
     samples: int = 300,
     seed: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> VerificationReport:
     """Verify that H is an f-fault-tolerant t-spanner of G.
 
@@ -99,6 +136,9 @@ def verify_ft_spanner(
     G and H... but not monotonically for the *ratio*, so smaller sizes
     are enumerated too when exhaustive).  Otherwise ``samples`` fault
     sets are drawn adversarially.
+
+    ``backend`` selects the sweep engine (see the module docstring); the
+    report is identical either way.
     """
     if fault_model not in ("vertex", "edge"):
         raise ValueError(f"unknown fault model {fault_model!r}")
@@ -106,12 +146,17 @@ def verify_ft_spanner(
         raise ValueError(f"need f >= 0, got {f}")
     universe = _fault_universe(g, fault_model)
     unit = g.is_unit_weighted()
+    if resolve_backend(backend) == "csr":
+        check = _CSRSweep(g, h, t, fault_model, unit).check
+    else:
+        def check(faults):
+            return _check_fault_set(g, h, t, faults, fault_model, unit)
     total = sum(_comb(len(universe), size) for size in range(f + 1))
     checked = 0
     if total <= exhaustive_budget:
         for faults in _all_fault_sets(universe, f):
             checked += 1
-            bad = _check_fault_set(g, h, t, faults, fault_model, unit)
+            bad = check(faults)
             if bad is not None:
                 return VerificationReport(
                     ok=False,
@@ -127,7 +172,7 @@ def verify_ft_spanner(
         g, h, t, f, fault_model, rng, samples
     ):
         checked += 1
-        bad = _check_fault_set(g, h, t, faults, fault_model, unit)
+        bad = check(faults)
         if bad is not None:
             return VerificationReport(
                 ok=False,
@@ -217,6 +262,116 @@ def _check_fault_set(
                 spanner_distance=dh_full,
             )
     return None
+
+
+class _CSRSweep:
+    """Reusable flat-array state for one verification call.
+
+    Built once per :func:`verify_ft_spanner` / :func:`is_spanner` call
+    and then driven through every fault set: a
+    :class:`~repro.verification.csr_sweep.DualCSRSnapshot` holds both
+    graphs in one shared index space, the edge list of G is pre-resolved
+    to ``(u, v, iu, iv, w, gid)`` rows, and one workspace plus the
+    snapshot's three fault masks serve every subsequent probe.
+    ``check(faults)`` therefore allocates nothing per fault set beyond
+    the surviving-edge filter -- the mask-clear loop the dict backend's
+    per-fault-set view construction is replaced by.
+
+    Cost per fault set: O(|F|) re-stamping plus one hop-bounded BFS
+    (unit weights) or up to two truncated Dijkstras (weighted) per
+    surviving edge of G.
+    """
+
+    __slots__ = ("t", "fault_model", "unit", "snap", "ws", "edges")
+
+    def __init__(
+        self, g: Graph, h: Graph, t: float, fault_model: str, unit: bool
+    ) -> None:
+        self.t = t
+        self.fault_model = fault_model
+        self.unit = unit
+        self.snap = DualCSRSnapshot(g, h)
+        n = len(self.snap.indexer)
+        self.ws: Union[BFSWorkspace, DijkstraWorkspace] = (
+            BFSWorkspace(n) if unit else DijkstraWorkspace(n)
+        )
+        index = self.snap.indexer.index
+        self.edges = [
+            (u, v, index(u), index(v), g.weight(u, v),
+             self.snap.csr_g.edge_id(index(u), index(v)))
+            for u, v in g.edges()
+        ]
+
+    def _stamp(self, fault_list: List) -> Tuple[
+        FrozenSet, Optional[FaultMask], Optional[FaultMask],
+        Optional[FaultMask], List,
+    ]:
+        """Stamp one fault set into the masks; list the surviving edges."""
+        if self.fault_model == "vertex":
+            frozen = frozenset(fault_list)
+            vmask = self.snap.set_vertex_faults(fault_list)
+            vstamp, vgen = vmask.stamp, vmask.gen
+            surviving = [
+                row for row in self.edges
+                if vstamp[row[2]] != vgen and vstamp[row[3]] != vgen
+            ]
+            return frozen, vmask, None, None, surviving
+        frozen = frozenset(edge_key(u, v) for u, v in fault_list)
+        emask_g, emask_h = self.snap.set_edge_faults(fault_list)
+        gstamp, ggen = emask_g.stamp, emask_g.gen
+        surviving = [row for row in self.edges if gstamp[row[5]] != ggen]
+        return frozen, None, emask_g, emask_h, surviving
+
+    def check(self, faults: Optional[Iterable]) -> Optional[Counterexample]:
+        """CSR twin of :func:`_check_fault_set`; None when Lemma 3 holds."""
+        fault_list = list(faults) if faults is not None else []
+        frozen, vmask, emask_g, emask_h, surviving = self._stamp(fault_list)
+        t = self.t
+        csr_g, csr_h, ws = self.snap.csr_g, self.snap.csr_h, self.ws
+        if self.unit:
+            max_hops = int(t)
+            for u, v, iu, iv, w, _ in surviving:
+                if csr_bounded_bfs_path(
+                    csr_h, iu, iv, max_hops, ws,
+                    vertex_mask=vmask, edge_mask=emask_h,
+                ) is not None:
+                    continue
+                # The dict backend reports the *weighted* H-distance in
+                # the counterexample even on the unit fast path (H may
+                # carry non-unit weights when verifying arbitrary
+                # files).  This path is terminal, so a one-off Dijkstra
+                # workspace is fine.
+                dh_full = csr_weighted_distance(
+                    csr_h, iu, iv,
+                    workspace=DijkstraWorkspace(csr_h.num_nodes),
+                    vertex_mask=vmask, edge_mask=emask_h,
+                )
+                return Counterexample(
+                    faults=frozen, pair=(u, v),
+                    graph_distance=w, spanner_distance=dh_full,
+                )
+        else:
+            for u, v, iu, iv, w, _ in surviving:
+                dg = csr_weighted_distance(
+                    csr_g, iu, iv, max_dist=w, workspace=ws,
+                    vertex_mask=vmask, edge_mask=emask_g,
+                )
+                if dg < w:
+                    continue  # a strictly shorter surviving route exists
+                dh = csr_weighted_distance(
+                    csr_h, iu, iv, max_dist=t * w, workspace=ws,
+                    vertex_mask=vmask, edge_mask=emask_h,
+                )
+                if dh > t * w:
+                    dh_full = csr_weighted_distance(
+                        csr_h, iu, iv, workspace=ws,
+                        vertex_mask=vmask, edge_mask=emask_h,
+                    )
+                    return Counterexample(
+                        faults=frozen, pair=(u, v),
+                        graph_distance=w, spanner_distance=dh_full,
+                    )
+        return None
 
 
 def _adversarial_fault_sets(

@@ -6,6 +6,22 @@ paper's Lemma 3 it suffices to range over pairs that are *edges of G*
 whose weight is realized as the post-fault distance; we expose both the
 edge-restricted measure (fast, what the proofs bound) and the full
 all-pairs measure (what a user of the spanner experiences).
+
+Execution backends
+------------------
+Measuring stretch is two Dijkstras per pair, so for concrete
+:class:`~repro.graph.graph.Graph` inputs the sweep runs on the CSR
+backend by default (``backend=`` keyword / ``REPRO_BACKEND``): both
+graphs are snapshotted once over a shared
+:class:`~repro.graph.index.NodeIndexer` and every pair is probed with
+early-exit CSR Dijkstra through one reusable
+:class:`~repro.graph.traversal.DijkstraWorkspace`;
+:func:`max_stretch_under_faults` replaces the ``G \\ F`` / ``H \\ F``
+views with generation-stamped fault masks.  Lazy
+:class:`~repro.graph.views.GraphView` inputs always take the dict
+reference path.  Both paths compute identical ratios.  Complexity:
+O(|pairs|) Dijkstras either way; the CSR path just makes each one a
+flat-array heap scan with zero per-pair allocation.
 """
 
 from __future__ import annotations
@@ -13,9 +29,15 @@ from __future__ import annotations
 import math
 from typing import Dict, Iterable, Optional, Tuple, Union
 
+from repro.core.spanner import resolve_backend
 from repro.graph.graph import Edge, Graph, Node
-from repro.graph.traversal import dijkstra
+from repro.graph.traversal import (
+    DijkstraWorkspace,
+    csr_weighted_distance,
+    dijkstra,
+)
 from repro.graph.views import GraphView, fault_view
+from repro.verification.csr_sweep import DualCSRSnapshot
 
 INFINITY = math.inf
 
@@ -33,6 +55,11 @@ def stretch_of_pair(
     """
     dg = dijkstra(g, u, target=v).get(v, INFINITY)
     dh = dijkstra(h, u, target=v).get(v, INFINITY)
+    return _ratio(dg, dh)
+
+
+def _ratio(dg: float, dh: float) -> float:
+    """Apply the :func:`stretch_of_pair` conventions to two distances."""
     if dg == 0.0 or (math.isinf(dg) and math.isinf(dh)):
         return 1.0
     if math.isinf(dh):
@@ -40,10 +67,72 @@ def stretch_of_pair(
     return dh / dg
 
 
+class _CSRStretchSweep:
+    """Shared flat-array state for one stretch measurement call.
+
+    A :class:`DualCSRSnapshot` (G and H over one shared indexer) plus a
+    single reusable workspace; per-pair probes are early-exit CSR
+    Dijkstras, and optional fault masks stand in for the ``G \\ F`` /
+    ``H \\ F`` views.
+    """
+
+    __slots__ = ("snap", "ws", "use_vmask", "use_emasks")
+
+    def __init__(self, g: Graph, h: Graph) -> None:
+        self.snap = DualCSRSnapshot(g, h)
+        self.ws = DijkstraWorkspace(len(self.snap.indexer))
+        self.use_vmask = False
+        self.use_emasks = False
+
+    def set_vertex_faults(self, faults: Iterable[Node]) -> None:
+        """Stamp a vertex fault set (shared index space: one mask)."""
+        self.snap.set_vertex_faults(faults)
+        self.use_vmask = True
+
+    def set_edge_faults(self, faults: Iterable[Edge]) -> None:
+        """Stamp an edge fault set into per-graph edge-id masks."""
+        self.snap.set_edge_faults(faults)
+        self.use_emasks = True
+
+    def stretch(self, u: Node, v: Node) -> float:
+        """Stretch of one pair under the currently-stamped faults.
+
+        Mirrors the dict path's semantics for odd pairs: a source
+        missing from either graph raises ``KeyError`` (as the dict
+        Dijkstras do), while an unknown *target* is merely unreachable
+        and falls into the usual ratio conventions.
+        """
+        snap = self.snap
+        if not snap.g.has_node(u):
+            raise KeyError(f"source {u!r} not in graph")
+        if not snap.h.has_node(u):
+            raise KeyError(f"source {u!r} not in graph")
+        iu = snap.indexer.index(u)
+        iv = snap.indexer.get(v)
+        if iv is None:
+            return _ratio(INFINITY, INFINITY)  # unreachable in both
+        vmask = snap.vmask if self.use_vmask else None
+        if iv >= snap.csr_g.num_nodes:
+            # v exists only in H (indexed after csr_g was frozen): the
+            # dict path treats it as unreachable in G.
+            dg = INFINITY
+        else:
+            dg = csr_weighted_distance(
+                snap.csr_g, iu, iv, workspace=self.ws, vertex_mask=vmask,
+                edge_mask=snap.emask_g if self.use_emasks else None,
+            )
+        dh = csr_weighted_distance(
+            snap.csr_h, iu, iv, workspace=self.ws, vertex_mask=vmask,
+            edge_mask=snap.emask_h if self.use_emasks else None,
+        )
+        return _ratio(dg, dh)
+
+
 def pairwise_stretch(
     g: GraphLike,
     h: GraphLike,
     pairs: Optional[Iterable[Tuple[Node, Node]]] = None,
+    backend: Optional[str] = None,
 ) -> Dict[Tuple[Node, Node], float]:
     """Stretch for each pair (default: every edge of ``g``).
 
@@ -52,6 +141,9 @@ def pairwise_stretch(
     """
     if pairs is None:
         pairs = _edge_pairs(g)
+    if _use_csr(g, h, backend):
+        sweep = _CSRStretchSweep(g, h)
+        return {(u, v): sweep.stretch(u, v) for u, v in pairs}
     return {(u, v): stretch_of_pair(g, h, u, v) for u, v in pairs}
 
 
@@ -59,6 +151,7 @@ def max_stretch(
     g: GraphLike,
     h: GraphLike,
     pairs: Optional[Iterable[Tuple[Node, Node]]] = None,
+    backend: Optional[str] = None,
 ) -> float:
     """Worst-case stretch of H over the given pairs (default: edges of G).
 
@@ -68,10 +161,19 @@ def max_stretch(
     """
     if pairs is None:
         pairs = _edge_pairs(g)
+    if _use_csr(g, h, backend):
+        probe = _CSRStretchSweep(g, h).stretch
+    else:
+        def probe(u, v):
+            return stretch_of_pair(g, h, u, v)
+    return _worst_ratio(probe, pairs)
+
+
+def _worst_ratio(probe, pairs) -> float:
+    """Max of ``probe`` over ``pairs``, short-circuiting at infinity."""
     worst = 1.0
     for u, v in pairs:
-        s = stretch_of_pair(g, h, u, v)
-        worst = max(worst, s)
+        worst = max(worst, probe(u, v))
         if math.isinf(worst):
             break
     return worst
@@ -82,22 +184,55 @@ def max_stretch_under_faults(
     h: Graph,
     faults: Iterable,
     fault_model: str = "vertex",
+    backend: Optional[str] = None,
 ) -> float:
     """Worst-case stretch of ``H \\ F`` w.r.t. ``G \\ F``.
 
     ``faults`` is a vertex set or edge set per ``fault_model``.  Pairs
-    range over the edges of ``G \\ F`` (sufficient by Lemma 3).
+    range over the edges of ``G \\ F`` (sufficient by Lemma 3).  On the
+    CSR backend the fault set is a mask re-stamp instead of a pair of
+    lazy views.
     """
     faults = list(faults)
+    if fault_model not in ("vertex", "edge"):
+        raise ValueError(f"unknown fault model {fault_model!r}")
+    if _use_csr(g, h, backend):
+        sweep = _CSRStretchSweep(g, h)
+        snap = sweep.snap
+        index = snap.indexer.index
+        if fault_model == "vertex":
+            sweep.set_vertex_faults(faults)
+            vstamp, vgen = snap.vmask.stamp, snap.vmask.gen
+            pairs = [
+                (u, v) for u, v in g.edges()
+                if vstamp[index(u)] != vgen and vstamp[index(v)] != vgen
+            ]
+        else:
+            sweep.set_edge_faults(faults)
+            estamp, egen = snap.emask_g.stamp, snap.emask_g.gen
+            pairs = [
+                (u, v) for u, v in g.edges()
+                if estamp[snap.csr_g.edge_id(index(u), index(v))] != egen
+            ]
+        return _worst_ratio(sweep.stretch, pairs)
     if fault_model == "vertex":
         gv = fault_view(g, vertex_faults=faults)
         hv = fault_view(h, vertex_faults=faults)
-    elif fault_model == "edge":
+    else:
         gv = fault_view(g, edge_faults=faults)
         hv = fault_view(h, edge_faults=faults)
-    else:
-        raise ValueError(f"unknown fault model {fault_model!r}")
     return max_stretch(gv, hv, pairs=_surviving_edge_pairs(g, gv))
+
+
+def _use_csr(g: GraphLike, h: GraphLike, backend: Optional[str]) -> bool:
+    """CSR applies only to concrete Graphs (views stay on the dict path).
+
+    The backend is resolved *before* the input-type check so a typo'd
+    backend name is reported even for view inputs, not silently
+    swallowed (same rule as the greedy family).
+    """
+    use = resolve_backend(backend) == "csr"
+    return use and isinstance(g, Graph) and isinstance(h, Graph)
 
 
 def _edge_pairs(g: GraphLike) -> Iterable[Tuple[Node, Node]]:

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.baselines.greedy_classic import classic_greedy_spanner
 from repro.core.greedy_exact import exponential_greedy_spanner
 from repro.core.greedy_modified import (
     fault_tolerant_spanner,
@@ -20,6 +21,13 @@ from repro.core.greedy_modified import (
 from repro.core.incremental import IncrementalSpanner
 from repro.core.spanner import BACKEND_ENV_VAR, resolve_backend
 from repro.graph import generators
+from repro.verification import (
+    is_spanner,
+    max_stretch,
+    max_stretch_under_faults,
+    pairwise_stretch,
+    verify_ft_spanner,
+)
 
 
 def _instance(seed=7, n=28, p=0.18):
@@ -93,6 +101,158 @@ class TestExponentialGreedyParity:
         assert set(r_dict.spanner.edges()) == set(r_csr.spanner.edges())
         assert r_dict.certificates == r_csr.certificates
 
+    @pytest.mark.parametrize("fault_model", ["vertex", "edge"])
+    @pytest.mark.parametrize("f", [1, 2])
+    @pytest.mark.parametrize("seed", [1, 5])
+    def test_weighted_identical(self, fault_model, f, seed):
+        # The weighted path runs branch-and-bound over truncated Dijkstra
+        # (no dict fallback): spanner AND certificates must match.
+        g = generators.weighted_gnp(13, 0.4, seed=seed)
+        r_dict = exponential_greedy_spanner(
+            g, 2, f, fault_model=fault_model, backend="dict"
+        )
+        r_csr = exponential_greedy_spanner(
+            g, 2, f, fault_model=fault_model, backend="csr"
+        )
+        assert set(r_dict.spanner.edges()) == set(r_csr.spanner.edges())
+        assert r_dict.certificates == r_csr.certificates
+
+
+class TestClassicGreedyParity:
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_weighted_identical(self, k):
+        g = generators.weighted_gnp(40, 0.15, seed=9)
+        r_dict = classic_greedy_spanner(g, k, backend="dict")
+        r_csr = classic_greedy_spanner(g, k, backend="csr")
+        assert set(r_dict.spanner.edges()) == set(r_csr.spanner.edges())
+
+    def test_unit_weighted_identical(self):
+        g = generators.gnp_random_graph(40, 0.15, seed=9)
+        r_dict = classic_greedy_spanner(g, 2, backend="dict")
+        r_csr = classic_greedy_spanner(g, 2, backend="csr")
+        assert set(r_dict.spanner.edges()) == set(r_csr.spanner.edges())
+
+
+class TestVerificationParity:
+    @pytest.mark.parametrize("weighted", [False, True])
+    @pytest.mark.parametrize("fault_model", ["vertex", "edge"])
+    def test_reports_identical(self, weighted, fault_model):
+        if weighted:
+            g = generators.weighted_gnp(22, 0.25, seed=4)
+        else:
+            g = generators.gnp_random_graph(22, 0.25, seed=4)
+        h = fault_tolerant_spanner(g, 2, 1).spanner
+        r_dict = verify_ft_spanner(
+            g, h, t=3, f=1, fault_model=fault_model, backend="dict"
+        )
+        r_csr = verify_ft_spanner(
+            g, h, t=3, f=1, fault_model=fault_model, backend="csr"
+        )
+        assert r_dict.ok == r_csr.ok
+        assert r_dict.exhaustive == r_csr.exhaustive
+        assert r_dict.fault_sets_checked == r_csr.fault_sets_checked
+        assert r_dict.counterexample == r_csr.counterexample
+
+    @pytest.mark.parametrize("weighted", [False, True])
+    @pytest.mark.parametrize("fault_model", ["vertex", "edge"])
+    def test_counterexample_identical_on_broken_spanner(
+        self, weighted, fault_model
+    ):
+        import random
+
+        if weighted:
+            g = generators.weighted_gnp(20, 0.3, seed=8)
+        else:
+            g = generators.gnp_random_graph(20, 0.3, seed=8)
+        h = fault_tolerant_spanner(g, 2, 1).spanner.copy()
+        edges = list(h.edges())
+        for e in random.Random(8).sample(edges, len(edges) // 2):
+            h.remove_edge(*e)
+        r_dict = verify_ft_spanner(
+            g, h, t=3, f=1, fault_model=fault_model, backend="dict"
+        )
+        r_csr = verify_ft_spanner(
+            g, h, t=3, f=1, fault_model=fault_model, backend="csr"
+        )
+        assert not r_csr.ok
+        assert r_dict.fault_sets_checked == r_csr.fault_sets_checked
+        assert r_dict.counterexample == r_csr.counterexample
+
+    def test_counterexample_weighted_h_distance_on_unit_g(self):
+        # Unit G with non-unit H (arbitrary verify inputs): the reported
+        # spanner_distance must be the weighted H-distance on both
+        # backends.
+        from repro.graph.graph import Graph
+
+        g = Graph([("a", "b"), ("b", "d"), ("a", "d")])
+        h = Graph()
+        h.add_nodes(g.nodes())
+        h.add_edge("a", "b", weight=5.0)
+        h.add_edge("b", "d", weight=5.0)
+        r_dict = verify_ft_spanner(g, h, t=1, f=0, backend="dict")
+        r_csr = verify_ft_spanner(g, h, t=1, f=0, backend="csr")
+        assert r_dict.counterexample == r_csr.counterexample
+        assert r_csr.counterexample.spanner_distance == 10.0
+
+    def test_is_spanner_identical(self):
+        g = generators.weighted_gnp(25, 0.25, seed=2)
+        h = fault_tolerant_spanner(g, 2, 0).spanner
+        assert is_spanner(g, h, 3, backend="dict") == is_spanner(
+            g, h, 3, backend="csr"
+        )
+        assert not is_spanner(g, g.spanning_skeleton(), 3, backend="csr")
+
+
+class TestStretchParity:
+    def test_odd_pairs_identical(self):
+        # Explicit pairs with nodes missing from G, H, or both must
+        # behave identically across backends (ratios or KeyErrors).
+        from repro.graph.graph import Graph
+
+        g = Graph([("a", "b", 1.0)])
+        h = Graph([("a", "b", 1.0), ("b", "x", 1.0)])
+        for pair, expect in [(("a", "ghost"), 1.0), (("a", "x"), 0.0)]:
+            r_dict = pairwise_stretch(g, h, pairs=[pair], backend="dict")
+            r_csr = pairwise_stretch(g, h, pairs=[pair], backend="csr")
+            assert r_dict == r_csr == {pair: expect}
+        for backend in ("dict", "csr"):
+            with pytest.raises(KeyError):
+                pairwise_stretch(g, h, pairs=[("ghost", "a")],
+                                 backend=backend)
+            with pytest.raises(KeyError):
+                # source in G but missing from H raises on both paths
+                pairwise_stretch(g, Graph([("p", "q", 1.0)]),
+                                 pairs=[("a", "b")], backend=backend)
+
+    def test_fault_free_measures_identical(self):
+        g = generators.weighted_gnp(25, 0.25, seed=6)
+        h = fault_tolerant_spanner(g, 2, 1).spanner
+        assert max_stretch(g, h, backend="dict") == max_stretch(
+            g, h, backend="csr"
+        )
+        assert pairwise_stretch(g, h, backend="dict") == pairwise_stretch(
+            g, h, backend="csr"
+        )
+
+    @pytest.mark.parametrize("fault_model", ["vertex", "edge"])
+    def test_under_faults_identical(self, fault_model):
+        import random
+
+        g = generators.weighted_gnp(25, 0.25, seed=6)
+        h = fault_tolerant_spanner(g, 2, 1).spanner
+        rng = random.Random(6)
+        if fault_model == "vertex":
+            faults = rng.sample(list(g.nodes()), 3)
+        else:
+            faults = rng.sample(list(g.edges()), 3)
+        s_dict = max_stretch_under_faults(
+            g, h, faults, fault_model, backend="dict"
+        )
+        s_csr = max_stretch_under_faults(
+            g, h, faults, fault_model, backend="csr"
+        )
+        assert s_dict == s_csr
+
 
 class TestIncrementalParity:
     @pytest.mark.parametrize("fault_model", ["vertex", "edge"])
@@ -135,11 +295,24 @@ class TestBackendSelection:
             fault_tolerant_spanner(_instance(), 2, 1, backend="numpy")
 
     def test_unknown_backend_rejected_on_weighted_exact_greedy(self):
-        # The weighted exact greedy never runs CSR, but a typo'd backend
-        # must still be reported, not silently swallowed.
         g = generators.weighted_gnp(10, 0.4, seed=1)
         with pytest.raises(ValueError):
             exponential_greedy_spanner(g, 2, 1, backend="crs")
+
+    def test_unknown_backend_rejected_on_verification(self):
+        g = generators.gnp_random_graph(10, 0.4, seed=1)
+        with pytest.raises(ValueError):
+            verify_ft_spanner(g, g, t=3, f=0, backend="numpy")
+
+    def test_unknown_backend_rejected_on_stretch_with_views(self):
+        # Even view inputs (which always take the dict path) must report
+        # a typo'd backend, not silently swallow it.
+        from repro.graph.views import fault_view
+
+        g = generators.gnp_random_graph(10, 0.4, seed=1)
+        gv = fault_view(g, vertex_faults=[0])
+        with pytest.raises(ValueError):
+            max_stretch(gv, gv, backend="crs")
 
     def test_env_var_reaches_the_greedy(self, monkeypatch):
         g = _instance(seed=21, n=16, p=0.3)

@@ -1,0 +1,220 @@
+"""Unit and property tests for the CSR Dijkstra primitives.
+
+The dict backend's ``dijkstra`` / ``shortest_path`` are the reference;
+``csr_dijkstra`` / ``csr_weighted_distance`` /
+``csr_bounded_dijkstra_path(_edges)`` must reproduce their distances and
+their exact paths (same tie-breaking), under vertex masks, edge masks,
+and ``max_dist`` truncation.  The property tests drive one shared
+:class:`DijkstraWorkspace` through many random fault sets and graph
+growth steps to prove that workspace reuse never leaks state between
+calls.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.graph import generators
+from repro.graph.csr import CSRBuilder, CSRGraph
+from repro.graph.graph import Graph, edge_key
+from repro.graph.index import NodeIndexer
+from repro.graph.traversal import (
+    DijkstraWorkspace,
+    csr_bounded_dijkstra_path,
+    csr_bounded_dijkstra_path_edges,
+    csr_dijkstra,
+    csr_weighted_distance,
+    dijkstra,
+    shortest_path,
+)
+from repro.graph.views import EdgeFaultView, VertexFaultView
+
+INF = math.inf
+
+
+def _weighted_instance(seed=3, n=24, p=0.25):
+    g = generators.weighted_gnp(n, p, seed=seed)
+    ix = NodeIndexer.from_graph(g)
+    return g, ix, CSRGraph.from_graph(g, indexer=ix)
+
+
+class TestCsrDijkstraBasics:
+    def test_distance_map_matches_dict(self):
+        g, ix, csr = _weighted_instance()
+        for s in list(g.nodes())[:6]:
+            d_dict = dijkstra(g, s)
+            d_csr = csr_dijkstra(csr, ix.index(s))
+            assert d_dict == {ix.node(i): d for i, d in d_csr.items()}
+
+    def test_source_distance_zero_and_unreachable_absent(self):
+        g = Graph([("a", "b", 2.0)])
+        g.add_node("island")
+        ix = NodeIndexer.from_graph(g)
+        csr = CSRGraph.from_graph(g, indexer=ix)
+        dist = csr_dijkstra(csr, ix.index("a"))
+        assert dist[ix.index("a")] == 0.0
+        assert ix.index("island") not in dist
+
+    def test_weighted_distance_inf_when_disconnected(self):
+        g = Graph([("a", "b", 1.0)])
+        g.add_node("far")
+        ix = NodeIndexer.from_graph(g)
+        csr = CSRGraph.from_graph(g, indexer=ix)
+        assert csr_weighted_distance(csr, ix.index("a"), ix.index("far")) == INF
+        assert csr_weighted_distance(csr, ix.index("a"), ix.index("a")) == 0.0
+
+    def test_max_dist_truncation_matches_dict(self):
+        g, ix, csr = _weighted_instance(seed=5)
+        nodes = list(g.nodes())
+        for u in nodes[:4]:
+            for v in nodes[-4:]:
+                if u == v:
+                    continue
+                for budget in (0.3, 0.9, 1.7):
+                    dd = dijkstra(g, u, target=v, max_dist=budget).get(v, INF)
+                    dc = csr_weighted_distance(
+                        csr, ix.index(u), ix.index(v), max_dist=budget
+                    )
+                    assert dd == dc
+
+    def test_path_matches_dict_shortest_path_exactly(self):
+        g, ix, csr = _weighted_instance(seed=7)
+        nodes = list(g.nodes())
+        for u in nodes[:5]:
+            for v in nodes[-5:]:
+                p_dict = shortest_path(g, u, v)
+                p_csr = csr_bounded_dijkstra_path(csr, ix.index(u), ix.index(v))
+                expect = None if p_csr is None else [ix.node(i) for i in p_csr]
+                assert p_dict == expect
+
+    def test_path_edges_are_consistent(self):
+        g, ix, csr = _weighted_instance(seed=9)
+        nodes = list(g.nodes())
+        result = csr_bounded_dijkstra_path_edges(
+            csr, ix.index(nodes[0]), ix.index(nodes[-1])
+        )
+        assert result is not None
+        path, eids = result
+        assert len(eids) == len(path) - 1
+        for i, e in enumerate(eids):
+            assert csr.edge_id(path[i], path[i + 1]) == e
+
+    def test_faulted_terminal_raises(self):
+        g, ix, csr = _weighted_instance()
+        nodes = list(g.nodes())
+        mask = csr.vertex_mask([nodes[0]])
+        with pytest.raises(KeyError):
+            csr_weighted_distance(
+                csr, ix.index(nodes[0]), ix.index(nodes[1]), vertex_mask=mask
+            )
+        with pytest.raises(KeyError):
+            csr_dijkstra(csr, csr.num_nodes + 3)
+
+
+class TestDijkstraWorkspaceReuse:
+    def test_reuse_across_random_fault_sets(self):
+        """One workspace, many fault sets: no state leaks between calls."""
+        g, ix, csr = _weighted_instance(seed=11, n=26, p=0.3)
+        ws = DijkstraWorkspace(len(ix))
+        rng = random.Random(11)
+        nodes = list(g.nodes())
+        for _ in range(60):
+            u, v = rng.sample(nodes, 2)
+            k = rng.randint(0, 4)
+            pool = [x for x in nodes if x not in (u, v)]
+            faults = rng.sample(pool, k)
+            view = VertexFaultView(g, set(faults)) if faults else g
+            mask = csr.vertex_mask(faults, mask=ws.vertex_mask)
+            expect = dijkstra(view, u, target=v).get(v, INF)
+            got = csr_weighted_distance(
+                csr, ix.index(u), ix.index(v), workspace=ws, vertex_mask=mask
+            )
+            assert expect == got
+
+    def test_reuse_across_edge_fault_sets_with_paths(self):
+        g, ix, csr = _weighted_instance(seed=13, n=26, p=0.3)
+        ws = DijkstraWorkspace(len(ix))
+        rng = random.Random(13)
+        nodes = list(g.nodes())
+        edges = list(g.edges())
+        for _ in range(60):
+            u, v = rng.sample(nodes, 2)
+            faults = {edge_key(a, b) for a, b in rng.sample(edges, 3)}
+            view = EdgeFaultView(g, faults)
+            mask = csr.edge_mask(faults, mask=ws.edge_mask)
+            p_dict = shortest_path(view, u, v)
+            p_csr = csr_bounded_dijkstra_path(
+                csr, ix.index(u), ix.index(v), workspace=ws, edge_mask=mask
+            )
+            expect = None if p_csr is None else [ix.node(i) for i in p_csr]
+            assert p_dict == expect
+
+    def test_generation_wrap_keeps_answers_correct(self):
+        """More than 255 calls wrap the stamp generation safely."""
+        g, ix, csr = _weighted_instance(seed=17, n=12, p=0.45)
+        ws = DijkstraWorkspace(len(ix))
+        nodes = list(g.nodes())
+        u, v = nodes[0], nodes[-1]
+        expect = dijkstra(g, u, target=v).get(v, INF)
+        for _ in range(600):
+            got = csr_weighted_distance(
+                csr, ix.index(u), ix.index(v), workspace=ws
+            )
+            assert got == expect
+
+    def test_workspace_grows_with_builder(self):
+        """A workspace sized for an empty builder follows its growth."""
+        builder = CSRBuilder(2)
+        ws = DijkstraWorkspace(2)
+        builder.add_edge(0, 1, 1.5)
+        assert csr_weighted_distance(builder, 0, 1, workspace=ws) == 1.5
+        for _ in range(40):
+            builder.add_node()
+        builder.add_edge(1, 41, 2.0)
+        assert csr_weighted_distance(builder, 0, 41, workspace=ws) == 3.5
+        assert csr_weighted_distance(builder, 0, 30, workspace=ws) == INF
+
+    def test_mixed_probe_and_path_calls_share_workspace(self):
+        """Distance probes and path searches may interleave freely."""
+        g, ix, csr = _weighted_instance(seed=19)
+        ws = DijkstraWorkspace(len(ix))
+        nodes = list(g.nodes())
+        rng = random.Random(19)
+        for _ in range(40):
+            u, v = rng.sample(nodes, 2)
+            d = csr_weighted_distance(
+                csr, ix.index(u), ix.index(v), workspace=ws
+            )
+            p = csr_bounded_dijkstra_path(
+                csr, ix.index(u), ix.index(v), workspace=ws
+            )
+            if math.isinf(d):
+                assert p is None
+            else:
+                total = sum(
+                    g.weight(ix.node(p[i]), ix.node(p[i + 1]))
+                    for i in range(len(p) - 1)
+                )
+                assert total == d
+
+
+class TestBuilderWeightRows:
+    def test_reweighting_updates_incidence_rows(self):
+        builder = CSRBuilder(3)
+        builder.add_edge(0, 1, 5.0)
+        builder.add_edge(1, 2, 1.0)
+        assert csr_weighted_distance(builder, 0, 2) == 6.0
+        builder.add_edge(0, 1, 0.5)  # overwrite, mirroring Graph.add_edge
+        assert csr_weighted_distance(builder, 0, 2) == 1.5
+
+    def test_repack_preserves_weight_rows(self):
+        g, ix, _ = _weighted_instance(seed=21)
+        builder = CSRBuilder(len(ix))
+        for u, v, w in g.weighted_edges():
+            builder.add_edge(ix.index(u), ix.index(v), w)
+        frozen = builder.repack(indexer=ix)
+        for u in range(builder.num_nodes):
+            assert list(frozen.weight_rows[u]) == list(builder.weight_rows[u])
