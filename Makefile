@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: test verify bench
+.PHONY: test verify bench bench-apps
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -12,3 +12,7 @@ verify:
 # Full benchmark: rewrites BENCH_backend.json at the repository root.
 bench:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_backend.py
+
+# Full applications benchmark: rewrites BENCH_applications.json.
+bench-apps:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_applications.py

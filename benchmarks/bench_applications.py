@@ -1,0 +1,324 @@
+"""Micro-benchmark: dict vs CSR backend across the applications layer.
+
+Times the three spanner applications under both execution backends,
+checks that the answers are bit-identical, and writes the results to
+``BENCH_applications.json`` at the repository root so successive PRs can
+track the layer's performance trajectory:
+
+* ``oracle_batch`` -- the monitoring pattern on a unit-weight spanner:
+  a few fault scenarios, many distance queries per scenario.  The dict
+  side answers pair by pair through ``distance()`` (per-query path, LRU
+  warm); the CSR side uses the batch ``distances()`` API against one
+  shared :class:`~repro.graph.snapshot.CSRSnapshot`.
+* ``oracle_batch_weighted`` -- the same pattern on a weighted spanner
+  (CSR Dijkstra instead of the BFS fast path).
+* ``routing_tables`` -- per-fault-scenario next-hop table builds for
+  many destinations (destination-rooted trees on the faulted spanner).
+* ``availability_sweep`` -- Monte-Carlo availability analysis of a
+  weighted spanner (paired distance probes over sampled scenarios).
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_applications.py [--quick]
+
+``--quick`` shrinks every scenario to a seconds-long smoke run (used by
+CI); the JSON it writes is marked ``"quick": true`` so a full run's
+numbers are never silently overwritten by smoke ones unless you ask for
+it.
+
+This is a plain script (not a pytest benchmark) so it can run quickly in
+CI and emit machine-readable output; the statistical benchmarks live in
+``benchmarks/test_bench_*.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import time
+from pathlib import Path
+
+from repro.applications import (
+    FaultTolerantDistanceOracle,
+    SpannerRouter,
+    availability_analysis,
+)
+from repro.core.greedy_modified import fault_tolerant_spanner
+from repro.graph import generators
+
+SEED = 42
+K = 2
+F = 2
+
+# (n, p) per instance, smallest to largest; seeds are fixed so the
+# numbers are comparable across PRs.
+ORACLE_INSTANCES = [(240, 0.06), (420, 0.035)]
+ORACLE_WEIGHTED_INSTANCES = [(200, 0.06)]
+ROUTING_INSTANCES = [(180, 0.07)]
+AVAILABILITY_INSTANCES = [(110, 0.09)]
+
+QUICK_ORACLE = [(100, 0.10)]
+QUICK_ORACLE_WEIGHTED = [(80, 0.12)]
+QUICK_ROUTING = [(70, 0.12)]
+QUICK_AVAILABILITY = [(50, 0.15)]
+
+ORACLE_SCENARIOS = 3
+ORACLE_PAIRS = 500
+QUICK_ORACLE_PAIRS = 120
+ROUTING_SCENARIOS = 3
+ROUTING_DESTS = 40
+QUICK_ROUTING_DESTS = 12
+AVAIL_SCENARIOS = 25
+AVAIL_PAIRS = 25
+QUICK_AVAIL_SCENARIOS = 8
+QUICK_AVAIL_PAIRS = 8
+
+DEFAULT_OUTPUT = (
+    Path(__file__).resolve().parent.parent / "BENCH_applications.json"
+)
+
+
+def _best_of(fn, repeats: int):
+    """Best-of-``repeats`` wall clock and the result of the last run."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _row(n, p, m, extra, t_dict, t_csr, identical):
+    row = {
+        "n": n,
+        "p": p,
+        "m": m,
+        **extra,
+        "seconds_dict": round(t_dict, 4),
+        "seconds_csr": round(t_csr, 4),
+        "speedup": round(t_dict / t_csr, 2) if t_csr > 0 else float("inf"),
+        "identical_outputs": identical,
+    }
+    print(
+        f"  n={n:4d} m={m:5d}  dict {t_dict:7.3f}s  csr {t_csr:7.3f}s  "
+        f"speedup {row['speedup']:5.2f}x  "
+        f"parity={'ok' if identical else 'FAIL'}"
+    )
+    return row
+
+
+def _instance(n, p, weighted):
+    gen = generators.weighted_gnp if weighted else generators.gnp_random_graph
+    return generators.ensure_connected(gen(n, p, seed=SEED), seed=SEED)
+
+
+def _vertex_scenarios(nodes, count, rng):
+    """``count`` random vertex fault sets of size F (plus fault-free)."""
+    return [[]] + [rng.sample(nodes, F) for _ in range(count - 1)]
+
+
+def _surviving_pairs(nodes, scenarios, count, rng):
+    """Query pairs whose endpoints survive *every* scenario."""
+    faulted = set()
+    for sc in scenarios:
+        faulted.update(sc)
+    pool = [x for x in nodes if x not in faulted]
+    return [tuple(rng.sample(pool, 2)) for _ in range(count)]
+
+
+def bench_oracle_batch(instances, repeats, pairs_per_scenario, weighted):
+    rows = []
+    for n, p in instances:
+        g = _instance(n, p, weighted)
+        prebuilt = fault_tolerant_spanner(g, K, F)
+        rng = random.Random(SEED)
+        nodes = sorted(g.nodes())
+        scenarios = _vertex_scenarios(nodes, ORACLE_SCENARIOS, rng)
+        pairs = _surviving_pairs(nodes, scenarios, pairs_per_scenario, rng)
+
+        def run(backend, batch):
+            # A fresh oracle per run so the timing covers real cache
+            # misses (and, for CSR, the one-off snapshot build).
+            oracle = FaultTolerantDistanceOracle(
+                g, K, F, prebuilt=prebuilt, cache_size=2 * n,
+                backend=backend,
+            )
+            answers = []
+            for faults in scenarios:
+                if batch:
+                    answers.append(oracle.distances(pairs, faults=faults))
+                else:
+                    answers.append(
+                        [oracle.distance(u, v, faults=faults)
+                         for u, v in pairs]
+                    )
+            return answers
+
+        t_dict, a_dict = _best_of(lambda: run("dict", batch=False), repeats)
+        t_csr, a_csr = _best_of(lambda: run("csr", batch=True), repeats)
+        rows.append(_row(n, p, g.num_edges, {
+            "spanner_edges": prebuilt.spanner.num_edges,
+            "scenarios": len(scenarios),
+            "pairs_per_scenario": len(pairs),
+        }, t_dict, t_csr, a_dict == a_csr))
+    return {
+        "description": (
+            "FaultTolerantDistanceOracle, "
+            + ("weighted" if weighted else "unit")
+            + " spanner: batched distances() on one CSR snapshot vs "
+              "per-query dict distance()"
+        ),
+        "parameters": {"k": K, "f": F, "fault_model": "vertex"},
+        "instances": rows,
+    }
+
+
+def bench_routing_tables(instances, repeats, dests_per_scenario):
+    rows = []
+    for n, p in instances:
+        g = _instance(n, p, weighted=False)
+        prebuilt = fault_tolerant_spanner(g, K, F)
+        rng = random.Random(SEED)
+        nodes = sorted(g.nodes())
+        scenarios = _vertex_scenarios(nodes, ROUTING_SCENARIOS, rng)
+        faulted = set()
+        for sc in scenarios:
+            faulted.update(sc)
+        dests = [x for x in nodes if x not in faulted][:dests_per_scenario]
+
+        def run(backend):
+            router = SpannerRouter(
+                g, K, F, prebuilt=prebuilt, backend=backend
+            )
+            return [
+                router.table(d, faults=faults)
+                for faults in scenarios
+                for d in dests
+            ]
+
+        t_dict, tables_dict = _best_of(lambda: run("dict"), repeats)
+        t_csr, tables_csr = _best_of(lambda: run("csr"), repeats)
+        rows.append(_row(n, p, g.num_edges, {
+            "spanner_edges": prebuilt.spanner.num_edges,
+            "scenarios": len(scenarios),
+            "destinations": len(dests),
+        }, t_dict, t_csr, tables_dict == tables_csr))
+    return {
+        "description": "SpannerRouter: per-scenario next-hop table builds "
+                       "(destination-rooted trees on the faulted spanner)",
+        "parameters": {"k": K, "f": F, "fault_model": "vertex"},
+        "instances": rows,
+    }
+
+
+def bench_availability(instances, repeats, scenarios, pairs):
+    rows = []
+    for n, p in instances:
+        g = _instance(n, p, weighted=True)
+        prebuilt = fault_tolerant_spanner(g, K, F)
+
+        def run(backend):
+            return availability_analysis(
+                g, prebuilt.spanner, failures=F, guarantee=2 * K - 1,
+                scenarios=scenarios, pairs_per_scenario=pairs,
+                seed=SEED, backend=backend,
+            )
+
+        t_dict, r_dict = _best_of(lambda: run("dict"), repeats)
+        t_csr, r_csr = _best_of(lambda: run("csr"), repeats)
+        rows.append(_row(n, p, g.num_edges, {
+            "spanner_edges": prebuilt.spanner.num_edges,
+            "scenarios": scenarios,
+            "pairs_per_scenario": pairs,
+        }, t_dict, t_csr, r_dict == r_csr))
+    return {
+        "description": "availability_analysis, weighted: Monte-Carlo "
+                       "stretch/connectivity sweep (paired distance probes)",
+        "parameters": {"k": K, "f": F, "failures": F},
+        "instances": rows,
+    }
+
+
+def run(repeats: int = 3, quick: bool = False):
+    """Benchmark every scenario; returns the report dict."""
+    if quick:
+        repeats = 1
+        plan = [
+            ("oracle_batch", lambda: bench_oracle_batch(
+                QUICK_ORACLE, repeats, QUICK_ORACLE_PAIRS, weighted=False)),
+            ("oracle_batch_weighted", lambda: bench_oracle_batch(
+                QUICK_ORACLE_WEIGHTED, repeats, QUICK_ORACLE_PAIRS,
+                weighted=True)),
+            ("routing_tables", lambda: bench_routing_tables(
+                QUICK_ROUTING, repeats, QUICK_ROUTING_DESTS)),
+            ("availability_sweep", lambda: bench_availability(
+                QUICK_AVAILABILITY, repeats, QUICK_AVAIL_SCENARIOS,
+                QUICK_AVAIL_PAIRS)),
+        ]
+    else:
+        plan = [
+            ("oracle_batch", lambda: bench_oracle_batch(
+                ORACLE_INSTANCES, repeats, ORACLE_PAIRS, weighted=False)),
+            ("oracle_batch_weighted", lambda: bench_oracle_batch(
+                ORACLE_WEIGHTED_INSTANCES, repeats, ORACLE_PAIRS,
+                weighted=True)),
+            ("routing_tables", lambda: bench_routing_tables(
+                ROUTING_INSTANCES, repeats, ROUTING_DESTS)),
+            ("availability_sweep", lambda: bench_availability(
+                AVAILABILITY_INSTANCES, repeats, AVAIL_SCENARIOS,
+                AVAIL_PAIRS)),
+        ]
+    scenarios = {}
+    for name, fn in plan:
+        print(f"{name}:")
+        scenarios[name] = fn()
+    oracle_rows = scenarios["oracle_batch"]["instances"]
+    return {
+        "benchmark": "dict vs csr backend, applications layer",
+        "quick": quick,
+        "seed": SEED,
+        "repeats": repeats,
+        "timing": "best-of-repeats",
+        "python": platform.python_version(),
+        "scenarios": scenarios,
+        # Headline trajectory: the batched oracle on the largest instance.
+        "batched_oracle_speedup": oracle_rows[-1]["speedup"],
+    }
+
+
+def _all_parity_ok(report) -> bool:
+    return all(
+        row["identical_outputs"]
+        for scenario in report["scenarios"].values()
+        for row in scenario["instances"]
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help=f"where to write the JSON report "
+                             f"(default: {DEFAULT_OUTPUT})")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repetitions per backend (default 3)")
+    parser.add_argument("--quick", action="store_true",
+                        help="smoke run: tiny instances, one repeat "
+                             "(parity checks still apply)")
+    args = parser.parse_args(argv)
+    report = run(repeats=args.repeats, quick=args.quick)
+    if args.quick and args.output == DEFAULT_OUTPUT:
+        print("quick run: skipping JSON write (pass --output to force)")
+    else:
+        args.output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"report written to {args.output}")
+    if not _all_parity_ok(report):
+        print("ERROR: backend parity violated")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,6 +12,11 @@ successive PRs can track the backend's performance trajectory:
   instance (the branch-and-bound Dijkstra search).
 * ``verification_sweep`` -- exhaustive ``verify_ft_spanner`` of a
   weighted spanner (one Dijkstra per surviving edge per fault set).
+* ``modified_greedy_repack`` -- the CSR greedy with and without
+  scheduled mid-run row compaction (``repack_every``), closing the
+  ROADMAP question of whether long runs benefit from periodic
+  repacking.  Here ``seconds_dict``/``seconds_csr`` read as
+  ``seconds_no_repack``/``seconds_repack``.
 
 Run from the repository root::
 
@@ -51,11 +56,15 @@ MODIFIED_INSTANCES = [(200, 0.10), (400, 0.05), (600, 0.04)]
 CLASSIC_INSTANCES = [(300, 0.06), (500, 0.04)]
 EXPONENTIAL_INSTANCES = [(24, 0.30), (30, 0.25)]
 VERIFICATION_INSTANCES = [(50, 0.15), (70, 0.10)]
+REPACK_INSTANCES = [(400, 0.05)]
+REPACK_EVERY = 256
 
 QUICK_MODIFIED = [(100, 0.12)]
 QUICK_CLASSIC = [(120, 0.10)]
 QUICK_EXPONENTIAL = [(12, 0.35)]
 QUICK_VERIFICATION = [(30, 0.20)]
+QUICK_REPACK = [(100, 0.12)]
+QUICK_REPACK_EVERY = 64
 
 DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_backend.json"
 
@@ -161,6 +170,56 @@ def bench_exponential_greedy(instances, repeats):
     }
 
 
+def bench_repack(instances, repeats, repack_every):
+    """CSR greedy with vs without scheduled mid-run row compaction."""
+    rows = []
+    for n, p in instances:
+        g = generators.gnp_random_graph(n, p, seed=SEED)
+        t_plain, r_plain = _best_of(
+            lambda: fault_tolerant_spanner(g, K, F, backend="csr"), repeats
+        )
+        t_repack, r_repack = _best_of(
+            lambda: fault_tolerant_spanner(
+                g, K, F, backend="csr", repack_every=repack_every
+            ),
+            repeats,
+        )
+        identical = (
+            set(r_plain.spanner.edges()) == set(r_repack.spanner.edges())
+            and r_plain.certificates == r_repack.certificates
+            and r_plain.bfs_calls == r_repack.bfs_calls
+        )
+        row = {
+            "n": n,
+            "p": p,
+            "m": g.num_edges,
+            "spanner_edges": r_repack.spanner.num_edges,
+            "repack_every": repack_every,
+            "repacks": int(r_repack.extra.get("repacks", 0)),
+            "seconds_no_repack": round(t_plain, 4),
+            "seconds_repack": round(t_repack, 4),
+            "speedup": (
+                round(t_plain / t_repack, 2) if t_repack > 0 else float("inf")
+            ),
+            "identical_outputs": identical,
+        }
+        print(
+            f"  n={n:4d} m={g.num_edges:5d}  plain {t_plain:7.3f}s  "
+            f"repack {t_repack:7.3f}s  speedup {row['speedup']:5.2f}x  "
+            f"({row['repacks']} repacks)  "
+            f"parity={'ok' if identical else 'FAIL'}"
+        )
+        rows.append(row)
+    return {
+        "description": "fault_tolerant_spanner on csr, repack_every "
+                       "scheduling vs none (identical spanners; pure "
+                       "memory-layout effect)",
+        "parameters": {"k": K, "f": F, "fault_model": "vertex",
+                       "repack_every": repack_every},
+        "instances": rows,
+    }
+
+
 def bench_verification(instances, repeats):
     rows = []
     f = 1
@@ -203,6 +262,9 @@ def run(repeats: int = 3, quick: bool = False):
             ("exponential_greedy_weighted", bench_exponential_greedy,
              QUICK_EXPONENTIAL),
             ("verification_sweep", bench_verification, QUICK_VERIFICATION),
+            ("modified_greedy_repack",
+             lambda inst, rep: bench_repack(inst, rep, QUICK_REPACK_EVERY),
+             QUICK_REPACK),
         ]
         repeats = 1
     else:
@@ -215,6 +277,9 @@ def run(repeats: int = 3, quick: bool = False):
              EXPONENTIAL_INSTANCES),
             ("verification_sweep", bench_verification,
              VERIFICATION_INSTANCES),
+            ("modified_greedy_repack",
+             lambda inst, rep: bench_repack(inst, rep, REPACK_EVERY),
+             REPACK_INSTANCES),
         ]
     scenarios = {}
     for name, fn, instances in plan:

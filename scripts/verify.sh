@@ -24,4 +24,7 @@ echo "== deterministic test suite =="
 echo "== backend benchmark smoke run (parity-checked) =="
 "$PYTHON" benchmarks/bench_backend.py --quick
 
+echo "== applications benchmark smoke run (parity-checked) =="
+"$PYTHON" benchmarks/bench_applications.py --quick
+
 echo "verify: OK"

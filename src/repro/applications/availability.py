@@ -14,12 +14,24 @@ to expose where the spanner's behavior falls off the guarantee cliff
 is exceeded in practice is exactly the kind of evidence a deployment
 decision needs).
 
-Backend: dict.  Each sampled scenario runs paired Dijkstras over lazy
-``VertexFaultView``s of the graph and the spanner -- O(samples * pairs)
-distance probes overall.  Scenarios here are random and numerous rather
-than enumerated and adversarial, so the per-call mask-reuse pattern the
-CSR verification sweeps exploit matters less; porting this sampler to a
-shared CSR snapshot is future work if it ever dominates a profile.
+Execution backends (``backend=`` keyword, default resolved from
+``REPRO_BACKEND``):
+
+* ``"csr"`` -- both graphs are frozen once into a
+  :class:`~repro.graph.snapshot.DualCSRSnapshot` over one shared index
+  space; each sampled scenario is an O(|F|) re-stamp of the shared
+  vertex mask, and each distance probe is an early-exit flat-array
+  search (hop-bounded BFS on unit inputs, truncated CSR Dijkstra
+  otherwise) through one preallocated workspace -- the same
+  snapshot-and-sweep discipline as the verification layer.
+* ``"dict"`` -- the reference path: each scenario materializes lazy
+  ``VertexFaultView``s and probes with paired dict Dijkstras.
+
+Both backends draw the identical random scenario/pair sequence and
+return bit-identical reports, which
+`tests/test_applications_parity.py` and
+`benchmarks/bench_applications.py` assert.  Cost either way is
+O(samples * pairs) distance probes after the one-off O(n + m) snapshot.
 """
 
 from __future__ import annotations
@@ -29,8 +41,16 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro.core.spanner import resolve_backend
 from repro.graph.graph import Graph, Node
-from repro.graph.traversal import dijkstra
+from repro.graph.snapshot import DualCSRSnapshot
+from repro.graph.traversal import (
+    BFSWorkspace,
+    DijkstraWorkspace,
+    csr_bounded_bfs_path,
+    csr_weighted_distance,
+    dijkstra,
+)
 from repro.graph.views import VertexFaultView
 
 INFINITY = math.inf
@@ -75,6 +95,62 @@ class AvailabilityReport:
         )
 
 
+class _AvailabilityProbes:
+    """Backend-selected s-t distance probes for the sampling loop.
+
+    The dict flavor materializes one pair of lazy views per scenario;
+    the CSR flavor stamps one shared vertex mask per scenario and
+    probes both graphs through a single preallocated workspace.  Both
+    answer the identical distances, so the sampling loop itself is
+    backend-agnostic.
+    """
+
+    __slots__ = ("use_csr", "g", "h", "snap", "ws", "unit", "gv", "hv")
+
+    def __init__(self, g: Graph, h: Graph, use_csr: bool) -> None:
+        self.use_csr = use_csr
+        self.g = g
+        self.h = h
+        if use_csr:
+            self.snap = DualCSRSnapshot(g, h)
+            self.unit = self.snap.snap_g.unit and self.snap.snap_h.unit
+            n = len(self.snap.indexer)
+            self.ws = BFSWorkspace(n) if self.unit else DijkstraWorkspace(n)
+        self.gv = g
+        self.hv = h
+
+    def set_scenario(self, faults: set) -> None:
+        """Move to the next sampled fault set (O(|F|) on CSR)."""
+        if self.use_csr:
+            self.snap.set_vertex_faults(faults)
+        else:
+            self.gv = VertexFaultView(self.g, faults) if faults else self.g
+            self.hv = VertexFaultView(self.h, faults) if faults else self.h
+
+    def graph_distance(self, u: Node, v: Node) -> float:
+        if self.use_csr:
+            return self._probe(self.snap.csr_g, u, v)
+        return dijkstra(self.gv, u, target=v).get(v, INFINITY)
+
+    def spanner_distance(self, u: Node, v: Node) -> float:
+        if self.use_csr:
+            return self._probe(self.snap.csr_h, u, v)
+        return dijkstra(self.hv, u, target=v).get(v, INFINITY)
+
+    def _probe(self, csr, u: Node, v: Node) -> float:
+        index = self.snap.indexer.index
+        iu, iv = index(u), index(v)
+        if self.unit:
+            path = csr_bounded_bfs_path(
+                csr, iu, iv, csr.num_nodes,
+                workspace=self.ws, vertex_mask=self.snap.vmask,
+            )
+            return INFINITY if path is None else float(len(path) - 1)
+        return csr_weighted_distance(
+            csr, iu, iv, workspace=self.ws, vertex_mask=self.snap.vmask,
+        )
+
+
 def availability_analysis(
     g: Graph,
     spanner: Graph,
@@ -83,12 +159,14 @@ def availability_analysis(
     scenarios: int = 50,
     pairs_per_scenario: int = 30,
     seed: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> AvailabilityReport:
     """Sample ``scenarios`` random sets of exactly ``failures`` nodes.
 
     For each scenario, sample surviving pairs that are connected in
     ``g \\ F`` and measure their stretch in ``spanner \\ F``.
     ``guarantee`` is the design stretch (2k-1) used to count violations.
+    ``backend`` selects the probe engine (identical report either way).
     """
     if failures < 0:
         raise ValueError(f"failures must be >= 0, got {failures}")
@@ -98,22 +176,24 @@ def availability_analysis(
     nodes = sorted(g.nodes(), key=repr)
     if len(nodes) < failures + 2:
         raise ValueError("graph too small for that many failures")
+    probes = _AvailabilityProbes(
+        g, spanner, use_csr=resolve_backend(backend) == "csr"
+    )
     stretches: List[float] = []
     connected = 0
     checked = 0
     violations = 0
     for _ in range(scenarios):
         faults = set(rng.sample(nodes, failures))
-        gv = VertexFaultView(g, faults) if faults else g
-        hv = VertexFaultView(spanner, faults) if faults else spanner
+        probes.set_scenario(faults)
         survivors = [x for x in nodes if x not in faults]
         for _ in range(pairs_per_scenario):
             u, v = rng.sample(survivors, 2)
-            dg = dijkstra(gv, u, target=v).get(v, INFINITY)
+            dg = probes.graph_distance(u, v)
             if math.isinf(dg) or dg == 0:
                 continue  # pair not connected in the graph: not counted
             checked += 1
-            dh = dijkstra(hv, u, target=v).get(v, INFINITY)
+            dh = probes.spanner_distance(u, v)
             if math.isinf(dh):
                 continue  # connectivity loss; counted via `connected`
             connected += 1
@@ -145,6 +225,7 @@ def degradation_profile(
     scenarios: int = 30,
     pairs_per_scenario: int = 20,
     seed: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> List[Tuple[int, AvailabilityReport]]:
     """Sweep simultaneous failures 0..max_failures.
 
@@ -164,6 +245,7 @@ def degradation_profile(
             scenarios=scenarios,
             pairs_per_scenario=pairs_per_scenario,
             seed=None if seed is None else seed + j,
+            backend=backend,
         )
         out.append((j, report))
     return out

@@ -11,16 +11,30 @@ long as at most f faults are declared:
                     <=  (2k-1) * d_{G\\F}(u, v)
 
 The oracle stores only the spanner -- ``O(k f^(1-1/k) n^(1+1/k))`` edges
-instead of m -- and evaluates queries with Dijkstra on the (faulted)
-spanner.  A per-fault-set LRU of single-source runs amortizes batches of
-queries against the same failure scenario, which is the common pattern
-in monitoring workloads (one scenario, many pairs).
+instead of m -- and evaluates queries with single-source searches on the
+(faulted) spanner.  A per-fault-set LRU of single-source runs amortizes
+batches of queries against the same failure scenario, which is the
+common pattern in monitoring workloads (one scenario, many pairs); the
+batch entry points (:meth:`FaultTolerantDistanceOracle.distances`,
+:meth:`FaultTolerantDistanceOracle.distance_matrix`) make that pattern
+first-class.
 
-Backend: dict.  Each cache miss is one single-source Dijkstra on the
-faulted spanner -- O(m' + n log n) for a spanner with m' edges -- and
-the LRU already amortizes the per-scenario pattern; porting the misses
-to a shared CSR snapshot (as the verification sweeps do) is a noted
-ROADMAP item for batch workloads.
+Execution backends (``backend=`` keyword, default resolved from
+``REPRO_BACKEND``):
+
+* ``"csr"`` -- the spanner is frozen once into a
+  :class:`~repro.graph.snapshot.CSRSnapshot` and every cache miss runs
+  on a shared :class:`~repro.graph.snapshot.ScenarioSweep`: switching
+  fault scenarios is an O(|F|) mask re-stamp, each single-source run is
+  flat-array BFS (unit weights) or CSR Dijkstra (weighted) through one
+  preallocated workspace, and no ``G \\ F`` view is ever materialized.
+* ``"dict"`` -- the reference path: one lazy fault view plus one dict
+  Dijkstra per cache miss, O(m' + n log n) for a spanner with m' edges.
+
+Both backends return bit-identical answers (the CSR substrate preserves
+the dict backend's neighbor order and tie-breaking), which
+`tests/test_applications_parity.py` and
+`benchmarks/bench_applications.py` assert.
 """
 
 from __future__ import annotations
@@ -30,8 +44,9 @@ from collections import OrderedDict
 from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple, Union
 
 from repro.core.greedy_modified import fault_tolerant_spanner
-from repro.core.spanner import FaultModel, SpannerResult
+from repro.core.spanner import FaultModel, SpannerResult, resolve_backend
 from repro.graph.graph import Edge, Graph, Node, edge_key
+from repro.graph.snapshot import ScenarioSweep
 from repro.graph.traversal import dijkstra
 from repro.graph.views import EdgeFaultView, VertexFaultView
 
@@ -55,6 +70,11 @@ class FaultTolerantDistanceOracle:
         declare.
     cache_size:
         Number of (fault set, source) single-source distance runs kept.
+        May be reassigned later; shrinking evicts the oldest entries
+        immediately.
+    backend:
+        ``'csr'`` (shared-snapshot flat-array path, the default) or
+        ``'dict'`` (lazy views); answers are identical either way.
 
     Examples
     --------
@@ -74,10 +94,12 @@ class FaultTolerantDistanceOracle:
         fault_model: Union[FaultModel, str] = FaultModel.VERTEX,
         cache_size: int = 128,
         prebuilt: Optional[SpannerResult] = None,
+        backend: Optional[str] = None,
     ) -> None:
         self.k = k
         self.f = f
         self.fault_model = FaultModel.coerce(fault_model)
+        self.backend = resolve_backend(backend)
         if prebuilt is not None:
             if prebuilt.k != k or prebuilt.f < f:
                 raise ValueError(
@@ -86,13 +108,15 @@ class FaultTolerantDistanceOracle:
             result = prebuilt
         else:
             result = fault_tolerant_spanner(
-                g, k, f, fault_model=self.fault_model
+                g, k, f, fault_model=self.fault_model, backend=self.backend
             )
         self.spanner: Graph = result.spanner
         self.construction: SpannerResult = result
-        self._cache_size = cache_size
         self._cache: "OrderedDict[Tuple[FrozenSet, Node], Dict[Node, float]]"
         self._cache = OrderedDict()
+        self._cache_size = 0
+        self.cache_size = cache_size  # validated + evicted by the setter
+        self._sweep: Optional[ScenarioSweep] = None
 
     # ------------------------------------------------------------- #
     # Queries
@@ -107,6 +131,23 @@ class FaultTolerantDistanceOracle:
     def size(self) -> int:
         """Edges stored by the oracle."""
         return self.spanner.num_edges
+
+    @property
+    def cache_size(self) -> int:
+        """Capacity of the (fault set, source) LRU.
+
+        Assigning a smaller value evicts the oldest entries immediately,
+        so the cache never holds stale excess after a shrink.
+        """
+        return self._cache_size
+
+    @cache_size.setter
+    def cache_size(self, size: int) -> None:
+        if size < 0:
+            raise ValueError(f"cache_size must be >= 0, got {size}")
+        self._cache_size = size
+        while len(self._cache) > size:
+            self._cache.popitem(last=False)
 
     def distance(
         self, u: Node, v: Node, faults: Optional[Iterable] = None
@@ -133,6 +174,54 @@ class FaultTolerantDistanceOracle:
         fault_key = self._normalize(faults)
         return dict(self._sssp(fault_key, source))
 
+    def distances(
+        self,
+        pairs: Iterable[Tuple[Node, Node]],
+        faults: Optional[Iterable] = None,
+    ) -> List[float]:
+        """Batch distances for many pairs under one fault scenario.
+
+        Element ``i`` equals ``distance(pairs[i][0], pairs[i][1],
+        faults=faults)`` exactly; the batch form normalizes the fault
+        set once and groups the pairs by source so each distinct source
+        costs one single-source run regardless of LRU pressure or pair
+        order -- the "one scenario, many pairs" monitoring pattern.
+        """
+        pair_list = list(pairs)
+        fault_key = self._normalize(faults)
+        out: List[float] = [INFINITY] * len(pair_list)
+        by_source: "OrderedDict[Node, List[Tuple[int, Node]]]" = OrderedDict()
+        for i, (u, v) in enumerate(pair_list):
+            by_source.setdefault(u, []).append((i, v))
+        for u, targets in by_source.items():
+            sssp: Optional[Dict[Node, float]] = None
+            for i, v in targets:
+                self._check_alive(v, fault_key)
+                if u == v:
+                    self._check_alive(u, fault_key)
+                    out[i] = 0.0
+                    continue
+                if sssp is None:
+                    sssp = self._sssp(fault_key, u)
+                out[i] = sssp.get(v, INFINITY)
+        return out
+
+    def distance_matrix(
+        self,
+        sources: Iterable[Node],
+        faults: Optional[Iterable] = None,
+    ) -> Dict[Node, Dict[Node, float]]:
+        """All distances from each source under one fault scenario.
+
+        Returns ``{source: {node: distance}}`` (duplicate sources
+        collapse); each row equals :meth:`distances_from` for that
+        source.  On the CSR backend one shared snapshot serves the
+        whole matrix, at an O(|F|) scenario re-stamp per cache-missed
+        row.
+        """
+        fault_key = self._normalize(faults)
+        return {s: dict(self._sssp(fault_key, s)) for s in sources}
+
     def path(
         self, u: Node, v: Node, faults: Optional[Iterable] = None
     ) -> Optional[List[Node]]:
@@ -141,11 +230,13 @@ class FaultTolerantDistanceOracle:
         The returned path lives entirely in the spanner minus the fault
         set, so it is directly usable as a route.
         """
-        from repro.graph.traversal import shortest_path
-
         fault_key = self._normalize(faults)
         self._check_alive(u, fault_key)
         self._check_alive(v, fault_key)
+        if self.backend == "csr":
+            return self._stamped_sweep(fault_key).path(u, v)
+        from repro.graph.traversal import shortest_path
+
         view = self._view(fault_key)
         return shortest_path(view, u, v)
 
@@ -154,6 +245,13 @@ class FaultTolerantDistanceOracle:
     # ------------------------------------------------------------- #
 
     def _normalize(self, faults: Optional[Iterable]) -> FrozenSet:
+        """Canonicalize a fault iterable into the cache-key form.
+
+        Vertex faults become a frozenset of nodes; edge faults a
+        frozenset of canonical ``edge_key`` pairs -- so any iteration
+        order, container type, or endpoint orientation of the same
+        fault set maps to the same cache key.
+        """
         if faults is None:
             return frozenset()
         if self.fault_model is FaultModel.VERTEX:
@@ -180,6 +278,14 @@ class FaultTolerantDistanceOracle:
             return VertexFaultView(self.spanner, fault_key)
         return EdgeFaultView(self.spanner, fault_key)
 
+    def _stamped_sweep(self, fault_key: FrozenSet) -> ScenarioSweep:
+        """The shared snapshot sweep, re-stamped for ``fault_key``."""
+        sweep = self._sweep
+        if sweep is None:
+            sweep = self._sweep = ScenarioSweep(self.spanner)
+        sweep.stamp(fault_key, self.fault_model.value)
+        return sweep
+
     def _sssp(self, fault_key: FrozenSet, source: Node) -> Dict[Node, float]:
         self._check_alive(source, fault_key)
         cache_key = (fault_key, source)
@@ -187,7 +293,10 @@ class FaultTolerantDistanceOracle:
         if hit is not None:
             self._cache.move_to_end(cache_key)
             return hit
-        dist = dijkstra(self._view(fault_key), source)
+        if self.backend == "csr":
+            dist = self._stamped_sweep(fault_key).distances_from(source)
+        else:
+            dist = dijkstra(self._view(fault_key), source)
         self._cache[cache_key] = dist
         if len(self._cache) > self._cache_size:
             self._cache.popitem(last=False)

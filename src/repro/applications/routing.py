@@ -15,11 +15,24 @@ Routes are loop-free by construction (next hops follow a shortest-path
 tree for the current fault set), which the tests check by walking every
 route to termination.
 
-Backend: dict.  Table construction is n single-source Dijkstras on the
-spanner (O(n (m' + n log n)) total); a reported fault set triggers one
-rebuild per affected destination on the faulted view.  Next-hop lookups
-themselves are O(1) table reads, so the CSR machinery would only touch
-the (precomputed, infrequent) rebuild path.
+Execution backends (``backend=`` keyword, default resolved from
+``REPRO_BACKEND``):
+
+* ``"csr"`` -- the spanner is frozen once into a
+  :class:`~repro.graph.snapshot.CSRSnapshot` and every table build runs
+  on a shared :class:`~repro.graph.snapshot.ScenarioSweep`: a reported
+  fault set is an O(|F|) mask re-stamp, and each destination-rooted
+  tree comes from the CSR parent arrays (flat-array BFS on unit
+  spanners, CSR Dijkstra on weighted ones) -- no lazy view, no per-node
+  dict churn.
+* ``"dict"`` -- the reference path: one destination-rooted dict
+  Dijkstra per (fault set, destination) on a lazy fault view,
+  O(n (m' + n log n)) for full tables on a spanner with m' edges.
+
+Both backends build identical tables entry for entry (the CSR substrate
+preserves the dict backend's discovery order and strict-improvement
+predecessor rule), which `tests/test_applications_parity.py` asserts.
+Next-hop lookups themselves stay O(1) table reads either way.
 """
 
 from __future__ import annotations
@@ -28,9 +41,9 @@ import math
 from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple, Union
 
 from repro.core.greedy_modified import fault_tolerant_spanner
-from repro.core.spanner import FaultModel, SpannerResult
+from repro.core.spanner import FaultModel, SpannerResult, resolve_backend
 from repro.graph.graph import Edge, Graph, Node, edge_key
-from repro.graph.traversal import dijkstra
+from repro.graph.snapshot import ScenarioSweep
 from repro.graph.views import EdgeFaultView, VertexFaultView
 
 INFINITY = math.inf
@@ -45,7 +58,8 @@ class SpannerRouter:
 
     Parameters mirror :func:`repro.core.greedy_modified.
     fault_tolerant_spanner`; a prebuilt :class:`SpannerResult` may be
-    supplied instead of rebuilding.
+    supplied instead of rebuilding, and ``backend`` selects the table
+    construction engine (identical tables either way).
 
     Examples
     --------
@@ -63,20 +77,23 @@ class SpannerRouter:
         f: int,
         fault_model: Union[FaultModel, str] = FaultModel.VERTEX,
         prebuilt: Optional[SpannerResult] = None,
+        backend: Optional[str] = None,
     ) -> None:
         self.k = k
         self.f = f
         self.fault_model = FaultModel.coerce(fault_model)
+        self.backend = resolve_backend(backend)
         if prebuilt is not None:
             result = prebuilt
         else:
             result = fault_tolerant_spanner(
-                g, k, f, fault_model=self.fault_model
+                g, k, f, fault_model=self.fault_model, backend=self.backend
             )
         self.spanner = result.spanner
         self.construction = result
         # Per fault set: per destination: node -> next hop toward dest.
         self._tables: Dict[FrozenSet, Dict[Node, Dict[Node, Node]]] = {}
+        self._sweep: Optional[ScenarioSweep] = None
 
     # ------------------------------------------------------------- #
 
@@ -129,6 +146,17 @@ class SpannerRouter:
             self.spanner.weight(a, b) for a, b in zip(path, path[1:])
         )
 
+    def table(
+        self, dest: Node, faults: Optional[Iterable] = None
+    ) -> Dict[Node, Node]:
+        """The full next-hop table toward ``dest`` under ``faults``.
+
+        Maps every node with a surviving route to its next hop toward
+        the destination.  The mapping is the router's cached table --
+        treat it as read-only.
+        """
+        return self._table_for(self._normalize(faults), dest)
+
     def table_size(self) -> int:
         """Total next-hop entries currently materialized (all scenarios)."""
         return sum(
@@ -160,13 +188,23 @@ class SpannerRouter:
             return VertexFaultView(self.spanner, fault_key)
         return EdgeFaultView(self.spanner, fault_key)
 
+    def _stamped_sweep(self, fault_key: FrozenSet) -> ScenarioSweep:
+        """The shared snapshot sweep, re-stamped for ``fault_key``."""
+        sweep = self._sweep
+        if sweep is None:
+            sweep = self._sweep = ScenarioSweep(self.spanner)
+        sweep.stamp(fault_key, self.fault_model.value)
+        return sweep
+
     def _table_for(
         self, fault_key: FrozenSet, dest: Node
     ) -> Dict[Node, Node]:
         """Next-hop table toward ``dest`` under ``fault_key`` (cached).
 
-        Built from one Dijkstra rooted at the destination: each reached
-        node's next hop is its parent toward ``dest`` (reversed tree).
+        Built from one destination-rooted single-source tree: each
+        reached node's next hop is its parent toward ``dest`` (reversed
+        tree).  On the CSR backend the tree comes straight from the
+        shared sweep's parent arrays.
         """
         if not self.spanner.has_node(dest):
             raise KeyError(f"destination {dest!r} not in graph")
@@ -179,8 +217,10 @@ class SpannerRouter:
         cached = per_dest.get(dest)
         if cached is not None:
             return cached
-        view = self._view(fault_key)
-        parent = _dijkstra_parents(view, dest)
+        if self.backend == "csr":
+            parent = self._stamped_sweep(fault_key).parents_toward(dest)
+        else:
+            parent = _dijkstra_parents(self._view(fault_key), dest)
         # parent[x] is x's predecessor on the dest-rooted tree, i.e. the
         # next hop on x's shortest route TOWARD dest.
         per_dest[dest] = parent

@@ -5,6 +5,8 @@ Subcommands
 ``build``    Build a fault-tolerant spanner of a graph file (or a
              generated random graph) and write/print the result.
 ``verify``   Check that one graph file is an f-FT t-spanner of another.
+``oracle``   Build a spanner-backed distance oracle and answer batched
+             post-fault queries across sampled failure scenarios.
 ``info``     Print structural statistics of a graph file.
 ``demo``     Run a small end-to-end demonstration (no files needed).
 
@@ -118,6 +120,37 @@ def _build_parser() -> argparse.ArgumentParser:
                              "(default: csr, or REPRO_BACKEND when set); "
                              "the report is identical either way")
 
+    oracle = sub.add_parser(
+        "oracle",
+        help="answer batched post-fault distance queries from a spanner",
+    )
+    oracle.add_argument("--input", help="graph file (edge-list format)")
+    oracle.add_argument("--random", type=int, metavar="N",
+                        help="generate a G(n, p) input instead of a file")
+    oracle.add_argument("--p", type=float, default=0.1,
+                        help="edge probability for --random (default 0.1)")
+    oracle.add_argument("-k", type=int, default=2,
+                        help="stretch parameter: stretch = 2k-1 (default 2)")
+    oracle.add_argument("-f", type=int, default=1,
+                        help="fault budget per query (default 1)")
+    oracle.add_argument("--fault-model", choices=["vertex", "edge"],
+                        default="vertex")
+    oracle.add_argument("--pairs", type=int, default=200,
+                        help="query pairs per scenario (default 200)")
+    oracle.add_argument("--scenarios", type=int, default=3,
+                        help="random fault scenarios to sweep (default 3)")
+    oracle.add_argument("--cache-size", type=int, default=256,
+                        help="single-source runs kept in the oracle LRU "
+                             "(default 256)")
+    oracle.add_argument("--backend", choices=["dict", "csr"], default=None,
+                        help="query engine: 'csr' (one shared snapshot, "
+                             "O(|F|) scenario re-stamp) or 'dict' (lazy "
+                             "views); answers are identical (default: csr, "
+                             "or REPRO_BACKEND when set)")
+    oracle.add_argument("--seed", type=int, default=0,
+                        help="seed for --random generation and for "
+                             "scenario/pair sampling (default 0)")
+
     info = sub.add_parser("info", help="print graph statistics")
     info.add_argument("graph", help="graph file")
 
@@ -191,6 +224,63 @@ def _cmd_verify(args) -> int:
     return 1
 
 
+def _cmd_oracle(args) -> int:
+    import math
+    import random
+
+    from repro.applications import FaultTolerantDistanceOracle
+
+    g = _load_or_generate(args)
+    try:
+        backend = resolve_backend(args.backend)
+    except ValueError as exc:
+        raise SystemExit(f"ftspanner oracle: error: {exc}")
+    start = time.perf_counter()
+    oracle = FaultTolerantDistanceOracle(
+        g, k=args.k, f=args.f, fault_model=args.fault_model,
+        cache_size=args.cache_size, backend=backend,
+    )
+    build = time.perf_counter() - start
+    print(f"oracle over {oracle.size} spanner edges "
+          f"(stretch guarantee {oracle.stretch}, f={args.f}, "
+          f"backend {backend}): built in {build:.3f}s")
+    rng = random.Random(args.seed)
+    nodes = sorted(g.nodes(), key=repr)
+    # Vertex faults remove nodes from the survivor pool; edge faults
+    # don't, so there only the two pair endpoints are needed.
+    needed = max(args.f, 0) + 2 if args.fault_model == "vertex" else 2
+    if len(nodes) < needed:
+        raise SystemExit("ftspanner oracle: error: graph too small "
+                         "for that fault budget")
+    edges = list(g.edges())
+    total = 0
+    answered_finite = 0
+    query_time = 0.0
+    for s in range(args.scenarios):
+        if args.f <= 0:
+            faults = []
+        elif args.fault_model == "vertex":
+            faults = rng.sample(nodes, min(args.f, len(nodes) - 2))
+        else:
+            faults = rng.sample(edges, min(args.f, len(edges)))
+        fault_set = set(faults)
+        survivors = (
+            [x for x in nodes if x not in fault_set]
+            if args.fault_model == "vertex" else nodes
+        )
+        pairs = [tuple(rng.sample(survivors, 2)) for _ in range(args.pairs)]
+        start = time.perf_counter()
+        answers = oracle.distances(pairs, faults=faults)
+        query_time += time.perf_counter() - start
+        total += len(answers)
+        answered_finite += sum(1 for d in answers if not math.isinf(d))
+    rate = f" ({total / query_time:.0f} queries/s)" if query_time > 0 else ""
+    print(f"answered {total} queries across {args.scenarios} scenarios "
+          f"in {query_time:.3f}s{rate}")
+    print(f"reachable under faults: {answered_finite}/{total}")
+    return 0
+
+
 def _cmd_info(args) -> int:
     from repro.graph.metrics import DegreeStats, average_clustering, weight_stats
 
@@ -238,6 +328,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "build": _cmd_build,
         "verify": _cmd_verify,
+        "oracle": _cmd_oracle,
         "info": _cmd_info,
         "demo": _cmd_demo,
     }

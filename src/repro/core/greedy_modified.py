@@ -41,7 +41,7 @@ paths, so they produce identical spanners, certificates, and BFS counts
 from __future__ import annotations
 
 import random
-from typing import Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.spanner import FaultModel, SpannerResult, resolve_backend
 from repro.graph.csr import CSRBuilder
@@ -68,6 +68,7 @@ def fault_tolerant_spanner(
     fault_model: Union[FaultModel, str] = FaultModel.VERTEX,
     seed: Optional[int] = None,
     backend: Optional[str] = None,
+    repack_every: Optional[int] = None,
 ) -> SpannerResult:
     """Build an f-fault-tolerant (2k-1)-spanner of ``g`` in polynomial time.
 
@@ -95,6 +96,13 @@ def fault_tolerant_spanner(
         original view-based path); ``None`` defers to the
         ``REPRO_BACKEND`` environment variable.  The output is identical
         either way.
+    repack_every:
+        On the CSR backend, compact the growing
+        :class:`~repro.graph.csr.CSRBuilder`'s adjacency rows after
+        every this-many kept edges (``None`` disables scheduling).
+        Purely a memory-layout operation -- the spanner is identical
+        with or without it; ``bench_backend.py``'s
+        ``modified_greedy_repack`` scenario records the measured effect.
 
     Returns
     -------
@@ -103,10 +111,12 @@ def fault_tolerant_spanner(
     """
     if g.is_unit_weighted():
         return modified_greedy_unweighted(
-            g, k, f, fault_model=fault_model, backend=backend
+            g, k, f, fault_model=fault_model, backend=backend,
+            repack_every=repack_every,
         )
     return modified_greedy_weighted(
-        g, k, f, fault_model=fault_model, backend=backend
+        g, k, f, fault_model=fault_model, backend=backend,
+        repack_every=repack_every,
     )
 
 
@@ -119,6 +129,7 @@ def modified_greedy_unweighted(
     seed: Optional[int] = None,
     degree_shortcut: bool = False,
     backend: Optional[str] = None,
+    repack_every: Optional[int] = None,
 ) -> SpannerResult:
     """Algorithm 3 on an unweighted graph, with a pluggable edge order.
 
@@ -136,6 +147,7 @@ def modified_greedy_unweighted(
     return _greedy_loop(
         g, edges, k, f, model, algorithm="modified-greedy",
         degree_shortcut=degree_shortcut, backend=backend,
+        repack_every=repack_every,
     )
 
 
@@ -146,6 +158,7 @@ def modified_greedy_weighted(
     fault_model: Union[FaultModel, str] = FaultModel.VERTEX,
     degree_shortcut: bool = False,
     backend: Optional[str] = None,
+    repack_every: Optional[int] = None,
 ) -> SpannerResult:
     """Algorithm 4: nondecreasing-weight order, unweighted LBC test."""
     _validate_params(k, f)
@@ -154,6 +167,7 @@ def modified_greedy_weighted(
     return _greedy_loop(
         g, edges, k, f, model, algorithm="modified-greedy-weighted",
         degree_shortcut=degree_shortcut, backend=backend,
+        repack_every=repack_every,
     )
 
 
@@ -166,6 +180,7 @@ def _greedy_loop(
     algorithm: str,
     degree_shortcut: bool = False,
     backend: Optional[str] = None,
+    repack_every: Optional[int] = None,
 ) -> SpannerResult:
     """The shared greedy loop of Algorithms 3 and 4.
 
@@ -190,13 +205,22 @@ def _greedy_loop(
     is *guaranteed* to answer YES -- the edge can be added without
     running it.  The produced spanner is identical with or without the
     shortcut; only the BFS count changes.
+
+    ``repack_every`` (CSR only) schedules
+    :meth:`~repro.graph.csr.CSRBuilder.compact` after every that many
+    kept edges -- a pure memory-layout consolidation, so the produced
+    spanner is identical; the repack count lands in
+    ``result.extra["repacks"]``.
     """
+    if repack_every is not None and repack_every <= 0:
+        raise ValueError(f"need repack_every >= 1, got {repack_every}")
     t = 2 * k - 1
     h = g.spanning_skeleton()
     certificates = {}
     bfs_calls = 0
     considered = 0
     shortcuts = 0
+    repacks = 0
     if resolve_backend(backend) == "csr":
         indexer = NodeIndexer.from_graph(g)
         index = indexer.index
@@ -205,6 +229,7 @@ def _greedy_loop(
         csr_decide = (
             lbc_vertex_csr if model is FaultModel.VERTEX else lbc_edge_csr
         )
+        kept_since_repack = 0
 
         def decide(u: Node, v: Node):
             return csr_decide(
@@ -212,7 +237,14 @@ def _greedy_loop(
             )
 
         def record_kept(u: Node, v: Node, w: float) -> None:
+            nonlocal kept_since_repack, repacks
             builder.add_edge(index(u), index(v), w)
+            if repack_every:
+                kept_since_repack += 1
+                if kept_since_repack >= repack_every:
+                    builder.compact()
+                    kept_since_repack = 0
+                    repacks += 1
 
     else:
         dict_decide = lbc_vertex if model is FaultModel.VERTEX else lbc_edge
@@ -241,6 +273,11 @@ def _greedy_loop(
             h.add_edge(u, v, weight=w)
             record_kept(u, v, w)
             certificates[edge_key(u, v)] = result.cut
+    extra: Dict[str, float] = {}
+    if degree_shortcut:
+        extra["degree_shortcuts"] = float(shortcuts)
+    if repacks:
+        extra["repacks"] = float(repacks)
     return SpannerResult(
         spanner=h,
         k=k,
@@ -250,7 +287,7 @@ def _greedy_loop(
         certificates=certificates,
         edges_considered=considered,
         bfs_calls=bfs_calls,
-        extra={"degree_shortcuts": float(shortcuts)} if degree_shortcut else {},
+        extra=extra,
     )
 
 

@@ -13,6 +13,12 @@ algorithms are phrased on:
   :class:`~repro.graph.csr.CSRGraph`, :class:`~repro.graph.csr.CSRBuilder`,
   and :class:`~repro.graph.csr.FaultMask` -- the flat-array twin of the
   dict structures that the spanner hot path runs on.
+- The snapshot/sweep substrate (:mod:`~repro.graph.snapshot`):
+  :class:`~repro.graph.snapshot.CSRSnapshot`,
+  :class:`~repro.graph.snapshot.ScenarioSweep`, and
+  :class:`~repro.graph.snapshot.DualCSRSnapshot` -- freeze a graph once,
+  then batch many fault scenarios as O(|F|) mask re-stamps (the engine
+  behind the verification sweeps and the applications layer).
 - Traversal primitives (:mod:`~repro.graph.traversal`): BFS distances,
   hop-bounded BFS path extraction (the inner loop of the paper's Algorithm 2),
   and Dijkstra for weighted distances -- each with a dict-backend and a
@@ -37,19 +43,27 @@ from repro.graph.views import (
 )
 from repro.graph.traversal import (
     BFSWorkspace,
+    DijkstraWorkspace,
     bfs_distances,
     bfs_tree,
     bounded_bfs_path,
     connected_components,
     csr_bfs_distances,
+    csr_bfs_parents,
     csr_bounded_bfs_path,
     csr_bounded_bfs_path_edges,
+    csr_bounded_dijkstra_path,
+    csr_bounded_dijkstra_path_edges,
+    csr_dijkstra,
+    csr_dijkstra_parents,
+    csr_weighted_distance,
     dijkstra,
     hop_distance,
     is_connected,
     shortest_path,
     weighted_distance,
 )
+from repro.graph.snapshot import CSRSnapshot, DualCSRSnapshot, ScenarioSweep
 from repro.graph.girth import girth, has_cycle_shorter_than
 from repro.graph import generators
 from repro.graph import io
@@ -63,9 +77,19 @@ __all__ = [
     "CSRBuilder",
     "FaultMask",
     "BFSWorkspace",
+    "DijkstraWorkspace",
+    "CSRSnapshot",
+    "DualCSRSnapshot",
+    "ScenarioSweep",
     "csr_bfs_distances",
+    "csr_bfs_parents",
     "csr_bounded_bfs_path",
     "csr_bounded_bfs_path_edges",
+    "csr_bounded_dijkstra_path",
+    "csr_bounded_dijkstra_path_edges",
+    "csr_dijkstra",
+    "csr_dijkstra_parents",
+    "csr_weighted_distance",
     "GraphView",
     "IdentityView",
     "VertexFaultView",

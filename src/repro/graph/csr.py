@@ -396,6 +396,26 @@ class CSRBuilder:
         key = (i, j) if i < j else (j, i)
         return self._eid_of[key]
 
+    def compact(self) -> None:
+        """Re-allocate every adjacency row at exact size (in-place repack).
+
+        The mid-run twin of :meth:`repack` for long greedy runs: the
+        frozen :class:`CSRGraph` that ``repack()`` returns cannot accept
+        further edges, so periodic repacking inside a still-growing run
+        compacts the builder's own rows instead -- fresh exact-length
+        list copies drop the over-allocation slack accumulated by
+        repeated appends and lay each row's pointer array out anew.
+        Edge ids, weights, and per-row order are unchanged, so masks and
+        workspaces built against this builder remain valid.
+
+        Scheduled by the greedy loop's ``repack_every`` knob; the
+        ``modified_greedy_repack`` scenario of
+        ``benchmarks/bench_backend.py`` records the measured effect.
+        """
+        self.neighbors = [list(row) for row in self.neighbors]
+        self.edge_id_rows = [list(row) for row in self.edge_id_rows]
+        self.weight_rows = [list(row) for row in self.weight_rows]
+
     def repack(self, indexer: Optional[NodeIndexer] = None) -> CSRGraph:
         """Consolidate the chunked rows into a frozen :class:`CSRGraph`.
 

@@ -1,0 +1,401 @@
+"""Reusable CSR query-engine substrate: snapshot once, sweep many scenarios.
+
+Every batched workload in the library follows the same shape on the CSR
+backend: freeze a :class:`~repro.graph.graph.Graph` into flat arrays
+*once*, then drive many fault scenarios through generation-stamped
+:class:`~repro.graph.csr.FaultMask` buffers and one preallocated
+workspace -- moving to the next scenario is an O(|F|) mask re-stamp
+instead of materializing a ``G \\ F`` view.  The verification sweeps
+pioneered the pattern; this module extracts it so the applications layer
+(distance oracle, router, availability analysis) runs on the same
+substrate:
+
+* :class:`CSRSnapshot` -- one frozen CSR build of a single graph plus
+  its :class:`~repro.graph.index.NodeIndexer` (node objects <-> dense
+  indices) and a cached unit-weight flag.
+* :class:`ScenarioSweep` -- a batched query engine over one snapshot:
+  owns the vertex/edge fault masks and lazily-created
+  :class:`~repro.graph.traversal.BFSWorkspace` /
+  :class:`~repro.graph.traversal.DijkstraWorkspace`, exposes
+  object-level queries (``distances_from`` / ``distance`` / ``path`` /
+  ``parents_toward``) that match the dict backend's answers exactly.
+  Unit-weighted snapshots answer distance queries with the (much
+  faster) hop-bounded BFS primitives; weighted ones with CSR Dijkstra.
+* :class:`DualCSRSnapshot` -- G and H snapshotted over one *shared*
+  index space (so a vertex mask stamped with G-side indices is directly
+  valid against H), the base of the verification sweeps and of the
+  availability sampler.
+
+Cost model: construction is one (or two) O(n + m) snapshots; a scenario
+switch is an O(|F|) re-stamp; each query allocates nothing beyond its
+returned value.
+
+Parity: every query visits neighbors in the dict backend's insertion
+order and breaks ties identically (see ``docs/architecture.md``), so
+the answers are bit-identical to the lazy-view reference path -- the
+applications parity suite (`tests/test_applications_parity.py`) and
+`benchmarks/bench_applications.py` assert this on every run.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.graph.csr import CSRGraph, FaultMask
+from repro.graph.graph import Edge, Graph, Node
+from repro.graph.index import NodeIndexer
+from repro.graph.traversal import (
+    BFSWorkspace,
+    DijkstraWorkspace,
+    csr_bfs_distances,
+    csr_bfs_parents,
+    csr_bounded_bfs_path,
+    csr_bounded_dijkstra_path,
+    csr_dijkstra,
+    csr_dijkstra_parents,
+    csr_weighted_distance,
+)
+
+INFINITY = math.inf
+
+
+def _stamp_vertex_mask(
+    indexer: NodeIndexer, mask: FaultMask, faults: Iterable[Node]
+) -> FaultMask:
+    """Re-stamp ``mask`` with a vertex fault set in O(|F|).
+
+    Unknown nodes are silently ignored, matching the lazy views
+    (filtering something that is not there is a no-op).
+    """
+    get = indexer.get
+    mask.clear()
+    mask.add_all(i for i in (get(x) for x in faults) if i is not None)
+    return mask
+
+
+def _stamp_edge_mask(
+    indexer: NodeIndexer,
+    csr: CSRGraph,
+    mask: FaultMask,
+    faults: Iterable[Edge],
+) -> FaultMask:
+    """Re-stamp ``mask`` with an edge fault set in O(|F|).
+
+    Edges absent from the graph are ignored, matching the lazy views.
+    """
+    get = indexer.get
+    mask.clear()
+    for u, v in faults:
+        iu, iv = get(u), get(v)
+        if iu is None or iv is None:
+            continue
+        if csr.has_edge(iu, iv):
+            mask.add(csr.edge_id(iu, iv))
+    return mask
+
+
+class CSRSnapshot:
+    """One frozen CSR build of a graph, ready for scenario sweeps.
+
+    Attributes
+    ----------
+    g:
+        The source :class:`~repro.graph.graph.Graph` (kept for
+        object-level lookups; never mutated through the snapshot).
+    csr:
+        The frozen :class:`~repro.graph.csr.CSRGraph`.
+    indexer:
+        The node <-> index bijection (shared when ``indexer`` is passed,
+        e.g. by :class:`DualCSRSnapshot`).
+    unit:
+        Whether every edge weight is exactly 1.0 -- enables the BFS fast
+        path for distance queries (hop distance equals weighted
+        distance, and small integer floats are exact).
+    """
+
+    __slots__ = ("g", "csr", "indexer", "unit")
+
+    def __init__(self, g: Graph, indexer: Optional[NodeIndexer] = None) -> None:
+        self.g = g
+        self.csr = CSRGraph.from_graph(g, indexer=indexer)
+        self.indexer = self.csr.indexer
+        self.unit = g.is_unit_weighted()
+
+    def __repr__(self) -> str:
+        return (
+            f"CSRSnapshot(n={self.csr.num_nodes}, m={self.csr.num_edges}, "
+            f"unit={self.unit})"
+        )
+
+
+class ScenarioSweep:
+    """Batched fault-scenario queries against one :class:`CSRSnapshot`.
+
+    One sweep owns one vertex mask, one edge mask, and (lazily) one BFS
+    and one Dijkstra workspace; switching scenarios with
+    :meth:`set_vertex_faults` / :meth:`set_edge_faults` is an O(|F|)
+    re-stamp, and every query thereafter runs against the stamped
+    scenario with zero further allocation.
+
+    Queries take and return *node objects* (translated through the
+    snapshot's indexer) and replicate the dict backend's lazy-view
+    semantics exactly: a source that is unknown or faulted raises
+    ``KeyError`` (as ``dijkstra`` does on a view that lacks the node),
+    while an unknown or faulted *target* is merely unreachable.
+
+    Not thread-safe; use one sweep per thread.
+    """
+
+    __slots__ = (
+        "snap", "vmask", "emask", "_nodes",
+        "_bfs_ws", "_dij_ws", "_use_vmask", "_use_emask",
+    )
+
+    def __init__(self, snapshot: Union[CSRSnapshot, Graph]) -> None:
+        if not isinstance(snapshot, CSRSnapshot):
+            snapshot = CSRSnapshot(snapshot)
+        self.snap = snapshot
+        self.vmask = FaultMask(snapshot.csr.num_nodes)
+        self.emask = FaultMask(snapshot.csr.num_edges)
+        self._nodes: List[Node] = list(snapshot.indexer)
+        self._bfs_ws: Optional[BFSWorkspace] = None
+        self._dij_ws: Optional[DijkstraWorkspace] = None
+        self._use_vmask = False
+        self._use_emask = False
+
+    # ------------------------------------------------------------- #
+    # Scenario control
+    # ------------------------------------------------------------- #
+
+    def set_vertex_faults(self, faults: Iterable[Node]) -> FaultMask:
+        """Re-stamp the vertex mask with a new fault set in O(|F|).
+
+        Unknown nodes are silently ignored, matching the lazy views
+        (filtering something that is not there is a no-op).  Clears any
+        previously-stamped edge faults.
+        """
+        mask = _stamp_vertex_mask(self.snap.indexer, self.vmask, faults)
+        self._use_vmask = True
+        self._use_emask = False
+        return mask
+
+    def set_edge_faults(self, faults: Iterable[Edge]) -> FaultMask:
+        """Re-stamp the edge mask with a new fault set in O(|F|).
+
+        Edges absent from the graph are ignored, matching the lazy
+        views.  Clears any previously-stamped vertex faults.
+        """
+        mask = _stamp_edge_mask(
+            self.snap.indexer, self.snap.csr, self.emask, faults
+        )
+        self._use_emask = True
+        self._use_vmask = False
+        return mask
+
+    def clear_faults(self) -> None:
+        """Return to the fault-free scenario (O(1))."""
+        self._use_vmask = False
+        self._use_emask = False
+
+    def stamp(self, faults: Iterable, fault_model: str = "vertex") -> None:
+        """Stamp one scenario by fault model; empty means fault-free.
+
+        The one-call form of the ``set_*``/``clear_faults`` trio that
+        per-scenario consumers (oracle, router) loop on:
+        ``fault_model`` is ``'vertex'`` or ``'edge'``, and an empty (or
+        ``None``) fault set clears the scenario entirely.
+        """
+        if not faults:
+            self.clear_faults()
+        elif fault_model == "vertex":
+            self.set_vertex_faults(faults)
+        elif fault_model == "edge":
+            self.set_edge_faults(faults)
+        else:
+            raise ValueError(
+                f"fault model must be 'vertex' or 'edge', got "
+                f"{fault_model!r}"
+            )
+
+    # ------------------------------------------------------------- #
+    # Queries
+    # ------------------------------------------------------------- #
+
+    def distances_from(self, source: Node) -> Dict[Node, float]:
+        """All distances from ``source`` under the stamped scenario.
+
+        The CSR twin of ``dijkstra(view, source)``: reachable surviving
+        nodes map to their distance, everything else is absent.  Unit
+        snapshots run hop-BFS (identical values -- unit distances are
+        exact small-integer floats).
+        """
+        iu = self._source_index(source)
+        nodes = self._nodes
+        if self.snap.unit:
+            raw = csr_bfs_distances(
+                self.snap.csr, iu, workspace=self._bfs(),
+                vertex_mask=self._vmask(), edge_mask=self._emask(),
+            )
+            return {nodes[i]: float(d) for i, d in raw.items()}
+        raw = csr_dijkstra(
+            self.snap.csr, iu, workspace=self._dij(),
+            vertex_mask=self._vmask(), edge_mask=self._emask(),
+        )
+        return {nodes[i]: d for i, d in raw.items()}
+
+    def distance(self, u: Node, v: Node) -> float:
+        """The u-v distance under the stamped scenario, or ``inf``.
+
+        Early-exits on the target; mirrors
+        ``dijkstra(view, u, target=v).get(v, INFINITY)``.
+        """
+        iu = self._source_index(u)
+        iv = self.snap.indexer.get(v)
+        if iv is None or (self._use_vmask and iv in self.vmask):
+            return INFINITY  # target not in the surviving view
+        if iu == iv:
+            return 0.0
+        if self.snap.unit:
+            path = csr_bounded_bfs_path(
+                self.snap.csr, iu, iv, self.snap.csr.num_nodes,
+                workspace=self._bfs(),
+                vertex_mask=self._vmask(), edge_mask=self._emask(),
+            )
+            return INFINITY if path is None else float(len(path) - 1)
+        return csr_weighted_distance(
+            self.snap.csr, iu, iv, workspace=self._dij(),
+            vertex_mask=self._vmask(), edge_mask=self._emask(),
+        )
+
+    def path(self, u: Node, v: Node) -> Optional[List[Node]]:
+        """A minimum-weight surviving u-v path, or ``None``.
+
+        Node-for-node identical to ``shortest_path(view, u, v)`` (the
+        Dijkstra path variants reproduce the dict backend's
+        tie-breaking), so it is used for paths even on unit snapshots.
+        """
+        indexer = self.snap.indexer
+        iu, iv = indexer.get(u), indexer.get(v)
+        if iu is None:
+            raise KeyError(f"source {u!r} not in graph")
+        if iv is None:
+            raise KeyError(f"target {v!r} not in graph")
+        path = csr_bounded_dijkstra_path(
+            self.snap.csr, iu, iv, workspace=self._dij(),
+            vertex_mask=self._vmask(), edge_mask=self._emask(),
+        )
+        if path is None:
+            return None
+        nodes = self._nodes
+        return [nodes[i] for i in path]
+
+    def parents_toward(self, root: Node) -> Dict[Node, Node]:
+        """Shortest-path-tree parents rooted at ``root``.
+
+        Maps each reachable surviving node to its predecessor on the
+        tree -- i.e. its next hop *toward* ``root`` -- matching the dict
+        backend's destination-rooted Dijkstra (strict-improvement
+        predecessor updates, push-order tie-breaks).  Unit snapshots use
+        BFS parents, which coincide exactly: with equal weights the
+        first discoverer wins under both disciplines.
+        """
+        iroot = self._source_index(root, role="root")
+        nodes = self._nodes
+        if self.snap.unit:
+            raw = csr_bfs_parents(
+                self.snap.csr, iroot, workspace=self._bfs(),
+                vertex_mask=self._vmask(), edge_mask=self._emask(),
+            )
+        else:
+            raw = csr_dijkstra_parents(
+                self.snap.csr, iroot, workspace=self._dij(),
+                vertex_mask=self._vmask(), edge_mask=self._emask(),
+            )
+        return {nodes[i]: nodes[p] for i, p in raw.items()}
+
+    # ------------------------------------------------------------- #
+    # Internals
+    # ------------------------------------------------------------- #
+
+    def _source_index(self, u: Node, role: str = "source") -> int:
+        """Translate a query source, raising like the dict backend."""
+        iu = self.snap.indexer.get(u)
+        if iu is None or (self._use_vmask and iu in self.vmask):
+            raise KeyError(f"{role} {u!r} not in graph")
+        return iu
+
+    def _vmask(self) -> Optional[FaultMask]:
+        return self.vmask if self._use_vmask else None
+
+    def _emask(self) -> Optional[FaultMask]:
+        return self.emask if self._use_emask else None
+
+    def _bfs(self) -> BFSWorkspace:
+        ws = self._bfs_ws
+        if ws is None:
+            ws = self._bfs_ws = BFSWorkspace(self.snap.csr.num_nodes)
+        return ws
+
+    def _dij(self) -> DijkstraWorkspace:
+        ws = self._dij_ws
+        if ws is None:
+            ws = self._dij_ws = DijkstraWorkspace(self.snap.csr.num_nodes)
+        return ws
+
+    def __repr__(self) -> str:
+        return f"ScenarioSweep({self.snap!r})"
+
+
+class DualCSRSnapshot:
+    """G and H in CSR form over one shared node-index space, plus masks.
+
+    The base of the verification sweeps and the availability sampler:
+    two :class:`CSRSnapshot` builds sharing one
+    :class:`~repro.graph.index.NodeIndexer` (so a vertex mask stamped
+    with G-side indices is directly valid against H), one vertex mask
+    (valid against both graphs) and one edge mask per graph (edge-id
+    spaces are per-graph).  The ``set_*`` methods re-stamp in O(|F|).
+    """
+
+    __slots__ = (
+        "snap_g", "snap_h", "g", "h", "indexer", "csr_g", "csr_h",
+        "vmask", "emask_g", "emask_h",
+    )
+
+    def __init__(self, g: Graph, h: Graph) -> None:
+        self.snap_g = CSRSnapshot(g)
+        self.snap_h = CSRSnapshot(h, indexer=self.snap_g.indexer)
+        self.g = g
+        self.h = h
+        self.indexer = self.snap_g.indexer
+        self.csr_g = self.snap_g.csr
+        self.csr_h = self.snap_h.csr
+        self.vmask = FaultMask(len(self.indexer))
+        self.emask_g = FaultMask(self.csr_g.num_edges)
+        self.emask_h = FaultMask(self.csr_h.num_edges)
+
+    def set_vertex_faults(self, faults: Iterable[Node]) -> FaultMask:
+        """Re-stamp the shared vertex mask with a new fault set.
+
+        Unknown nodes are silently ignored, matching the lazy views
+        (filtering something that is not there is a no-op).
+        """
+        return _stamp_vertex_mask(self.indexer, self.vmask, faults)
+
+    def set_edge_faults(
+        self, faults: Iterable[Edge]
+    ) -> Tuple[FaultMask, FaultMask]:
+        """Re-stamp both per-graph edge-id masks with a new fault set.
+
+        Edges absent from a graph are ignored for that graph's mask,
+        matching the lazy views.  Returns ``(mask_g, mask_h)``.
+        """
+        faults = list(faults)
+        return (
+            _stamp_edge_mask(self.indexer, self.csr_g, self.emask_g, faults),
+            _stamp_edge_mask(self.indexer, self.csr_h, self.emask_h, faults),
+        )
+
+    def __repr__(self) -> str:
+        return f"DualCSRSnapshot(g={self.csr_g!r}, h={self.csr_h!r})"

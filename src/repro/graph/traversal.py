@@ -441,6 +441,66 @@ def csr_bfs_distances(
     return {i: depth[i] for i in reached}
 
 
+def csr_bfs_parents(
+    csr: CSRLike,
+    source: int,
+    workspace: Optional[BFSWorkspace] = None,
+    vertex_mask: Optional[FaultMask] = None,
+    edge_mask: Optional[FaultMask] = None,
+) -> Dict[int, int]:
+    """BFS parent pointers from ``source`` over CSR adjacency.
+
+    Returns ``{node_index: parent_index}`` for every reachable
+    (unmasked) node other than the source itself -- each node's parent
+    is its *first discoverer* in FIFO order.  On unit-weighted graphs
+    this is exactly the shortest-path tree the dict backend's
+    destination-rooted Dijkstra produces (strict-improvement updates
+    mean the first discoverer wins there too), which is what lets the
+    routing layer build next-hop tables from BFS on unit spanners.
+    """
+    _csr_check_terminal(csr, source, vertex_mask, "source")
+    ws = workspace if workspace is not None else BFSWorkspace()
+    ws.ensure(csr.num_nodes, csr.num_edges)
+    gen = ws.next_generation()
+    seen = ws.seen
+    parent = ws.parent
+    cur = ws.queue
+    nxt = ws.frontier
+    rows = csr.neighbors
+    eid_rows = csr.edge_id_rows
+    vstamp = vgen = estamp = egen = None
+    if vertex_mask is not None:
+        vstamp, vgen = vertex_mask.stamp, vertex_mask.gen
+    if edge_mask is not None:
+        estamp, egen = edge_mask.stamp, edge_mask.gen
+    seen[source] = gen
+    cur[0] = source
+    cur_len = 1
+    reached: List[int] = []
+    while cur_len:
+        nxt_len = 0
+        for qi in range(cur_len):
+            u = cur[qi]
+            row = rows[u]
+            erow = eid_rows[u]
+            for j in range(len(row)):
+                v = row[j]
+                if seen[v] == gen:
+                    continue
+                if vstamp is not None and vstamp[v] == vgen:
+                    continue
+                if estamp is not None and estamp[erow[j]] == egen:
+                    continue
+                seen[v] = gen
+                parent[v] = u
+                reached.append(v)
+                nxt[nxt_len] = v
+                nxt_len += 1
+        cur, nxt = nxt, cur
+        cur_len = nxt_len
+    return {i: parent[i] for i in reached}
+
+
 def csr_bounded_bfs_path(
     csr: CSRLike,
     source: int,
@@ -803,6 +863,31 @@ def csr_dijkstra(
     # O(settled), not O(n): a truncated query pays only for what it
     # touched.
     return {i: dist[i] for i in reached}
+
+
+def csr_dijkstra_parents(
+    csr: CSRLike,
+    source: int,
+    workspace: Optional[DijkstraWorkspace] = None,
+    vertex_mask: Optional[FaultMask] = None,
+    edge_mask: Optional[FaultMask] = None,
+) -> Dict[int, int]:
+    """Shortest-path-tree parent pointers from ``source``.
+
+    Returns ``{node_index: parent_index}`` for every reachable
+    (unmasked) node other than the source -- the weighted twin of
+    :func:`csr_bfs_parents` and the CSR twin of the routing layer's
+    destination-rooted dict Dijkstra: predecessors update only on a
+    *strict* improvement and heap ties break by push order, so the tree
+    matches the dict backend's node for node.
+    """
+    _csr_check_terminal(csr, source, vertex_mask, "source")
+    ws = workspace if workspace is not None else DijkstraWorkspace()
+    reached = _csr_dijkstra(
+        csr, source, None, INFINITY, ws, vertex_mask, edge_mask
+    )
+    pred = ws.pred
+    return {i: pred[i] for i in reached if i != source}
 
 
 def csr_weighted_distance(

@@ -62,7 +62,7 @@ from repro.graph.traversal import (
 )
 from repro.graph.views import EdgeFaultView, VertexFaultView
 from repro.lbc.approx import lbc_edge, lbc_vertex
-from repro.verification.csr_sweep import DualCSRSnapshot
+from repro.graph.snapshot import DualCSRSnapshot
 
 INFINITY = math.inf
 
@@ -269,7 +269,7 @@ class _CSRSweep:
 
     Built once per :func:`verify_ft_spanner` / :func:`is_spanner` call
     and then driven through every fault set: a
-    :class:`~repro.verification.csr_sweep.DualCSRSnapshot` holds both
+    :class:`~repro.graph.snapshot.DualCSRSnapshot` holds both
     graphs in one shared index space, the edge list of G is pre-resolved
     to ``(u, v, iu, iv, w, gid)`` rows, and one workspace plus the
     snapshot's three fault masks serve every subsequent probe.

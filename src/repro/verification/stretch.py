@@ -37,7 +37,7 @@ from repro.graph.traversal import (
     dijkstra,
 )
 from repro.graph.views import GraphView, fault_view
-from repro.verification.csr_sweep import DualCSRSnapshot
+from repro.graph.snapshot import DualCSRSnapshot
 
 INFINITY = math.inf
 

@@ -119,6 +119,82 @@ class TestOracleValidation:
         assert len(oracle._cache) <= 2
 
 
+class TestOracleCache:
+    def test_fault_order_normalizes_to_one_entry(self, oracle_graph):
+        oracle = FaultTolerantDistanceOracle(oracle_graph, k=2, f=2)
+        a = oracle.distance(0, 15, faults=[3, 7])
+        assert len(oracle._cache) == 1
+        # Same scenario in any order or container: same cache entry.
+        assert oracle.distance(0, 15, faults=(7, 3)) == a
+        assert oracle.distance(0, 15, faults={3, 7}) == a
+        assert len(oracle._cache) == 1
+
+    def test_edge_orientation_normalizes_to_one_entry(self, oracle_graph):
+        oracle = FaultTolerantDistanceOracle(
+            oracle_graph, k=2, f=1, fault_model="edge"
+        )
+        u, v = next(iter(oracle_graph.edges()))
+        a = oracle.distance(0, 15, faults=[(u, v)])
+        assert len(oracle._cache) == 1
+        assert oracle.distance(0, 15, faults=[(v, u)]) == a
+        assert len(oracle._cache) == 1
+
+    def test_shrinking_cache_size_evicts_immediately(self, oracle_graph):
+        oracle = FaultTolerantDistanceOracle(oracle_graph, k=2, f=1)
+        for source in range(6):
+            oracle.distances_from(source)
+        assert len(oracle._cache) == 6
+        oracle.cache_size = 2
+        assert len(oracle._cache) == 2
+        # The two most recent entries survive and answers stay correct.
+        assert (frozenset(), 5) in oracle._cache
+        assert (frozenset(), 4) in oracle._cache
+        assert oracle.distance(0, 15) > 0
+
+    def test_growing_cache_size_keeps_entries(self, oracle_graph):
+        oracle = FaultTolerantDistanceOracle(
+            oracle_graph, k=2, f=1, cache_size=2
+        )
+        oracle.distances_from(0)
+        oracle.distances_from(1)
+        oracle.cache_size = 10
+        assert len(oracle._cache) == 2
+        assert oracle.cache_size == 10
+
+    def test_negative_cache_size_rejected(self, oracle_graph):
+        with pytest.raises(ValueError, match="cache_size"):
+            FaultTolerantDistanceOracle(
+                oracle_graph, k=2, f=1, cache_size=-1
+            )
+        oracle = FaultTolerantDistanceOracle(oracle_graph, k=2, f=1)
+        with pytest.raises(ValueError, match="cache_size"):
+            oracle.cache_size = -5
+
+
+class TestOracleBatch:
+    def test_distances_matches_per_query(self, oracle):
+        pairs = [(0, 10), (0, 15), (3, 17), (5, 5), (12, 0)]
+        batch = oracle.distances(pairs, faults=[7])
+        assert batch == [
+            oracle.distance(u, v, faults=[7]) for u, v in pairs
+        ]
+
+    def test_distances_rejects_bad_pairs(self, oracle):
+        with pytest.raises(KeyError):
+            oracle.distances([(0, 999)])
+        with pytest.raises(ValueError, match="fault set"):
+            oracle.distances([(0, 7)], faults=[7])
+        with pytest.raises(ValueError, match="only"):
+            oracle.distances([(0, 1)], faults=[2, 3, 4])
+
+    def test_distance_matrix(self, oracle):
+        matrix = oracle.distance_matrix([0, 3, 0], faults=[9])
+        assert set(matrix) == {0, 3}  # duplicate sources collapse
+        assert matrix[0] == oracle.distances_from(0, faults=[9])
+        assert matrix[3][3] == 0.0
+        assert 9 not in matrix[0]
+
+
 class TestAvailability:
     def test_report_on_identity_spanner(self, oracle_graph):
         report = availability_analysis(

@@ -1,0 +1,161 @@
+"""dict-vs-csr parity across the applications layer.
+
+The applications are the last layer that gained a CSR path, and the
+guarantee is the same as everywhere else in the library: not "equally
+good" answers but the *same* answers -- distances bit for bit, paths
+and next hops node for node, availability reports field for field.
+Every test here runs the identical workload through both backends and
+compares with ``==``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.applications import (
+    FaultTolerantDistanceOracle,
+    SpannerRouter,
+    availability_analysis,
+    degradation_profile,
+)
+from repro.core.greedy_modified import fault_tolerant_spanner
+from repro.graph import generators
+
+INFINITY = math.inf
+
+
+def _instance(weighted: bool, fault_model: str):
+    """A connected graph, its spanner, and sampled fault scenarios."""
+    gen = generators.weighted_gnp if weighted else generators.gnp_random_graph
+    g = generators.ensure_connected(gen(32, 0.18, seed=555), seed=555)
+    prebuilt = fault_tolerant_spanner(g, 2, 2, fault_model=fault_model)
+    rng = random.Random(9)
+    universe = (
+        sorted(g.nodes()) if fault_model == "vertex" else list(g.edges())
+    )
+    scenarios = [[]] + [rng.sample(universe, 2) for _ in range(5)]
+    return g, prebuilt, scenarios, rng
+
+
+def _survivors(g, faults, fault_model):
+    if fault_model == "vertex":
+        return [x for x in sorted(g.nodes()) if x not in set(faults)]
+    return sorted(g.nodes())
+
+
+@pytest.mark.parametrize("weighted", [False, True], ids=["unit", "weighted"])
+@pytest.mark.parametrize("fault_model", ["vertex", "edge"])
+class TestOracleParity:
+    def _oracles(self, weighted, fault_model):
+        g, prebuilt, scenarios, rng = _instance(weighted, fault_model)
+        kwargs = dict(fault_model=fault_model, prebuilt=prebuilt)
+        return (
+            g,
+            scenarios,
+            rng,
+            FaultTolerantDistanceOracle(g, 2, 2, backend="dict", **kwargs),
+            FaultTolerantDistanceOracle(g, 2, 2, backend="csr", **kwargs),
+        )
+
+    def test_distances_and_paths(self, weighted, fault_model):
+        g, scenarios, rng, od, oc = self._oracles(weighted, fault_model)
+        for faults in scenarios:
+            alive = _survivors(g, faults, fault_model)
+            pairs = [tuple(rng.sample(alive, 2)) for _ in range(12)]
+            for u, v in pairs:
+                assert od.distance(u, v, faults=faults) == \
+                    oc.distance(u, v, faults=faults)
+                assert od.path(u, v, faults=faults) == \
+                    oc.path(u, v, faults=faults)
+
+    def test_batch_matches_per_query(self, weighted, fault_model):
+        g, scenarios, rng, od, oc = self._oracles(weighted, fault_model)
+        for faults in scenarios:
+            alive = _survivors(g, faults, fault_model)
+            pairs = [tuple(rng.sample(alive, 2)) for _ in range(15)]
+            pairs.append((alive[0], alive[0]))  # self-pair in a batch
+            per_query = [od.distance(u, v, faults=faults) for u, v in pairs]
+            assert oc.distances(pairs, faults=faults) == per_query
+            assert od.distances(pairs, faults=faults) == per_query
+
+    def test_distances_from_and_matrix(self, weighted, fault_model):
+        g, scenarios, rng, od, oc = self._oracles(weighted, fault_model)
+        for faults in scenarios:
+            alive = _survivors(g, faults, fault_model)
+            sources = alive[:6]
+            for s in sources:
+                assert od.distances_from(s, faults=faults) == \
+                    oc.distances_from(s, faults=faults)
+            assert od.distance_matrix(sources, faults=faults) == \
+                oc.distance_matrix(sources, faults=faults)
+
+    def test_validation_errors_match(self, weighted, fault_model):
+        g, scenarios, rng, od, oc = self._oracles(weighted, fault_model)
+        universe = (
+            sorted(g.nodes()) if fault_model == "vertex"
+            else list(g.edges())
+        )
+        too_many = universe[:3]
+        for oracle in (od, oc):
+            with pytest.raises(ValueError, match="only"):
+                oracle.distance(0, 1, faults=too_many)
+            with pytest.raises(KeyError):
+                oracle.distance(0, 999)
+
+
+@pytest.mark.parametrize("weighted", [False, True], ids=["unit", "weighted"])
+@pytest.mark.parametrize("fault_model", ["vertex", "edge"])
+class TestRouterParity:
+    def test_tables_next_hops_and_routes(self, weighted, fault_model):
+        g, prebuilt, scenarios, rng = _instance(weighted, fault_model)
+        kwargs = dict(fault_model=fault_model, prebuilt=prebuilt)
+        rd = SpannerRouter(g, 2, 2, backend="dict", **kwargs)
+        rc = SpannerRouter(g, 2, 2, backend="csr", **kwargs)
+        for faults in scenarios:
+            alive = _survivors(g, faults, fault_model)
+            for dest in alive[:5]:
+                assert rd.table(dest, faults=faults) == \
+                    rc.table(dest, faults=faults)
+                for src in alive[-4:]:
+                    if src == dest:
+                        continue
+                    table = rd.table(dest, faults=faults)
+                    if src not in table:
+                        continue  # unreachable under this scenario
+                    assert rd.next_hop(src, dest, faults=faults) == \
+                        rc.next_hop(src, dest, faults=faults)
+                    assert rd.route(src, dest, faults=faults) == \
+                        rc.route(src, dest, faults=faults)
+                    assert rd.route_cost(src, dest, faults=faults) == \
+                        rc.route_cost(src, dest, faults=faults)
+        assert rd.table_size() == rc.table_size()
+
+
+@pytest.mark.parametrize("weighted", [False, True], ids=["unit", "weighted"])
+class TestAvailabilityParity:
+    def test_availability_reports_identical(self, weighted):
+        g, prebuilt, _, _ = _instance(weighted, "vertex")
+        kwargs = dict(
+            failures=3, guarantee=3.0, scenarios=12,
+            pairs_per_scenario=10, seed=17,
+        )
+        assert availability_analysis(
+            g, prebuilt.spanner, backend="dict", **kwargs
+        ) == availability_analysis(
+            g, prebuilt.spanner, backend="csr", **kwargs
+        )
+
+    def test_degradation_profiles_identical(self, weighted):
+        g, prebuilt, _, _ = _instance(weighted, "vertex")
+        kwargs = dict(
+            guarantee=3.0, max_failures=3, scenarios=6,
+            pairs_per_scenario=6, seed=23,
+        )
+        assert degradation_profile(
+            g, prebuilt.spanner, backend="dict", **kwargs
+        ) == degradation_profile(
+            g, prebuilt.spanner, backend="csr", **kwargs
+        )

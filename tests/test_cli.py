@@ -19,6 +19,51 @@ def graph_file(tmp_path):
     return path
 
 
+class TestOracle:
+    def test_oracle_random(self, capsys):
+        rc = main([
+            "oracle", "--random", "30", "--p", "0.25", "-k", "2", "-f", "2",
+            "--pairs", "40", "--scenarios", "2",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "oracle over" in out
+        assert "answered 80 queries across 2 scenarios" in out
+
+    def test_oracle_from_file_edge_faults(self, graph_file, capsys):
+        rc = main([
+            "oracle", "--input", str(graph_file), "-f", "1",
+            "--fault-model", "edge", "--pairs", "20", "--scenarios", "2",
+        ])
+        assert rc == 0
+        assert "reachable under faults" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("backend", ["dict", "csr"])
+    def test_oracle_backend_flag(self, backend, capsys):
+        rc = main([
+            "oracle", "--random", "20", "--p", "0.3", "-f", "1",
+            "--pairs", "10", "--scenarios", "1", "--backend", backend,
+        ])
+        assert rc == 0
+        assert f"backend {backend}" in capsys.readouterr().out
+
+    def test_oracle_backends_answer_identically(self, capsys):
+        args = [
+            "oracle", "--random", "24", "--p", "0.3", "-f", "2",
+            "--pairs", "30", "--scenarios", "3", "--seed", "7",
+        ]
+        assert main(args + ["--backend", "dict"]) == 0
+        out_dict = capsys.readouterr().out.splitlines()[-1]
+        assert main(args + ["--backend", "csr"]) == 0
+        out_csr = capsys.readouterr().out.splitlines()[-1]
+        # Identical reachability line: same sampled queries, same answers.
+        assert out_dict == out_csr
+
+    def test_oracle_needs_source(self):
+        with pytest.raises(SystemExit):
+            main(["oracle"])
+
+
 class TestBuild:
     def test_build_random(self, capsys):
         rc = main(["build", "--random", "25", "--p", "0.3", "-k", "2", "-f", "1"])
