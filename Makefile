@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: test verify bench bench-apps
+.PHONY: test verify bench bench-apps examples
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -16,3 +16,14 @@ bench:
 # Full applications benchmark: rewrites BENCH_applications.json.
 bench-apps:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_applications.py
+
+# Run every example end to end with DeprecationWarning promoted to an
+# error, so the repository's own snippets can never regress onto the
+# deprecated per-algorithm entry points.
+examples:
+	@for ex in examples/*.py; do \
+		echo "== $$ex"; \
+		PYTHONPATH=src $(PYTHON) -W error::DeprecationWarning $$ex \
+			> /dev/null || exit 1; \
+	done
+	@echo "examples: OK"

@@ -17,6 +17,12 @@ track the layer's performance trajectory:
 * ``availability_sweep`` -- Monte-Carlo availability analysis of a
   weighted spanner (paired distance probes over sampled scenarios).
 
+Every scenario drives the unified public API: a fresh
+:class:`~repro.session.SpannerSession` per timed run (so the timing
+still covers the one-off CSR freeze, exactly like the pre-session
+per-call behavior), with the oracle/router/availability consumers
+sharing that session's snapshot.
+
 Run from the repository root::
 
     PYTHONPATH=src python benchmarks/bench_applications.py [--quick]
@@ -40,13 +46,9 @@ import random
 import time
 from pathlib import Path
 
-from repro.applications import (
-    FaultTolerantDistanceOracle,
-    SpannerRouter,
-    availability_analysis,
-)
-from repro.core.greedy_modified import fault_tolerant_spanner
 from repro.graph import generators
+from repro.registry import build_spanner
+from repro.session import SpannerSession
 
 SEED = 42
 K = 2
@@ -133,19 +135,18 @@ def bench_oracle_batch(instances, repeats, pairs_per_scenario, weighted):
     rows = []
     for n, p in instances:
         g = _instance(n, p, weighted)
-        prebuilt = fault_tolerant_spanner(g, K, F)
+        prebuilt = build_spanner(g, "greedy", k=K, f=F)
         rng = random.Random(SEED)
         nodes = sorted(g.nodes())
         scenarios = _vertex_scenarios(nodes, ORACLE_SCENARIOS, rng)
         pairs = _surviving_pairs(nodes, scenarios, pairs_per_scenario, rng)
 
         def run(backend, batch):
-            # A fresh oracle per run so the timing covers real cache
-            # misses (and, for CSR, the one-off snapshot build).
-            oracle = FaultTolerantDistanceOracle(
-                g, K, F, prebuilt=prebuilt, cache_size=2 * n,
-                backend=backend,
-            )
+            # A fresh session + oracle per run so the timing covers real
+            # cache misses (and, for CSR, the one-off snapshot build).
+            session = SpannerSession(g, k=K, f=F, backend=backend)
+            session.adopt(prebuilt)
+            oracle = session.oracle(cache_size=2 * n)
             answers = []
             for faults in scenarios:
                 if batch:
@@ -180,7 +181,7 @@ def bench_routing_tables(instances, repeats, dests_per_scenario):
     rows = []
     for n, p in instances:
         g = _instance(n, p, weighted=False)
-        prebuilt = fault_tolerant_spanner(g, K, F)
+        prebuilt = build_spanner(g, "greedy", k=K, f=F)
         rng = random.Random(SEED)
         nodes = sorted(g.nodes())
         scenarios = _vertex_scenarios(nodes, ROUTING_SCENARIOS, rng)
@@ -190,9 +191,9 @@ def bench_routing_tables(instances, repeats, dests_per_scenario):
         dests = [x for x in nodes if x not in faulted][:dests_per_scenario]
 
         def run(backend):
-            router = SpannerRouter(
-                g, K, F, prebuilt=prebuilt, backend=backend
-            )
+            session = SpannerSession(g, k=K, f=F, backend=backend)
+            session.adopt(prebuilt)
+            router = session.router()
             return [
                 router.table(d, faults=faults)
                 for faults in scenarios
@@ -218,13 +219,13 @@ def bench_availability(instances, repeats, scenarios, pairs):
     rows = []
     for n, p in instances:
         g = _instance(n, p, weighted=True)
-        prebuilt = fault_tolerant_spanner(g, K, F)
+        prebuilt = build_spanner(g, "greedy", k=K, f=F)
 
         def run(backend):
-            return availability_analysis(
-                g, prebuilt.spanner, failures=F, guarantee=2 * K - 1,
-                scenarios=scenarios, pairs_per_scenario=pairs,
-                seed=SEED, backend=backend,
+            session = SpannerSession(g, k=K, f=F, backend=backend, seed=SEED)
+            session.adopt(prebuilt)
+            return session.availability(
+                failures=F, scenarios=scenarios, pairs_per_scenario=pairs,
             )
 
         t_dict, r_dict = _best_of(lambda: run("dict"), repeats)

@@ -18,6 +18,10 @@ successive PRs can track the backend's performance trajectory:
   repacking.  Here ``seconds_dict``/``seconds_csr`` read as
   ``seconds_no_repack``/``seconds_repack``.
 
+Every scenario drives the unified public API (``build_spanner`` /
+``SpannerSession``), so this doubles as an end-to-end check that
+registry dispatch adds no overhead and preserves backend parity.
+
 Run from the repository root::
 
     PYTHONPATH=src python benchmarks/bench_backend.py [--quick]
@@ -40,11 +44,9 @@ import platform
 import time
 from pathlib import Path
 
-from repro.baselines.greedy_classic import classic_greedy_spanner
-from repro.core.greedy_exact import exponential_greedy_spanner
-from repro.core.greedy_modified import fault_tolerant_spanner
 from repro.graph import generators
-from repro.verification import verify_ft_spanner
+from repro.registry import build_spanner
+from repro.session import SpannerSession
 
 SEED = 42
 K = 2
@@ -104,10 +106,12 @@ def bench_modified_greedy(instances, repeats):
     for n, p in instances:
         g = generators.gnp_random_graph(n, p, seed=SEED)
         t_dict, r_dict = _best_of(
-            lambda: fault_tolerant_spanner(g, K, F, backend="dict"), repeats
+            lambda: build_spanner(g, "greedy", k=K, f=F, backend="dict"),
+            repeats,
         )
         t_csr, r_csr = _best_of(
-            lambda: fault_tolerant_spanner(g, K, F, backend="csr"), repeats
+            lambda: build_spanner(g, "greedy", k=K, f=F, backend="csr"),
+            repeats,
         )
         identical = set(r_dict.spanner.edges()) == set(r_csr.spanner.edges())
         rows.append(_row(n, p, g.num_edges, {
@@ -126,10 +130,10 @@ def bench_classic_greedy(instances, repeats):
     for n, p in instances:
         g = generators.weighted_gnp(n, p, seed=SEED)
         t_dict, r_dict = _best_of(
-            lambda: classic_greedy_spanner(g, K, backend="dict"), repeats
+            lambda: build_spanner(g, "classic", k=K, backend="dict"), repeats
         )
         t_csr, r_csr = _best_of(
-            lambda: classic_greedy_spanner(g, K, backend="csr"), repeats
+            lambda: build_spanner(g, "classic", k=K, backend="csr"), repeats
         )
         identical = set(r_dict.spanner.edges()) == set(r_csr.spanner.edges())
         rows.append(_row(n, p, g.num_edges, {
@@ -148,11 +152,13 @@ def bench_exponential_greedy(instances, repeats):
     for n, p in instances:
         g = generators.weighted_gnp(n, p, seed=SEED)
         t_dict, r_dict = _best_of(
-            lambda: exponential_greedy_spanner(g, K, f, backend="dict"),
+            lambda: build_spanner(g, "exact-greedy", k=K, f=f,
+                                  backend="dict"),
             repeats,
         )
         t_csr, r_csr = _best_of(
-            lambda: exponential_greedy_spanner(g, K, f, backend="csr"),
+            lambda: build_spanner(g, "exact-greedy", k=K, f=f,
+                                  backend="csr"),
             repeats,
         )
         identical = (
@@ -176,11 +182,13 @@ def bench_repack(instances, repeats, repack_every):
     for n, p in instances:
         g = generators.gnp_random_graph(n, p, seed=SEED)
         t_plain, r_plain = _best_of(
-            lambda: fault_tolerant_spanner(g, K, F, backend="csr"), repeats
+            lambda: build_spanner(g, "greedy", k=K, f=F, backend="csr"),
+            repeats,
         )
         t_repack, r_repack = _best_of(
-            lambda: fault_tolerant_spanner(
-                g, K, F, backend="csr", repack_every=repack_every
+            lambda: build_spanner(
+                g, "greedy", k=K, f=F, backend="csr",
+                repack_every=repack_every,
             ),
             repeats,
         )
@@ -226,15 +234,18 @@ def bench_verification(instances, repeats):
     t = 2 * K - 1
     for n, p in instances:
         g = generators.weighted_gnp(n, p, seed=SEED)
-        h = fault_tolerant_spanner(g, K, f).spanner
-        t_dict, r_dict = _best_of(
-            lambda: verify_ft_spanner(g, h, t=t, f=f, backend="dict"),
-            repeats,
-        )
-        t_csr, r_csr = _best_of(
-            lambda: verify_ft_spanner(g, h, t=t, f=f, backend="csr"),
-            repeats,
-        )
+        prebuilt = build_spanner(g, "greedy", k=K, f=f)
+        h = prebuilt.spanner
+
+        def run(backend):
+            # A fresh session per run so the timing covers the CSR
+            # freeze, exactly like the pre-session per-call behavior.
+            session = SpannerSession(g, k=K, f=f, backend=backend)
+            session.adopt(prebuilt)
+            return session.verify(t=t)
+
+        t_dict, r_dict = _best_of(lambda: run("dict"), repeats)
+        t_csr, r_csr = _best_of(lambda: run("csr"), repeats)
         identical = (
             r_dict.ok == r_csr.ok
             and r_dict.exhaustive == r_csr.exhaustive

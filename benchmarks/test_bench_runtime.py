@@ -54,16 +54,26 @@ def test_bench_runtime_vs_n(benchmark):
 def test_bench_modified_vs_exponential_in_f(benchmark):
     """The paper's raison d'etre: runtime vs f, side by side."""
 
+    def best_of(fn, repeats=3):
+        # Each run here is 1-5ms, the scale of a GC pause triggered by
+        # garbage from earlier tests in this file -- a single-shot
+        # timing can be 20x off and invert the growth-ratio assertion
+        # below.  Best-of-N discards such outliers.
+        best, result = float("inf"), None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            result = fn()
+            best = min(best, time.perf_counter() - start)
+        return best, result
+
     def sweep():
         g = generators.gnp_random_graph(16, 0.45, seed=77)
         rows = []
         for f in (1, 2, 3):
-            start = time.perf_counter()
-            modified = fault_tolerant_spanner(g, 2, f)
-            t_mod = time.perf_counter() - start
-            start = time.perf_counter()
-            exact = exponential_greedy_spanner(g, 2, f)
-            t_exact = time.perf_counter() - start
+            t_mod, modified = best_of(lambda: fault_tolerant_spanner(g, 2, f))
+            t_exact, exact = best_of(
+                lambda: exponential_greedy_spanner(g, 2, f)
+            )
             rows.append((f, modified.num_edges, t_mod,
                          exact.num_edges, t_exact))
         return rows

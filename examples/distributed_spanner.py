@@ -16,10 +16,8 @@ Run:  python examples/distributed_spanner.py
 import math
 
 from repro import (
-    congest_baswana_sen,
-    congest_ft_spanner,
+    build_spanner,
     generators,
-    local_ft_spanner,
     max_stretch,
     verify_ft_spanner,
 )
@@ -34,9 +32,11 @@ def main() -> None:
         f"log2 n = {math.log2(g.num_nodes):.1f}\n"
     )
 
-    local = local_ft_spanner(g, k, f, seed=1)
-    bs = congest_baswana_sen(g, k, seed=2)
-    cft = congest_ft_spanner(g, k, f, seed=3, iterations=150)
+    # All three through the one registry dispatcher; note congest-bs is
+    # not fault-tolerant, so it is built with f=0.
+    local = build_spanner(g, "local", k=k, f=f, seed=1)
+    bs = build_spanner(g, "congest-bs", k=k, seed=2)
+    cft = build_spanner(g, "congest", k=k, f=f, seed=3, iterations=150)
 
     table = Table(
         f"distributed spanners (k={k}, f={f})",

@@ -9,21 +9,20 @@ the original application of spanners).
 
 This example:
 
-1. preprocesses a service mesh into a
-   :class:`~repro.applications.oracle.FaultTolerantDistanceOracle`
-   (storing only the spanner),
+1. opens one :class:`~repro.session.SpannerSession` over the service
+   mesh and builds its spanner,
 2. answers distance/path queries under declared incident sets with the
-   (2k-1) guarantee,
-3. runs a Monte-Carlo degradation profile: what happens *beyond* the
-   designed fault budget?
+   (2k-1) guarantee through ``session.oracle()``,
+3. runs a Monte-Carlo degradation profile (``session.degradation()``):
+   what happens *beyond* the designed fault budget?
+
+The oracle and the degradation sweep share the session's one frozen
+CSR snapshot per graph -- no re-freezing between steps.
 
 Run:  python examples/fault_tolerant_oracle.py
 """
 
-from repro.applications import (
-    FaultTolerantDistanceOracle,
-    degradation_profile,
-)
+from repro import SpannerSession
 from repro.analysis.tables import Table
 from repro.graph import generators
 
@@ -37,7 +36,9 @@ def main() -> None:
         seed=11,
     )
     k, f = 2, 2
-    oracle = FaultTolerantDistanceOracle(g, k=k, f=f)
+    session = SpannerSession(g, k=k, f=f, seed=5)
+    session.build("greedy")
+    oracle = session.oracle()
     print(f"mesh: {g.num_nodes} services, {g.num_edges} links")
     print(f"oracle stores {oracle.size} links "
           f"({100 * oracle.size / g.num_edges:.0f}%), "
@@ -58,10 +59,9 @@ def main() -> None:
         ])
     print(table.render())
 
-    # Degradation beyond the design budget.
-    profile = degradation_profile(
-        g, oracle.spanner, guarantee=oracle.stretch,
-        max_failures=2 * f, scenarios=25, pairs_per_scenario=20, seed=5,
+    # Degradation beyond the design budget (shares the session snapshot).
+    profile = session.degradation(
+        2 * f, scenarios=25, pairs_per_scenario=20,
     )
     table = Table(
         f"\ndegradation profile (design budget f={f}; guarantee "

@@ -1,15 +1,15 @@
 #!/usr/bin/env python3
 """Quickstart: build and verify a fault-tolerant spanner in ~20 lines.
 
+One `SpannerSession` carries the whole workflow: the session holds the
+graph, the parameters (k, f, fault model, backend, seed), and -- on the
+CSR backend -- one frozen snapshot per graph that the build check,
+verification sweep, and any later oracle/router all share.
+
 Run:  python examples/quickstart.py
 """
 
-from repro import (
-    fault_tolerant_spanner,
-    generators,
-    max_stretch,
-    verify_ft_spanner,
-)
+from repro import SpannerSession, generators, max_stretch
 
 
 def main() -> None:
@@ -17,9 +17,10 @@ def main() -> None:
     g = generators.gnp_random_graph(100, 0.15, seed=7)
     print(f"input: {g.num_nodes} nodes, {g.num_edges} edges")
 
-    # Build a 2-fault-tolerant 3-spanner (k=2 => stretch 2k-1 = 3):
+    # A session for a 2-fault-tolerant 3-spanner (k=2 => stretch 2k-1=3):
     # even if any 2 nodes fail, surviving distances stretch by at most 3x.
-    result = fault_tolerant_spanner(g, k=2, f=2)
+    session = SpannerSession(g, k=2, f=2, seed=0)
+    result = session.build("greedy")
     print(f"spanner: {result.num_edges} edges "
           f"({100 * result.compression_ratio(g):.0f}% of input)")
     print(f"guarantee: stretch <= {result.stretch} under any "
@@ -28,12 +29,11 @@ def main() -> None:
     # Measure the fault-free stretch actually achieved.
     print(f"measured fault-free stretch: {max_stretch(g, result.spanner):.2f}")
 
-    # Verify the fault-tolerance guarantee.  At n=100, f=2 there are
-    # ~5000 fault sets; cap the exhaustive budget so this demo samples
-    # adversarially instead (full enumeration is available, just slower).
-    report = verify_ft_spanner(g, result.spanner, t=3, f=2,
-                               exhaustive_budget=1_000,
-                               samples=200, seed=0)
+    # Verify the fault-tolerance guarantee, reusing the session's frozen
+    # snapshot.  At n=100, f=2 there are ~5000 fault sets; cap the
+    # exhaustive budget so this demo samples adversarially instead (full
+    # enumeration is available, just slower).
+    report = session.verify(exhaustive_budget=1_000, samples=200)
     kind = "exhaustive" if report.exhaustive else "sampled"
     print(f"verification ({kind}, {report.fault_sets_checked} fault sets): "
           f"{'OK' if report.ok else 'FAILED'}")

@@ -19,13 +19,7 @@ Run:  python examples/resilient_backbone.py
 
 import random
 
-from repro import (
-    classic_greedy_spanner,
-    dk_fault_tolerant_spanner,
-    fault_tolerant_spanner,
-    generators,
-    max_stretch_under_faults,
-)
+from repro import build_spanner, generators, max_stretch_under_faults
 from repro.analysis.tables import Table
 
 
@@ -44,15 +38,17 @@ def main() -> None:
     print(f"candidate links: {g.num_edges} across {g.num_nodes} racks\n")
 
     k, f = 2, 2
+    # One registry call per candidate design; the registry validates
+    # that each construction actually honors the requested options.
     designs = {
         "buy everything": g,
         "classic greedy (no fault tolerance)":
-            classic_greedy_spanner(g, k).spanner,
-        "DK11 sampling": dk_fault_tolerant_spanner(
-            g, k, f, seed=1, iterations=240
+            build_spanner(g, "classic", k=k).spanner,
+        "DK11 sampling": build_spanner(
+            g, "dk", k=k, f=f, seed=1, iterations=240
         ).spanner,
         "modified greedy (this paper)":
-            fault_tolerant_spanner(g, k, f).spanner,
+            build_spanner(g, "greedy", k=k, f=f).spanner,
     }
 
     # Stress each design with random double faults and measure the worst

@@ -18,7 +18,7 @@ Run:  python examples/weighted_road_network.py
 import math
 import random
 
-from repro import fault_tolerant_spanner, generators, verify_ft_spanner
+from repro import SpannerSession, generators
 from repro.analysis.tables import Table
 from repro.graph.traversal import weighted_distance
 from repro.graph.views import EdgeFaultView
@@ -34,7 +34,8 @@ def main() -> None:
           f"total length {total_km:.1f}")
 
     k, f = 2, 1
-    result = fault_tolerant_spanner(g, k, f, fault_model="edge")
+    session = SpannerSession(g, k=k, f=f, fault_model="edge", seed=1)
+    result = session.build("greedy")
     plowed = result.spanner
     print(f"priority network: {plowed.num_edges} roads, "
           f"total length {plowed.total_weight():.1f} "
@@ -69,10 +70,8 @@ def main() -> None:
             ])
     print(table.render())
 
-    report = verify_ft_spanner(
-        g, plowed, t=2 * k - 1, f=f, fault_model="edge",
-        samples=250, seed=1,
-    )
+    # The session reuses its frozen snapshot for the verification sweep.
+    report = session.verify(samples=250)
     print(f"\nfull guarantee verification (sampled): "
           f"{'OK' if report.ok else 'FAILED'}")
 

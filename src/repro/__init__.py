@@ -9,41 +9,68 @@ CONGEST distributed constructions (Theorems 12, 14, 15) on a synchronous
 message-passing simulator, the prior-work baselines ([ADD+93], [TZ05],
 [CLPR10], [BS07], [DK11]), and verification machinery for everything.
 
+Public API
+----------
+Two layers (see ``docs/architecture.md``, "Public API"):
+
+* :func:`repro.registry.build_spanner` -- one dispatcher over every
+  registered construction, with capability validation (unsupported
+  options raise typed errors instead of being ignored).  Discover the
+  catalog with :func:`repro.registry.algorithm_names` or
+  ``ftspanner algorithms``.
+* :class:`repro.session.SpannerSession` -- a build -> verify -> query
+  facade that freezes each graph into the CSR substrate at most once
+  per session and shares the snapshot across verification, oracles,
+  routing, and availability analysis.
+
 Quickstart
 ----------
->>> from repro import fault_tolerant_spanner, generators, verify_ft_spanner
+>>> from repro import SpannerSession, generators
 >>> g = generators.gnp_random_graph(100, 0.2, seed=0)
->>> result = fault_tolerant_spanner(g, k=2, f=2)   # 2-fault 3-spanner
+>>> session = SpannerSession(g, k=2, f=2)       # 2-fault 3-spanner
+>>> result = session.build("greedy")
 >>> result.spanner.num_edges < g.num_edges
 True
->>> bool(verify_ft_spanner(g, result.spanner, t=3, f=2, samples=50))
+>>> bool(session.verify(samples=50))
 True
+
+The pre-registry per-algorithm entry points (``fault_tolerant_spanner``
+and friends) remain importable from this package but are deprecated
+shims over the same implementations; call sites should migrate to
+``build_spanner`` / ``SpannerSession``.
 """
+
+import functools as _functools
+import warnings as _warnings
 
 from repro.core import (
     FaultModel,
     IncrementalSpanner,
     SpannerResult,
     bounds,
-    exponential_greedy_spanner,
-    fault_tolerant_spanner,
     modified_greedy_unweighted,
     modified_greedy_weighted,
+)
+from repro.core.greedy_exact import (
+    exponential_greedy_spanner as _exponential_greedy_spanner,
+)
+from repro.core.greedy_modified import (
+    fault_tolerant_spanner as _fault_tolerant_spanner,
 )
 from repro.graph import Graph, generators
 from repro.graph import io as graph_io
 from repro.lbc import lbc_edge, lbc_vertex
 from repro.baselines import (
-    baswana_sen_spanner,
-    classic_greedy_spanner,
-    clpr_fault_tolerant_spanner,
-    dk_fault_tolerant_spanner,
-    thorup_zwick_spanner,
+    baswana_sen_spanner as _baswana_sen_spanner,
+    classic_greedy_spanner as _classic_greedy_spanner,
+    clpr_fault_tolerant_spanner as _clpr_fault_tolerant_spanner,
+    dk_fault_tolerant_spanner as _dk_fault_tolerant_spanner,
+    thorup_zwick_spanner as _thorup_zwick_spanner,
 )
 from repro.distributed import (
-    congest_baswana_sen,
-    congest_ft_spanner,
-    local_ft_spanner,
+    congest_baswana_sen as _congest_baswana_sen,
+    congest_ft_spanner as _congest_ft_spanner,
+    local_ft_spanner as _local_ft_spanner,
     padded_decomposition,
 )
 from repro.verification import (
@@ -57,8 +84,76 @@ from repro.applications import (
     availability_analysis,
     degradation_profile,
 )
+from repro.registry import (
+    AlgorithmSpec,
+    UnknownAlgorithm,
+    UnsupportedOption,
+    algorithm_names,
+    build_spanner,
+    get_algorithm,
+    register_algorithm,
+)
+from repro.session import SpannerSession
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
+
+
+def _deprecated_entry_point(fn, replacement: str):
+    """Wrap a construction as a deprecated top-level re-export.
+
+    The wrapper forwards everything verbatim (the deprecation-shim
+    tests assert bit-identical results), warning once per call site.
+    The canonical, warning-free homes are the defining submodules and
+    the registry/session layer.
+    """
+
+    @_functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        _warnings.warn(
+            f"repro.{fn.__name__} is deprecated; use {replacement} "
+            f"(see docs/architecture.md, 'Public API')",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return fn(*args, **kwargs)
+
+    wrapper.__doc__ = (
+        f"Deprecated alias for :func:`{fn.__module__}.{fn.__name__}`; "
+        f"use ``{replacement}`` instead.\n\n{fn.__doc__ or ''}"
+    )
+    return wrapper
+
+
+fault_tolerant_spanner = _deprecated_entry_point(
+    _fault_tolerant_spanner, 'build_spanner(g, "greedy", ...)'
+)
+exponential_greedy_spanner = _deprecated_entry_point(
+    _exponential_greedy_spanner, 'build_spanner(g, "exact-greedy", ...)'
+)
+classic_greedy_spanner = _deprecated_entry_point(
+    _classic_greedy_spanner, 'build_spanner(g, "classic", ...)'
+)
+thorup_zwick_spanner = _deprecated_entry_point(
+    _thorup_zwick_spanner, 'build_spanner(g, "thorup-zwick", ...)'
+)
+baswana_sen_spanner = _deprecated_entry_point(
+    _baswana_sen_spanner, 'build_spanner(g, "baswana-sen", ...)'
+)
+dk_fault_tolerant_spanner = _deprecated_entry_point(
+    _dk_fault_tolerant_spanner, 'build_spanner(g, "dk", ...)'
+)
+clpr_fault_tolerant_spanner = _deprecated_entry_point(
+    _clpr_fault_tolerant_spanner, 'build_spanner(g, "clpr", ...)'
+)
+local_ft_spanner = _deprecated_entry_point(
+    _local_ft_spanner, 'build_spanner(g, "local", ...)'
+)
+congest_baswana_sen = _deprecated_entry_point(
+    _congest_baswana_sen, 'build_spanner(g, "congest-bs", ...)'
+)
+congest_ft_spanner = _deprecated_entry_point(
+    _congest_ft_spanner, 'build_spanner(g, "congest", ...)'
+)
 
 __all__ = [
     "Graph",
@@ -67,13 +162,26 @@ __all__ = [
     "bounds",
     "generators",
     "graph_io",
-    "fault_tolerant_spanner",
+    # The unified public API.
+    "AlgorithmSpec",
+    "SpannerSession",
+    "UnknownAlgorithm",
+    "UnsupportedOption",
+    "algorithm_names",
+    "build_spanner",
+    "get_algorithm",
+    "register_algorithm",
+    # Construction internals that remain canonical here.
     "modified_greedy_unweighted",
     "modified_greedy_weighted",
-    "exponential_greedy_spanner",
     "IncrementalSpanner",
     "lbc_vertex",
     "lbc_edge",
+    "padded_decomposition",
+    # Deprecated per-algorithm entry points (shims over the registry's
+    # builders; kept for compatibility, warn on call).
+    "fault_tolerant_spanner",
+    "exponential_greedy_spanner",
     "classic_greedy_spanner",
     "thorup_zwick_spanner",
     "baswana_sen_spanner",
@@ -82,7 +190,7 @@ __all__ = [
     "local_ft_spanner",
     "congest_baswana_sen",
     "congest_ft_spanner",
-    "padded_decomposition",
+    # Verification and applications.
     "is_spanner",
     "max_stretch",
     "max_stretch_under_faults",

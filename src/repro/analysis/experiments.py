@@ -14,10 +14,9 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.bounds import modified_greedy_size_bound
-from repro.core.greedy_exact import exponential_greedy_spanner
-from repro.core.greedy_modified import fault_tolerant_spanner
 from repro.graph.generators import gnp_random_graph
 from repro.graph.graph import Graph
+from repro.registry import build_spanner
 
 
 @dataclass
@@ -55,7 +54,9 @@ def size_sweep(
         g = gnp_random_graph(n, p, seed=seed + idx)
         start = time.perf_counter()
         if builder is None:
-            result = fault_tolerant_spanner(g, k, f, fault_model=fault_model)
+            result = build_spanner(
+                g, "greedy", k=k, f=f, fault_model=fault_model
+            )
         else:
             result = builder(g, k, f)
         elapsed = time.perf_counter() - start
@@ -85,10 +86,10 @@ def optimality_gap_sweep(
     for idx, (n, p, k, f) in enumerate(configs):
         g = gnp_random_graph(n, p, seed=seed + idx)
         start = time.perf_counter()
-        modified = fault_tolerant_spanner(g, k, f)
+        modified = build_spanner(g, "greedy", k=k, f=f)
         mod_s = time.perf_counter() - start
         start = time.perf_counter()
-        exact = exponential_greedy_spanner(g, k, f)
+        exact = build_spanner(g, "exact-greedy", k=k, f=f)
         exact_s = time.perf_counter() - start
         bound = modified_greedy_size_bound(n, k, f)
         out.append(

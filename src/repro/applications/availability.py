@@ -107,15 +107,29 @@ class _AvailabilityProbes:
 
     __slots__ = ("use_csr", "g", "h", "snap", "ws", "unit", "gv", "hv")
 
-    def __init__(self, g: Graph, h: Graph, use_csr: bool) -> None:
+    def __init__(
+        self,
+        g: Graph,
+        h: Graph,
+        use_csr: bool,
+        snapshot: Optional[DualCSRSnapshot] = None,
+    ) -> None:
         self.use_csr = use_csr
         self.g = g
         self.h = h
         if use_csr:
-            self.snap = DualCSRSnapshot(g, h)
+            if snapshot is None:
+                snapshot = DualCSRSnapshot(g, h)
+            elif snapshot.g is not g or snapshot.h is not h:
+                raise ValueError(
+                    "snapshot does not freeze this (graph, spanner) pair"
+                )
+            self.snap = snapshot
             self.unit = self.snap.snap_g.unit and self.snap.snap_h.unit
             n = len(self.snap.indexer)
             self.ws = BFSWorkspace(n) if self.unit else DijkstraWorkspace(n)
+        elif snapshot is not None:
+            raise ValueError("snapshot= requires the csr backend")
         self.gv = g
         self.hv = h
 
@@ -160,6 +174,7 @@ def availability_analysis(
     pairs_per_scenario: int = 30,
     seed: Optional[int] = None,
     backend: Optional[str] = None,
+    snapshot: Optional[DualCSRSnapshot] = None,
 ) -> AvailabilityReport:
     """Sample ``scenarios`` random sets of exactly ``failures`` nodes.
 
@@ -167,6 +182,11 @@ def availability_analysis(
     ``g \\ F`` and measure their stretch in ``spanner \\ F``.
     ``guarantee`` is the design stretch (2k-1) used to count violations.
     ``backend`` selects the probe engine (identical report either way).
+    On the CSR backend, ``snapshot`` may supply an already-frozen
+    :class:`~repro.graph.snapshot.DualCSRSnapshot` of (g, spanner) --
+    e.g. from :func:`degradation_profile` or a
+    :class:`repro.session.SpannerSession` -- so the probes re-stamp it
+    instead of freezing their own.
     """
     if failures < 0:
         raise ValueError(f"failures must be >= 0, got {failures}")
@@ -177,7 +197,8 @@ def availability_analysis(
     if len(nodes) < failures + 2:
         raise ValueError("graph too small for that many failures")
     probes = _AvailabilityProbes(
-        g, spanner, use_csr=resolve_backend(backend) == "csr"
+        g, spanner, use_csr=resolve_backend(backend) == "csr",
+        snapshot=snapshot,
     )
     stretches: List[float] = []
     connected = 0
@@ -226,15 +247,24 @@ def degradation_profile(
     pairs_per_scenario: int = 20,
     seed: Optional[int] = None,
     backend: Optional[str] = None,
+    snapshot: Optional[DualCSRSnapshot] = None,
 ) -> List[Tuple[int, AvailabilityReport]]:
     """Sweep simultaneous failures 0..max_failures.
 
     Returns one report per failure count -- the spanner's degradation
     curve.  Within the design budget f the guarantee holds by theorem;
     beyond it this shows the empirical grace.
+
+    On the CSR backend the whole sweep shares **one**
+    :class:`~repro.graph.snapshot.DualCSRSnapshot` (supplied via
+    ``snapshot`` or frozen here once), so each per-failure-count
+    :func:`availability_analysis` call is pure mask re-stamping -- the
+    profile performs one freeze per graph no matter how long the sweep.
     """
     if max_failures < 0:
         raise ValueError(f"max_failures must be >= 0, got {max_failures}")
+    if snapshot is None and resolve_backend(backend) == "csr":
+        snapshot = DualCSRSnapshot(g, spanner)
     out: List[Tuple[int, AvailabilityReport]] = []
     for j in range(max_failures + 1):
         report = availability_analysis(
@@ -246,6 +276,7 @@ def degradation_profile(
             pairs_per_scenario=pairs_per_scenario,
             seed=None if seed is None else seed + j,
             backend=backend,
+            snapshot=snapshot,
         )
         out.append((j, report))
     return out

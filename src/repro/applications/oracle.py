@@ -46,7 +46,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple, Union
 from repro.core.greedy_modified import fault_tolerant_spanner
 from repro.core.spanner import FaultModel, SpannerResult, resolve_backend
 from repro.graph.graph import Edge, Graph, Node, edge_key
-from repro.graph.snapshot import ScenarioSweep
+from repro.graph.snapshot import CSRSnapshot, ScenarioSweep
 from repro.graph.traversal import dijkstra
 from repro.graph.views import EdgeFaultView, VertexFaultView
 
@@ -75,6 +75,11 @@ class FaultTolerantDistanceOracle:
     backend:
         ``'csr'`` (shared-snapshot flat-array path, the default) or
         ``'dict'`` (lazy views); answers are identical either way.
+    snapshot:
+        On the CSR backend, an already-frozen
+        :class:`~repro.graph.snapshot.CSRSnapshot` of the spanner (e.g.
+        from a :class:`repro.session.SpannerSession`); the oracle's
+        sweep then re-stamps it instead of freezing its own.
 
     Examples
     --------
@@ -95,6 +100,7 @@ class FaultTolerantDistanceOracle:
         cache_size: int = 128,
         prebuilt: Optional[SpannerResult] = None,
         backend: Optional[str] = None,
+        snapshot: Optional[CSRSnapshot] = None,
     ) -> None:
         self.k = k
         self.f = f
@@ -117,6 +123,14 @@ class FaultTolerantDistanceOracle:
         self._cache_size = 0
         self.cache_size = cache_size  # validated + evicted by the setter
         self._sweep: Optional[ScenarioSweep] = None
+        if snapshot is not None:
+            if self.backend != "csr":
+                raise ValueError("snapshot= requires the csr backend")
+            if snapshot.g is not self.spanner:
+                raise ValueError(
+                    "snapshot does not freeze this oracle's spanner"
+                )
+            self._sweep = ScenarioSweep(snapshot)
 
     # ------------------------------------------------------------- #
     # Queries

@@ -43,7 +43,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple, Union
 from repro.core.greedy_modified import fault_tolerant_spanner
 from repro.core.spanner import FaultModel, SpannerResult, resolve_backend
 from repro.graph.graph import Edge, Graph, Node, edge_key
-from repro.graph.snapshot import ScenarioSweep
+from repro.graph.snapshot import CSRSnapshot, ScenarioSweep
 from repro.graph.views import EdgeFaultView, VertexFaultView
 
 INFINITY = math.inf
@@ -59,7 +59,11 @@ class SpannerRouter:
     Parameters mirror :func:`repro.core.greedy_modified.
     fault_tolerant_spanner`; a prebuilt :class:`SpannerResult` may be
     supplied instead of rebuilding, and ``backend`` selects the table
-    construction engine (identical tables either way).
+    construction engine (identical tables either way).  On the CSR
+    backend, ``snapshot`` may supply an already-frozen
+    :class:`~repro.graph.snapshot.CSRSnapshot` of the spanner (e.g.
+    from a :class:`repro.session.SpannerSession`) for the router's
+    sweep to re-stamp instead of freezing its own.
 
     Examples
     --------
@@ -78,6 +82,7 @@ class SpannerRouter:
         fault_model: Union[FaultModel, str] = FaultModel.VERTEX,
         prebuilt: Optional[SpannerResult] = None,
         backend: Optional[str] = None,
+        snapshot: Optional[CSRSnapshot] = None,
     ) -> None:
         self.k = k
         self.f = f
@@ -94,6 +99,14 @@ class SpannerRouter:
         # Per fault set: per destination: node -> next hop toward dest.
         self._tables: Dict[FrozenSet, Dict[Node, Dict[Node, Node]]] = {}
         self._sweep: Optional[ScenarioSweep] = None
+        if snapshot is not None:
+            if self.backend != "csr":
+                raise ValueError("snapshot= requires the csr backend")
+            if snapshot.g is not self.spanner:
+                raise ValueError(
+                    "snapshot does not freeze this router's spanner"
+                )
+            self._sweep = ScenarioSweep(snapshot)
 
     # ------------------------------------------------------------- #
 

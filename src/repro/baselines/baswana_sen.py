@@ -29,10 +29,18 @@ from typing import Dict, Optional, Set, Tuple, Union
 
 from repro.core.spanner import FaultModel, SpannerResult
 from repro.graph.graph import Graph, Node
+from repro.registry import register_algorithm
 
 RngLike = Union[int, random.Random, None]
 
 
+@register_algorithm(
+    "baswana-sen",
+    summary="The [BS07] randomized clustering spanner (centralized form)",
+    guarantee="stretch 2k-1, expected O(k n^(1+1/k)) edges; no fault "
+              "tolerance",
+    seedable=True,
+)
 def baswana_sen_spanner(
     g: Graph, k: int, seed: RngLike = None
 ) -> SpannerResult:

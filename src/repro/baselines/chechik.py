@@ -35,12 +35,20 @@ from typing import Dict, List, Optional, Set, Union
 from repro.core.spanner import FaultModel, SpannerResult
 from repro.graph.graph import Graph, Node
 from repro.graph.traversal import dijkstra, shortest_path
+from repro.registry import register_algorithm
 
 RngLike = Union[int, random.Random, None]
 
 INFINITY = math.inf
 
 
+@register_algorithm(
+    "clpr",
+    summary="The first FT construction for general graphs [CLPR10]",
+    guarantee="stretch 2k-1, ~O(k f n^(1+1/k) polylog) edges",
+    fault_models=("vertex",),
+    seedable=True,
+)
 def clpr_fault_tolerant_spanner(
     g: Graph, k: int, f: int, seed: RngLike = None
 ) -> SpannerResult:

@@ -31,12 +31,21 @@ from typing import Callable, Optional, Union
 from repro.baselines.greedy_classic import classic_greedy_spanner
 from repro.core.spanner import FaultModel, SpannerResult
 from repro.graph.graph import Graph
+from repro.registry import register_algorithm
 
 RngLike = Union[int, random.Random, None]
 
 SpannerAlgorithm = Callable[[Graph, int], Graph]
 
 
+@register_algorithm(
+    "dk",
+    summary="The [DK11] black-box sampling reduction (Theorem 13)",
+    guarantee="stretch 2k-1 w.h.p., O(f^3 log n) sampled sub-instances",
+    fault_models=("vertex",),
+    min_f=1,
+    seedable=True,
+)
 def dk_fault_tolerant_spanner(
     g: Graph,
     k: int,

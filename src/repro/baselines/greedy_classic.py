@@ -29,6 +29,7 @@ from repro.core.spanner import FaultModel, SpannerResult, resolve_backend
 from repro.graph.csr import CSRBuilder
 from repro.graph.graph import Graph
 from repro.graph.index import NodeIndexer
+from repro.registry import register_algorithm
 from repro.graph.traversal import (
     DijkstraWorkspace,
     csr_weighted_distance,
@@ -36,6 +37,12 @@ from repro.graph.traversal import (
 )
 
 
+@register_algorithm(
+    "classic",
+    summary="The [ADD+93] greedy: the f=0 ancestor of the whole line",
+    guarantee="stretch 2k-1, O(n^(1+1/k)) edges; no fault tolerance",
+    backend_aware=True,
+)
 def classic_greedy_spanner(
     g: Graph, k: int, backend: Optional[str] = None
 ) -> SpannerResult:

@@ -37,12 +37,20 @@ from typing import Dict, List, Optional, Set, Tuple, Union
 from repro.core.spanner import FaultModel, SpannerResult
 from repro.graph.graph import Graph, Node
 from repro.graph.traversal import dijkstra, shortest_path
+from repro.registry import register_algorithm
 
 RngLike = Union[int, random.Random, None]
 
 INFINITY = math.inf
 
 
+@register_algorithm(
+    "thorup-zwick",
+    summary="The [TZ05] clustering construction (substrate of [CLPR10])",
+    guarantee="stretch 2k-1, expected O(k n^(1+1/k)) edges; no fault "
+              "tolerance",
+    seedable=True,
+)
 def thorup_zwick_spanner(
     g: Graph, k: int, seed: RngLike = None
 ) -> SpannerResult:

@@ -2,13 +2,29 @@
 
 Subcommands
 -----------
-``build``    Build a fault-tolerant spanner of a graph file (or a
-             generated random graph) and write/print the result.
-``verify``   Check that one graph file is an f-FT t-spanner of another.
-``oracle``   Build a spanner-backed distance oracle and answer batched
-             post-fault queries across sampled failure scenarios.
-``info``     Print structural statistics of a graph file.
-``demo``     Run a small end-to-end demonstration (no files needed).
+``build``       Build a fault-tolerant spanner of a graph file (or a
+                generated random graph) and write/print the result.
+``verify``      Check that one graph file is an f-FT t-spanner of another.
+``oracle``      Build a spanner-backed distance oracle and answer batched
+                post-fault queries across sampled failure scenarios.
+``algorithms``  List every registered construction with its guarantee
+                and capabilities (the algorithm registry).
+``info``        Print structural statistics of a graph file.
+``demo``        Run a small end-to-end demonstration (no files needed).
+
+The CLI is a thin shell over the library's unified public API: the
+``--algorithm`` catalog comes from the :mod:`algorithm registry
+<repro.registry>`, and each command drives one
+:class:`~repro.session.SpannerSession`, so e.g. ``build --verify``
+freezes the graphs into the CSR substrate once and shares the snapshot
+between construction check and verification sweep.
+
+Capability validation replaces the old silent-drop behavior: requesting
+``--backend`` for a single-engine construction or ``-f`` below an
+algorithm's minimum is a clean usage error, and options that merely do
+nothing for the chosen algorithm (``-f`` on a non-fault-tolerant
+baseline, ``--seed`` with a deterministic construction and a file
+input) produce an explicit note instead of silence.
 
 Graph files use the library's text edge-list format
 (:mod:`repro.graph.io`).
@@ -21,55 +37,18 @@ import sys
 import time
 from typing import List, Optional
 
-from repro.baselines import (
-    baswana_sen_spanner,
-    classic_greedy_spanner,
-    clpr_fault_tolerant_spanner,
-    dk_fault_tolerant_spanner,
-    thorup_zwick_spanner,
-)
-from repro.core import (
-    exponential_greedy_spanner,
-    fault_tolerant_spanner,
-    resolve_backend,
-)
-from repro.distributed import congest_ft_spanner, local_ft_spanner
+from repro.core import resolve_backend
 from repro.graph import generators
 from repro.graph import io as graph_io
 from repro.graph.traversal import connected_components, hop_diameter
-from repro.verification import max_stretch, verify_ft_spanner
-
-# Each entry takes (g, k, f, seed, model, backend); constructions without
-# a notion of seed or execution backend simply ignore those arguments.
-_ALGORITHMS = {
-    "greedy": lambda g, k, f, seed, model, backend: fault_tolerant_spanner(
-        g, k, f, fault_model=model, seed=seed, backend=backend
-    ),
-    "exact-greedy": lambda g, k, f, seed, model, backend: (
-        exponential_greedy_spanner(g, k, f, fault_model=model, backend=backend)
-    ),
-    "dk": lambda g, k, f, seed, model, backend: dk_fault_tolerant_spanner(
-        g, k, max(f, 1), seed=seed
-    ),
-    "clpr": lambda g, k, f, seed, model, backend: clpr_fault_tolerant_spanner(
-        g, k, f, seed=seed
-    ),
-    "local": lambda g, k, f, seed, model, backend: local_ft_spanner(
-        g, k, f, fault_model=model, seed=seed
-    ),
-    "congest": lambda g, k, f, seed, model, backend: congest_ft_spanner(
-        g, k, max(f, 1), seed=seed
-    ),
-    "classic": lambda g, k, f, seed, model, backend: classic_greedy_spanner(
-        g, k, backend=backend
-    ),
-    "baswana-sen": lambda g, k, f, seed, model, backend: baswana_sen_spanner(
-        g, k, seed=seed
-    ),
-    "thorup-zwick": lambda g, k, f, seed, model, backend: (
-        thorup_zwick_spanner(g, k, seed=seed)
-    ),
-}
+from repro.registry import (
+    UnsupportedOption,
+    algorithm_names,
+    get_algorithm,
+    iter_algorithms,
+)
+from repro.session import SpannerSession
+from repro.verification import max_stretch
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -88,23 +67,32 @@ def _build_parser() -> argparse.ArgumentParser:
     build.add_argument("-k", type=int, default=2,
                        help="stretch parameter: stretch = 2k-1 (default 2)")
     build.add_argument("-f", type=int, default=1,
-                       help="number of faults tolerated (default 1)")
+                       help="number of faults tolerated (default 1); "
+                            "constructions without fault tolerance build "
+                            "with f=0 (a note is printed)")
     build.add_argument("--fault-model", choices=["vertex", "edge"],
-                       default="vertex")
-    build.add_argument("--algorithm", choices=sorted(_ALGORITHMS),
-                       default="greedy")
+                       default=None,
+                       help="which objects fail (default vertex); noted "
+                            "and ignored for non-fault-tolerant "
+                            "constructions")
+    build.add_argument("--algorithm", choices=algorithm_names(),
+                       default="greedy",
+                       help="a registered construction (see: ftspanner "
+                            "algorithms)")
     build.add_argument("--backend", choices=["dict", "csr"], default=None,
-                       help="execution backend for the greedy family: 'csr' "
-                            "(flat-array hot path) or 'dict' (reference "
-                            "dict-of-dict path); both produce identical "
-                            "spanners (default: csr, or the REPRO_BACKEND "
-                            "environment variable when set)")
-    build.add_argument("--seed", type=int, default=0,
+                       help="execution backend for backend-aware "
+                            "constructions: 'csr' (flat-array hot path) or "
+                            "'dict' (reference dict-of-dict path); both "
+                            "produce identical spanners (default: csr, or "
+                            "the REPRO_BACKEND environment variable when "
+                            "set).  Rejected for single-engine algorithms.")
+    build.add_argument("--seed", type=int, default=None,
                        help="random seed for --random generation and for "
                             "seeded constructions (default 0)")
     build.add_argument("--output", help="write the spanner here (edge-list)")
     build.add_argument("--verify", action="store_true",
-                       help="verify the output before reporting")
+                       help="verify the output before reporting (shares "
+                            "the build's CSR snapshot)")
 
     verify = sub.add_parser("verify", help="verify a spanner file")
     verify.add_argument("graph", help="original graph file")
@@ -151,6 +139,13 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="seed for --random generation and for "
                              "scenario/pair sampling (default 0)")
 
+    algorithms = sub.add_parser(
+        "algorithms",
+        help="list the registered constructions and their capabilities",
+    )
+    algorithms.add_argument("--verbose", action="store_true",
+                            help="also print each algorithm's summary line")
+
     info = sub.add_parser("info", help="print graph statistics")
     info.add_argument("graph", help="graph file")
 
@@ -158,29 +153,67 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _load_or_generate(args) -> "Graph":
-    from repro.graph.graph import Graph
-
+def _load_or_generate(args, seed: int = 0) -> "Graph":
     if args.input and args.random:
         raise SystemExit("give --input or --random, not both")
     if args.input:
         return graph_io.load(args.input)
     if args.random:
-        return generators.gnp_random_graph(args.random, args.p, seed=args.seed)
+        return generators.gnp_random_graph(args.random, args.p, seed=seed)
     raise SystemExit("need --input FILE or --random N")
 
 
-def _cmd_build(args) -> int:
-    g = _load_or_generate(args)
-    build = _ALGORITHMS[args.algorithm]
+def _resolve_backend_or_exit(args, command: str) -> str:
+    # Resolve here so a bad REPRO_BACKEND value fails like a bad
+    # --backend flag (clean usage error), not a traceback mid-build.
     try:
-        # Resolve here so a bad REPRO_BACKEND value fails like a bad
-        # --backend flag (clean usage error), not a traceback mid-build.
-        backend = resolve_backend(args.backend)
+        return resolve_backend(args.backend)
     except ValueError as exc:
+        raise SystemExit(f"ftspanner {command}: error: {exc}")
+
+
+def _cmd_build(args) -> int:
+    spec = get_algorithm(args.algorithm)
+    backend = _resolve_backend_or_exit(args, "build")
+    f = args.f
+    if f and not spec.fault_tolerant:
+        print(f"note: '{spec.name}' is not fault-tolerant; building with "
+              f"f=0 instead of f={f}")
+        f = 0
+    fault_model = args.fault_model or "vertex"
+    if args.fault_model is not None and not spec.fault_tolerant:
+        print(f"note: '{spec.name}' is not fault-tolerant; ignoring "
+              f"--fault-model {args.fault_model}")
+    # Pre-flight the request against the algorithm's spec -- the same
+    # validation (and messages) build_spanner applies, run here so a
+    # capability error fails before the graph is loaded or generated.
+    # Mirrors session.build's routing: the fault model travels only to
+    # fault-tolerant constructions (with the note above when an
+    # explicit choice is dropped); an explicit --backend flag must
+    # error on single-engine ones (an omitted flag validates nothing).
+    try:
+        spec.validate_request(
+            f=f,
+            fault_model=fault_model if spec.fault_tolerant else None,
+            backend=args.backend,
+        )
+    except UnsupportedOption as exc:
         raise SystemExit(f"ftspanner build: error: {exc}")
+    seed = 0 if args.seed is None else args.seed
+    # With a file input and a deterministic construction the seed's only
+    # remaining consumer is the --verify sampled sweep; without that it
+    # does nothing at all, which deserves a note.
+    if (args.seed is not None and args.input and not spec.seedable
+            and not args.verify):
+        print(f"note: '{spec.name}' is deterministic; --seed {args.seed} "
+              f"has no effect on a file input without --verify")
+    g = _load_or_generate(args, seed=seed)
+    session = SpannerSession(
+        g, k=args.k, f=f, fault_model=fault_model,
+        backend=backend, seed=seed,
+    )
     start = time.perf_counter()
-    result = build(g, args.k, args.f, args.seed, args.fault_model, backend)
+    result = session.build(args.algorithm)
     elapsed = time.perf_counter() - start
     print(result.describe())
     print(f"input edges: {g.num_edges}   kept: "
@@ -188,10 +221,7 @@ def _cmd_build(args) -> int:
           f"({100.0 * result.compression_ratio(g):.1f}%)   "
           f"time: {elapsed:.3f}s")
     if args.verify:
-        report = verify_ft_spanner(
-            g, result.spanner, t=2 * args.k - 1, f=args.f,
-            fault_model=args.fault_model, seed=args.seed, backend=backend,
-        )
+        report = session.verify(t=2 * args.k - 1)
         kind = "exhaustive" if report.exhaustive else "sampled"
         print(f"verification ({kind}, {report.fault_sets_checked} fault sets): "
               f"{'OK' if report.ok else 'FAILED'}")
@@ -207,14 +237,13 @@ def _cmd_build(args) -> int:
 def _cmd_verify(args) -> int:
     g = graph_io.load(args.graph)
     h = graph_io.load(args.spanner)
-    try:
-        backend = resolve_backend(args.backend)
-    except ValueError as exc:
-        raise SystemExit(f"ftspanner verify: error: {exc}")
-    report = verify_ft_spanner(
-        g, h, t=args.t, f=args.f, fault_model=args.fault_model,
-        samples=args.samples, seed=args.seed, backend=backend,
+    backend = _resolve_backend_or_exit(args, "verify")
+    session = SpannerSession(
+        g, f=args.f, fault_model=args.fault_model,
+        backend=backend, seed=args.seed,
     )
+    session.adopt(h)
+    report = session.verify(t=args.t, samples=args.samples)
     kind = "exhaustive" if report.exhaustive else "sampled"
     print(f"checked {report.fault_sets_checked} fault sets ({kind})")
     if report.ok:
@@ -228,18 +257,15 @@ def _cmd_oracle(args) -> int:
     import math
     import random
 
-    from repro.applications import FaultTolerantDistanceOracle
-
-    g = _load_or_generate(args)
-    try:
-        backend = resolve_backend(args.backend)
-    except ValueError as exc:
-        raise SystemExit(f"ftspanner oracle: error: {exc}")
-    start = time.perf_counter()
-    oracle = FaultTolerantDistanceOracle(
+    backend = _resolve_backend_or_exit(args, "oracle")
+    g = _load_or_generate(args, seed=args.seed)
+    session = SpannerSession(
         g, k=args.k, f=args.f, fault_model=args.fault_model,
-        cache_size=args.cache_size, backend=backend,
+        backend=backend, seed=args.seed,
     )
+    start = time.perf_counter()
+    session.build("greedy")
+    oracle = session.oracle(cache_size=args.cache_size)
     build = time.perf_counter() - start
     print(f"oracle over {oracle.size} spanner edges "
           f"(stretch guarantee {oracle.stretch}, f={args.f}, "
@@ -281,6 +307,16 @@ def _cmd_oracle(args) -> int:
     return 0
 
 
+def _cmd_algorithms(args) -> int:
+    width = max(len(name) for name in algorithm_names())
+    for spec in iter_algorithms():
+        print(f"{spec.name:<{width}}  {spec.guarantee}")
+        if args.verbose:
+            print(f"{'':<{width}}  {spec.summary}")
+        print(f"{'':<{width}}  {spec.capabilities()}")
+    return 0
+
+
 def _cmd_info(args) -> int:
     from repro.graph.metrics import DegreeStats, average_clustering, weight_stats
 
@@ -308,14 +344,14 @@ def _cmd_info(args) -> int:
 def _cmd_demo(args) -> int:
     print("Building a 2-fault-tolerant 3-spanner of G(80, 0.15)...")
     g = generators.gnp_random_graph(80, 0.15, seed=42)
-    result = fault_tolerant_spanner(g, k=2, f=2)
+    session = SpannerSession(g, k=2, f=2, seed=0)
+    result = session.build("greedy")
     print(f"  {result.describe()}")
     print(f"  kept {result.spanner.num_edges} of {g.num_edges} edges "
           f"({100.0 * result.compression_ratio(g):.1f}%)")
     stretch = max_stretch(g, result.spanner)
     print(f"  fault-free stretch: {stretch:.3f} (guarantee: 3)")
-    report = verify_ft_spanner(g, result.spanner, t=3, f=2,
-                               samples=200, seed=0)
+    report = session.verify(samples=200)
     kind = "exhaustive" if report.exhaustive else "sampled"
     print(f"  fault-tolerance verification ({kind}): "
           f"{'OK' if report.ok else 'FAILED'}")
@@ -329,6 +365,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "build": _cmd_build,
         "verify": _cmd_verify,
         "oracle": _cmd_oracle,
+        "algorithms": _cmd_algorithms,
         "info": _cmd_info,
         "demo": _cmd_demo,
     }

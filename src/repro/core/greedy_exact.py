@@ -37,6 +37,7 @@ from repro.graph.traversal import (
     shortest_path,
 )
 from repro.graph.views import EdgeFaultView, GraphView, VertexFaultView
+from repro.registry import register_algorithm
 from repro.lbc.exact import (
     exact_edge_lbc,
     exact_edge_lbc_csr,
@@ -45,6 +46,13 @@ from repro.lbc.exact import (
 )
 
 
+@register_algorithm(
+    "exact-greedy",
+    summary="Algorithm 1: the size-optimal exponential-time greedy",
+    guarantee="stretch 2k-1, optimal size [BDPW18, BP19]; exp time in f",
+    fault_models=("vertex", "edge"),
+    backend_aware=True,
+)
 def exponential_greedy_spanner(
     g: Graph,
     k: int,

@@ -48,6 +48,7 @@ from repro.graph.csr import CSRBuilder
 from repro.graph.graph import Edge, Graph, Node, edge_key
 from repro.graph.index import NodeIndexer
 from repro.graph.traversal import BFSWorkspace
+from repro.registry import register_algorithm
 from repro.lbc.approx import (
     LBCAnswer,
     lbc_edge,
@@ -61,6 +62,13 @@ EdgeOrder = Union[str, Sequence[Tuple[Node, Node]]]
 _ORDERINGS = ("weight", "arbitrary", "random", "degree")
 
 
+@register_algorithm(
+    "greedy",
+    summary="The paper's modified greedy (Algorithms 3/4, Theorem 2)",
+    guarantee="stretch 2k-1, O(k f^(1-1/k) n^(1+1/k)) edges, poly time",
+    fault_models=("vertex", "edge"),
+    backend_aware=True,
+)
 def fault_tolerant_spanner(
     g: Graph,
     k: int,

@@ -47,6 +47,7 @@ from repro.distributed.runtime import (
     SyncNetwork,
 )
 from repro.graph.graph import Graph, Node, edge_key
+from repro.registry import register_algorithm
 
 _UNCLUSTERED = "<none>"
 
@@ -226,6 +227,14 @@ class _BaswanaSenProtocol(NodeProtocol):
         return frozenset(self.spanner_edges)
 
 
+@register_algorithm(
+    "congest-bs",
+    summary="Theorem 14: Baswana-Sen as a CONGEST protocol",
+    guarantee="stretch 2k-1, O(k^2) CONGEST rounds, O(1)-word messages; "
+              "no fault tolerance",
+    seedable=True,
+    distributed=True,
+)
 def congest_baswana_sen(
     g: Graph,
     k: int,

@@ -39,10 +39,20 @@ from typing import Dict, List, Optional, Set, Tuple, Union
 from repro.core.spanner import FaultModel, SpannerResult
 from repro.distributed.congest_bs import congest_baswana_sen
 from repro.graph.graph import Graph, Node
+from repro.registry import register_algorithm
 
 RngLike = Union[int, random.Random, None]
 
 
+@register_algorithm(
+    "congest",
+    summary="Theorem 15: pipelined DK11 x Baswana-Sen in CONGEST",
+    guarantee="stretch 2k-1 w.h.p., O(f^3 k^2 log n) CONGEST rounds",
+    fault_models=("vertex",),
+    min_f=1,
+    seedable=True,
+    distributed=True,
+)
 def congest_ft_spanner(
     g: Graph,
     k: int,

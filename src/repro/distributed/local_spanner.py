@@ -41,6 +41,7 @@ from repro.distributed.runtime import (
     SyncNetwork,
 )
 from repro.graph.graph import Graph, Node, edge_key
+from repro.registry import register_algorithm
 
 
 class _GatherComputeProtocol(NodeProtocol):
@@ -170,6 +171,14 @@ class _GatherComputeProtocol(NodeProtocol):
         return frozenset(self.chosen)
 
 
+@register_algorithm(
+    "local",
+    summary="Theorem 12: LOCAL-model decomposition + per-cluster greedy",
+    guarantee="stretch 2k-1, O(log n) LOCAL rounds, unbounded messages",
+    fault_models=("vertex", "edge"),
+    seedable=True,
+    distributed=True,
+)
 def local_ft_spanner(
     g: Graph,
     k: int,

@@ -59,6 +59,19 @@ from repro.graph.traversal import (
 
 INFINITY = math.inf
 
+#: Process-wide count of CSR freezes (one per :class:`CSRSnapshot`
+#: construction; a :class:`DualCSRSnapshot` built from scratch counts
+#: two).  Pure instrumentation: the snapshot-sharing layers
+#: (:class:`repro.session.SpannerSession`, ``degradation_profile``)
+#: promise "at most one freeze per graph per workflow", and their tests
+#: assert it through :func:`csr_freeze_count` deltas.
+_freezes = 0
+
+
+def csr_freeze_count() -> int:
+    """How many CSR freezes this process has performed so far."""
+    return _freezes
+
 
 def _stamp_vertex_mask(
     indexer: NodeIndexer, mask: FaultMask, faults: Iterable[Node]
@@ -117,6 +130,8 @@ class CSRSnapshot:
     __slots__ = ("g", "csr", "indexer", "unit")
 
     def __init__(self, g: Graph, indexer: Optional[NodeIndexer] = None) -> None:
+        global _freezes
+        _freezes += 1
         self.g = g
         self.csr = CSRGraph.from_graph(g, indexer=indexer)
         self.indexer = self.csr.indexer
@@ -356,6 +371,11 @@ class DualCSRSnapshot:
     with G-side indices is directly valid against H), one vertex mask
     (valid against both graphs) and one edge mask per graph (edge-id
     spaces are per-graph).  The ``set_*`` methods re-stamp in O(|F|).
+
+    ``snap_g`` / ``snap_h`` accept already-frozen snapshots so a caller
+    that holds one (e.g. :class:`repro.session.SpannerSession`) can
+    assemble the dual without re-freezing; they must freeze exactly
+    ``g`` / ``h`` and share one indexer.
     """
 
     __slots__ = (
@@ -363,9 +383,34 @@ class DualCSRSnapshot:
         "vmask", "emask_g", "emask_h",
     )
 
-    def __init__(self, g: Graph, h: Graph) -> None:
-        self.snap_g = CSRSnapshot(g)
-        self.snap_h = CSRSnapshot(h, indexer=self.snap_g.indexer)
+    def __init__(
+        self,
+        g: Graph,
+        h: Graph,
+        *,
+        snap_g: Optional[CSRSnapshot] = None,
+        snap_h: Optional[CSRSnapshot] = None,
+    ) -> None:
+        if snap_g is None:
+            # Share the other side's indexer when one was supplied, so
+            # either snapshot may be passed alone.
+            snap_g = CSRSnapshot(
+                g, indexer=None if snap_h is None else snap_h.indexer
+            )
+        elif snap_g.g is not g:
+            raise ValueError("snap_g does not freeze g")
+        if snap_h is None:
+            snap_h = CSRSnapshot(h, indexer=snap_g.indexer)
+        elif snap_h.g is not h:
+            raise ValueError("snap_h does not freeze h")
+        elif snap_h.indexer is not snap_g.indexer:
+            raise ValueError(
+                "snap_g and snap_h must share one NodeIndexer (the shared "
+                "index space is what makes one vertex mask valid against "
+                "both graphs)"
+            )
+        self.snap_g = snap_g
+        self.snap_h = snap_h
         self.g = g
         self.h = h
         self.indexer = self.snap_g.indexer

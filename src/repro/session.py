@@ -1,0 +1,409 @@
+"""`SpannerSession`: one graph, one frozen substrate, many consumers.
+
+The library's workloads compose: build a spanner, verify its guarantee,
+stand up a distance oracle, check routing, sample availability.  Used as
+free functions, each step re-freezes the same graphs into CSR form --
+``verify_ft_spanner`` builds a :class:`~repro.graph.snapshot.DualCSRSnapshot`,
+the oracle another :class:`~repro.graph.snapshot.CSRSnapshot`, the
+availability sampler yet another dual -- five O(n + m) freezes for a
+workflow that only ever looks at two graphs.
+
+:class:`SpannerSession` is the facade that makes snapshot sharing the
+default.  Construct it once from a graph with the session-wide
+configuration (``k``, ``f``, fault model, execution backend, seed);
+``build()`` dispatches through the :mod:`algorithm registry
+<repro.registry>`; every subsequent consumer -- :meth:`verify`,
+:meth:`oracle`, :meth:`router`, :meth:`availability`,
+:meth:`degradation` -- shares **one frozen snapshot per graph** over one
+shared node-index space:
+
+* the input graph G is frozen at most once per session, and
+* each built (or adopted) spanner H is frozen at most once,
+
+no matter how many verifications, oracles, routers, or availability
+sweeps the session serves (``tests/test_session.py`` asserts this with
+the substrate's :func:`~repro.graph.snapshot.csr_freeze_count`).  On
+the dict backend there is nothing to freeze and the facade simply
+forwards; answers are bit-identical either way, exactly as for the free
+functions.
+
+This is the same "build one reusable structure, then answer many
+queries against it" discipline the derandomization literature turned
+into reusable primitives (network decompositions, ruling sets); here the
+primitive is the frozen CSR substrate and the queries are fault
+scenarios.
+
+Examples
+--------
+>>> from repro.graph import generators
+>>> from repro.session import SpannerSession
+>>> g = generators.gnp_random_graph(60, 0.2, seed=0)
+>>> session = SpannerSession(g, k=2, f=1)
+>>> result = session.build("greedy")
+>>> report = session.verify(samples=50)      # shares the session freeze
+>>> oracle = session.oracle()                # ... so does the oracle
+>>> bool(report) and oracle.size == result.num_edges
+True
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from repro.applications.availability import (
+    AvailabilityReport,
+    availability_analysis,
+    degradation_profile,
+)
+from repro.applications.oracle import FaultTolerantDistanceOracle
+from repro.applications.routing import SpannerRouter
+from repro.core.spanner import FaultModel, SpannerResult, resolve_backend
+from repro.graph.graph import Graph
+from repro.graph.index import NodeIndexer
+from repro.graph.snapshot import CSRSnapshot, DualCSRSnapshot
+from repro.registry import build_spanner, get_algorithm
+from repro.verification.spanner_check import (
+    VerificationReport,
+    verify_ft_spanner,
+)
+
+__all__ = ["SpannerSession"]
+
+
+class SpannerSession:
+    """A build -> verify -> query workflow over one frozen substrate.
+
+    Parameters
+    ----------
+    g:
+        The input graph.  Never mutated by the session.
+    k:
+        Session stretch parameter (guarantee ``2k - 1``).
+    f:
+        Session fault budget, used by :meth:`build`, :meth:`verify`, and
+        the applications.  Building a non-fault-tolerant algorithm in a
+        session with ``f > 0`` raises
+        :class:`~repro.registry.UnsupportedOption`.
+    fault_model:
+        ``'vertex'`` (default) or ``'edge'``.
+    backend:
+        Execution backend for every construction, sweep, and query the
+        session runs.  Resolved **once**, eagerly, with the standard
+        precedence: this keyword > ``REPRO_BACKEND`` > the default.
+    seed:
+        Session seed.  Forwarded to seedable constructions, and to the
+        sampled verification / availability sweeps.  Deterministic
+        constructions simply never see it (it is session-wide
+        configuration, not a per-call option -- pass ``seed=`` to
+        :func:`~repro.registry.build_spanner` directly if you want the
+        strict per-call validation).
+
+    Notes
+    -----
+    The session config travels to the construction through the
+    registry, so capability violations (``f > 0`` with a
+    non-fault-tolerant algorithm, an edge-model session building a
+    vertex-only construction) raise typed errors instead of being
+    dropped.
+    """
+
+    def __init__(
+        self,
+        g: Graph,
+        *,
+        k: int = 2,
+        f: int = 1,
+        fault_model: Union[FaultModel, str] = FaultModel.VERTEX,
+        backend: Optional[str] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        if k < 1:
+            raise ValueError(f"need k >= 1, got {k}")
+        if f < 0:
+            raise ValueError(f"need f >= 0, got {f}")
+        self.g = g
+        self.k = k
+        self.f = f
+        self.fault_model = FaultModel.coerce(fault_model)
+        self.backend = resolve_backend(backend)
+        self.seed = seed
+        self._result: Optional[SpannerResult] = None
+        self._indexer: Optional[NodeIndexer] = None
+        self._snap_g: Optional[CSRSnapshot] = None
+        self._snap_h: Optional[CSRSnapshot] = None
+        self._dual: Optional[DualCSRSnapshot] = None
+
+    # ------------------------------------------------------------- #
+    # Construction
+    # ------------------------------------------------------------- #
+
+    @property
+    def stretch(self) -> int:
+        """The session's stretch guarantee, ``2k - 1``."""
+        return 2 * self.k - 1
+
+    @property
+    def result(self) -> SpannerResult:
+        """The current :class:`SpannerResult` (build or adopt first)."""
+        return self._require_result()
+
+    @property
+    def spanner(self) -> Graph:
+        """The current spanner subgraph (build or adopt first)."""
+        return self._require_result().spanner
+
+    @property
+    def built(self) -> bool:
+        """Whether the session holds a spanner yet."""
+        return self._result is not None
+
+    def build(self, algorithm: str = "greedy", **options) -> SpannerResult:
+        """Build this session's spanner with a registered algorithm.
+
+        Dispatches through :func:`repro.registry.build_spanner` with the
+        session configuration; ``**options`` are the algorithm-specific
+        extras (``repack_every=``, ``iterations=``, ...).  Replaces any
+        previously built/adopted spanner and invalidates its snapshot
+        (the input graph's freeze survives -- it is still the same
+        graph).
+        """
+        spec = get_algorithm(algorithm)
+        result = build_spanner(
+            self.g,
+            algorithm,
+            k=self.k,
+            f=self.f,
+            fault_model=self.fault_model if spec.fault_models else None,
+            seed=self.seed if spec.seedable else None,
+            backend=self.backend if spec.backend_aware else None,
+            **options,
+        )
+        self._set_result(result)
+        return result
+
+    def adopt(
+        self,
+        spanner: Union[Graph, SpannerResult],
+        algorithm: str = "adopted",
+    ) -> SpannerResult:
+        """Adopt an externally built spanner as this session's subject.
+
+        Accepts a bare :class:`~repro.graph.graph.Graph` (wrapped in a
+        :class:`SpannerResult` carrying the session's parameters -- the
+        CLI's ``verify`` does this with a file-loaded candidate) or a
+        full :class:`SpannerResult` from an earlier build, which must
+        cover the session's configuration: same ``k``, fault budget at
+        least the session's ``f``, and (when ``f > 0``) the same fault
+        model -- checked eagerly so a mismatch fails here, not deep in
+        a later verify/oracle call.
+        """
+        if isinstance(spanner, SpannerResult):
+            result = spanner
+            if result.k != self.k:
+                raise ValueError(
+                    f"adopted result was built for k={result.k}; this "
+                    f"session expects k={self.k}"
+                )
+            if result.f < self.f:
+                raise ValueError(
+                    f"adopted result tolerates f={result.f} faults; this "
+                    f"session's budget is f={self.f}"
+                )
+            if self.f and result.fault_model is not self.fault_model:
+                raise ValueError(
+                    f"adopted result uses the {result.fault_model.value} "
+                    f"fault model; this session uses "
+                    f"{self.fault_model.value}"
+                )
+        else:
+            result = SpannerResult(
+                spanner=spanner,
+                k=self.k,
+                f=self.f,
+                fault_model=self.fault_model,
+                algorithm=algorithm,
+            )
+        self._set_result(result)
+        return result
+
+    # ------------------------------------------------------------- #
+    # Consumers sharing the substrate
+    # ------------------------------------------------------------- #
+
+    def verify(
+        self,
+        t: Optional[float] = None,
+        *,
+        exhaustive_budget: int = 50_000,
+        samples: int = 300,
+    ) -> VerificationReport:
+        """Verify the session spanner's fault-tolerance guarantee.
+
+        ``t`` defaults to the session guarantee ``2k - 1``; fault budget,
+        model, backend, and sampling seed come from the session.  On the
+        CSR backend the sweep re-stamps the session's shared snapshot.
+        """
+        h = self._require_result().spanner
+        return verify_ft_spanner(
+            self.g,
+            h,
+            t=self.stretch if t is None else t,
+            f=self.f,
+            fault_model=self.fault_model.value,
+            exhaustive_budget=exhaustive_budget,
+            samples=samples,
+            seed=self.seed,
+            backend=self.backend,
+            snapshot=self._dual_snapshot(),
+        )
+
+    def oracle(self, cache_size: int = 128) -> FaultTolerantDistanceOracle:
+        """A distance oracle over the session spanner (shared snapshot).
+
+        Each call returns a fresh oracle (they keep independent LRU
+        caches), but on the CSR backend every oracle re-stamps the same
+        frozen spanner snapshot.
+        """
+        return FaultTolerantDistanceOracle(
+            self.g,
+            k=self.k,
+            f=self.f,
+            fault_model=self.fault_model,
+            cache_size=cache_size,
+            prebuilt=self._require_result(),
+            backend=self.backend,
+            snapshot=self._spanner_snapshot(),
+        )
+
+    def router(self) -> SpannerRouter:
+        """A next-hop router over the session spanner (shared snapshot)."""
+        return SpannerRouter(
+            self.g,
+            k=self.k,
+            f=self.f,
+            fault_model=self.fault_model,
+            prebuilt=self._require_result(),
+            backend=self.backend,
+            snapshot=self._spanner_snapshot(),
+        )
+
+    def availability(
+        self,
+        failures: Optional[int] = None,
+        *,
+        scenarios: int = 50,
+        pairs_per_scenario: int = 30,
+        guarantee: Optional[float] = None,
+    ) -> AvailabilityReport:
+        """Monte-Carlo availability of the session spanner under faults.
+
+        ``failures`` defaults to the session fault budget ``f``;
+        ``guarantee`` to the session stretch.  The probes re-stamp the
+        session's shared dual snapshot on the CSR backend.
+        """
+        h = self._require_result().spanner
+        return availability_analysis(
+            self.g,
+            h,
+            failures=self.f if failures is None else failures,
+            guarantee=self.stretch if guarantee is None else guarantee,
+            scenarios=scenarios,
+            pairs_per_scenario=pairs_per_scenario,
+            seed=self.seed,
+            backend=self.backend,
+            snapshot=self._dual_snapshot(),
+        )
+
+    def degradation(
+        self,
+        max_failures: int,
+        *,
+        scenarios: int = 30,
+        pairs_per_scenario: int = 20,
+        guarantee: Optional[float] = None,
+    ) -> List[Tuple[int, AvailabilityReport]]:
+        """Failure-count sweep 0..max_failures over the shared snapshot."""
+        h = self._require_result().spanner
+        return degradation_profile(
+            self.g,
+            h,
+            guarantee=self.stretch if guarantee is None else guarantee,
+            max_failures=max_failures,
+            scenarios=scenarios,
+            pairs_per_scenario=pairs_per_scenario,
+            seed=self.seed,
+            backend=self.backend,
+            snapshot=self._dual_snapshot(),
+        )
+
+    # ------------------------------------------------------------- #
+    # The snapshot substrate (one freeze per graph per session)
+    # ------------------------------------------------------------- #
+
+    def _require_result(self) -> SpannerResult:
+        if self._result is None:
+            raise RuntimeError(
+                "this session has no spanner yet; call build() or adopt()"
+            )
+        return self._result
+
+    def _set_result(self, result: SpannerResult) -> None:
+        self._result = result
+        # A new spanner invalidates its snapshot and the dual built on
+        # it; the input graph's freeze (and the shared indexer) stay.
+        self._snap_h = None
+        self._dual = None
+
+    def _use_csr(self) -> bool:
+        return self.backend == "csr"
+
+    def _shared_indexer(self) -> NodeIndexer:
+        """The session's one node<->index bijection, built from G.
+
+        Every snapshot the session freezes shares it, which is what
+        lets the dual be assembled from the per-graph snapshots without
+        re-freezing (a spanner always spans, so its node set is G's).
+        """
+        if self._indexer is None:
+            self._indexer = NodeIndexer.from_graph(self.g)
+        return self._indexer
+
+    def _graph_snapshot(self) -> Optional[CSRSnapshot]:
+        """G frozen at most once per session (None on the dict backend)."""
+        if not self._use_csr():
+            return None
+        if self._snap_g is None:
+            self._snap_g = CSRSnapshot(self.g, indexer=self._shared_indexer())
+        return self._snap_g
+
+    def _spanner_snapshot(self) -> Optional[CSRSnapshot]:
+        """H frozen at most once per build (None on the dict backend)."""
+        if not self._use_csr():
+            return None
+        if self._snap_h is None:
+            self._snap_h = CSRSnapshot(
+                self._require_result().spanner, indexer=self._shared_indexer()
+            )
+        return self._snap_h
+
+    def _dual_snapshot(self) -> Optional[DualCSRSnapshot]:
+        """(G, H) assembled from the per-graph freezes (None on dict)."""
+        if not self._use_csr():
+            return None
+        if self._dual is None:
+            self._dual = DualCSRSnapshot(
+                self.g,
+                self._require_result().spanner,
+                snap_g=self._graph_snapshot(),
+                snap_h=self._spanner_snapshot(),
+            )
+        return self._dual
+
+    def __repr__(self) -> str:
+        built = self._result.algorithm if self._result else "<not built>"
+        return (
+            f"SpannerSession(n={self.g.num_nodes}, m={self.g.num_edges}, "
+            f"k={self.k}, f={self.f}, "
+            f"model={self.fault_model.value}, backend={self.backend}, "
+            f"spanner={built})"
+        )

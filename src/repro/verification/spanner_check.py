@@ -127,6 +127,7 @@ def verify_ft_spanner(
     samples: int = 300,
     seed: Optional[int] = None,
     backend: Optional[str] = None,
+    snapshot: Optional[DualCSRSnapshot] = None,
 ) -> VerificationReport:
     """Verify that H is an f-fault-tolerant t-spanner of G.
 
@@ -138,7 +139,10 @@ def verify_ft_spanner(
     sets are drawn adversarially.
 
     ``backend`` selects the sweep engine (see the module docstring); the
-    report is identical either way.
+    report is identical either way.  On the CSR backend, ``snapshot``
+    may supply an already-frozen :class:`DualCSRSnapshot` of (G, H) --
+    e.g. from a :class:`repro.session.SpannerSession` -- so the sweep
+    re-stamps it instead of freezing its own.
     """
     if fault_model not in ("vertex", "edge"):
         raise ValueError(f"unknown fault model {fault_model!r}")
@@ -147,8 +151,10 @@ def verify_ft_spanner(
     universe = _fault_universe(g, fault_model)
     unit = g.is_unit_weighted()
     if resolve_backend(backend) == "csr":
-        check = _CSRSweep(g, h, t, fault_model, unit).check
+        check = _CSRSweep(g, h, t, fault_model, unit, snapshot=snapshot).check
     else:
+        if snapshot is not None:
+            raise ValueError("snapshot= requires the csr backend")
         def check(faults):
             return _check_fault_set(g, h, t, faults, fault_model, unit)
     total = sum(_comb(len(universe), size) for size in range(f + 1))
@@ -285,12 +291,22 @@ class _CSRSweep:
     __slots__ = ("t", "fault_model", "unit", "snap", "ws", "edges")
 
     def __init__(
-        self, g: Graph, h: Graph, t: float, fault_model: str, unit: bool
+        self,
+        g: Graph,
+        h: Graph,
+        t: float,
+        fault_model: str,
+        unit: bool,
+        snapshot: Optional[DualCSRSnapshot] = None,
     ) -> None:
         self.t = t
         self.fault_model = fault_model
         self.unit = unit
-        self.snap = DualCSRSnapshot(g, h)
+        if snapshot is None:
+            snapshot = DualCSRSnapshot(g, h)
+        elif snapshot.g is not g or snapshot.h is not h:
+            raise ValueError("snapshot does not freeze this (G, H) pair")
+        self.snap = snapshot
         n = len(self.snap.indexer)
         self.ws: Union[BFSWorkspace, DijkstraWorkspace] = (
             BFSWorkspace(n) if unit else DijkstraWorkspace(n)

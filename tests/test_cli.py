@@ -181,6 +181,95 @@ class TestVerify:
         assert "FAILED" in capsys.readouterr().out
 
 
+class TestAlgorithmsSubcommand:
+    def test_lists_every_registered_algorithm(self, capsys):
+        from repro.registry import algorithm_names
+
+        rc = main(["algorithms"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for name in algorithm_names():
+            assert name in out
+        assert "stretch 2k-1" in out
+        assert "faults: vertex" in out          # capability column
+        assert "backends: dict/csr" in out
+
+    def test_verbose_adds_summaries(self, capsys):
+        rc = main(["algorithms", "--verbose"])
+        assert rc == 0
+        assert "modified greedy" in capsys.readouterr().out
+
+
+class TestCapabilityErrors:
+    """The registry surfaces what the lambda table silently dropped."""
+
+    def test_backend_flag_rejected_for_single_engine_algorithm(self):
+        with pytest.raises(SystemExit, match="single engine"):
+            main(["build", "--random", "16", "--p", "0.3",
+                  "--algorithm", "dk", "--backend", "csr"])
+
+    def test_f_below_algorithm_minimum_is_an_error(self):
+        with pytest.raises(SystemExit, match="requires f >= 1"):
+            main(["build", "--random", "16", "--p", "0.3",
+                  "--algorithm", "dk", "-f", "0"])
+
+    def test_edge_model_rejected_for_vertex_only_algorithm(self):
+        with pytest.raises(SystemExit, match="edge fault model"):
+            main(["build", "--random", "16", "--p", "0.3",
+                  "--algorithm", "dk", "--fault-model", "edge"])
+
+    def test_non_ft_algorithm_notes_ignored_f(self, capsys):
+        rc = main(["build", "--random", "16", "--p", "0.3",
+                   "--algorithm", "classic", "-f", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "not fault-tolerant" in out
+        assert "f=0" in out
+
+    def test_non_ft_algorithm_notes_ignored_fault_model(self, capsys):
+        rc = main(["build", "--random", "16", "--p", "0.3",
+                   "--algorithm", "classic", "-f", "0",
+                   "--fault-model", "edge"])
+        assert rc == 0
+        assert "ignoring --fault-model edge" in capsys.readouterr().out
+
+    def test_default_fault_model_gets_no_note(self, capsys):
+        rc = main(["build", "--random", "16", "--p", "0.3",
+                   "--algorithm", "classic", "-f", "0"])
+        assert rc == 0
+        assert "--fault-model" not in capsys.readouterr().out
+
+    def test_seed_note_for_deterministic_algorithm_with_file(
+        self, graph_file, capsys
+    ):
+        rc = main(["build", "--input", str(graph_file), "-k", "2",
+                   "-f", "1", "--seed", "7"])
+        assert rc == 0
+        assert "deterministic" in capsys.readouterr().out
+
+    def test_no_seed_note_with_verify(self, graph_file, capsys):
+        # With --verify the seed drives the sampled sweep, so it is not
+        # inert and must not be flagged.
+        rc = main(["build", "--input", str(graph_file), "-k", "2",
+                   "-f", "1", "--seed", "7", "--verify"])
+        assert rc == 0
+        assert "deterministic" not in capsys.readouterr().out
+
+    def test_no_seed_note_when_seed_feeds_generation(self, capsys):
+        rc = main(["build", "--random", "16", "--p", "0.3", "--seed", "7"])
+        assert rc == 0
+        assert "deterministic" not in capsys.readouterr().out
+
+    def test_backend_flag_beats_env(self, monkeypatch, capsys):
+        # Precedence: --backend > REPRO_BACKEND.  A bogus env value
+        # proves the flag short-circuits it.
+        monkeypatch.setenv("REPRO_BACKEND", "bogus")
+        rc = main(["build", "--random", "14", "--p", "0.3",
+                   "--backend", "csr"])
+        assert rc == 0
+        assert "kept" in capsys.readouterr().out
+
+
 class TestInfoAndDemo:
     def test_info(self, graph_file, capsys):
         rc = main(["info", str(graph_file)])

@@ -53,6 +53,8 @@ class TestDocstringExamples:
             "repro.core.incremental",
             "repro.applications.oracle",
             "repro.applications.routing",
+            "repro.registry",
+            "repro.session",
         ],
     )
     def test_module_doctests(self, module_name):

@@ -1,0 +1,363 @@
+"""SpannerSession: snapshot sharing, parity with free functions, config.
+
+The facade's contract has three parts:
+
+1. **One freeze per graph.**  A build -> verify -> oracle -> router ->
+   availability -> degradation workflow on the CSR backend freezes the
+   input graph once and the spanner once -- asserted here through the
+   substrate's ``csr_freeze_count`` instrumentation.
+2. **Bit-identical answers.**  Everything the session returns equals
+   the corresponding free-function call (which in turn is
+   backend-parity-checked elsewhere).
+3. **Config precedence.**  backend= kwarg > REPRO_BACKEND env > default,
+   for both ``build_spanner`` and ``SpannerSession``; the deprecated
+   top-level entry points keep returning bit-identical results while
+   warning.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+import repro
+from repro.applications import (
+    FaultTolerantDistanceOracle,
+    availability_analysis,
+    degradation_profile,
+)
+from repro.core.spanner import DEFAULT_BACKEND
+from repro.graph import generators
+from repro.graph import snapshot as snapshot_mod
+from repro.graph.snapshot import CSRSnapshot, DualCSRSnapshot
+from repro.registry import UnsupportedOption, build_spanner
+from repro.session import SpannerSession
+from repro.verification import verify_ft_spanner
+
+
+@pytest.fixture
+def g():
+    return generators.ensure_connected(
+        generators.gnp_random_graph(24, 0.3, seed=11), seed=11
+    )
+
+
+@pytest.fixture
+def weighted_g():
+    return generators.ensure_connected(
+        generators.weighted_gnp(20, 0.35, seed=12), seed=12
+    )
+
+
+# --------------------------------------------------------------------- #
+# The snapshot-sharing guarantee
+# --------------------------------------------------------------------- #
+
+
+class TestOneFreezePerGraph:
+    def test_full_workflow_freezes_each_graph_exactly_once(self, g):
+        session = SpannerSession(g, k=2, f=1, backend="csr", seed=0)
+        session.build("greedy")
+        before = snapshot_mod.csr_freeze_count()
+        session.verify(samples=40)
+        oracle = session.oracle()
+        oracle.distances([(0, 5), (1, 7)], faults=[3])
+        router = session.router()
+        router.table(0, faults=[3])
+        session.availability(scenarios=4, pairs_per_scenario=5)
+        session.degradation(2, scenarios=3, pairs_per_scenario=4)
+        # One freeze for G, one for the spanner -- the whole workflow.
+        assert snapshot_mod.csr_freeze_count() - before == 2
+
+    def test_query_only_session_freezes_just_the_spanner(self, g):
+        session = SpannerSession(g, k=2, f=1, backend="csr")
+        session.build("greedy")
+        before = snapshot_mod.csr_freeze_count()
+        session.oracle()
+        session.router()
+        session.oracle(cache_size=4)
+        # Oracle/router only need H; G is never frozen.
+        assert snapshot_mod.csr_freeze_count() - before == 1
+
+    def test_legacy_free_functions_freeze_more(self, g):
+        # The motivating waste: the same workflow through free functions
+        # freezes (G, H) once per consumer.
+        result = build_spanner(g, "greedy", k=2, f=1)
+        h = result.spanner
+        before = snapshot_mod.csr_freeze_count()
+        verify_ft_spanner(g, h, t=3, f=1, backend="csr")
+        oracle = FaultTolerantDistanceOracle(
+            g, 2, 1, prebuilt=result, backend="csr"
+        )
+        oracle.distances([(0, 5)], faults=[3])
+        availability_analysis(
+            g, h, failures=1, guarantee=3, scenarios=3,
+            pairs_per_scenario=4, seed=0, backend="csr",
+        )
+        assert snapshot_mod.csr_freeze_count() - before >= 5
+
+    def test_rebuild_invalidates_spanner_snapshot_keeps_graph(self, g):
+        session = SpannerSession(g, k=2, f=1, backend="csr", seed=0)
+        session.build("greedy")
+        session.verify(samples=10)  # freezes G + H
+        before = snapshot_mod.csr_freeze_count()
+        session.build("greedy")     # new spanner -> new H freeze needed
+        session.verify(samples=10)
+        assert snapshot_mod.csr_freeze_count() - before == 1
+
+    def test_degradation_profile_shares_one_dual_snapshot(self, g):
+        # The ROADMAP item: the failure-count sweep must not rebuild the
+        # DualCSRSnapshot per availability_analysis call.
+        h = build_spanner(g, "greedy", k=2, f=1).spanner
+        before = snapshot_mod.csr_freeze_count()
+        degradation_profile(
+            g, h, guarantee=3, max_failures=3, scenarios=3,
+            pairs_per_scenario=4, seed=1, backend="csr",
+        )
+        assert snapshot_mod.csr_freeze_count() - before == 2
+
+    def test_dict_backend_never_freezes(self, g):
+        session = SpannerSession(g, k=2, f=1, backend="dict", seed=0)
+        session.build("greedy")
+        before = snapshot_mod.csr_freeze_count()
+        session.verify(samples=20)
+        session.oracle().distance(0, 4, faults=[2])
+        session.availability(scenarios=3, pairs_per_scenario=4)
+        assert snapshot_mod.csr_freeze_count() == before
+
+
+# --------------------------------------------------------------------- #
+# Answers match the free functions (and hence both backends)
+# --------------------------------------------------------------------- #
+
+
+class TestSessionParity:
+    def test_verify_matches_free_function(self, weighted_g):
+        session = SpannerSession(weighted_g, k=2, f=1, seed=3)
+        result = session.build("greedy")
+        free = verify_ft_spanner(
+            weighted_g, result.spanner, t=3, f=1, seed=3
+        )
+        via_session = session.verify()
+        assert via_session == free
+
+    def test_oracle_matches_free_construction(self, g):
+        session = SpannerSession(g, k=2, f=2, seed=0)
+        result = session.build("greedy")
+        oracle = session.oracle()
+        standalone = FaultTolerantDistanceOracle(g, 2, 2, prebuilt=result)
+        pairs = [(0, 9), (1, 12), (4, 17)]
+        for faults in ([], [5], [5, 11]):
+            assert oracle.distances(pairs, faults=faults) == (
+                standalone.distances(pairs, faults=faults)
+            )
+
+    def test_availability_matches_free_function(self, weighted_g):
+        session = SpannerSession(weighted_g, k=2, f=1, seed=9)
+        result = session.build("greedy")
+        free = availability_analysis(
+            weighted_g, result.spanner, failures=1, guarantee=3,
+            scenarios=6, pairs_per_scenario=5, seed=9,
+        )
+        assert session.availability(
+            scenarios=6, pairs_per_scenario=5
+        ) == free
+
+    def test_dict_and_csr_sessions_agree(self, weighted_g):
+        reports = {}
+        for backend in ("dict", "csr"):
+            session = SpannerSession(
+                weighted_g, k=2, f=1, backend=backend, seed=4
+            )
+            result = session.build("greedy")
+            oracle = session.oracle()
+            reports[backend] = (
+                sorted(result.spanner.weighted_edges()),
+                session.verify(samples=25),
+                oracle.distances([(0, 7), (2, 13)], faults=[5]),
+                session.availability(scenarios=4, pairs_per_scenario=5),
+            )
+        assert reports["dict"] == reports["csr"]
+
+    def test_session_routes_capability_errors(self, g):
+        session = SpannerSession(g, k=2, f=1)
+        with pytest.raises(UnsupportedOption, match="not fault-tolerant"):
+            session.build("classic")  # session has f=1
+        # An f=0 session builds it fine.
+        assert SpannerSession(g, k=2, f=0).build("classic").num_edges > 0
+
+    def test_session_seed_reaches_seedable_builds(self, g):
+        a = SpannerSession(g, k=2, f=1, seed=5).build("dk", iterations=6)
+        b = SpannerSession(g, k=2, f=1, seed=5).build("dk", iterations=6)
+        c = SpannerSession(g, k=2, f=1, seed=6).build("dk", iterations=6)
+        assert set(a.spanner.edges()) == set(b.spanner.edges())
+        # Different seed *may* coincide on tiny graphs, but the sampled
+        # iterations must at least be reproducible per seed.
+        assert c.num_edges > 0
+
+    def test_adopt_graph_and_result(self, g):
+        prebuilt = build_spanner(g, "greedy", k=2, f=1)
+        by_result = SpannerSession(g, k=2, f=1)
+        by_result.adopt(prebuilt)
+        by_graph = SpannerSession(g, k=2, f=1)
+        by_graph.adopt(prebuilt.spanner)
+        assert by_result.verify(samples=20) == by_graph.verify(samples=20)
+        assert by_graph.result.algorithm == "adopted"
+
+    def test_adopt_validates_result_against_session_config(self, g):
+        prebuilt = build_spanner(g, "greedy", k=2, f=1)
+        with pytest.raises(ValueError, match="k=3"):
+            SpannerSession(g, k=3, f=1).adopt(prebuilt)
+        with pytest.raises(ValueError, match="budget is f=2"):
+            SpannerSession(g, k=2, f=2).adopt(prebuilt)
+        with pytest.raises(ValueError, match="fault model"):
+            SpannerSession(g, k=2, f=1, fault_model="edge").adopt(prebuilt)
+        # A larger prebuilt budget covers a smaller session budget.
+        SpannerSession(g, k=2, f=0).adopt(prebuilt)
+
+    def test_unbuilt_session_raises(self, g):
+        session = SpannerSession(g)
+        with pytest.raises(RuntimeError, match="build\\(\\) or adopt\\(\\)"):
+            session.oracle()
+        with pytest.raises(RuntimeError):
+            session.verify()
+
+
+# --------------------------------------------------------------------- #
+# Snapshot-argument validation on the free functions
+# --------------------------------------------------------------------- #
+
+
+class TestSnapshotArguments:
+    def test_snapshot_requires_csr_backend(self, g):
+        h = build_spanner(g, "greedy", k=2, f=1).spanner
+        dual = DualCSRSnapshot(g, h)
+        with pytest.raises(ValueError, match="csr backend"):
+            verify_ft_spanner(g, h, t=3, f=1, backend="dict", snapshot=dual)
+        with pytest.raises(ValueError, match="csr backend"):
+            availability_analysis(
+                g, h, failures=1, guarantee=3, scenarios=2,
+                pairs_per_scenario=3, backend="dict", snapshot=dual,
+            )
+
+    def test_snapshot_must_freeze_the_right_graphs(self, g):
+        result = build_spanner(g, "greedy", k=2, f=1)
+        h = result.spanner
+        wrong = DualCSRSnapshot(h, h)
+        with pytest.raises(ValueError, match="does not freeze"):
+            verify_ft_spanner(g, h, t=3, f=1, backend="csr", snapshot=wrong)
+        with pytest.raises(ValueError, match="oracle's spanner"):
+            FaultTolerantDistanceOracle(
+                g, 2, 1, prebuilt=result, backend="csr",
+                snapshot=CSRSnapshot(g),
+            )
+
+    def test_dual_snapshot_from_prebuilt_parts_must_share_indexer(self, g):
+        h = build_spanner(g, "greedy", k=2, f=1).spanner
+        snap_g = CSRSnapshot(g)
+        foreign = CSRSnapshot(h)  # its own indexer
+        with pytest.raises(ValueError, match="share one NodeIndexer"):
+            DualCSRSnapshot(g, h, snap_g=snap_g, snap_h=foreign)
+        shared = CSRSnapshot(h, indexer=snap_g.indexer)
+        dual = DualCSRSnapshot(g, h, snap_g=snap_g, snap_h=shared)
+        assert dual.snap_g is snap_g and dual.snap_h is shared
+
+    def test_dual_snapshot_accepts_either_side_alone(self, g):
+        h = build_spanner(g, "greedy", k=2, f=1).spanner
+        from_g = DualCSRSnapshot(g, h, snap_g=CSRSnapshot(g))
+        snap_h = CSRSnapshot(h)
+        from_h = DualCSRSnapshot(g, h, snap_h=snap_h)
+        assert from_h.snap_h is snap_h
+        assert from_h.snap_g.indexer is snap_h.indexer
+        # Both assemblies answer identically for a shared vertex mask.
+        assert from_g.set_vertex_faults([0]).gen >= 0
+        assert from_h.set_vertex_faults([0]).gen >= 0
+
+
+# --------------------------------------------------------------------- #
+# Config precedence: kwarg > CLI flag (tested in test_cli) > env > default
+# --------------------------------------------------------------------- #
+
+
+class TestConfigPrecedence:
+    def test_explicit_kwarg_beats_env_for_build_spanner(self, g, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "bogus")
+        # kwarg wins: the bogus env value is never consulted.
+        r = build_spanner(g, "greedy", k=2, f=1, backend="csr")
+        assert r.num_edges > 0
+        # No kwarg: the env value is consulted and rejected.
+        with pytest.raises(ValueError, match="unknown backend"):
+            build_spanner(g, "greedy", k=2, f=1)
+
+    def test_env_beats_default_for_build_spanner(self, g, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "dict")
+        assert build_spanner(g, "greedy", k=2, f=1).num_edges > 0
+
+    def test_explicit_kwarg_beats_env_for_session(self, g, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "bogus")
+        session = SpannerSession(g, k=2, f=1, backend="dict")
+        assert session.backend == "dict"
+        # Resolution is eager: a session without the kwarg fails fast.
+        with pytest.raises(ValueError, match="unknown backend"):
+            SpannerSession(g, k=2, f=1)
+
+    def test_env_beats_default_for_session(self, g, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "dict")
+        assert SpannerSession(g).backend == "dict"
+        monkeypatch.delenv("REPRO_BACKEND")
+        assert SpannerSession(g).backend == DEFAULT_BACKEND
+
+
+# --------------------------------------------------------------------- #
+# Deprecation shims: old entry points warn but stay bit-identical
+# --------------------------------------------------------------------- #
+
+_SHIM_CASES = [
+    ("fault_tolerant_spanner", (2, 1), {}, "greedy",
+     dict(k=2, f=1)),
+    ("exponential_greedy_spanner", (2, 1), {}, "exact-greedy",
+     dict(k=2, f=1)),
+    ("classic_greedy_spanner", (2,), {}, "classic", dict(k=2)),
+    ("thorup_zwick_spanner", (2,), {"seed": 0}, "thorup-zwick",
+     dict(k=2, seed=0)),
+    ("baswana_sen_spanner", (2,), {"seed": 0}, "baswana-sen",
+     dict(k=2, seed=0)),
+    ("dk_fault_tolerant_spanner", (2, 1), {"seed": 0, "iterations": 6},
+     "dk", dict(k=2, f=1, seed=0, iterations=6)),
+    ("clpr_fault_tolerant_spanner", (2, 1), {"seed": 0}, "clpr",
+     dict(k=2, f=1, seed=0)),
+    ("local_ft_spanner", (2, 1), {"seed": 0}, "local",
+     dict(k=2, f=1, seed=0)),
+    ("congest_baswana_sen", (2,), {"seed": 0}, "congest-bs",
+     dict(k=2, seed=0)),
+    ("congest_ft_spanner", (2, 1), {"seed": 0, "iterations": 6},
+     "congest", dict(k=2, f=1, seed=0, iterations=6)),
+]
+
+
+class TestDeprecationShims:
+    @pytest.mark.parametrize(
+        "legacy_name,args,kwargs,algorithm,registry_kwargs", _SHIM_CASES
+    )
+    def test_shim_warns_and_matches_registry(
+        self, g, legacy_name, args, kwargs, algorithm, registry_kwargs
+    ):
+        legacy_fn = getattr(repro, legacy_name)
+        with pytest.warns(DeprecationWarning, match=legacy_name):
+            legacy = legacy_fn(g, *args, **kwargs)
+        via_registry = build_spanner(g, algorithm, **registry_kwargs)
+        assert sorted(legacy.spanner.weighted_edges()) == sorted(
+            via_registry.spanner.weighted_edges()
+        )
+
+    def test_canonical_homes_do_not_warn(self, g):
+        from repro.core.greedy_modified import fault_tolerant_spanner
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            fault_tolerant_spanner(g, 2, 1)
+            build_spanner(g, "greedy", k=2, f=1)
+            session = SpannerSession(g, k=2, f=1)
+            session.build("greedy")
+            session.verify(samples=10)
