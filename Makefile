@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: test verify bench bench-apps examples
+.PHONY: test verify bench bench-apps bench-weighted examples
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -16,6 +16,13 @@ bench:
 # Full applications benchmark: rewrites BENCH_applications.json.
 bench-apps:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_applications.py
+
+# Weighted-engine parity smoke: the bucket-queue / bidirectional
+# Dijkstra scenarios only, quick instances, dict-vs-csr answers
+# asserted per scenario.  Never writes the JSON reports.
+bench-weighted:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_backend.py --quick --only verif
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_applications.py --quick --only oracle
 
 # Run every example end to end with DeprecationWarning promoted to an
 # error, so the repository's own snippets can never regress onto the

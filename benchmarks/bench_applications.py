@@ -12,6 +12,11 @@ track the layer's performance trajectory:
   shared :class:`~repro.graph.snapshot.CSRSnapshot`.
 * ``oracle_batch_weighted`` -- the same pattern on a weighted spanner
   (CSR Dijkstra instead of the BFS fast path).
+* ``weighted_oracle_bucket`` -- the weighted pattern on an *integral*-
+  weighted spanner with ``search="bucket"``: every cache-missed
+  single-source run is a Dial bucket-queue sweep instead of a binary
+  heap (identical answers; the weighted-engine satellite of the
+  snapshot substrate).
 * ``routing_tables`` -- per-fault-scenario next-hop table builds for
   many destinations (destination-rooted trees on the faulted spanner).
 * ``availability_sweep`` -- Monte-Carlo availability analysis of a
@@ -58,11 +63,13 @@ F = 2
 # numbers are comparable across PRs.
 ORACLE_INSTANCES = [(240, 0.06), (420, 0.035)]
 ORACLE_WEIGHTED_INSTANCES = [(200, 0.06)]
+ORACLE_BUCKET_INSTANCES = [(200, 0.06)]
 ROUTING_INSTANCES = [(180, 0.07)]
 AVAILABILITY_INSTANCES = [(110, 0.09)]
 
 QUICK_ORACLE = [(100, 0.10)]
 QUICK_ORACLE_WEIGHTED = [(80, 0.12)]
+QUICK_ORACLE_BUCKET = [(80, 0.12)]
 QUICK_ROUTING = [(70, 0.12)]
 QUICK_AVAILABILITY = [(50, 0.15)]
 
@@ -112,9 +119,16 @@ def _row(n, p, m, extra, t_dict, t_csr, identical):
     return row
 
 
-def _instance(n, p, weighted):
-    gen = generators.weighted_gnp if weighted else generators.gnp_random_graph
-    return generators.ensure_connected(gen(n, p, seed=SEED), seed=SEED)
+def _instance(n, p, weights):
+    """A connected instance: ``weights`` is 'unit', 'float' or 'int'."""
+    g = generators.gnp_random_graph(n, p, seed=SEED)
+    if weights == "float":
+        g = generators.with_random_weights(g, seed=SEED)
+    elif weights == "int":
+        g = generators.with_random_weights(
+            g, low=1.0, high=10.0, seed=SEED, integral=True
+        )
+    return generators.ensure_connected(g, seed=SEED)
 
 
 def _vertex_scenarios(nodes, count, rng):
@@ -131,10 +145,11 @@ def _surviving_pairs(nodes, scenarios, count, rng):
     return [tuple(rng.sample(pool, 2)) for _ in range(count)]
 
 
-def bench_oracle_batch(instances, repeats, pairs_per_scenario, weighted):
+def bench_oracle_batch(instances, repeats, pairs_per_scenario, weights,
+                       search=None):
     rows = []
     for n, p in instances:
-        g = _instance(n, p, weighted)
+        g = _instance(n, p, weights)
         prebuilt = build_spanner(g, "greedy", k=K, f=F)
         rng = random.Random(SEED)
         nodes = sorted(g.nodes())
@@ -144,7 +159,11 @@ def bench_oracle_batch(instances, repeats, pairs_per_scenario, weighted):
         def run(backend, batch):
             # A fresh session + oracle per run so the timing covers real
             # cache misses (and, for CSR, the one-off snapshot build).
-            session = SpannerSession(g, k=K, f=F, backend=backend)
+            # The search engine only matters on the CSR side.
+            session = SpannerSession(
+                g, k=K, f=F, backend=backend,
+                search=search if backend == "csr" else None,
+            )
             session.adopt(prebuilt)
             oracle = session.oracle(cache_size=2 * n)
             answers = []
@@ -165,14 +184,15 @@ def bench_oracle_batch(instances, repeats, pairs_per_scenario, weighted):
             "scenarios": len(scenarios),
             "pairs_per_scenario": len(pairs),
         }, t_dict, t_csr, a_dict == a_csr))
+    engine = f", search='{search}'" if search else ""
     return {
         "description": (
-            "FaultTolerantDistanceOracle, "
-            + ("weighted" if weighted else "unit")
-            + " spanner: batched distances() on one CSR snapshot vs "
-              "per-query dict distance()"
+            f"FaultTolerantDistanceOracle, {weights}-weight spanner: "
+            f"batched distances() on one CSR snapshot{engine} vs "
+            f"per-query dict distance()"
         ),
-        "parameters": {"k": K, "f": F, "fault_model": "vertex"},
+        "parameters": {"k": K, "f": F, "fault_model": "vertex",
+                       "search": search or "auto"},
         "instances": rows,
     }
 
@@ -180,7 +200,7 @@ def bench_oracle_batch(instances, repeats, pairs_per_scenario, weighted):
 def bench_routing_tables(instances, repeats, dests_per_scenario):
     rows = []
     for n, p in instances:
-        g = _instance(n, p, weighted=False)
+        g = _instance(n, p, weights="unit")
         prebuilt = build_spanner(g, "greedy", k=K, f=F)
         rng = random.Random(SEED)
         nodes = sorted(g.nodes())
@@ -218,7 +238,7 @@ def bench_routing_tables(instances, repeats, dests_per_scenario):
 def bench_availability(instances, repeats, scenarios, pairs):
     rows = []
     for n, p in instances:
-        g = _instance(n, p, weighted=True)
+        g = _instance(n, p, weights="float")
         prebuilt = build_spanner(g, "greedy", k=K, f=F)
 
         def run(backend):
@@ -243,16 +263,19 @@ def bench_availability(instances, repeats, scenarios, pairs):
     }
 
 
-def run(repeats: int = 3, quick: bool = False):
-    """Benchmark every scenario; returns the report dict."""
+def run(repeats: int = 3, quick: bool = False, only: str = None):
+    """Benchmark the scenarios (optionally filtered by name substring)."""
     if quick:
         repeats = 1
         plan = [
             ("oracle_batch", lambda: bench_oracle_batch(
-                QUICK_ORACLE, repeats, QUICK_ORACLE_PAIRS, weighted=False)),
+                QUICK_ORACLE, repeats, QUICK_ORACLE_PAIRS, weights="unit")),
             ("oracle_batch_weighted", lambda: bench_oracle_batch(
                 QUICK_ORACLE_WEIGHTED, repeats, QUICK_ORACLE_PAIRS,
-                weighted=True)),
+                weights="float")),
+            ("weighted_oracle_bucket", lambda: bench_oracle_batch(
+                QUICK_ORACLE_BUCKET, repeats, QUICK_ORACLE_PAIRS,
+                weights="int", search="bucket")),
             ("routing_tables", lambda: bench_routing_tables(
                 QUICK_ROUTING, repeats, QUICK_ROUTING_DESTS)),
             ("availability_sweep", lambda: bench_availability(
@@ -262,22 +285,28 @@ def run(repeats: int = 3, quick: bool = False):
     else:
         plan = [
             ("oracle_batch", lambda: bench_oracle_batch(
-                ORACLE_INSTANCES, repeats, ORACLE_PAIRS, weighted=False)),
+                ORACLE_INSTANCES, repeats, ORACLE_PAIRS, weights="unit")),
             ("oracle_batch_weighted", lambda: bench_oracle_batch(
                 ORACLE_WEIGHTED_INSTANCES, repeats, ORACLE_PAIRS,
-                weighted=True)),
+                weights="float")),
+            ("weighted_oracle_bucket", lambda: bench_oracle_batch(
+                ORACLE_BUCKET_INSTANCES, repeats, ORACLE_PAIRS,
+                weights="int", search="bucket")),
             ("routing_tables", lambda: bench_routing_tables(
                 ROUTING_INSTANCES, repeats, ROUTING_DESTS)),
             ("availability_sweep", lambda: bench_availability(
                 AVAILABILITY_INSTANCES, repeats, AVAIL_SCENARIOS,
                 AVAIL_PAIRS)),
         ]
+    if only:
+        plan = [entry for entry in plan if only in entry[0]]
+        if not plan:
+            raise SystemExit(f"--only {only!r} matches no scenario")
     scenarios = {}
     for name, fn in plan:
         print(f"{name}:")
         scenarios[name] = fn()
-    oracle_rows = scenarios["oracle_batch"]["instances"]
-    return {
+    report = {
         "benchmark": "dict vs csr backend, applications layer",
         "quick": quick,
         "seed": SEED,
@@ -285,9 +314,13 @@ def run(repeats: int = 3, quick: bool = False):
         "timing": "best-of-repeats",
         "python": platform.python_version(),
         "scenarios": scenarios,
-        # Headline trajectory: the batched oracle on the largest instance.
-        "batched_oracle_speedup": oracle_rows[-1]["speedup"],
     }
+    # Headline trajectory: the batched oracle on the largest instance.
+    if "oracle_batch" in scenarios:
+        report["batched_oracle_speedup"] = (
+            scenarios["oracle_batch"]["instances"][-1]["speedup"]
+        )
+    return report
 
 
 def _all_parity_ok(report) -> bool:
@@ -308,9 +341,15 @@ def main(argv=None) -> int:
     parser.add_argument("--quick", action="store_true",
                         help="smoke run: tiny instances, one repeat "
                              "(parity checks still apply)")
+    parser.add_argument("--only", default=None, metavar="SUBSTR",
+                        help="run only scenarios whose name contains "
+                             "this substring (e.g. 'bucket'); a "
+                             "filtered run never writes the JSON report")
     args = parser.parse_args(argv)
-    report = run(repeats=args.repeats, quick=args.quick)
-    if args.quick and args.output == DEFAULT_OUTPUT:
+    report = run(repeats=args.repeats, quick=args.quick, only=args.only)
+    if args.only:
+        print("filtered run: skipping JSON write")
+    elif args.quick and args.output == DEFAULT_OUTPUT:
         print("quick run: skipping JSON write (pass --output to force)")
     else:
         args.output.write_text(json.dumps(report, indent=2) + "\n")

@@ -12,6 +12,11 @@ successive PRs can track the backend's performance trajectory:
   instance (the branch-and-bound Dijkstra search).
 * ``verification_sweep`` -- exhaustive ``verify_ft_spanner`` of a
   weighted spanner (one Dijkstra per surviving edge per fault set).
+* ``verify_bidir`` -- the same sweep on an *integral*-weighted instance
+  with ``search="bidir"`` on the CSR side: every probe is a
+  bidirectional Dijkstra meeting in the middle instead of a full
+  forward search (identical report; the weighted-engine satellite of
+  the snapshot substrate).
 * ``modified_greedy_repack`` -- the CSR greedy with and without
   scheduled mid-run row compaction (``repack_every``), closing the
   ROADMAP question of whether long runs benefit from periodic
@@ -58,6 +63,7 @@ MODIFIED_INSTANCES = [(200, 0.10), (400, 0.05), (600, 0.04)]
 CLASSIC_INSTANCES = [(300, 0.06), (500, 0.04)]
 EXPONENTIAL_INSTANCES = [(24, 0.30), (30, 0.25)]
 VERIFICATION_INSTANCES = [(50, 0.15), (70, 0.10)]
+VERIFY_BIDIR_INSTANCES = [(50, 0.15), (70, 0.10)]
 REPACK_INSTANCES = [(400, 0.05)]
 REPACK_EVERY = 256
 
@@ -65,6 +71,7 @@ QUICK_MODIFIED = [(100, 0.12)]
 QUICK_CLASSIC = [(120, 0.10)]
 QUICK_EXPONENTIAL = [(12, 0.35)]
 QUICK_VERIFICATION = [(30, 0.20)]
+QUICK_VERIFY_BIDIR = [(30, 0.20)]
 QUICK_REPACK = [(100, 0.12)]
 QUICK_REPACK_EVERY = 64
 
@@ -264,8 +271,52 @@ def bench_verification(instances, repeats):
     }
 
 
-def run(repeats: int = 3, quick: bool = False):
-    """Benchmark every scenario; returns the report dict."""
+def bench_verify_bidir(instances, repeats):
+    """Exhaustive verification on integral weights, bidir vs dict."""
+    rows = []
+    f = 1
+    t = 2 * K - 1
+    for n, p in instances:
+        g = generators.with_random_weights(
+            generators.gnp_random_graph(n, p, seed=SEED),
+            low=1.0, high=10.0, seed=SEED, integral=True,
+        )
+        prebuilt = build_spanner(g, "greedy", k=K, f=f)
+        h = prebuilt.spanner
+
+        def run(backend, search):
+            # A fresh session per run so the timing covers the CSR
+            # freeze, exactly like the pre-session per-call behavior.
+            session = SpannerSession(
+                g, k=K, f=f, backend=backend, search=search
+            )
+            session.adopt(prebuilt)
+            return session.verify(t=t)
+
+        t_dict, r_dict = _best_of(lambda: run("dict", "auto"), repeats)
+        t_csr, r_csr = _best_of(lambda: run("csr", "bidir"), repeats)
+        identical = (
+            r_dict.ok == r_csr.ok
+            and r_dict.exhaustive == r_csr.exhaustive
+            and r_dict.fault_sets_checked == r_csr.fault_sets_checked
+            and r_dict.counterexample == r_csr.counterexample
+        )
+        rows.append(_row(n, p, g.num_edges, {
+            "spanner_edges": h.num_edges,
+            "fault_sets_checked": r_csr.fault_sets_checked,
+        }, t_dict, t_csr, identical))
+    return {
+        "description": "verify_ft_spanner, integral weights, exhaustive "
+                       "(csr probes with search='bidir'; identical "
+                       "report)",
+        "parameters": {"t": t, "f": f, "fault_model": "vertex",
+                       "search": "bidir"},
+        "instances": rows,
+    }
+
+
+def run(repeats: int = 3, quick: bool = False, only: str = None):
+    """Benchmark the scenarios (optionally filtered by name substring)."""
     if quick:
         plan = [
             ("modified_greedy_unit", bench_modified_greedy, QUICK_MODIFIED),
@@ -273,6 +324,7 @@ def run(repeats: int = 3, quick: bool = False):
             ("exponential_greedy_weighted", bench_exponential_greedy,
              QUICK_EXPONENTIAL),
             ("verification_sweep", bench_verification, QUICK_VERIFICATION),
+            ("verify_bidir", bench_verify_bidir, QUICK_VERIFY_BIDIR),
             ("modified_greedy_repack",
              lambda inst, rep: bench_repack(inst, rep, QUICK_REPACK_EVERY),
              QUICK_REPACK),
@@ -288,18 +340,20 @@ def run(repeats: int = 3, quick: bool = False):
              EXPONENTIAL_INSTANCES),
             ("verification_sweep", bench_verification,
              VERIFICATION_INSTANCES),
+            ("verify_bidir", bench_verify_bidir, VERIFY_BIDIR_INSTANCES),
             ("modified_greedy_repack",
              lambda inst, rep: bench_repack(inst, rep, REPACK_EVERY),
              REPACK_INSTANCES),
         ]
+    if only:
+        plan = [entry for entry in plan if only in entry[0]]
+        if not plan:
+            raise SystemExit(f"--only {only!r} matches no scenario")
     scenarios = {}
     for name, fn, instances in plan:
         print(f"{name}:")
         scenarios[name] = fn(instances, repeats)
-    # Scoped name: this tracks only the BFS/LBC hot-path scenario (the
-    # headline trajectory since PR 1), not the Dijkstra scenarios.
-    modified_rows = scenarios["modified_greedy_unit"]["instances"]
-    return {
+    report = {
         "benchmark": "dict vs csr backend",
         "quick": quick,
         "seed": SEED,
@@ -307,9 +361,14 @@ def run(repeats: int = 3, quick: bool = False):
         "timing": "best-of-repeats",
         "python": platform.python_version(),
         "scenarios": scenarios,
-        "modified_greedy_largest_instance_speedup":
-            modified_rows[-1]["speedup"],
     }
+    # Scoped name: this tracks only the BFS/LBC hot-path scenario (the
+    # headline trajectory since PR 1), not the Dijkstra scenarios.
+    if "modified_greedy_unit" in scenarios:
+        report["modified_greedy_largest_instance_speedup"] = (
+            scenarios["modified_greedy_unit"]["instances"][-1]["speedup"]
+        )
+    return report
 
 
 def _all_parity_ok(report) -> bool:
@@ -330,9 +389,16 @@ def main(argv=None) -> int:
     parser.add_argument("--quick", action="store_true",
                         help="smoke run: tiny instances, one repeat "
                              "(parity checks still apply)")
+    parser.add_argument("--only", default=None, metavar="SUBSTR",
+                        help="run only scenarios whose name contains "
+                             "this substring (e.g. 'verify' for the "
+                             "weighted-engine sweeps); a filtered run "
+                             "never writes the JSON report")
     args = parser.parse_args(argv)
-    report = run(repeats=args.repeats, quick=args.quick)
-    if args.quick and args.output == DEFAULT_OUTPUT:
+    report = run(repeats=args.repeats, quick=args.quick, only=args.only)
+    if args.only:
+        print("filtered run: skipping JSON write")
+    elif args.quick and args.output == DEFAULT_OUTPUT:
         print("quick run: skipping JSON write (pass --output to force)")
     else:
         args.output.write_text(json.dumps(report, indent=2) + "\n")

@@ -47,17 +47,28 @@ def test_bench_oracle_quality(benchmark):
                 continue
             worst = max(worst, est / true)
         # Query latency: cold vs warm (same fault set, many pairs).
+        # Best-of-3 on both sides: a single-shot timing at this scale
+        # (~100us) can be 20x off when a GC pause from earlier tests
+        # lands inside it, flipping the warm < cold assertion below.
+        # Each cold repeat uses a *fresh* fault scenario so it is a
+        # genuine SSSP cache miss.
+        cold = float("inf")
+        for cold_faults in ([nodes[5], nodes[60]], [nodes[7], nodes[70]],
+                            [nodes[9], nodes[80]]):
+            start = time.perf_counter()
+            oracle.distance(nodes[0], nodes[90], faults=cold_faults)
+            cold = min(cold, time.perf_counter() - start)
         faults = [nodes[3], nodes[50]]
-        start = time.perf_counter()
-        oracle.distance(nodes[0], nodes[90], faults=faults)
-        cold = time.perf_counter() - start
-        start = time.perf_counter()
+        oracle.distance(nodes[0], nodes[90], faults=faults)  # warm the LRU
         queries = 200
-        for _ in range(queries):
-            u, v = rng.sample(nodes[:100], 2)
-            if u not in faults and v not in faults:
-                oracle.distance(u, v, faults=faults)
-        warm = (time.perf_counter() - start) / queries
+        warm = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            for _ in range(queries):
+                u, v = rng.sample(nodes[:100], 2)
+                if u not in faults and v not in faults:
+                    oracle.distance(u, v, faults=faults)
+            warm = min(warm, (time.perf_counter() - start) / queries)
         return g, oracle, prep, worst, cold, warm
 
     g, oracle, prep, worst, cold, warm = benchmark.pedantic(

@@ -44,19 +44,27 @@ def test_bench_routing(benchmark):
                 worst = max(worst, cost / true[s][d])
 
         # Fallback: first route under a fresh fault set (table build) vs
-        # subsequent routes in the same scenario.
+        # subsequent routes in the same scenario.  Best-of-3 on both
+        # sides (each "first" under a distinct fault set, so each is a
+        # genuine table build): single-shot timings at this scale flip
+        # the warm <= first assertion when a GC pause lands inside one.
+        first = float("inf")
+        for fresh in ([nodes[41]], [nodes[43]], [nodes[47]]):
+            start = time.perf_counter()
+            router.route(nodes[0], nodes[90], faults=fresh)
+            first = min(first, time.perf_counter() - start)
         fault = [nodes[37]]
-        start = time.perf_counter()
-        router.route(nodes[0], nodes[90], faults=fault)
-        first = time.perf_counter() - start
-        start = time.perf_counter()
-        count = 0
-        for s in nodes[1:40]:
-            if s in fault:
-                continue
-            router.route(s, nodes[90], faults=fault)
-            count += 1
-        warm = (time.perf_counter() - start) / count
+        router.route(nodes[0], nodes[90], faults=fault)  # build the table
+        warm = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            count = 0
+            for s in nodes[1:40]:
+                if s in fault:
+                    continue
+                router.route(s, nodes[90], faults=fault)
+                count += 1
+            warm = min(warm, (time.perf_counter() - start) / count)
 
         # Guarantee under the fault.
         gv = VertexFaultView(g, set(fault))

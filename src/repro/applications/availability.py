@@ -43,7 +43,12 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.spanner import resolve_backend
 from repro.graph.graph import Graph, Node
-from repro.graph.snapshot import DualCSRSnapshot
+from repro.graph.snapshot import (
+    DualCSRSnapshot,
+    resolve_search,
+    validate_search,
+    weighted_pair_engine,
+)
 from repro.graph.traversal import (
     BFSWorkspace,
     DijkstraWorkspace,
@@ -105,7 +110,10 @@ class _AvailabilityProbes:
     backend-agnostic.
     """
 
-    __slots__ = ("use_csr", "g", "h", "snap", "ws", "unit", "gv", "hv")
+    __slots__ = (
+        "use_csr", "g", "h", "snap", "ws", "unit", "gv", "hv",
+        "eng_g", "eng_h", "mw_g", "mw_h",
+    )
 
     def __init__(
         self,
@@ -113,6 +121,7 @@ class _AvailabilityProbes:
         h: Graph,
         use_csr: bool,
         snapshot: Optional[DualCSRSnapshot] = None,
+        search: Optional[str] = None,
     ) -> None:
         self.use_csr = use_csr
         self.g = g
@@ -125,11 +134,27 @@ class _AvailabilityProbes:
                     "snapshot does not freeze this (graph, spanner) pair"
                 )
             self.snap = snapshot
-            self.unit = self.snap.snap_g.unit and self.snap.snap_h.unit
+            s = validate_search(
+                search, snapshot.snap_g.profile, snapshot.snap_h.profile
+            )
+            # The hop-BFS fast path serves auto-resolved unit inputs; an
+            # explicit engine choice replaces it so every engine cell of
+            # the parity matrix genuinely runs its engine.
+            self.unit = (
+                s == "auto"
+                and self.snap.snap_g.unit
+                and self.snap.snap_h.unit
+            )
+            self.eng_g = weighted_pair_engine(s, snapshot.snap_g.profile)
+            self.eng_h = weighted_pair_engine(s, snapshot.snap_h.profile)
+            self.mw_g = snapshot.snap_g.max_weight
+            self.mw_h = snapshot.snap_h.max_weight
             n = len(self.snap.indexer)
             self.ws = BFSWorkspace(n) if self.unit else DijkstraWorkspace(n)
-        elif snapshot is not None:
-            raise ValueError("snapshot= requires the csr backend")
+        else:
+            if snapshot is not None:
+                raise ValueError("snapshot= requires the csr backend")
+            resolve_search(search)  # validate the name on the dict path
         self.gv = g
         self.hv = h
 
@@ -143,15 +168,19 @@ class _AvailabilityProbes:
 
     def graph_distance(self, u: Node, v: Node) -> float:
         if self.use_csr:
-            return self._probe(self.snap.csr_g, u, v)
+            return self._probe(
+                self.snap.csr_g, u, v, self.eng_g, self.mw_g
+            )
         return dijkstra(self.gv, u, target=v).get(v, INFINITY)
 
     def spanner_distance(self, u: Node, v: Node) -> float:
         if self.use_csr:
-            return self._probe(self.snap.csr_h, u, v)
+            return self._probe(
+                self.snap.csr_h, u, v, self.eng_h, self.mw_h
+            )
         return dijkstra(self.hv, u, target=v).get(v, INFINITY)
 
-    def _probe(self, csr, u: Node, v: Node) -> float:
+    def _probe(self, csr, u: Node, v: Node, engine: str, mw: int) -> float:
         index = self.snap.indexer.index
         iu, iv = index(u), index(v)
         if self.unit:
@@ -162,6 +191,7 @@ class _AvailabilityProbes:
             return INFINITY if path is None else float(len(path) - 1)
         return csr_weighted_distance(
             csr, iu, iv, workspace=self.ws, vertex_mask=self.snap.vmask,
+            search=engine, max_weight=mw,
         )
 
 
@@ -175,6 +205,7 @@ def availability_analysis(
     seed: Optional[int] = None,
     backend: Optional[str] = None,
     snapshot: Optional[DualCSRSnapshot] = None,
+    search: Optional[str] = None,
 ) -> AvailabilityReport:
     """Sample ``scenarios`` random sets of exactly ``failures`` nodes.
 
@@ -186,7 +217,8 @@ def availability_analysis(
     :class:`~repro.graph.snapshot.DualCSRSnapshot` of (g, spanner) --
     e.g. from :func:`degradation_profile` or a
     :class:`repro.session.SpannerSession` -- so the probes re-stamp it
-    instead of freezing their own.
+    instead of freezing their own, and ``search`` picks the weighted
+    probe engine (identical report on every legal engine).
     """
     if failures < 0:
         raise ValueError(f"failures must be >= 0, got {failures}")
@@ -198,7 +230,7 @@ def availability_analysis(
         raise ValueError("graph too small for that many failures")
     probes = _AvailabilityProbes(
         g, spanner, use_csr=resolve_backend(backend) == "csr",
-        snapshot=snapshot,
+        snapshot=snapshot, search=search,
     )
     stretches: List[float] = []
     connected = 0
@@ -248,6 +280,7 @@ def degradation_profile(
     seed: Optional[int] = None,
     backend: Optional[str] = None,
     snapshot: Optional[DualCSRSnapshot] = None,
+    search: Optional[str] = None,
 ) -> List[Tuple[int, AvailabilityReport]]:
     """Sweep simultaneous failures 0..max_failures.
 
@@ -277,6 +310,7 @@ def degradation_profile(
             seed=None if seed is None else seed + j,
             backend=backend,
             snapshot=snapshot,
+            search=search,
         )
         out.append((j, report))
     return out

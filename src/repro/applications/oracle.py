@@ -46,7 +46,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple, Union
 from repro.core.greedy_modified import fault_tolerant_spanner
 from repro.core.spanner import FaultModel, SpannerResult, resolve_backend
 from repro.graph.graph import Edge, Graph, Node, edge_key
-from repro.graph.snapshot import CSRSnapshot, ScenarioSweep
+from repro.graph.snapshot import CSRSnapshot, ScenarioSweep, resolve_search
 from repro.graph.traversal import dijkstra
 from repro.graph.views import EdgeFaultView, VertexFaultView
 
@@ -80,6 +80,13 @@ class FaultTolerantDistanceOracle:
         :class:`~repro.graph.snapshot.CSRSnapshot` of the spanner (e.g.
         from a :class:`repro.session.SpannerSession`); the oracle's
         sweep then re-stamps it instead of freezing its own.
+    search:
+        The CSR weighted engine (``'auto'``/``'heap'``/``'bucket'``/
+        ``'bidir'``; see :data:`repro.graph.snapshot.SEARCH_MODES`).
+        ``'auto'`` resolves from the spanner snapshot's weight profile
+        -- integral-weight spanners answer single-source runs with the
+        Dial bucket queue.  Answers are identical on every legal
+        engine; ignored by the dict backend.
 
     Examples
     --------
@@ -101,11 +108,13 @@ class FaultTolerantDistanceOracle:
         prebuilt: Optional[SpannerResult] = None,
         backend: Optional[str] = None,
         snapshot: Optional[CSRSnapshot] = None,
+        search: Optional[str] = None,
     ) -> None:
         self.k = k
         self.f = f
         self.fault_model = FaultModel.coerce(fault_model)
         self.backend = resolve_backend(backend)
+        self.search = resolve_search(search)
         if prebuilt is not None:
             if prebuilt.k != k or prebuilt.f < f:
                 raise ValueError(
@@ -130,7 +139,7 @@ class FaultTolerantDistanceOracle:
                 raise ValueError(
                     "snapshot does not freeze this oracle's spanner"
                 )
-            self._sweep = ScenarioSweep(snapshot)
+            self._sweep = ScenarioSweep(snapshot, search=self.search)
 
     # ------------------------------------------------------------- #
     # Queries
@@ -151,7 +160,10 @@ class FaultTolerantDistanceOracle:
         """Capacity of the (fault set, source) LRU.
 
         Assigning a smaller value evicts the oldest entries immediately,
-        so the cache never holds stale excess after a shrink.
+        so the cache never holds stale excess after a shrink.  Assigning
+        0 disables caching entirely (every entry is dropped at once and
+        no new ones are stored); growing it again later starts from an
+        empty cache.
         """
         return self._cache_size
 
@@ -160,6 +172,9 @@ class FaultTolerantDistanceOracle:
         if size < 0:
             raise ValueError(f"cache_size must be >= 0, got {size}")
         self._cache_size = size
+        if size == 0:
+            self._cache.clear()
+            return
         while len(self._cache) > size:
             self._cache.popitem(last=False)
 
@@ -296,12 +311,22 @@ class FaultTolerantDistanceOracle:
         """The shared snapshot sweep, re-stamped for ``fault_key``."""
         sweep = self._sweep
         if sweep is None:
-            sweep = self._sweep = ScenarioSweep(self.spanner)
+            sweep = self._sweep = ScenarioSweep(
+                self.spanner, search=self.search
+            )
         sweep.stamp(fault_key, self.fault_model.value)
         return sweep
 
     def _sssp(self, fault_key: FrozenSet, source: Node) -> Dict[Node, float]:
         self._check_alive(source, fault_key)
+        # A zero-capacity LRU is fully disabled: no lookup, no store --
+        # the run below is computed fresh and returned without touching
+        # the (empty) cache, so there is nothing stale to reuse and
+        # nothing to evict.
+        if self._cache_size == 0:
+            if self.backend == "csr":
+                return self._stamped_sweep(fault_key).distances_from(source)
+            return dijkstra(self._view(fault_key), source)
         cache_key = (fault_key, source)
         hit = self._cache.get(cache_key)
         if hit is not None:

@@ -43,7 +43,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple, Union
 from repro.core.greedy_modified import fault_tolerant_spanner
 from repro.core.spanner import FaultModel, SpannerResult, resolve_backend
 from repro.graph.graph import Edge, Graph, Node, edge_key
-from repro.graph.snapshot import CSRSnapshot, ScenarioSweep
+from repro.graph.snapshot import CSRSnapshot, ScenarioSweep, resolve_search
 from repro.graph.views import EdgeFaultView, VertexFaultView
 
 INFINITY = math.inf
@@ -63,7 +63,11 @@ class SpannerRouter:
     backend, ``snapshot`` may supply an already-frozen
     :class:`~repro.graph.snapshot.CSRSnapshot` of the spanner (e.g.
     from a :class:`repro.session.SpannerSession`) for the router's
-    sweep to re-stamp instead of freezing its own.
+    sweep to re-stamp instead of freezing its own, and ``search`` picks
+    the weighted engine for the destination-rooted trees (``'auto'``
+    resolves from the snapshot's weight profile: the Dial bucket queue
+    on integral-weight spanners; identical tables on every legal
+    engine).
 
     Examples
     --------
@@ -83,11 +87,13 @@ class SpannerRouter:
         prebuilt: Optional[SpannerResult] = None,
         backend: Optional[str] = None,
         snapshot: Optional[CSRSnapshot] = None,
+        search: Optional[str] = None,
     ) -> None:
         self.k = k
         self.f = f
         self.fault_model = FaultModel.coerce(fault_model)
         self.backend = resolve_backend(backend)
+        self.search = resolve_search(search)
         if prebuilt is not None:
             result = prebuilt
         else:
@@ -106,7 +112,7 @@ class SpannerRouter:
                 raise ValueError(
                     "snapshot does not freeze this router's spanner"
                 )
-            self._sweep = ScenarioSweep(snapshot)
+            self._sweep = ScenarioSweep(snapshot, search=self.search)
 
     # ------------------------------------------------------------- #
 
@@ -205,7 +211,9 @@ class SpannerRouter:
         """The shared snapshot sweep, re-stamped for ``fault_key``."""
         sweep = self._sweep
         if sweep is None:
-            sweep = self._sweep = ScenarioSweep(self.spanner)
+            sweep = self._sweep = ScenarioSweep(
+                self.spanner, search=self.search
+            )
         sweep.stamp(fault_key, self.fault_model.value)
         return sweep
 

@@ -40,6 +40,7 @@ from typing import List, Optional
 from repro.core import resolve_backend
 from repro.graph import generators
 from repro.graph import io as graph_io
+from repro.graph.snapshot import SEARCH_MODES, UnsupportedSearch
 from repro.graph.traversal import connected_components, hop_diameter
 from repro.registry import (
     UnsupportedOption,
@@ -86,6 +87,13 @@ def _build_parser() -> argparse.ArgumentParser:
                             "produce identical spanners (default: csr, or "
                             "the REPRO_BACKEND environment variable when "
                             "set).  Rejected for single-engine algorithms.")
+    build.add_argument("--search", choices=SEARCH_MODES, default=None,
+                       help="weighted search engine for the CSR sweeps "
+                            "(--verify): 'auto' picks per weight profile "
+                            "(BFS / bucket queue / bidirectional "
+                            "Dijkstra / heap); identical reports on "
+                            "every legal engine.  'bucket' and 'bidir' "
+                            "require integral edge weights.")
     build.add_argument("--seed", type=int, default=None,
                        help="random seed for --random generation and for "
                             "seeded constructions (default 0)")
@@ -107,6 +115,11 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="execution backend for the verification sweep "
                              "(default: csr, or REPRO_BACKEND when set); "
                              "the report is identical either way")
+    verify.add_argument("--search", choices=SEARCH_MODES, default=None,
+                        help="weighted search engine for the CSR sweep "
+                             "('bucket'/'bidir' need integral weights); "
+                             "the report is identical on every legal "
+                             "engine")
 
     oracle = sub.add_parser(
         "oracle",
@@ -135,6 +148,12 @@ def _build_parser() -> argparse.ArgumentParser:
                              "O(|F|) scenario re-stamp) or 'dict' (lazy "
                              "views); answers are identical (default: csr, "
                              "or REPRO_BACKEND when set)")
+    oracle.add_argument("--search", choices=SEARCH_MODES, default=None,
+                        help="weighted search engine for the CSR query "
+                             "sweep: 'auto' resolves from the spanner's "
+                             "weight profile (bucket queue on integral "
+                             "weights); answers are identical on every "
+                             "legal engine")
     oracle.add_argument("--seed", type=int, default=0,
                         help="seed for --random generation and for "
                              "scenario/pair sampling (default 0)")
@@ -210,10 +229,16 @@ def _cmd_build(args) -> int:
     g = _load_or_generate(args, seed=seed)
     session = SpannerSession(
         g, k=args.k, f=f, fault_model=fault_model,
-        backend=backend, seed=seed,
+        backend=backend, seed=seed, search=args.search,
     )
     start = time.perf_counter()
-    result = session.build(args.algorithm)
+    try:
+        result = session.build(args.algorithm)
+    except UnsupportedOption as exc:
+        # Graph-dependent capability errors (e.g. a weighted file fed
+        # to a unit-only construction) surface only once the input is
+        # loaded; keep them clean usage errors, not tracebacks.
+        raise SystemExit(f"ftspanner build: error: {exc}")
     elapsed = time.perf_counter() - start
     print(result.describe())
     print(f"input edges: {g.num_edges}   kept: "
@@ -221,7 +246,10 @@ def _cmd_build(args) -> int:
           f"({100.0 * result.compression_ratio(g):.1f}%)   "
           f"time: {elapsed:.3f}s")
     if args.verify:
-        report = session.verify(t=2 * args.k - 1)
+        try:
+            report = session.verify(t=2 * args.k - 1)
+        except UnsupportedSearch as exc:
+            raise SystemExit(f"ftspanner build: error: {exc}")
         kind = "exhaustive" if report.exhaustive else "sampled"
         print(f"verification ({kind}, {report.fault_sets_checked} fault sets): "
               f"{'OK' if report.ok else 'FAILED'}")
@@ -240,10 +268,13 @@ def _cmd_verify(args) -> int:
     backend = _resolve_backend_or_exit(args, "verify")
     session = SpannerSession(
         g, f=args.f, fault_model=args.fault_model,
-        backend=backend, seed=args.seed,
+        backend=backend, seed=args.seed, search=args.search,
     )
     session.adopt(h)
-    report = session.verify(t=args.t, samples=args.samples)
+    try:
+        report = session.verify(t=args.t, samples=args.samples)
+    except UnsupportedSearch as exc:
+        raise SystemExit(f"ftspanner verify: error: {exc}")
     kind = "exhaustive" if report.exhaustive else "sampled"
     print(f"checked {report.fault_sets_checked} fault sets ({kind})")
     if report.ok:
@@ -261,11 +292,14 @@ def _cmd_oracle(args) -> int:
     g = _load_or_generate(args, seed=args.seed)
     session = SpannerSession(
         g, k=args.k, f=args.f, fault_model=args.fault_model,
-        backend=backend, seed=args.seed,
+        backend=backend, seed=args.seed, search=args.search,
     )
     start = time.perf_counter()
     session.build("greedy")
-    oracle = session.oracle(cache_size=args.cache_size)
+    try:
+        oracle = session.oracle(cache_size=args.cache_size)
+    except UnsupportedSearch as exc:
+        raise SystemExit(f"ftspanner oracle: error: {exc}")
     build = time.perf_counter() - start
     print(f"oracle over {oracle.size} spanner edges "
           f"(stretch guarantee {oracle.stretch}, f={args.f}, "

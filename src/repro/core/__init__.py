@@ -30,7 +30,7 @@ from repro.core.greedy_modified import (
     modified_greedy_weighted,
 )
 from repro.core.greedy_exact import exponential_greedy_spanner
-from repro.core.incremental import IncrementalSpanner
+from repro.core.incremental import IncrementalSpanner, incremental_spanner
 from repro.core.blocking import (
     BlockingSet,
     blocking_set_from_certificates,
@@ -50,6 +50,7 @@ __all__ = [
     "modified_greedy_weighted",
     "exponential_greedy_spanner",
     "IncrementalSpanner",
+    "incremental_spanner",
     "BlockingSet",
     "blocking_set_from_certificates",
     "extract_high_girth_subgraph",

@@ -40,6 +40,46 @@ from repro.lbc.approx import (
     lbc_vertex,
     lbc_vertex_csr,
 )
+from repro.registry import register_algorithm
+
+
+@register_algorithm(
+    "incremental",
+    summary="Online Algorithm 3: the LBC-gated insertion stream, run "
+            "once over a static edge list",
+    guarantee="stretch 2k-1, O(k f^(1-1/k) n^(1+1/k)) edges, online "
+              "insertions; unit weights only",
+    weighted=False,
+    fault_models=("vertex", "edge"),
+    backend_aware=True,
+)
+def incremental_spanner(
+    g: Graph,
+    k: int,
+    f: int = 0,
+    fault_model: Union[FaultModel, str] = FaultModel.VERTEX,
+    backend: Optional[str] = None,
+) -> SpannerResult:
+    """One-shot registry form of :class:`IncrementalSpanner`.
+
+    Declares every node, then feeds the edges of ``g`` in iteration
+    order through the online LBC test -- exactly what a batch run of
+    Algorithm 3 with that arrival order produces, so the size bound and
+    fault-tolerance guarantee hold.  This is the registry's one
+    genuinely unit-only construction (Theorem 10's nondecreasing-weight
+    order cannot be honored online): the spec is tagged
+    ``weighted=False`` and :func:`repro.registry.build_spanner` rejects
+    weighted inputs with a typed error; calling this function directly
+    with a weighted graph raises ``ValueError`` from
+    :meth:`IncrementalSpanner.insert`.
+    """
+    inc = IncrementalSpanner(k=k, f=f, fault_model=fault_model,
+                             backend=backend)
+    for u in g.nodes():
+        inc.add_node(u)
+    for u, v, w in g.weighted_edges():
+        inc.insert(u, v, weight=w)
+    return inc.as_result()
 
 
 class IncrementalSpanner:

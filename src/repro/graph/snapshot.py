@@ -20,7 +20,12 @@ substrate:
   object-level queries (``distances_from`` / ``distance`` / ``path`` /
   ``parents_toward``) that match the dict backend's answers exactly.
   Unit-weighted snapshots answer distance queries with the (much
-  faster) hop-bounded BFS primitives; weighted ones with CSR Dijkstra.
+  faster) hop-bounded BFS primitives; weighted ones with the CSR
+  Dijkstra engine the ``search=`` keyword resolves to -- binary heap,
+  Dial bucket queue, or bidirectional Dijkstra, selected per snapshot
+  from the weight profile detected at freeze time (see
+  :data:`SEARCH_MODES` and docs/architecture.md, "Weighted search
+  engines").
 * :class:`DualCSRSnapshot` -- G and H snapshotted over one *shared*
   index space (so a vertex mask stamped with G-side indices is directly
   valid against H), the base of the verification sweeps and of the
@@ -55,9 +60,115 @@ from repro.graph.traversal import (
     csr_dijkstra,
     csr_dijkstra_parents,
     csr_weighted_distance,
+    weight_profile,
 )
 
 INFINITY = math.inf
+
+#: The weighted search engines a snapshot query may request.  ``"auto"``
+#: resolves per query from the snapshot's weight profile (detected once
+#: at freeze time): unit snapshots answer distances with hop-BFS,
+#: integral ones with the Dial bucket queue (single-source) and
+#: bidirectional Dijkstra (point-to-point), float ones with the binary
+#: heap.  Every engine is bit-identical to the dict backend wherever it
+#: is legal, so the choice is pure execution policy.
+SEARCH_MODES = ("auto", "heap", "bucket", "bidir")
+
+
+class UnsupportedSearch(ValueError):
+    """Raised when a requested search engine cannot run on a snapshot.
+
+    The bucket and bidirectional engines are exact only for positive
+    integer weights (path sums are association-independent there);
+    forcing them onto a float-weighted snapshot would break the
+    dict/CSR parity guarantee, so it is a typed error instead.
+    """
+
+
+def resolve_search(search: Optional[str]) -> str:
+    """Validate a ``search=`` argument; ``None`` means ``"auto"``."""
+    if search is None:
+        return "auto"
+    if search not in SEARCH_MODES:
+        raise UnsupportedSearch(
+            f"unknown search engine {search!r}; expected one of "
+            f"{SEARCH_MODES}"
+        )
+    return search
+
+
+def validate_search(search: Optional[str], *profiles: str) -> str:
+    """Resolve ``search`` and check it against snapshot weight profiles.
+
+    ``profiles`` are the ``CSRSnapshot.profile`` strings of every
+    snapshot the caller will probe with this engine choice; the
+    integral-only engines are rejected when any of them is ``"float"``.
+    """
+    s = resolve_search(search)
+    if s in ("bucket", "bidir") and "float" in profiles:
+        raise UnsupportedSearch(
+            f"search={s!r} requires positive integer edge weights "
+            f"(path sums must be exact to preserve dict/CSR parity); "
+            f"this snapshot's weight profile is 'float'.  Use "
+            f"search='heap' or 'auto'."
+        )
+    return s
+
+
+def sssp_engine(search: str, profile: str) -> str:
+    """The single-source engine for one resolved search mode.
+
+    Returns ``"bfs"`` (unit fast path), ``"heap"`` or ``"bucket"``.
+    ``"bidir"`` is a point-to-point engine, so single-source queries
+    under it take the bucket engine (legal whenever bidir is).
+    """
+    if search == "heap":
+        return "heap"
+    if search in ("bucket", "bidir"):
+        return "bucket"
+    if profile == "unit":
+        return "bfs"
+    return "bucket" if profile == "int" else "heap"
+
+
+def pair_engine(search: str, profile: str) -> str:
+    """The point-to-point engine for one resolved search mode.
+
+    Returns ``"bfs"``, ``"heap"``, ``"bucket"`` or ``"bidir"``.
+    """
+    if search != "auto":
+        return search
+    if profile == "unit":
+        return "bfs"
+    return "bidir" if profile == "int" else "heap"
+
+
+def weighted_pair_engine(search: str, profile: str) -> str:
+    """:func:`pair_engine` for sweeps that always probe with weights.
+
+    The verification / stretch / availability sweeps never take the
+    hop-BFS fast path per side (e.g. a unit spanner of a weighted graph
+    still needs a weighted probe), so a side that :func:`pair_engine`
+    would answer with BFS probes with bidirectional Dijkstra instead --
+    legal wherever BFS would have been, since unit weights are integral.
+    """
+    engine = pair_engine(search, profile)
+    return "bidir" if engine == "bfs" else engine
+
+
+def path_engine(search: str, profile: str) -> str:
+    """The path-reconstruction engine (``"heap"`` or ``"bucket"``).
+
+    Paths need the dict backend's tie-breaking, which the heap and
+    bucket engines reproduce (bidir does not reconstruct paths; unit
+    snapshots also use a weighted engine here, exactly like the dict
+    backend's path queries).
+    """
+    if search == "heap":
+        return "heap"
+    if search in ("bucket", "bidir"):
+        return "bucket"
+    return "heap" if profile == "float" else "bucket"
 
 #: Process-wide count of CSR freezes (one per :class:`CSRSnapshot`
 #: construction; a :class:`DualCSRSnapshot` built from scratch counts
@@ -125,9 +236,17 @@ class CSRSnapshot:
         Whether every edge weight is exactly 1.0 -- enables the BFS fast
         path for distance queries (hop distance equals weighted
         distance, and small integer floats are exact).
+    profile:
+        The freeze-time weight profile driving ``search="auto"`` engine
+        selection: ``"unit"``, ``"int"`` (positive integers within the
+        bucket engine's range) or ``"float"`` (see
+        :func:`repro.graph.traversal.weight_profile`).
+    max_weight:
+        The largest edge weight as an ``int`` for the first two
+        profiles (the Dial bucket count); 0 for ``"float"``.
     """
 
-    __slots__ = ("g", "csr", "indexer", "unit")
+    __slots__ = ("g", "csr", "indexer", "unit", "profile", "max_weight")
 
     def __init__(self, g: Graph, indexer: Optional[NodeIndexer] = None) -> None:
         global _freezes
@@ -135,12 +254,13 @@ class CSRSnapshot:
         self.g = g
         self.csr = CSRGraph.from_graph(g, indexer=indexer)
         self.indexer = self.csr.indexer
-        self.unit = g.is_unit_weighted()
+        self.profile, self.max_weight = weight_profile(self.csr.weights)
+        self.unit = self.profile == "unit"
 
     def __repr__(self) -> str:
         return (
             f"CSRSnapshot(n={self.csr.num_nodes}, m={self.csr.num_edges}, "
-            f"unit={self.unit})"
+            f"profile={self.profile!r})"
         )
 
 
@@ -159,18 +279,30 @@ class ScenarioSweep:
     ``KeyError`` (as ``dijkstra`` does on a view that lacks the node),
     while an unknown or faulted *target* is merely unreachable.
 
+    ``search`` picks the weighted engine (one of :data:`SEARCH_MODES`);
+    the default ``"auto"`` resolves per query from the snapshot's
+    freeze-time weight profile.  Every legal engine answers
+    bit-identically, so this is pure execution policy; the integral-only
+    engines raise :class:`UnsupportedSearch` on float-weighted
+    snapshots.
+
     Not thread-safe; use one sweep per thread.
     """
 
     __slots__ = (
-        "snap", "vmask", "emask", "_nodes",
+        "snap", "vmask", "emask", "search", "_nodes",
         "_bfs_ws", "_dij_ws", "_use_vmask", "_use_emask",
     )
 
-    def __init__(self, snapshot: Union[CSRSnapshot, Graph]) -> None:
+    def __init__(
+        self,
+        snapshot: Union[CSRSnapshot, Graph],
+        search: Optional[str] = None,
+    ) -> None:
         if not isinstance(snapshot, CSRSnapshot):
             snapshot = CSRSnapshot(snapshot)
         self.snap = snapshot
+        self.search = validate_search(search, snapshot.profile)
         self.vmask = FaultMask(snapshot.csr.num_nodes)
         self.emask = FaultMask(snapshot.csr.num_edges)
         self._nodes: List[Node] = list(snapshot.indexer)
@@ -242,12 +374,14 @@ class ScenarioSweep:
 
         The CSR twin of ``dijkstra(view, source)``: reachable surviving
         nodes map to their distance, everything else is absent.  Unit
-        snapshots run hop-BFS (identical values -- unit distances are
-        exact small-integer floats).
+        snapshots run hop-BFS under ``search="auto"`` (identical values
+        -- unit distances are exact small-integer floats); otherwise the
+        resolved weighted engine (heap or bucket) runs.
         """
         iu = self._source_index(source)
         nodes = self._nodes
-        if self.snap.unit:
+        engine = sssp_engine(self.search, self.snap.profile)
+        if engine == "bfs":
             raw = csr_bfs_distances(
                 self.snap.csr, iu, workspace=self._bfs(),
                 vertex_mask=self._vmask(), edge_mask=self._emask(),
@@ -256,6 +390,7 @@ class ScenarioSweep:
         raw = csr_dijkstra(
             self.snap.csr, iu, workspace=self._dij(),
             vertex_mask=self._vmask(), edge_mask=self._emask(),
+            search=engine, max_weight=self.snap.max_weight,
         )
         return {nodes[i]: d for i, d in raw.items()}
 
@@ -271,7 +406,8 @@ class ScenarioSweep:
             return INFINITY  # target not in the surviving view
         if iu == iv:
             return 0.0
-        if self.snap.unit:
+        engine = pair_engine(self.search, self.snap.profile)
+        if engine == "bfs":
             path = csr_bounded_bfs_path(
                 self.snap.csr, iu, iv, self.snap.csr.num_nodes,
                 workspace=self._bfs(),
@@ -281,6 +417,7 @@ class ScenarioSweep:
         return csr_weighted_distance(
             self.snap.csr, iu, iv, workspace=self._dij(),
             vertex_mask=self._vmask(), edge_mask=self._emask(),
+            search=engine, max_weight=self.snap.max_weight,
         )
 
     def path(self, u: Node, v: Node) -> Optional[List[Node]]:
@@ -299,6 +436,8 @@ class ScenarioSweep:
         path = csr_bounded_dijkstra_path(
             self.snap.csr, iu, iv, workspace=self._dij(),
             vertex_mask=self._vmask(), edge_mask=self._emask(),
+            search=path_engine(self.search, self.snap.profile),
+            max_weight=self.snap.max_weight,
         )
         if path is None:
             return None
@@ -317,7 +456,8 @@ class ScenarioSweep:
         """
         iroot = self._source_index(root, role="root")
         nodes = self._nodes
-        if self.snap.unit:
+        engine = sssp_engine(self.search, self.snap.profile)
+        if engine == "bfs":
             raw = csr_bfs_parents(
                 self.snap.csr, iroot, workspace=self._bfs(),
                 vertex_mask=self._vmask(), edge_mask=self._emask(),
@@ -326,6 +466,7 @@ class ScenarioSweep:
             raw = csr_dijkstra_parents(
                 self.snap.csr, iroot, workspace=self._dij(),
                 vertex_mask=self._vmask(), edge_mask=self._emask(),
+                search=engine, max_weight=self.snap.max_weight,
             )
         return {nodes[i]: nodes[p] for i, p in raw.items()}
 

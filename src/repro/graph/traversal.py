@@ -32,6 +32,32 @@ Both backends visit neighbors in identical order (CSR rows preserve dict
 insertion order) and break distance ties identically (heap entries carry
 an insertion counter), so they return the *same* paths, not just paths of
 the same length.
+
+Weighted search engines
+-----------------------
+The CSR Dijkstra primitives run on one of three interchangeable engines
+(``search=`` keyword, default ``"heap"``):
+
+* ``"heap"`` -- the binary-heap relaxation above: works for any
+  non-negative weights, O((n + m) log n).
+* ``"bucket"`` -- a Dial bucket queue for graphs whose weights are all
+  positive integers at most :data:`BUCKET_MAX_WEIGHT`: O(m + D) with D
+  the largest finite distance, no heap at all.  Settling order is
+  *identical* to the heap engine (buckets are scanned in push order,
+  which is exactly how the heap breaks equal-distance ties via its
+  insertion counter), and the predecessor rule is the same strict
+  improvement -- so distances, parents, and reconstructed paths are
+  bit-identical, not merely equivalent.
+* ``"bidir"`` -- bidirectional Dijkstra for point-to-point *distance*
+  probes only (:func:`csr_weighted_distance`): two half searches that
+  meet in the middle, typically touching far fewer nodes than a full
+  forward sweep.  Restricted to integral weights, where every path sum
+  is exact regardless of association order, so the returned distance is
+  bit-identical to the unidirectional engines.
+
+Engine *selection* (the ``"auto"`` policy keyed on a snapshot's weight
+profile) lives in :mod:`repro.graph.snapshot`; this module only executes
+whichever engine the caller resolved.
 """
 
 from __future__ import annotations
@@ -40,7 +66,7 @@ import heapq
 import math
 from array import array
 from collections import deque
-from typing import Dict, List, Optional, Set, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
 
 from repro.graph.csr import CSRLike, FaultMask
 from repro.graph.graph import Graph, Node
@@ -52,6 +78,43 @@ from repro.graph.views import GraphView
 GraphLike = Union[Graph, GraphView]
 
 INFINITY = math.inf
+
+#: Largest edge weight the Dial bucket-queue engine accepts.  The
+#: circular queue holds ``max_weight + 1`` buckets and every empty
+#: bucket between two occupied distances costs one scan step, so very
+#: large integer weights would erase the engine's win; snapshots whose
+#: weights exceed this bound are profiled as ``"float"`` and stay on the
+#: binary heap.
+BUCKET_MAX_WEIGHT = 255
+
+
+def weight_profile(weights: Iterable[float]) -> Tuple[str, int]:
+    """Classify an edge-weight collection for engine selection.
+
+    Returns ``(profile, max_weight)`` where ``profile`` is
+
+    * ``"unit"`` -- every weight is exactly 1.0 (BFS answers distance
+      queries; any weighted engine is also exact);
+    * ``"int"`` -- every weight is a positive integer at most
+      :data:`BUCKET_MAX_WEIGHT` (the bucket and bidirectional engines
+      are exact: integer path sums cannot depend on association order);
+    * ``"float"`` -- anything else (only the heap engine reproduces the
+      dict backend bit for bit).
+
+    ``max_weight`` is the largest weight as an ``int`` for the first two
+    profiles (1 for ``"unit"``) and 0 for ``"float"``.
+    """
+    unit = True
+    max_w = 1
+    for w in weights:
+        if w == 1.0:
+            continue
+        unit = False
+        if w < 1.0 or w > BUCKET_MAX_WEIGHT or w != int(w):
+            return "float", 0
+        if w > max_w:
+            max_w = int(w)
+    return ("unit", 1) if unit else ("int", max_w)
 
 
 def bfs_distances(
@@ -615,7 +678,8 @@ class DijkstraWorkspace:
 
     __slots__ = (
         "dist", "pred", "pred_eid", "label", "settled", "gen",
-        "vertex_mask", "edge_mask",
+        "vertex_mask", "edge_mask", "dist_b", "label_b", "settled_b",
+        "buckets",
     )
 
     def __init__(self, num_nodes: int = 0, num_edges: int = 0) -> None:
@@ -627,6 +691,14 @@ class DijkstraWorkspace:
         self.gen = 1
         self.vertex_mask = FaultMask(num_nodes)
         self.edge_mask = FaultMask(num_edges)
+        # Backward-side twins for the bidirectional engine (same
+        # generation counter; tiny next to the adjacency itself).
+        self.dist_b = array("d", bytes(8 * num_nodes))
+        self.label_b = bytearray(num_nodes)
+        self.settled_b = bytearray(num_nodes)
+        # Circular Dial buckets, grown on first bucket-engine call and
+        # left empty between calls (every engine exit clears them).
+        self.buckets: List[List[int]] = []
 
     def ensure(self, num_nodes: int, num_edges: int = 0) -> None:
         """Grow every buffer to cover the given node/edge counts."""
@@ -637,8 +709,18 @@ class DijkstraWorkspace:
             self.pred_eid.extend([0] * short)
             self.label.extend(bytes(short))
             self.settled.extend(bytes(short))
+            self.dist_b.extend(array("d", bytes(8 * short)))
+            self.label_b.extend(bytes(short))
+            self.settled_b.extend(bytes(short))
             self.vertex_mask.ensure(num_nodes)
         self.edge_mask.ensure(num_edges)
+
+    def ensure_buckets(self, count: int) -> List[List[int]]:
+        """The (empty) circular Dial buckets, grown to ``count`` slots."""
+        buckets = self.buckets
+        while len(buckets) < count:
+            buckets.append([])
+        return buckets
 
     def next_generation(self) -> int:
         """Advance and return the stamp generation (O(1) amortized)."""
@@ -646,6 +728,8 @@ class DijkstraWorkspace:
         if self.gen == 256:
             self.label[:] = bytes(len(self.label))
             self.settled[:] = bytes(len(self.settled))
+            self.label_b[:] = bytes(len(self.label_b))
+            self.settled_b[:] = bytes(len(self.settled_b))
             self.gen = 1
         return self.gen
 
@@ -836,6 +920,390 @@ def _csr_probe(
     return INFINITY
 
 
+# --------------------------------------------------------------------- #
+# CSR backend: Dial bucket-queue and bidirectional Dijkstra engines
+# --------------------------------------------------------------------- #
+
+
+def _bucket_max_weight(csr: CSRLike, max_weight: Optional[int]) -> int:
+    """Resolve the bucket engine's weight bound, validating when unknown.
+
+    Snapshot-level callers pass the ``max_weight`` they cached at freeze
+    time (O(1) here); direct callers may pass ``None`` and pay one O(m)
+    scan that also rejects non-integral weights with a clear error.
+    """
+    if max_weight is not None:
+        return max_weight
+    best = 1
+    for row in csr.weight_rows:
+        for w in row:
+            if w < 1.0 or w > BUCKET_MAX_WEIGHT or w != int(w):
+                raise ValueError(
+                    f"search='bucket' requires positive integer edge "
+                    f"weights <= {BUCKET_MAX_WEIGHT}, found {w!r}"
+                )
+            if w > best:
+                best = int(w)
+    return best
+
+
+def _csr_dijkstra_bucket(
+    csr: CSRLike,
+    source: int,
+    target: Optional[int],
+    max_dist: float,
+    ws: DijkstraWorkspace,
+    vertex_mask: Optional[FaultMask],
+    edge_mask: Optional[FaultMask],
+    max_weight: int,
+    need_edge_ids: bool = False,
+) -> List[int]:
+    """Dial bucket-queue twin of :func:`_csr_dijkstra`.
+
+    Valid only for positive integer weights ``<= max_weight`` (gated by
+    the caller via the snapshot weight profile).  A circular array of
+    ``max_weight + 1`` buckets replaces the heap: all queued tentative
+    distances lie in ``[d, d + max_weight]`` while distance ``d`` is
+    being processed, so ``int(nd) % (max_weight + 1)`` is collision-free.
+
+    Parity with the heap engine is structural, not approximate:
+
+    * A bucket is scanned in append order, and appends happen exactly
+      when the heap engine would push -- so equal-distance nodes settle
+      in push order, which is precisely the heap's insertion-counter
+      tie-break.  The returned settled list is identical element for
+      element.
+    * Predecessors update under the same strict-improvement rule, so
+      ``ws.pred`` / ``ws.pred_eid`` (and every path reconstructed from
+      them) match the heap engine and therefore the dict backend.
+    * Integer distance sums are exact floats, so ``ws.dist`` is
+      bit-identical as well.
+
+    The buckets live in the workspace and are left empty on every exit
+    (including early exit on the target).
+    """
+    ws.ensure(csr.num_nodes, csr.num_edges)
+    gen = ws.next_generation()
+    dist = ws.dist
+    label = ws.label
+    settled = ws.settled
+    rows = csr.neighbors
+    wrows = csr.weight_rows
+    if vertex_mask is not None:
+        for b in vertex_mask.members:
+            settled[b] = gen
+    slots = max_weight + 1
+    buckets = ws.ensure_buckets(slots)
+    dist[source] = 0.0
+    label[source] = gen
+    pred = ws.pred
+    pred[source] = -1
+    buckets[0].append(source)
+    pending = 1
+    reached: List[int] = []
+    estamp = egen = None
+    if edge_mask is not None:
+        estamp, egen = edge_mask.stamp, edge_mask.gen
+    use_eids = edge_mask is not None or need_edge_ids
+    if use_eids:
+        eid_rows = csr.edge_id_rows
+        pred_eid = ws.pred_eid
+        pred_eid[source] = -1
+    slot = 0
+    try:
+        while pending:
+            bucket = buckets[slot]
+            if bucket:
+                # Relaxed edges carry weight >= 1, so nothing is ever
+                # appended to the bucket being scanned; plain iteration
+                # is safe and preserves push order.
+                for u in bucket:
+                    pending -= 1
+                    if settled[u] == gen:
+                        continue  # stale entry (or pre-stamped fault)
+                    settled[u] = gen
+                    reached.append(u)
+                    if u == target:
+                        return reached
+                    d = dist[u]
+                    if use_eids:
+                        erow = eid_rows[u]
+                        row = rows[u]
+                        wrow = wrows[u]
+                        for j in range(len(row)):
+                            v = row[j]
+                            if settled[v] == gen:
+                                continue
+                            e = erow[j]
+                            if estamp is not None and estamp[e] == egen:
+                                continue
+                            nd = d + wrow[j]
+                            if nd > max_dist:
+                                continue
+                            if label[v] != gen or nd < dist[v]:
+                                label[v] = gen
+                                dist[v] = nd
+                                pred[v] = u
+                                pred_eid[v] = e
+                                buckets[int(nd) % slots].append(v)
+                                pending += 1
+                    else:
+                        for v, w in zip(rows[u], wrows[u]):
+                            if settled[v] == gen:
+                                continue
+                            nd = d + w
+                            if nd > max_dist:
+                                continue
+                            if label[v] != gen or nd < dist[v]:
+                                label[v] = gen
+                                dist[v] = nd
+                                pred[v] = u
+                                buckets[int(nd) % slots].append(v)
+                                pending += 1
+                del bucket[:]
+            slot += 1
+            if slot == slots:
+                slot = 0
+    finally:
+        # An early exit (target hit) leaves queued and already-consumed
+        # entries behind; clear every slot so the workspace's buckets
+        # start empty next call.  O(slots) of empty-list checks.
+        for bucket in buckets:
+            if bucket:
+                del bucket[:]
+    return reached
+
+
+def _csr_probe_bucket(
+    csr: CSRLike,
+    source: int,
+    target: int,
+    max_dist: float,
+    ws: DijkstraWorkspace,
+    vertex_mask: Optional[FaultMask],
+    edge_mask: Optional[FaultMask],
+    max_weight: int,
+) -> float:
+    """Bucket-queue twin of :func:`_csr_probe`: the s-t distance or inf.
+
+    Identical distances to every other engine (integer sums are exact);
+    no settled list, no predecessor stores.
+    """
+    ws.ensure(csr.num_nodes, csr.num_edges)
+    gen = ws.next_generation()
+    dist = ws.dist
+    label = ws.label
+    settled = ws.settled
+    rows = csr.neighbors
+    wrows = csr.weight_rows
+    if vertex_mask is not None:
+        for b in vertex_mask.members:
+            settled[b] = gen
+    slots = max_weight + 1
+    buckets = ws.ensure_buckets(slots)
+    dist[source] = 0.0
+    label[source] = gen
+    buckets[0].append(source)
+    pending = 1
+    estamp = egen = None
+    if edge_mask is not None:
+        estamp, egen = edge_mask.stamp, edge_mask.gen
+        eid_rows = csr.edge_id_rows
+    slot = 0
+    try:
+        while pending:
+            bucket = buckets[slot]
+            if bucket:
+                for u in bucket:
+                    pending -= 1
+                    if settled[u] == gen:
+                        continue  # stale entry (or pre-stamped fault)
+                    if u == target:
+                        return dist[u]
+                    settled[u] = gen
+                    d = dist[u]
+                    if estamp is not None:
+                        erow = eid_rows[u]
+                        row = rows[u]
+                        wrow = wrows[u]
+                        for j in range(len(row)):
+                            v = row[j]
+                            if settled[v] == gen or estamp[erow[j]] == egen:
+                                continue
+                            nd = d + wrow[j]
+                            if nd > max_dist:
+                                continue
+                            if label[v] != gen or nd < dist[v]:
+                                label[v] = gen
+                                dist[v] = nd
+                                buckets[int(nd) % slots].append(v)
+                                pending += 1
+                    else:
+                        for v, w in zip(rows[u], wrows[u]):
+                            if settled[v] == gen:
+                                continue
+                            nd = d + w
+                            if nd > max_dist:
+                                continue
+                            if label[v] != gen or nd < dist[v]:
+                                label[v] = gen
+                                dist[v] = nd
+                                buckets[int(nd) % slots].append(v)
+                                pending += 1
+                del bucket[:]
+            slot += 1
+            if slot == slots:
+                slot = 0
+    finally:
+        for bucket in buckets:
+            if bucket:
+                del bucket[:]
+    return INFINITY
+
+
+def _csr_probe_bidir(
+    csr: CSRLike,
+    source: int,
+    target: int,
+    max_dist: float,
+    ws: DijkstraWorkspace,
+    vertex_mask: Optional[FaultMask],
+    edge_mask: Optional[FaultMask],
+) -> float:
+    """Bidirectional Dijkstra s-t distance probe, or ``inf``.
+
+    Two heap searches -- forward from ``source``, backward from
+    ``target`` over the same (undirected) adjacency -- each expanding
+    the side with the smaller frontier distance.  A meeting candidate
+    ``best`` is refreshed on every relaxation *and* every settle that
+    touches a node labeled by the opposite side; the search stops as
+    soon as ``top_f + top_b >= best``, which typically happens after
+    each side has explored a small ball around its endpoint.
+
+    Exactness: restricted (by the snapshot weight profile) to integral
+    weights, where every path sum is exact no matter how it is
+    associated -- so the returned distance is bit-identical to the
+    unidirectional engines and the dict backend.  Both sides prune
+    relaxations past ``max_dist``; any s-t distance within the budget
+    survives pruning on each side separately, and the probe returns
+    ``inf`` for anything beyond it (the same contract as
+    :func:`_csr_probe`).
+    """
+    ws.ensure(csr.num_nodes, csr.num_edges)
+    gen = ws.next_generation()
+    dist_f, label_f, settled_f = ws.dist, ws.label, ws.settled
+    dist_b, label_b, settled_b = ws.dist_b, ws.label_b, ws.settled_b
+    rows = csr.neighbors
+    wrows = csr.weight_rows
+    if vertex_mask is not None:
+        for b in vertex_mask.members:
+            settled_f[b] = gen
+            settled_b[b] = gen
+    dist_f[source] = 0.0
+    label_f[source] = gen
+    dist_b[target] = 0.0
+    label_b[target] = gen
+    heap_f: List[Tuple[float, int]] = [(0.0, source)]
+    heap_b: List[Tuple[float, int]] = [(0.0, target)]
+    best = INFINITY
+    push = heapq.heappush
+    pop = heapq.heappop
+    estamp = egen = None
+    if edge_mask is not None:
+        estamp, egen = edge_mask.stamp, edge_mask.gen
+        eid_rows = csr.edge_id_rows
+    while heap_f and heap_b:
+        if heap_f[0][0] + heap_b[0][0] >= best:
+            break
+        if heap_f[0][0] <= heap_b[0][0]:
+            d, u = pop(heap_f)
+            if settled_f[u] == gen:
+                continue  # stale entry (or pre-stamped fault)
+            settled_f[u] = gen
+            if label_b[u] == gen:
+                cand = d + dist_b[u]
+                if cand < best:
+                    best = cand
+            if estamp is not None:
+                erow = eid_rows[u]
+                row = rows[u]
+                wrow = wrows[u]
+                for j in range(len(row)):
+                    v = row[j]
+                    if settled_f[v] == gen or estamp[erow[j]] == egen:
+                        continue
+                    nd = d + wrow[j]
+                    if nd > max_dist:
+                        continue
+                    if label_b[v] == gen:
+                        cand = nd + dist_b[v]
+                        if cand < best:
+                            best = cand
+                    if label_f[v] != gen or nd < dist_f[v]:
+                        label_f[v] = gen
+                        dist_f[v] = nd
+                        push(heap_f, (nd, v))
+            else:
+                for v, w in zip(rows[u], wrows[u]):
+                    if settled_f[v] == gen:
+                        continue
+                    nd = d + w
+                    if nd > max_dist:
+                        continue
+                    if label_b[v] == gen:
+                        cand = nd + dist_b[v]
+                        if cand < best:
+                            best = cand
+                    if label_f[v] != gen or nd < dist_f[v]:
+                        label_f[v] = gen
+                        dist_f[v] = nd
+                        push(heap_f, (nd, v))
+        else:
+            d, u = pop(heap_b)
+            if settled_b[u] == gen:
+                continue  # stale entry (or pre-stamped fault)
+            settled_b[u] = gen
+            if label_f[u] == gen:
+                cand = d + dist_f[u]
+                if cand < best:
+                    best = cand
+            if estamp is not None:
+                erow = eid_rows[u]
+                row = rows[u]
+                wrow = wrows[u]
+                for j in range(len(row)):
+                    v = row[j]
+                    if settled_b[v] == gen or estamp[erow[j]] == egen:
+                        continue
+                    nd = d + wrow[j]
+                    if nd > max_dist:
+                        continue
+                    if label_f[v] == gen:
+                        cand = nd + dist_f[v]
+                        if cand < best:
+                            best = cand
+                    if label_b[v] != gen or nd < dist_b[v]:
+                        label_b[v] = gen
+                        dist_b[v] = nd
+                        push(heap_b, (nd, v))
+            else:
+                for v, w in zip(rows[u], wrows[u]):
+                    if settled_b[v] == gen:
+                        continue
+                    nd = d + w
+                    if nd > max_dist:
+                        continue
+                    if label_f[v] == gen:
+                        cand = nd + dist_f[v]
+                        if cand < best:
+                            best = cand
+                    if label_b[v] != gen or nd < dist_b[v]:
+                        label_b[v] = gen
+                        dist_b[v] = nd
+                        push(heap_b, (nd, v))
+    return best if best <= max_dist else INFINITY
+
+
 def csr_dijkstra(
     csr: CSRLike,
     source: int,
@@ -844,6 +1312,8 @@ def csr_dijkstra(
     workspace: Optional[DijkstraWorkspace] = None,
     vertex_mask: Optional[FaultMask] = None,
     edge_mask: Optional[FaultMask] = None,
+    search: str = "heap",
+    max_weight: Optional[int] = None,
 ) -> Dict[int, float]:
     """Weighted distances from node index ``source``: CSR twin of
     :func:`dijkstra`.
@@ -851,14 +1321,27 @@ def csr_dijkstra(
     Returns ``{node_index: distance}`` for every node settled before the
     search stopped (target reached, budget exceeded, or graph
     exhausted); missing entries mean unreachable/pruned, exactly like
-    the dict variant.
+    the dict variant.  ``search`` picks the execution engine (``"heap"``
+    or ``"bucket"``; both return bit-identical results where the bucket
+    engine is legal) and ``max_weight`` optionally supplies the bucket
+    engine's cached weight bound (see the module docstring).
     """
     _csr_check_terminal(csr, source, vertex_mask, "source")
     ws = workspace if workspace is not None else DijkstraWorkspace()
     budget = INFINITY if max_dist is None else max_dist
-    reached = _csr_dijkstra(
-        csr, source, target, budget, ws, vertex_mask, edge_mask
-    )
+    if search == "heap":
+        reached = _csr_dijkstra(
+            csr, source, target, budget, ws, vertex_mask, edge_mask
+        )
+    elif search == "bucket":
+        reached = _csr_dijkstra_bucket(
+            csr, source, target, budget, ws, vertex_mask, edge_mask,
+            _bucket_max_weight(csr, max_weight),
+        )
+    else:
+        raise ValueError(
+            f"csr_dijkstra runs on search='heap' or 'bucket', got {search!r}"
+        )
     dist = ws.dist
     # O(settled), not O(n): a truncated query pays only for what it
     # touched.
@@ -871,6 +1354,8 @@ def csr_dijkstra_parents(
     workspace: Optional[DijkstraWorkspace] = None,
     vertex_mask: Optional[FaultMask] = None,
     edge_mask: Optional[FaultMask] = None,
+    search: str = "heap",
+    max_weight: Optional[int] = None,
 ) -> Dict[int, int]:
     """Shortest-path-tree parent pointers from ``source``.
 
@@ -878,14 +1363,25 @@ def csr_dijkstra_parents(
     (unmasked) node other than the source -- the weighted twin of
     :func:`csr_bfs_parents` and the CSR twin of the routing layer's
     destination-rooted dict Dijkstra: predecessors update only on a
-    *strict* improvement and heap ties break by push order, so the tree
-    matches the dict backend's node for node.
+    *strict* improvement and ties break by push order (on either
+    engine), so the tree matches the dict backend's node for node.
     """
     _csr_check_terminal(csr, source, vertex_mask, "source")
     ws = workspace if workspace is not None else DijkstraWorkspace()
-    reached = _csr_dijkstra(
-        csr, source, None, INFINITY, ws, vertex_mask, edge_mask
-    )
+    if search == "heap":
+        reached = _csr_dijkstra(
+            csr, source, None, INFINITY, ws, vertex_mask, edge_mask
+        )
+    elif search == "bucket":
+        reached = _csr_dijkstra_bucket(
+            csr, source, None, INFINITY, ws, vertex_mask, edge_mask,
+            _bucket_max_weight(csr, max_weight),
+        )
+    else:
+        raise ValueError(
+            f"csr_dijkstra_parents runs on search='heap' or 'bucket', "
+            f"got {search!r}"
+        )
     pred = ws.pred
     return {i: pred[i] for i in reached if i != source}
 
@@ -898,12 +1394,16 @@ def csr_weighted_distance(
     workspace: Optional[DijkstraWorkspace] = None,
     vertex_mask: Optional[FaultMask] = None,
     edge_mask: Optional[FaultMask] = None,
+    search: str = "heap",
+    max_weight: Optional[int] = None,
 ) -> float:
     """Weighted s-t distance, or ``inf`` if unreachable within ``max_dist``.
 
     The allocation-free primitive the verification sweeps loop on: no
     result dict, no path list -- just the scalar distance (early exit on
-    the target, pruning past the budget).
+    the target, pruning past the budget).  ``search`` picks the engine:
+    ``"heap"`` (any weights), ``"bucket"`` or ``"bidir"`` (integral
+    weights; identical distances, see the module docstring).
     """
     _csr_check_terminal(csr, source, vertex_mask, "source")
     _csr_check_terminal(csr, target, vertex_mask, "target")
@@ -911,7 +1411,23 @@ def csr_weighted_distance(
         return 0.0
     ws = workspace if workspace is not None else DijkstraWorkspace()
     budget = INFINITY if max_dist is None else max_dist
-    return _csr_probe(csr, source, target, budget, ws, vertex_mask, edge_mask)
+    if search == "heap":
+        return _csr_probe(
+            csr, source, target, budget, ws, vertex_mask, edge_mask
+        )
+    if search == "bucket":
+        return _csr_probe_bucket(
+            csr, source, target, budget, ws, vertex_mask, edge_mask,
+            _bucket_max_weight(csr, max_weight),
+        )
+    if search == "bidir":
+        return _csr_probe_bidir(
+            csr, source, target, budget, ws, vertex_mask, edge_mask
+        )
+    raise ValueError(
+        f"csr_weighted_distance runs on search='heap', 'bucket' or "
+        f"'bidir', got {search!r}"
+    )
 
 
 def csr_bounded_dijkstra_path(
@@ -922,6 +1438,8 @@ def csr_bounded_dijkstra_path(
     workspace: Optional[DijkstraWorkspace] = None,
     vertex_mask: Optional[FaultMask] = None,
     edge_mask: Optional[FaultMask] = None,
+    search: str = "heap",
+    max_weight: Optional[int] = None,
 ) -> Optional[List[int]]:
     """A minimum-weight path of total weight <= ``max_dist``, or ``None``.
 
@@ -932,7 +1450,9 @@ def csr_bounded_dijkstra_path(
     masked vertices/edges, or ``None`` when every path exceeds the
     budget (pruning makes that equivalent to the unbudgeted shortest
     path being too heavy, since sub-paths of shortest paths are
-    shortest).
+    shortest).  ``search`` is ``"heap"`` or ``"bucket"``; both engines
+    share the strict-improvement predecessor rule and push-order
+    tie-break, so the reconstructed path is identical.
     """
     _csr_check_terminal(csr, source, vertex_mask, "source")
     _csr_check_terminal(csr, target, vertex_mask, "target")
@@ -940,9 +1460,20 @@ def csr_bounded_dijkstra_path(
         return [source]
     ws = workspace if workspace is not None else DijkstraWorkspace()
     budget = INFINITY if max_dist is None else max_dist
-    reached = _csr_dijkstra(
-        csr, source, target, budget, ws, vertex_mask, edge_mask
-    )
+    if search == "heap":
+        reached = _csr_dijkstra(
+            csr, source, target, budget, ws, vertex_mask, edge_mask
+        )
+    elif search == "bucket":
+        reached = _csr_dijkstra_bucket(
+            csr, source, target, budget, ws, vertex_mask, edge_mask,
+            _bucket_max_weight(csr, max_weight),
+        )
+    else:
+        raise ValueError(
+            f"csr_bounded_dijkstra_path runs on search='heap' or "
+            f"'bucket', got {search!r}"
+        )
     if reached and reached[-1] == target:
         return _dijkstra_path(ws, target)
     return None

@@ -110,8 +110,11 @@ class AlgorithmSpec:
     guarantee:
         The stretch/size guarantee, human-readable.
     weighted:
-        Whether weighted inputs are supported (advisory; every current
-        construction accepts them).
+        Whether weighted inputs are supported.  **Enforced** by
+        :func:`build_spanner`: passing a non-unit-weighted graph to a
+        ``weighted=False`` construction raises
+        :class:`UnsupportedOption` instead of silently mis-running a
+        hop-based (BFS/LBC) algorithm on weights it ignores.
     fault_models:
         The fault models the construction can tolerate; empty for
         non-fault-tolerant constructions (``f`` must then be 0).
@@ -213,6 +216,19 @@ class AlgorithmSpec:
                     f"{self.name!r} is deterministic; it does not take a "
                     f"seed"
                 )
+            if not isinstance(seed, int):
+                # The free functions accept shared random.Random
+                # instances for composability, but through the registry
+                # that makes back-to-back dispatch-parity runs
+                # irreproducible (each call advances the shared state).
+                # The registry therefore requires a plain integer seed.
+                raise UnsupportedOption(
+                    f"{self.name!r} requires an integer seed through the "
+                    f"registry, got {type(seed).__name__}: a shared RNG "
+                    f"instance would make repeated builds "
+                    f"irreproducible (call the free function directly "
+                    f"if you really want to thread RNG state)"
+                )
             kwargs["seed"] = seed
 
         if backend is not None:
@@ -249,6 +265,8 @@ class AlgorithmSpec:
             parts.append(f"faults: {models} ({budget})")
         else:
             parts.append("faults: none (f=0 only)")
+        if not self.weighted:
+            parts.append("unit weights only")
         parts.append("seeded" if self.seedable else "deterministic")
         parts.append(
             "backends: " + "/".join(BACKENDS)
@@ -391,4 +409,14 @@ def build_spanner(
         f=f, fault_model=fault_model, seed=seed, backend=backend,
         options=options,
     )
+    if not spec.weighted and not g.is_unit_weighted():
+        # Enforced, not advisory: a hop-based (BFS/LBC) construction
+        # run on a weighted graph would silently return a subgraph with
+        # no stretch guarantee at all.
+        raise UnsupportedOption(
+            f"{spec.name!r} is a unit-weight construction; it cannot "
+            f"honor a weighted input graph (its hop-based tests ignore "
+            f"edge weights).  Pass a unit-weighted graph, or pick a "
+            f"weighted-capable algorithm: ftspanner algorithms"
+        )
     return spec.builder(g, k, **kwargs)

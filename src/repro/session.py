@@ -60,7 +60,7 @@ from repro.applications.routing import SpannerRouter
 from repro.core.spanner import FaultModel, SpannerResult, resolve_backend
 from repro.graph.graph import Graph
 from repro.graph.index import NodeIndexer
-from repro.graph.snapshot import CSRSnapshot, DualCSRSnapshot
+from repro.graph.snapshot import CSRSnapshot, DualCSRSnapshot, resolve_search
 from repro.registry import build_spanner, get_algorithm
 from repro.verification.spanner_check import (
     VerificationReport,
@@ -97,6 +97,18 @@ class SpannerSession:
         configuration, not a per-call option -- pass ``seed=`` to
         :func:`~repro.registry.build_spanner` directly if you want the
         strict per-call validation).
+    search:
+        The weighted search engine for every CSR sweep and query the
+        session serves: one of
+        :data:`~repro.graph.snapshot.SEARCH_MODES`.  The default
+        ``'auto'`` resolves per snapshot from its freeze-time weight
+        profile (hop-BFS on unit graphs, Dial bucket queue /
+        bidirectional Dijkstra on integral weights, binary heap
+        otherwise); answers are bit-identical on every legal engine.
+        Validated eagerly by name; the integral-only engines raise
+        :class:`~repro.graph.snapshot.UnsupportedSearch` when a
+        float-weighted snapshot is first probed.  The dict backend
+        ignores the engine (it is CSR execution policy).
 
     Notes
     -----
@@ -116,6 +128,7 @@ class SpannerSession:
         fault_model: Union[FaultModel, str] = FaultModel.VERTEX,
         backend: Optional[str] = None,
         seed: Optional[int] = None,
+        search: Optional[str] = None,
     ) -> None:
         if k < 1:
             raise ValueError(f"need k >= 1, got {k}")
@@ -127,6 +140,7 @@ class SpannerSession:
         self.fault_model = FaultModel.coerce(fault_model)
         self.backend = resolve_backend(backend)
         self.seed = seed
+        self.search = resolve_search(search)
         self._result: Optional[SpannerResult] = None
         self._indexer: Optional[NodeIndexer] = None
         self._snap_g: Optional[CSRSnapshot] = None
@@ -255,6 +269,7 @@ class SpannerSession:
             seed=self.seed,
             backend=self.backend,
             snapshot=self._dual_snapshot(),
+            search=self.search,
         )
 
     def oracle(self, cache_size: int = 128) -> FaultTolerantDistanceOracle:
@@ -262,7 +277,7 @@ class SpannerSession:
 
         Each call returns a fresh oracle (they keep independent LRU
         caches), but on the CSR backend every oracle re-stamps the same
-        frozen spanner snapshot.
+        frozen spanner snapshot (with the session's search engine).
         """
         return FaultTolerantDistanceOracle(
             self.g,
@@ -273,6 +288,7 @@ class SpannerSession:
             prebuilt=self._require_result(),
             backend=self.backend,
             snapshot=self._spanner_snapshot(),
+            search=self.search,
         )
 
     def router(self) -> SpannerRouter:
@@ -285,6 +301,7 @@ class SpannerSession:
             prebuilt=self._require_result(),
             backend=self.backend,
             snapshot=self._spanner_snapshot(),
+            search=self.search,
         )
 
     def availability(
@@ -312,6 +329,7 @@ class SpannerSession:
             seed=self.seed,
             backend=self.backend,
             snapshot=self._dual_snapshot(),
+            search=self.search,
         )
 
     def degradation(
@@ -334,6 +352,7 @@ class SpannerSession:
             seed=self.seed,
             backend=self.backend,
             snapshot=self._dual_snapshot(),
+            search=self.search,
         )
 
     # ------------------------------------------------------------- #

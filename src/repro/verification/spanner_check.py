@@ -62,7 +62,12 @@ from repro.graph.traversal import (
 )
 from repro.graph.views import EdgeFaultView, VertexFaultView
 from repro.lbc.approx import lbc_edge, lbc_vertex
-from repro.graph.snapshot import DualCSRSnapshot
+from repro.graph.snapshot import (
+    DualCSRSnapshot,
+    resolve_search,
+    validate_search,
+    weighted_pair_engine,
+)
 
 INFINITY = math.inf
 
@@ -104,16 +109,25 @@ class VerificationReport:
 
 
 def is_spanner(
-    g: Graph, h: Graph, t: float, backend: Optional[str] = None
+    g: Graph,
+    h: Graph,
+    t: float,
+    backend: Optional[str] = None,
+    search: Optional[str] = None,
 ) -> bool:
     """Fault-free check: is H a t-spanner of G?
 
     Uses the Lemma 3 edge-sufficiency: it is enough that every edge of G
-    has ``d_H(u, v) <= t * w(u, v)``.
+    has ``d_H(u, v) <= t * w(u, v)``.  ``search`` picks the CSR weighted
+    engine (``'auto'``/``'heap'``/``'bucket'``/``'bidir'``; identical
+    verdict on every legal engine).
     """
     unit = g.is_unit_weighted()
     if resolve_backend(backend) == "csr":
-        return _CSRSweep(g, h, t, "vertex", unit).check(None) is None
+        return _CSRSweep(g, h, t, "vertex", unit, search=search).check(
+            None
+        ) is None
+    resolve_search(search)  # validate the name even on the dict path
     return _check_fault_set(g, h, t, None, "vertex", unit) is None
 
 
@@ -128,6 +142,7 @@ def verify_ft_spanner(
     seed: Optional[int] = None,
     backend: Optional[str] = None,
     snapshot: Optional[DualCSRSnapshot] = None,
+    search: Optional[str] = None,
 ) -> VerificationReport:
     """Verify that H is an f-fault-tolerant t-spanner of G.
 
@@ -142,7 +157,9 @@ def verify_ft_spanner(
     report is identical either way.  On the CSR backend, ``snapshot``
     may supply an already-frozen :class:`DualCSRSnapshot` of (G, H) --
     e.g. from a :class:`repro.session.SpannerSession` -- so the sweep
-    re-stamps it instead of freezing its own.
+    re-stamps it instead of freezing its own, and ``search`` picks the
+    weighted probe engine (``'auto'`` resolves from the snapshots'
+    weight profiles; every legal engine yields the identical report).
     """
     if fault_model not in ("vertex", "edge"):
         raise ValueError(f"unknown fault model {fault_model!r}")
@@ -151,10 +168,13 @@ def verify_ft_spanner(
     universe = _fault_universe(g, fault_model)
     unit = g.is_unit_weighted()
     if resolve_backend(backend) == "csr":
-        check = _CSRSweep(g, h, t, fault_model, unit, snapshot=snapshot).check
+        check = _CSRSweep(
+            g, h, t, fault_model, unit, snapshot=snapshot, search=search
+        ).check
     else:
         if snapshot is not None:
             raise ValueError("snapshot= requires the csr backend")
+        resolve_search(search)  # validate the name even on the dict path
         def check(faults):
             return _check_fault_set(g, h, t, faults, fault_model, unit)
     total = sum(_comb(len(universe), size) for size in range(f + 1))
@@ -286,9 +306,19 @@ class _CSRSweep:
     Cost per fault set: O(|F|) re-stamping plus one hop-bounded BFS
     (unit weights) or up to two truncated Dijkstras (weighted) per
     surviving edge of G.
+
+    ``search`` picks the weighted probe engine per side (resolved from
+    each snapshot's weight profile under ``'auto'``): integral-weight
+    inputs probe with bidirectional Dijkstra, float ones with the heap,
+    and an explicit engine overrides both.  A non-``'auto'`` engine also
+    replaces the unit BFS fast path, so every engine x weight cell of
+    the parity matrix genuinely exercises its engine.
     """
 
-    __slots__ = ("t", "fault_model", "unit", "snap", "ws", "edges")
+    __slots__ = (
+        "t", "fault_model", "unit", "snap", "ws", "edges",
+        "search", "eng_g", "eng_h",
+    )
 
     def __init__(
         self,
@@ -298,18 +328,28 @@ class _CSRSweep:
         fault_model: str,
         unit: bool,
         snapshot: Optional[DualCSRSnapshot] = None,
+        search: Optional[str] = None,
     ) -> None:
         self.t = t
         self.fault_model = fault_model
-        self.unit = unit
         if snapshot is None:
             snapshot = DualCSRSnapshot(g, h)
         elif snapshot.g is not g or snapshot.h is not h:
             raise ValueError("snapshot does not freeze this (G, H) pair")
         self.snap = snapshot
+        self.search = validate_search(
+            search, snapshot.snap_g.profile, snapshot.snap_h.profile
+        )
+        self.unit = unit and self.search == "auto"
+        self.eng_g = weighted_pair_engine(
+            self.search, snapshot.snap_g.profile
+        )
+        self.eng_h = weighted_pair_engine(
+            self.search, snapshot.snap_h.profile
+        )
         n = len(self.snap.indexer)
         self.ws: Union[BFSWorkspace, DijkstraWorkspace] = (
-            BFSWorkspace(n) if unit else DijkstraWorkspace(n)
+            BFSWorkspace(n) if self.unit else DijkstraWorkspace(n)
         )
         index = self.snap.indexer.index
         self.edges = [
@@ -367,21 +407,27 @@ class _CSRSweep:
                     graph_distance=w, spanner_distance=dh_full,
                 )
         else:
+            eng_g, eng_h = self.eng_g, self.eng_h
+            mw_g = self.snap.snap_g.max_weight
+            mw_h = self.snap.snap_h.max_weight
             for u, v, iu, iv, w, _ in surviving:
                 dg = csr_weighted_distance(
                     csr_g, iu, iv, max_dist=w, workspace=ws,
                     vertex_mask=vmask, edge_mask=emask_g,
+                    search=eng_g, max_weight=mw_g,
                 )
                 if dg < w:
                     continue  # a strictly shorter surviving route exists
                 dh = csr_weighted_distance(
                     csr_h, iu, iv, max_dist=t * w, workspace=ws,
                     vertex_mask=vmask, edge_mask=emask_h,
+                    search=eng_h, max_weight=mw_h,
                 )
                 if dh > t * w:
                     dh_full = csr_weighted_distance(
                         csr_h, iu, iv, workspace=ws,
                         vertex_mask=vmask, edge_mask=emask_h,
+                        search=eng_h, max_weight=mw_h,
                     )
                     return Counterexample(
                         faults=frozen, pair=(u, v),

@@ -37,7 +37,12 @@ from repro.graph.traversal import (
     dijkstra,
 )
 from repro.graph.views import GraphView, fault_view
-from repro.graph.snapshot import DualCSRSnapshot
+from repro.graph.snapshot import (
+    DualCSRSnapshot,
+    resolve_search,
+    validate_search,
+    weighted_pair_engine,
+)
 
 INFINITY = math.inf
 
@@ -74,12 +79,29 @@ class _CSRStretchSweep:
     single reusable workspace; per-pair probes are early-exit CSR
     Dijkstras, and optional fault masks stand in for the ``G \\ F`` /
     ``H \\ F`` views.
+
+    ``search`` picks the probe engine per side (``'auto'`` resolves from
+    each snapshot's weight profile: bidirectional Dijkstra on integral
+    weights, the heap otherwise); ratios are identical on every legal
+    engine.
     """
 
-    __slots__ = ("snap", "ws", "use_vmask", "use_emasks")
+    __slots__ = (
+        "snap", "ws", "use_vmask", "use_emasks", "eng_g", "eng_h",
+        "mw_g", "mw_h",
+    )
 
-    def __init__(self, g: Graph, h: Graph) -> None:
+    def __init__(
+        self, g: Graph, h: Graph, search: Optional[str] = None
+    ) -> None:
         self.snap = DualCSRSnapshot(g, h)
+        s = validate_search(
+            search, self.snap.snap_g.profile, self.snap.snap_h.profile
+        )
+        self.eng_g = weighted_pair_engine(s, self.snap.snap_g.profile)
+        self.eng_h = weighted_pair_engine(s, self.snap.snap_h.profile)
+        self.mw_g = self.snap.snap_g.max_weight
+        self.mw_h = self.snap.snap_h.max_weight
         self.ws = DijkstraWorkspace(len(self.snap.indexer))
         self.use_vmask = False
         self.use_emasks = False
@@ -120,10 +142,12 @@ class _CSRStretchSweep:
             dg = csr_weighted_distance(
                 snap.csr_g, iu, iv, workspace=self.ws, vertex_mask=vmask,
                 edge_mask=snap.emask_g if self.use_emasks else None,
+                search=self.eng_g, max_weight=self.mw_g,
             )
         dh = csr_weighted_distance(
             snap.csr_h, iu, iv, workspace=self.ws, vertex_mask=vmask,
             edge_mask=snap.emask_h if self.use_emasks else None,
+            search=self.eng_h, max_weight=self.mw_h,
         )
         return _ratio(dg, dh)
 
@@ -133,17 +157,20 @@ def pairwise_stretch(
     h: GraphLike,
     pairs: Optional[Iterable[Tuple[Node, Node]]] = None,
     backend: Optional[str] = None,
+    search: Optional[str] = None,
 ) -> Dict[Tuple[Node, Node], float]:
     """Stretch for each pair (default: every edge of ``g``).
 
     Edge pairs are exactly the set Lemma 3 says suffices; full all-pairs
-    measurement is available by passing explicit pairs.
+    measurement is available by passing explicit pairs.  ``search``
+    picks the CSR probe engine (identical ratios on every legal one).
     """
     if pairs is None:
         pairs = _edge_pairs(g)
     if _use_csr(g, h, backend):
-        sweep = _CSRStretchSweep(g, h)
+        sweep = _CSRStretchSweep(g, h, search=search)
         return {(u, v): sweep.stretch(u, v) for u, v in pairs}
+    resolve_search(search)  # validate the name even on the dict path
     return {(u, v): stretch_of_pair(g, h, u, v) for u, v in pairs}
 
 
@@ -152,6 +179,7 @@ def max_stretch(
     h: GraphLike,
     pairs: Optional[Iterable[Tuple[Node, Node]]] = None,
     backend: Optional[str] = None,
+    search: Optional[str] = None,
 ) -> float:
     """Worst-case stretch of H over the given pairs (default: edges of G).
 
@@ -162,8 +190,9 @@ def max_stretch(
     if pairs is None:
         pairs = _edge_pairs(g)
     if _use_csr(g, h, backend):
-        probe = _CSRStretchSweep(g, h).stretch
+        probe = _CSRStretchSweep(g, h, search=search).stretch
     else:
+        resolve_search(search)  # validate the name even on the dict path
         def probe(u, v):
             return stretch_of_pair(g, h, u, v)
     return _worst_ratio(probe, pairs)
@@ -185,19 +214,23 @@ def max_stretch_under_faults(
     faults: Iterable,
     fault_model: str = "vertex",
     backend: Optional[str] = None,
+    search: Optional[str] = None,
 ) -> float:
     """Worst-case stretch of ``H \\ F`` w.r.t. ``G \\ F``.
 
     ``faults`` is a vertex set or edge set per ``fault_model``.  Pairs
     range over the edges of ``G \\ F`` (sufficient by Lemma 3).  On the
     CSR backend the fault set is a mask re-stamp instead of a pair of
-    lazy views.
+    lazy views, and ``search`` picks the probe engine.
     """
     faults = list(faults)
     if fault_model not in ("vertex", "edge"):
         raise ValueError(f"unknown fault model {fault_model!r}")
-    if _use_csr(g, h, backend):
-        sweep = _CSRStretchSweep(g, h)
+    use_csr = _use_csr(g, h, backend)
+    if not use_csr:
+        resolve_search(search)  # validate the name even on the dict path
+    if use_csr:
+        sweep = _CSRStretchSweep(g, h, search=search)
         snap = sweep.snap
         index = snap.indexer.index
         if fault_model == "vertex":

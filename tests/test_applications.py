@@ -151,6 +151,47 @@ class TestOracleCache:
         assert (frozenset(), 4) in oracle._cache
         assert oracle.distance(0, 15) > 0
 
+    def test_shrink_to_zero_disables_caching(self, oracle_graph):
+        # Regression: cache_size = 0 must cleanly disable the LRU -- no
+        # stale-entry reuse, no store of new runs -- on both backends.
+        for backend in ("dict", "csr"):
+            oracle = FaultTolerantDistanceOracle(
+                oracle_graph, k=2, f=1, backend=backend
+            )
+            baseline = oracle.distance(0, 15)
+            for source in range(4):
+                oracle.distances_from(source)
+            assert len(oracle._cache) > 0
+            oracle.cache_size = 0
+            assert oracle.cache_size == 0
+            assert len(oracle._cache) == 0
+            # Queries still answer correctly and store nothing.
+            assert oracle.distance(0, 15) == baseline
+            oracle.distances_from(0)
+            oracle.distances(
+                [(0, 15), (1, 14)], faults=[7]
+            )
+            assert len(oracle._cache) == 0
+
+    def test_zero_capacity_from_construction(self, oracle_graph):
+        oracle = FaultTolerantDistanceOracle(
+            oracle_graph, k=2, f=1, cache_size=0
+        )
+        a = oracle.distance(0, 15)
+        assert a == oracle.distance(0, 15)  # recomputed, same answer
+        assert len(oracle._cache) == 0
+
+    def test_grow_after_zero_starts_empty(self, oracle_graph):
+        oracle = FaultTolerantDistanceOracle(oracle_graph, k=2, f=1)
+        for source in range(3):
+            oracle.distances_from(source)
+        oracle.cache_size = 0
+        oracle.distances_from(4)  # not stored
+        oracle.cache_size = 8  # re-enable: must start from empty
+        assert len(oracle._cache) == 0
+        oracle.distances_from(5)
+        assert list(oracle._cache) == [(frozenset(), 5)]
+
     def test_growing_cache_size_keeps_entries(self, oracle_graph):
         oracle = FaultTolerantDistanceOracle(
             oracle_graph, k=2, f=1, cache_size=2

@@ -159,3 +159,118 @@ class TestAvailabilityParity:
         ) == degradation_profile(
             g, prebuilt.spanner, backend="csr", **kwargs
         )
+
+
+def _engine_instance(weighted: bool, fault_model: str):
+    """Like :func:`_instance` but with *integral* weights, so every
+    search engine (heap / bucket / bidir) is legal on the weighted
+    cells."""
+    g = generators.gnp_random_graph(32, 0.18, seed=555)
+    if weighted:
+        g = generators.with_random_weights(
+            g, low=1.0, high=8.0, seed=555, integral=True
+        )
+    g = generators.ensure_connected(g, seed=555)
+    prebuilt = fault_tolerant_spanner(g, 2, 2, fault_model=fault_model)
+    rng = random.Random(9)
+    universe = (
+        sorted(g.nodes()) if fault_model == "vertex" else list(g.edges())
+    )
+    scenarios = [[]] + [rng.sample(universe, 2) for _ in range(4)]
+    return g, prebuilt, scenarios, rng
+
+
+ENGINES = ["auto", "heap", "bucket", "bidir"]
+
+
+@pytest.mark.parametrize("weighted", [False, True],
+                         ids=["unit", "int-weighted"])
+@pytest.mark.parametrize("fault_model", ["vertex", "edge"])
+@pytest.mark.parametrize("search", ENGINES)
+class TestSearchEngineApplicationsParity:
+    """Every engine cell answers exactly like the dict reference."""
+
+    def test_oracle_answers_identical(self, weighted, fault_model, search):
+        g, prebuilt, scenarios, rng = _engine_instance(weighted, fault_model)
+        kwargs = dict(fault_model=fault_model, prebuilt=prebuilt)
+        od = FaultTolerantDistanceOracle(g, 2, 2, backend="dict", **kwargs)
+        oc = FaultTolerantDistanceOracle(
+            g, 2, 2, backend="csr", search=search, **kwargs
+        )
+        for faults in scenarios:
+            alive = _survivors(g, faults, fault_model)
+            pairs = [tuple(rng.sample(alive, 2)) for _ in range(10)]
+            assert oc.distances(pairs, faults=faults) == \
+                [od.distance(u, v, faults=faults) for u, v in pairs]
+            for u, v in pairs[:4]:
+                assert od.path(u, v, faults=faults) == \
+                    oc.path(u, v, faults=faults)
+            s = alive[0]
+            assert od.distances_from(s, faults=faults) == \
+                oc.distances_from(s, faults=faults)
+
+    def test_router_tables_identical(self, weighted, fault_model, search):
+        g, prebuilt, scenarios, rng = _engine_instance(weighted, fault_model)
+        kwargs = dict(fault_model=fault_model, prebuilt=prebuilt)
+        rd = SpannerRouter(g, 2, 2, backend="dict", **kwargs)
+        rc = SpannerRouter(g, 2, 2, backend="csr", search=search, **kwargs)
+        for faults in scenarios:
+            alive = _survivors(g, faults, fault_model)
+            for dest in alive[:4]:
+                assert rd.table(dest, faults=faults) == \
+                    rc.table(dest, faults=faults)
+
+    def test_availability_reports_identical(
+        self, weighted, fault_model, search
+    ):
+        if fault_model == "edge":
+            pytest.skip("availability samples vertex failures only")
+        g, prebuilt, _, _ = _engine_instance(weighted, fault_model)
+        kwargs = dict(
+            failures=3, guarantee=3.0, scenarios=8,
+            pairs_per_scenario=8, seed=17,
+        )
+        assert availability_analysis(
+            g, prebuilt.spanner, backend="dict", **kwargs
+        ) == availability_analysis(
+            g, prebuilt.spanner, backend="csr", search=search, **kwargs
+        )
+
+
+class TestSearchEngineValidationInApplications:
+    def test_float_weights_reject_integral_engines(self):
+        g = generators.ensure_connected(
+            generators.weighted_gnp(20, 0.25, seed=3), seed=3
+        )
+        prebuilt = fault_tolerant_spanner(g, 2, 1)
+        from repro.graph.snapshot import UnsupportedSearch
+
+        for search in ("bucket", "bidir"):
+            oracle = FaultTolerantDistanceOracle(
+                g, 2, 1, prebuilt=prebuilt, backend="csr", search=search
+            )
+            with pytest.raises(UnsupportedSearch, match="float"):
+                oracle.distance(0, 1)  # sweep built on first query
+            with pytest.raises(UnsupportedSearch, match="float"):
+                availability_analysis(
+                    g, prebuilt.spanner, failures=1, guarantee=3.0,
+                    scenarios=2, pairs_per_scenario=2, seed=0,
+                    backend="csr", search=search,
+                )
+
+    def test_unknown_search_rejected_eagerly(self):
+        g = generators.gnp_random_graph(10, 0.4, seed=1)
+        prebuilt = fault_tolerant_spanner(g, 2, 1)
+        from repro.graph.snapshot import UnsupportedSearch
+
+        for backend in ("dict", "csr"):
+            with pytest.raises(UnsupportedSearch):
+                FaultTolerantDistanceOracle(
+                    g, 2, 1, prebuilt=prebuilt, backend=backend,
+                    search="dial",
+                )
+            with pytest.raises(UnsupportedSearch):
+                SpannerRouter(
+                    g, 2, 1, prebuilt=prebuilt, backend=backend,
+                    search="dial",
+                )

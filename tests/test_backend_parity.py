@@ -320,3 +320,116 @@ class TestBackendSelection:
         r_env = fault_tolerant_spanner(g, 2, 1)
         r_csr = fault_tolerant_spanner(g, 2, 1, backend="csr")
         assert set(r_env.spanner.edges()) == set(r_csr.spanner.edges())
+
+
+class TestSearchEngineParity:
+    """Engine x fault-model x weight-profile cells of the parity matrix.
+
+    The weighted search engines (heap / bucket / bidir) are pure
+    execution policy: on every cell where an engine is legal, the
+    verification report and the stretch measures must equal the dict
+    backend's bit for bit.  Instances use *integral* weights so all
+    three engines are legal; the unit cells force the weighted engines
+    onto graphs the auto policy would answer with BFS.
+    """
+
+    ENGINES = ["auto", "heap", "bucket", "bidir"]
+
+    @staticmethod
+    def _graph(weighted, seed=4):
+        g = generators.gnp_random_graph(22, 0.25, seed=seed)
+        if weighted:
+            g = generators.with_random_weights(
+                g, low=1.0, high=8.0, seed=seed, integral=True
+            )
+        return g
+
+    @pytest.mark.parametrize("weighted", [False, True],
+                             ids=["unit", "int-weighted"])
+    @pytest.mark.parametrize("fault_model", ["vertex", "edge"])
+    @pytest.mark.parametrize("search", ENGINES)
+    def test_verification_reports_identical(
+        self, weighted, fault_model, search
+    ):
+        g = self._graph(weighted)
+        h = fault_tolerant_spanner(g, 2, 1).spanner
+        r_dict = verify_ft_spanner(
+            g, h, t=3, f=1, fault_model=fault_model, backend="dict"
+        )
+        r_eng = verify_ft_spanner(
+            g, h, t=3, f=1, fault_model=fault_model, backend="csr",
+            search=search,
+        )
+        assert r_dict.ok == r_eng.ok
+        assert r_dict.exhaustive == r_eng.exhaustive
+        assert r_dict.fault_sets_checked == r_eng.fault_sets_checked
+        assert r_dict.counterexample == r_eng.counterexample
+
+    @pytest.mark.parametrize("weighted", [False, True],
+                             ids=["unit", "int-weighted"])
+    @pytest.mark.parametrize("search", ENGINES)
+    def test_counterexamples_identical_on_broken_spanner(
+        self, weighted, search
+    ):
+        import random
+
+        g = self._graph(weighted, seed=8)
+        h = fault_tolerant_spanner(g, 2, 1).spanner.copy()
+        edges = list(h.edges())
+        for e in random.Random(8).sample(edges, len(edges) // 2):
+            h.remove_edge(*e)
+        r_dict = verify_ft_spanner(g, h, t=3, f=1, backend="dict")
+        r_eng = verify_ft_spanner(g, h, t=3, f=1, backend="csr",
+                                  search=search)
+        assert not r_eng.ok
+        assert r_dict.fault_sets_checked == r_eng.fault_sets_checked
+        assert r_dict.counterexample == r_eng.counterexample
+
+    @pytest.mark.parametrize("weighted", [False, True],
+                             ids=["unit", "int-weighted"])
+    @pytest.mark.parametrize("fault_model", ["vertex", "edge"])
+    @pytest.mark.parametrize("search", ENGINES)
+    def test_stretch_measures_identical(self, weighted, fault_model, search):
+        import random
+
+        g = self._graph(weighted, seed=6)
+        h = fault_tolerant_spanner(g, 2, 1).spanner
+        assert max_stretch(g, h, backend="csr", search=search) == \
+            max_stretch(g, h, backend="dict")
+        assert pairwise_stretch(g, h, backend="csr", search=search) == \
+            pairwise_stretch(g, h, backend="dict")
+        rng = random.Random(6)
+        if fault_model == "vertex":
+            faults = rng.sample(list(g.nodes()), 3)
+        else:
+            faults = rng.sample(list(g.edges()), 3)
+        assert max_stretch_under_faults(
+            g, h, faults, fault_model, backend="csr", search=search
+        ) == max_stretch_under_faults(
+            g, h, faults, fault_model, backend="dict"
+        )
+
+    def test_integral_engines_rejected_on_float_weights(self):
+        from repro.graph.snapshot import UnsupportedSearch
+
+        g = generators.weighted_gnp(14, 0.3, seed=4)
+        h = fault_tolerant_spanner(g, 2, 1).spanner
+        for search in ("bucket", "bidir"):
+            with pytest.raises(UnsupportedSearch, match="float"):
+                verify_ft_spanner(g, h, t=3, f=1, backend="csr",
+                                  search=search)
+            with pytest.raises(UnsupportedSearch, match="float"):
+                max_stretch(g, h, backend="csr", search=search)
+        # Float weights on the heap engine (and auto) stay legal.
+        verify_ft_spanner(g, h, t=3, f=0, backend="csr", search="heap")
+
+    def test_unknown_search_name_rejected_on_both_backends(self):
+        from repro.graph.snapshot import UnsupportedSearch
+
+        g = generators.gnp_random_graph(10, 0.4, seed=1)
+        for backend in ("dict", "csr"):
+            with pytest.raises(UnsupportedSearch):
+                verify_ft_spanner(g, g, t=3, f=0, backend=backend,
+                                  search="dial")
+            with pytest.raises(UnsupportedSearch):
+                max_stretch(g, g, backend=backend, search="dial")

@@ -285,3 +285,97 @@ class TestInfoAndDemo:
         out = capsys.readouterr().out
         assert "verification" in out
         assert "OK" in out
+
+
+class TestSearchFlag:
+    @pytest.fixture
+    def weighted_file(self, tmp_path):
+        g = generators.ensure_connected(
+            generators.weighted_gnp(20, 0.3, seed=5), seed=5
+        )
+        path = tmp_path / "wg.txt"
+        graph_io.save(g, path)
+        return path
+
+    @pytest.fixture
+    def int_weighted_file(self, tmp_path):
+        g = generators.ensure_connected(
+            generators.with_random_weights(
+                generators.gnp_random_graph(20, 0.3, seed=5),
+                low=1.0, high=8.0, seed=5, integral=True,
+            ),
+            seed=5,
+        )
+        path = tmp_path / "ig.txt"
+        graph_io.save(g, path)
+        return path
+
+    @pytest.mark.parametrize("search", ["auto", "heap", "bucket", "bidir"])
+    def test_build_verify_with_every_engine(self, search, capsys):
+        rc = main([
+            "build", "--random", "25", "--p", "0.25", "-k", "2", "-f", "1",
+            "--verify", "--search", search,
+        ])
+        assert rc == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_verify_engines_agree_on_integral_weights(
+        self, int_weighted_file, tmp_path, capsys
+    ):
+        out_path = tmp_path / "spanner.txt"
+        main(["build", "--input", str(int_weighted_file), "-k", "2",
+              "-f", "1", "--output", str(out_path)])
+        capsys.readouterr()  # drain the build output
+        outputs = {}
+        for search in ("heap", "bucket", "bidir"):
+            rc = main([
+                "verify", str(int_weighted_file), str(out_path),
+                "-t", "3", "-f", "1", "--search", search,
+            ])
+            assert rc == 0
+            outputs[search] = capsys.readouterr().out
+        assert outputs["heap"] == outputs["bucket"] == outputs["bidir"]
+
+    def test_integral_engine_on_float_weights_is_clean_error(
+        self, weighted_file, tmp_path
+    ):
+        out_path = tmp_path / "spanner.txt"
+        main(["build", "--input", str(weighted_file), "-k", "2", "-f", "1",
+              "--output", str(out_path)])
+        with pytest.raises(SystemExit, match="float"):
+            main([
+                "verify", str(weighted_file), str(out_path),
+                "-t", "3", "-f", "1", "--search", "bucket",
+            ])
+
+    def test_oracle_search_flag(self, capsys):
+        rc = main([
+            "oracle", "--random", "25", "--p", "0.25", "-f", "1",
+            "--search", "bucket", "--pairs", "10", "--scenarios", "2",
+        ])
+        assert rc == 0
+        assert "reachable under faults" in capsys.readouterr().out
+
+    def test_unknown_engine_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main(["build", "--random", "10", "--search", "dial"])
+
+
+class TestWeightedCapabilityOnCli:
+    def test_weighted_file_to_unit_only_algorithm_is_clean_error(
+        self, tmp_path
+    ):
+        g = generators.ensure_connected(
+            generators.weighted_gnp(16, 0.35, seed=3), seed=3
+        )
+        path = tmp_path / "wg.txt"
+        graph_io.save(g, path)
+        with pytest.raises(SystemExit, match="unit-weight"):
+            main(["build", "--input", str(path), "-k", "2", "-f", "1",
+                  "--algorithm", "incremental"])
+
+    def test_incremental_builds_on_unit_input(self, graph_file, capsys):
+        rc = main(["build", "--input", str(graph_file), "-k", "2",
+                   "-f", "1", "--algorithm", "incremental"])
+        assert rc == 0
+        assert "incremental-greedy" in capsys.readouterr().out

@@ -19,6 +19,7 @@ from repro.baselines.greedy_classic import classic_greedy_spanner
 from repro.baselines.thorup_zwick import thorup_zwick_spanner
 from repro.core.greedy_exact import exponential_greedy_spanner
 from repro.core.greedy_modified import fault_tolerant_spanner
+from repro.core.incremental import incremental_spanner
 from repro.core.spanner import BACKENDS, FaultModel
 from repro.distributed.congest_bs import congest_baswana_sen
 from repro.distributed.congest_ft import congest_ft_spanner
@@ -52,7 +53,8 @@ class TestRegistryContents:
     def test_all_constructions_registered(self):
         assert algorithm_names() == (
             "baswana-sen", "classic", "clpr", "congest", "congest-bs",
-            "dk", "exact-greedy", "greedy", "local", "thorup-zwick",
+            "dk", "exact-greedy", "greedy", "incremental", "local",
+            "thorup-zwick",
         )
 
     def test_specs_expose_builders_and_capabilities(self):
@@ -118,6 +120,52 @@ class TestCapabilityValidation:
             build_spanner(g, "classic", k=2, f=1)
         with pytest.raises(UnsupportedOption, match="not fault-tolerant"):
             build_spanner(g, "baswana-sen", k=2, f=2, seed=0)
+
+    def test_weighted_input_to_unit_only_algorithm(self):
+        # The weighted capability is enforced, not advisory: the
+        # incremental construction is hop-based and unit-only.
+        wg = generators.weighted_gnp(14, 0.4, seed=5)
+        with pytest.raises(UnsupportedOption, match="unit-weight"):
+            build_spanner(wg, "incremental", k=2, f=1)
+        # A unit-weighted input builds fine through the same spec.
+        ug = generators.gnp_random_graph(14, 0.4, seed=5)
+        result = build_spanner(ug, "incremental", k=2, f=1)
+        assert result.algorithm == "incremental-greedy"
+        assert not get_algorithm("incremental").weighted
+        assert "unit weights only" in get_algorithm(
+            "incremental"
+        ).capabilities()
+
+    def test_weighted_capable_specs_audited(self):
+        # Every other registered construction genuinely handles
+        # weighted inputs (the greedy sorts by weight per Theorem 10;
+        # the clustering baselines pick lightest edges), so the audit
+        # leaves them tagged weighted=True.
+        for spec in iter_algorithms():
+            if spec.name != "incremental":
+                assert spec.weighted, spec.name
+
+    def test_rng_instance_seed_is_rejected(self, g):
+        # A shared random.Random through the registry would make
+        # back-to-back dispatch-parity runs irreproducible; the
+        # registry requires plain integer seeds.
+        import random
+
+        rng = random.Random(1)
+        for name in ("baswana-sen", "thorup-zwick"):
+            with pytest.raises(UnsupportedOption, match="integer seed"):
+                build_spanner(g, name, k=2, seed=rng)
+        with pytest.raises(UnsupportedOption, match="integer seed"):
+            build_spanner(g, "dk", k=2, f=1, seed=rng, iterations=4)
+        with pytest.raises(UnsupportedOption, match="integer seed"):
+            build_spanner(g, "clpr", k=2, f=1, seed=rng)
+
+    def test_int_seed_dispatch_is_reproducible(self, g):
+        # The property the int-seed rule protects: identical
+        # back-to-back builds.
+        a = build_spanner(g, "baswana-sen", k=2, seed=11)
+        b = build_spanner(g, "baswana-sen", k=2, seed=11)
+        assert sorted(a.spanner.edges()) == sorted(b.spanner.edges())
 
     def test_f_below_algorithm_minimum(self, g):
         with pytest.raises(UnsupportedOption, match="requires f >= 1"):
@@ -185,6 +233,9 @@ _LEGACY = {
         g, k, f, seed=s, iterations=8
     ),
     "congest-bs": lambda g, k, f, m, b, s: congest_baswana_sen(g, k, seed=s),
+    "incremental": lambda g, k, f, m, b, s: incremental_spanner(
+        g, k, f, fault_model=m, backend=b
+    ),
 }
 
 # Registry extras needed to keep the slow sampling constructions fast;

@@ -1,0 +1,293 @@
+"""The weighted search engines: bucket queue, bidirectional, selection.
+
+Property-style differential tests (randomized over fixed seeds, so they
+are deterministic) for the three CSR weighted engines:
+
+* **bucket vs heap vs dict** -- on random integer-weight graphs the
+  Dial bucket queue must reproduce the heap engine *exactly*: same
+  distances, same settle order (push-order tie-breaking), same parent
+  arrays, same reconstructed paths -- and both must match the dict
+  backend's Dijkstra.  This also holds under :class:`FaultMask`
+  re-stamps (the sweep pattern), which is where a stale-entry or
+  bucket-clearing bug would surface.
+* **bidir vs everything** -- the bidirectional probe returns the same
+  s-t distance as the unidirectional engines on integral weights
+  (sums are exact regardless of association order), including under
+  masks and truncation budgets.
+* **selection rules** -- the freeze-time weight profile, the auto
+  policy, and the typed :class:`UnsupportedSearch` rejections.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.graph import generators
+from repro.graph.csr import CSRGraph
+from repro.graph.graph import Graph
+from repro.graph.snapshot import (
+    CSRSnapshot,
+    ScenarioSweep,
+    SEARCH_MODES,
+    UnsupportedSearch,
+    pair_engine,
+    path_engine,
+    resolve_search,
+    sssp_engine,
+    validate_search,
+)
+from repro.graph.traversal import (
+    BUCKET_MAX_WEIGHT,
+    DijkstraWorkspace,
+    csr_bounded_dijkstra_path,
+    csr_dijkstra,
+    csr_dijkstra_parents,
+    csr_weighted_distance,
+    dijkstra,
+    shortest_path,
+    weight_profile,
+)
+from repro.graph.views import EdgeFaultView, VertexFaultView
+
+INF = math.inf
+
+
+def _int_weighted(n, p, seed, high=9):
+    return generators.with_random_weights(
+        generators.gnp_random_graph(n, p, seed=seed),
+        low=1.0, high=float(high), seed=seed, integral=True,
+    )
+
+
+class TestBucketEngineParity:
+    """Bucket vs heap vs dict on random integer-weight graphs."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_distances_and_parents_identical(self, seed):
+        g = _int_weighted(36, 0.14, seed)
+        csr = CSRGraph.from_graph(g)
+        nodes = list(csr.indexer)
+        ws = DijkstraWorkspace(csr.num_nodes)
+        rng = random.Random(seed)
+        for _ in range(5):
+            src = rng.randrange(len(nodes))
+            heap = csr_dijkstra(csr, src, workspace=ws, search="heap")
+            bucket = csr_dijkstra(csr, src, workspace=ws, search="bucket")
+            assert heap == bucket
+            ref = dijkstra(g, nodes[src])
+            assert {nodes[i]: d for i, d in bucket.items()} == ref
+            ph = csr_dijkstra_parents(csr, src, workspace=ws, search="heap")
+            pb = csr_dijkstra_parents(csr, src, workspace=ws,
+                                      search="bucket")
+            assert ph == pb
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_paths_identical_to_dict(self, seed):
+        g = _int_weighted(30, 0.15, seed)
+        csr = CSRGraph.from_graph(g)
+        nodes = list(csr.indexer)
+        ws = DijkstraWorkspace(csr.num_nodes)
+        rng = random.Random(100 + seed)
+        for _ in range(8):
+            a, b = rng.sample(range(len(nodes)), 2)
+            ph = csr_bounded_dijkstra_path(csr, a, b, workspace=ws,
+                                           search="heap")
+            pb = csr_bounded_dijkstra_path(csr, a, b, workspace=ws,
+                                           search="bucket")
+            assert ph == pb
+            ref = shortest_path(g, nodes[a], nodes[b])
+            assert (ref is None) == (pb is None)
+            if pb is not None:
+                assert [nodes[i] for i in pb] == ref
+
+    @pytest.mark.parametrize("fault_model", ["vertex", "edge"])
+    def test_identical_under_fault_mask_restamps(self, fault_model):
+        # The sweep pattern: one workspace, many re-stamped scenarios.
+        # Any bucket left dirty by a previous call (the early-exit
+        # cleanup path) would corrupt a later scenario.
+        g = _int_weighted(32, 0.16, seed=42)
+        snap = CSRSnapshot(g)
+        sweeps = {
+            s: ScenarioSweep(snap, search=s)
+            for s in ("heap", "bucket", "bidir")
+        }
+        nodes = sorted(g.nodes())
+        edges = list(g.edges())
+        rng = random.Random(7)
+        for trial in range(10):
+            if fault_model == "vertex":
+                faults = rng.sample(nodes, 3)
+                view = VertexFaultView(g, set(faults))
+                for sweep in sweeps.values():
+                    sweep.set_vertex_faults(faults)
+            else:
+                faults = rng.sample(edges, 3)
+                view = EdgeFaultView(
+                    g, {tuple(sorted(e, key=repr)) for e in faults}
+                )
+                for sweep in sweeps.values():
+                    sweep.set_edge_faults(faults)
+            survivors = [x for x in nodes if view.has_node(x)]
+            src = rng.choice(survivors)
+            ref = dijkstra(view, src)
+            assert sweeps["heap"].distances_from(src) == ref
+            assert sweeps["bucket"].distances_from(src) == ref
+            for _ in range(4):
+                u, v = rng.sample(survivors, 2)
+                want = ref if u == src else dijkstra(view, u, target=v)
+                expected = want.get(v, INF)
+                for sweep in sweeps.values():
+                    assert sweep.distance(u, v) == expected
+            # Parent trees agree across engines (bidir maps to bucket
+            # for single-source queries).
+            ph = sweeps["heap"].parents_toward(src)
+            assert sweeps["bucket"].parents_toward(src) == ph
+            assert sweeps["bidir"].parents_toward(src) == ph
+
+    def test_truncation_budgets_identical(self):
+        g = _int_weighted(34, 0.15, seed=3)
+        csr = CSRGraph.from_graph(g)
+        ws = DijkstraWorkspace(csr.num_nodes)
+        rng = random.Random(3)
+        for _ in range(20):
+            a, b = rng.sample(range(csr.num_nodes), 2)
+            budget = float(rng.randint(1, 12))
+            dh = csr_weighted_distance(csr, a, b, max_dist=budget,
+                                       workspace=ws, search="heap")
+            db = csr_weighted_distance(csr, a, b, max_dist=budget,
+                                       workspace=ws, search="bucket")
+            d2 = csr_weighted_distance(csr, a, b, max_dist=budget,
+                                       workspace=ws, search="bidir")
+            assert dh == db == d2
+
+    def test_bucket_rejects_non_integral_weights(self):
+        g = Graph()
+        g.add_edge(0, 1, weight=1.5)
+        csr = CSRGraph.from_graph(g)
+        with pytest.raises(ValueError, match="integer"):
+            csr_dijkstra(csr, 0, search="bucket")
+
+    def test_unknown_engine_rejected_at_traversal_level(self):
+        g = generators.path_graph(4)
+        csr = CSRGraph.from_graph(g)
+        with pytest.raises(ValueError, match="search"):
+            csr_dijkstra(csr, 0, search="dial")
+        with pytest.raises(ValueError, match="search"):
+            csr_weighted_distance(csr, 0, 2, search="astar")
+        with pytest.raises(ValueError, match="search"):
+            csr_dijkstra_parents(csr, 0, search="bidir")  # pair-only
+        with pytest.raises(ValueError, match="search"):
+            csr_bounded_dijkstra_path(csr, 0, 2, search="bidir")
+
+
+class TestBidirEngine:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_distances_identical_incl_disconnected(self, seed):
+        # Sparse enough that some pairs are disconnected.
+        g = _int_weighted(40, 0.05, seed)
+        csr = CSRGraph.from_graph(g)
+        nodes = list(csr.indexer)
+        ws = DijkstraWorkspace(csr.num_nodes)
+        rng = random.Random(200 + seed)
+        for _ in range(12):
+            a, b = rng.sample(range(len(nodes)), 2)
+            dh = csr_weighted_distance(csr, a, b, workspace=ws,
+                                       search="heap")
+            d2 = csr_weighted_distance(csr, a, b, workspace=ws,
+                                       search="bidir")
+            assert dh == d2
+            ref = dijkstra(g, nodes[a], target=nodes[b]).get(nodes[b], INF)
+            assert d2 == ref
+
+    def test_unit_weights_are_legal(self):
+        g = generators.cycle_graph(9)
+        csr = CSRGraph.from_graph(g)
+        ws = DijkstraWorkspace(csr.num_nodes)
+        assert csr_weighted_distance(csr, 0, 4, workspace=ws,
+                                     search="bidir") == 4.0
+
+
+class TestWeightProfile:
+    def test_unit(self):
+        assert weight_profile([1.0, 1.0]) == ("unit", 1)
+        assert weight_profile([]) == ("unit", 1)
+
+    def test_int(self):
+        assert weight_profile([1.0, 4.0, 2.0]) == ("int", 4)
+        assert weight_profile([float(BUCKET_MAX_WEIGHT)]) == (
+            "int", BUCKET_MAX_WEIGHT
+        )
+
+    def test_float(self):
+        assert weight_profile([1.5])[0] == "float"
+        assert weight_profile([0.5])[0] == "float"
+        assert weight_profile([1.0, float(BUCKET_MAX_WEIGHT + 1)])[0] \
+            == "float"
+        assert weight_profile([math.inf])[0] == "float"
+
+    def test_snapshot_detects_profile_at_freeze(self):
+        unit = CSRSnapshot(generators.cycle_graph(5))
+        assert (unit.profile, unit.max_weight, unit.unit) == ("unit", 1, True)
+        ints = CSRSnapshot(_int_weighted(12, 0.4, seed=1))
+        assert ints.profile == "int" and ints.max_weight >= 2
+        assert not ints.unit
+        floats = CSRSnapshot(generators.weighted_gnp(12, 0.4, seed=1))
+        assert (floats.profile, floats.max_weight) == ("float", 0)
+
+
+class TestEngineSelection:
+    def test_resolve_and_validate(self):
+        assert resolve_search(None) == "auto"
+        for s in SEARCH_MODES:
+            assert resolve_search(s) == s
+        with pytest.raises(UnsupportedSearch, match="unknown"):
+            resolve_search("dial")
+        assert validate_search("bucket", "int", "unit") == "bucket"
+        for s in ("bucket", "bidir"):
+            with pytest.raises(UnsupportedSearch, match="float"):
+                validate_search(s, "int", "float")
+        # The heap and auto engines run anywhere.
+        assert validate_search("heap", "float") == "heap"
+        assert validate_search("auto", "float") == "auto"
+
+    def test_auto_policy(self):
+        assert sssp_engine("auto", "unit") == "bfs"
+        assert sssp_engine("auto", "int") == "bucket"
+        assert sssp_engine("auto", "float") == "heap"
+        assert pair_engine("auto", "unit") == "bfs"
+        assert pair_engine("auto", "int") == "bidir"
+        assert pair_engine("auto", "float") == "heap"
+        assert path_engine("auto", "unit") == "bucket"
+        assert path_engine("auto", "int") == "bucket"
+        assert path_engine("auto", "float") == "heap"
+
+    def test_forced_engines(self):
+        for profile in ("unit", "int", "float"):
+            assert sssp_engine("heap", profile) == "heap"
+            assert pair_engine("heap", profile) == "heap"
+        for profile in ("unit", "int"):
+            assert sssp_engine("bucket", profile) == "bucket"
+            assert pair_engine("bidir", profile) == "bidir"
+            # bidir is point-to-point only; single-source falls back to
+            # the bucket engine (legal whenever bidir is).
+            assert sssp_engine("bidir", profile) == "bucket"
+            assert path_engine("bidir", profile) == "bucket"
+
+    def test_sweep_rejects_integral_engines_on_float_snapshot(self):
+        snap = CSRSnapshot(generators.weighted_gnp(10, 0.5, seed=2))
+        for s in ("bucket", "bidir"):
+            with pytest.raises(UnsupportedSearch, match="float"):
+                ScenarioSweep(snap, search=s)
+        ScenarioSweep(snap, search="heap")  # fine
+
+    def test_sweep_unit_auto_still_uses_bfs(self):
+        # The unit fast path survives: auto on a unit snapshot answers
+        # with hop-BFS, identical values to the weighted engines.
+        snap = CSRSnapshot(generators.cycle_graph(8))
+        auto = ScenarioSweep(snap, search="auto")
+        forced = ScenarioSweep(snap, search="heap")
+        for v in range(1, 8):
+            assert auto.distance(0, v) == forced.distance(0, v)

@@ -361,3 +361,63 @@ class TestDeprecationShims:
             session = SpannerSession(g, k=2, f=1)
             session.build("greedy")
             session.verify(samples=10)
+
+
+class TestSearchConfig:
+    """The session's search= engine travels to every consumer."""
+
+    @pytest.fixture
+    def ig(self):
+        return generators.ensure_connected(
+            generators.with_random_weights(
+                generators.gnp_random_graph(24, 0.3, seed=11),
+                low=1.0, high=8.0, seed=11, integral=True,
+            ),
+            seed=11,
+        )
+
+    def test_engines_answer_identically_with_one_freeze_each(self, ig):
+        results = {}
+        for search in ("heap", "bucket", "bidir"):
+            session = SpannerSession(
+                ig, k=2, f=1, backend="csr", seed=0, search=search
+            )
+            session.build("greedy")
+            before = snapshot_mod.csr_freeze_count()
+            report = session.verify(samples=40)
+            oracle = session.oracle()
+            router = session.router()
+            avail = session.availability(scenarios=6, pairs_per_scenario=6)
+            # The whole workflow still shares one freeze per graph.
+            assert snapshot_mod.csr_freeze_count() - before == 2
+            nodes = sorted(ig.nodes())
+            results[search] = (
+                report.ok,
+                report.fault_sets_checked,
+                oracle.distances(
+                    [(nodes[0], nodes[-1]), (nodes[1], nodes[-2])],
+                    faults=[nodes[5]],
+                ),
+                router.table(nodes[0]),
+                avail,
+            )
+        assert results["heap"] == results["bucket"] == results["bidir"]
+
+    def test_search_validated_eagerly(self, g):
+        from repro.graph.snapshot import UnsupportedSearch
+
+        with pytest.raises(UnsupportedSearch, match="unknown"):
+            SpannerSession(g, search="dial")
+
+    def test_search_default_is_auto(self, g):
+        assert SpannerSession(g).search == "auto"
+        assert SpannerSession(g, search=None).search == "auto"
+
+    def test_dict_backend_accepts_and_ignores_engine(self, ig):
+        a = SpannerSession(ig, k=2, f=1, backend="dict", seed=0,
+                           search="bucket")
+        b = SpannerSession(ig, k=2, f=1, backend="dict", seed=0)
+        ra = a.build("greedy")
+        rb = b.build("greedy")
+        assert sorted(ra.spanner.edges()) == sorted(rb.spanner.edges())
+        assert a.verify(samples=20) == b.verify(samples=20)
