@@ -1,6 +1,7 @@
 PYTHON ?= python
 
-.PHONY: test verify bench bench-apps bench-weighted examples
+.PHONY: test verify bench bench-apps bench-weighted bench-batch \
+	check-bench examples
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -23,6 +24,18 @@ bench-apps:
 bench-weighted:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_backend.py --quick --only verif
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_applications.py --quick --only oracle
+
+# Batch-engine parity smoke: only the multi-source scenarios (batched
+# oracle distances + batched routing tables), quick instances,
+# dict-vs-csr answers asserted per scenario.  Never writes the JSON
+# reports.
+bench-batch:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_applications.py --quick --only multi
+
+# Validate the committed BENCH_*.json reports: schema, full-run (not
+# --quick) provenance, and identical_outputs on every instance.
+check-bench:
+	$(PYTHON) scripts/check_bench_json.py
 
 # Run every example end to end with DeprecationWarning promoted to an
 # error, so the repository's own snippets can never regress onto the

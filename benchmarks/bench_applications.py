@@ -17,8 +17,17 @@ track the layer's performance trajectory:
   single-source run is a Dial bucket-queue sweep instead of a binary
   heap (identical answers; the weighted-engine satellite of the
   snapshot substrate).
+* ``oracle_batch_multi`` -- the unit monitoring pattern with
+  ``search="batch"``: the CSR side answers each scenario's query batch
+  with the multi-source frontier kernels (one SSSP per *distinct*
+  source, many roots per frontier pass, numpy planes when available)
+  against the dict side's per-query ``distance()`` loop.
 * ``routing_tables`` -- per-fault-scenario next-hop table builds for
   many destinations (destination-rooted trees on the faulted spanner).
+* ``routing_tables_multi`` -- the same table builds through the batched
+  ``tables()`` API with ``search="batch"``: all destination-rooted
+  trees of a scenario ride one multi-source pass, vs the dict side's
+  one ``table()`` call per destination.
 * ``availability_sweep`` -- Monte-Carlo availability analysis of a
   weighted spanner (paired distance probes over sampled scenarios).
 
@@ -64,13 +73,17 @@ F = 2
 ORACLE_INSTANCES = [(240, 0.06), (420, 0.035)]
 ORACLE_WEIGHTED_INSTANCES = [(200, 0.06)]
 ORACLE_BUCKET_INSTANCES = [(200, 0.06)]
+ORACLE_MULTI_INSTANCES = [(240, 0.06), (420, 0.035)]
 ROUTING_INSTANCES = [(180, 0.07)]
+ROUTING_MULTI_INSTANCES = [(800, 0.02)]
 AVAILABILITY_INSTANCES = [(110, 0.09)]
 
 QUICK_ORACLE = [(100, 0.10)]
 QUICK_ORACLE_WEIGHTED = [(80, 0.12)]
 QUICK_ORACLE_BUCKET = [(80, 0.12)]
+QUICK_ORACLE_MULTI = [(100, 0.10)]
 QUICK_ROUTING = [(70, 0.12)]
+QUICK_ROUTING_MULTI = [(70, 0.12)]
 QUICK_AVAILABILITY = [(50, 0.15)]
 
 ORACLE_SCENARIOS = 3
@@ -78,6 +91,10 @@ ORACLE_PAIRS = 500
 QUICK_ORACLE_PAIRS = 120
 ROUTING_SCENARIOS = 3
 ROUTING_DESTS = 40
+# The batched scenario routes *every* surviving node: one multi-source
+# pass per fault scenario builds the full table set, which is where the
+# frontier-vectorized kernel earns its keep.
+ROUTING_MULTI_DESTS = 800
 QUICK_ROUTING_DESTS = 12
 AVAIL_SCENARIOS = 25
 AVAIL_PAIRS = 25
@@ -197,7 +214,8 @@ def bench_oracle_batch(instances, repeats, pairs_per_scenario, weights,
     }
 
 
-def bench_routing_tables(instances, repeats, dests_per_scenario):
+def bench_routing_tables(instances, repeats, dests_per_scenario,
+                         batch=False, search=None):
     rows = []
     for n, p in instances:
         g = _instance(n, p, weights="unit")
@@ -210,27 +228,42 @@ def bench_routing_tables(instances, repeats, dests_per_scenario):
             faulted.update(sc)
         dests = [x for x in nodes if x not in faulted][:dests_per_scenario]
 
-        def run(backend):
-            session = SpannerSession(g, k=K, f=F, backend=backend)
+        def run(backend, use_batch):
+            session = SpannerSession(
+                g, k=K, f=F, backend=backend,
+                search=search if backend == "csr" else None,
+            )
             session.adopt(prebuilt)
             router = session.router()
+            if use_batch:
+                # One multi-source pass per scenario builds every
+                # destination-rooted tree at once.
+                return [
+                    router.tables(dests, faults=faults)
+                    for faults in scenarios
+                ]
             return [
-                router.table(d, faults=faults)
+                {d: router.table(d, faults=faults) for d in dests}
                 for faults in scenarios
-                for d in dests
             ]
 
-        t_dict, tables_dict = _best_of(lambda: run("dict"), repeats)
-        t_csr, tables_csr = _best_of(lambda: run("csr"), repeats)
+        t_dict, tables_dict = _best_of(
+            lambda: run("dict", use_batch=False), repeats)
+        t_csr, tables_csr = _best_of(
+            lambda: run("csr", use_batch=batch), repeats)
         rows.append(_row(n, p, g.num_edges, {
             "spanner_edges": prebuilt.spanner.num_edges,
             "scenarios": len(scenarios),
             "destinations": len(dests),
         }, t_dict, t_csr, tables_dict == tables_csr))
+    api = "batched tables()" if batch else "per-destination table()"
+    engine = f", search='{search}'" if search else ""
     return {
-        "description": "SpannerRouter: per-scenario next-hop table builds "
-                       "(destination-rooted trees on the faulted spanner)",
-        "parameters": {"k": K, "f": F, "fault_model": "vertex"},
+        "description": f"SpannerRouter: per-scenario next-hop table builds "
+                       f"(destination-rooted trees on the faulted spanner; "
+                       f"csr side uses {api}{engine})",
+        "parameters": {"k": K, "f": F, "fault_model": "vertex",
+                       "search": search or "auto"},
         "instances": rows,
     }
 
@@ -276,8 +309,14 @@ def run(repeats: int = 3, quick: bool = False, only: str = None):
             ("weighted_oracle_bucket", lambda: bench_oracle_batch(
                 QUICK_ORACLE_BUCKET, repeats, QUICK_ORACLE_PAIRS,
                 weights="int", search="bucket")),
+            ("oracle_batch_multi", lambda: bench_oracle_batch(
+                QUICK_ORACLE_MULTI, repeats, QUICK_ORACLE_PAIRS,
+                weights="unit", search="batch")),
             ("routing_tables", lambda: bench_routing_tables(
                 QUICK_ROUTING, repeats, QUICK_ROUTING_DESTS)),
+            ("routing_tables_multi", lambda: bench_routing_tables(
+                QUICK_ROUTING_MULTI, repeats, QUICK_ROUTING_DESTS,
+                batch=True, search="batch")),
             ("availability_sweep", lambda: bench_availability(
                 QUICK_AVAILABILITY, repeats, QUICK_AVAIL_SCENARIOS,
                 QUICK_AVAIL_PAIRS)),
@@ -292,8 +331,14 @@ def run(repeats: int = 3, quick: bool = False, only: str = None):
             ("weighted_oracle_bucket", lambda: bench_oracle_batch(
                 ORACLE_BUCKET_INSTANCES, repeats, ORACLE_PAIRS,
                 weights="int", search="bucket")),
+            ("oracle_batch_multi", lambda: bench_oracle_batch(
+                ORACLE_MULTI_INSTANCES, max(repeats, 3), ORACLE_PAIRS,
+                weights="unit", search="batch")),
             ("routing_tables", lambda: bench_routing_tables(
                 ROUTING_INSTANCES, repeats, ROUTING_DESTS)),
+            ("routing_tables_multi", lambda: bench_routing_tables(
+                ROUTING_MULTI_INSTANCES, max(repeats, 3), ROUTING_MULTI_DESTS,
+                batch=True, search="batch")),
             ("availability_sweep", lambda: bench_availability(
                 AVAILABILITY_INSTANCES, repeats, AVAIL_SCENARIOS,
                 AVAIL_PAIRS)),

@@ -1,0 +1,143 @@
+#!/usr/bin/env python
+"""Validate the committed ``BENCH_*.json`` benchmark reports.
+
+The benchmark scripts only write a report after every scenario's
+dict-vs-csr parity assertion passed, so a committed report is a claim:
+*these speedups were measured on identical outputs*.  This checker
+keeps that claim machine-enforced -- a hand-edited report, a truncated
+write, or a scenario that silently recorded ``identical_outputs:
+false`` fails CI instead of shipping.
+
+Checks, per report:
+
+* top-level metadata: ``benchmark``, ``seed``, ``repeats``, ``timing``,
+  ``python``, ``quick`` (must be ``false`` for committed reports) and a
+  non-empty ``scenarios`` mapping;
+* per scenario: ``description``, ``parameters``, non-empty
+  ``instances``;
+* per instance: integral ``n``/``m``, exactly two positive
+  ``seconds_*`` timings (``seconds_dict``/``seconds_csr`` in the
+  backend-comparison scenarios; other baseline pairs are legal), a
+  ``speedup`` consistent with those timings (to rounding), and
+  ``identical_outputs`` exactly ``true``.
+
+Exit status 0 when every report passes, 1 otherwise.
+
+Usage::
+
+    python scripts/check_bench_json.py [report.json ...]
+
+With no arguments, checks every ``BENCH_*.json`` at the repository
+root.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+TOP_KEYS = ("benchmark", "seed", "repeats", "timing", "python", "scenarios")
+INSTANCE_KEYS = ("n", "m", "speedup", "identical_outputs")
+
+
+def _fail(errors, path, where, message):
+    errors.append(f"{path.name}: {where}: {message}")
+
+
+def check_report(path: Path, errors: list) -> None:
+    try:
+        report = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        _fail(errors, path, "load", str(exc))
+        return
+    for key in TOP_KEYS:
+        if key not in report:
+            _fail(errors, path, "top-level", f"missing key {key!r}")
+    if report.get("quick", False):
+        _fail(errors, path, "top-level",
+              "quick-mode report committed (expected a full run; "
+              "re-run the benchmark without --quick)")
+    scenarios = report.get("scenarios")
+    if not isinstance(scenarios, dict) or not scenarios:
+        _fail(errors, path, "top-level", "scenarios must be a non-empty "
+                                         "mapping")
+        return
+    for name, scenario in scenarios.items():
+        where = f"scenario {name!r}"
+        for key in ("description", "parameters", "instances"):
+            if key not in scenario:
+                _fail(errors, path, where, f"missing key {key!r}")
+        instances = scenario.get("instances")
+        if not isinstance(instances, list) or not instances:
+            _fail(errors, path, where, "instances must be a non-empty list")
+            continue
+        for i, inst in enumerate(instances):
+            iw = f"{where} instance {i}"
+            for key in INSTANCE_KEYS:
+                if key not in inst:
+                    _fail(errors, path, iw, f"missing key {key!r}")
+            if not all(key in inst for key in INSTANCE_KEYS):
+                continue
+            if not (isinstance(inst["n"], int) and inst["n"] > 0):
+                _fail(errors, path, iw, f"n must be a positive int, "
+                                        f"got {inst['n']!r}")
+            if not (isinstance(inst["m"], int) and inst["m"] >= 0):
+                _fail(errors, path, iw, f"m must be a non-negative int, "
+                                        f"got {inst['m']!r}")
+            timings = {k: v for k, v in inst.items()
+                       if k.startswith("seconds_")}
+            if len(timings) != 2:
+                _fail(errors, path, iw,
+                      f"expected exactly two seconds_* timings, got "
+                      f"{sorted(timings) or 'none'}")
+                continue
+            bad = [f"{k}={v!r}" for k, v in timings.items()
+                   if not (isinstance(v, (int, float)) and v > 0)]
+            if bad:
+                _fail(errors, path, iw, "timings must be positive "
+                                        "numbers: " + ", ".join(bad))
+                continue
+            claimed = inst["speedup"]
+            ta, tb = timings.values()
+            # The baseline timing is the numerator; key order is not
+            # fixed across scenarios, so accept whichever orientation
+            # matches.  The script rounds timings to 4 decimals and the
+            # ratio to 2; allow that rounding, nothing more.
+            if all(abs(claimed - actual) > max(0.011, 0.01 * actual)
+                   for actual in (ta / tb, tb / ta)):
+                _fail(errors, path, iw,
+                      f"speedup {claimed} inconsistent with timings "
+                      f"{sorted(timings)} (ratio {ta / tb:.3f} or "
+                      f"{tb / ta:.3f})")
+            if inst["identical_outputs"] is not True:
+                _fail(errors, path, iw,
+                      f"identical_outputs must be true, got "
+                      f"{inst['identical_outputs']!r} -- the recorded "
+                      f"speedup was not parity-checked")
+
+
+def main(argv) -> int:
+    paths = [Path(a) for a in argv[1:]]
+    if not paths:
+        paths = sorted(ROOT.glob("BENCH_*.json"))
+    if not paths:
+        print("check_bench_json: no BENCH_*.json reports found",
+              file=sys.stderr)
+        return 1
+    errors: list = []
+    for path in paths:
+        check_report(path, errors)
+    if errors:
+        for err in errors:
+            print(f"check_bench_json: {err}", file=sys.stderr)
+        return 1
+    names = ", ".join(p.name for p in paths)
+    print(f"check_bench_json: OK ({names})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -23,7 +23,11 @@ Execution backends (``backend=`` keyword, default resolved from
   vertex mask, and each distance probe is an early-exit flat-array
   search (hop-bounded BFS on unit inputs, truncated CSR Dijkstra
   otherwise) through one preallocated workspace -- the same
-  snapshot-and-sweep discipline as the verification layer.
+  snapshot-and-sweep discipline as the verification layer.  On
+  all-unit inputs (or under ``search="batch"`` on any integral
+  weights) each scenario's sampled pairs are answered by **one**
+  multi-source batch sweep per side instead of paired per-pair
+  probes.
 * ``"dict"`` -- the reference path: each scenario materializes lazy
   ``VertexFaultView``s and probes with paired dict Dijkstras.
 
@@ -52,7 +56,9 @@ from repro.graph.snapshot import (
 from repro.graph.traversal import (
     BFSWorkspace,
     DijkstraWorkspace,
+    MultiSourceWorkspace,
     csr_bounded_bfs_path,
+    csr_multi_pair_distances,
     csr_weighted_distance,
     dijkstra,
 )
@@ -112,7 +118,8 @@ class _AvailabilityProbes:
 
     __slots__ = (
         "use_csr", "g", "h", "snap", "ws", "unit", "gv", "hv",
-        "eng_g", "eng_h", "mw_g", "mw_h",
+        "eng_g", "eng_h", "mw_g", "mw_h", "index",
+        "can_batch", "batch_eng_g", "batch_eng_h", "mws", "_pg", "_ph",
     )
 
     def __init__(
@@ -149,14 +156,38 @@ class _AvailabilityProbes:
             self.eng_h = weighted_pair_engine(s, snapshot.snap_h.profile)
             self.mw_g = snapshot.snap_g.max_weight
             self.mw_h = snapshot.snap_h.max_weight
+            self.index = snapshot.indexer.index
+            # Batch plane: an explicit search="batch" submits each
+            # scenario's probes as one multi-source sweep per side
+            # (BFS planes on unit sides, the shared Dial sweep on
+            # integral ones -- validate_search has already rejected
+            # float inputs for "batch").  Auto-resolved all-unit inputs
+            # batch too: the multi-BFS reads the same hop counts the
+            # bounded per-pair BFS would.  Everything else keeps the
+            # early-exit per-pair probes.
+            if s == "batch":
+                self.can_batch = True
+                self.batch_eng_g = (
+                    "bfs" if snapshot.snap_g.unit else "bucket"
+                )
+                self.batch_eng_h = (
+                    "bfs" if snapshot.snap_h.unit else "bucket"
+                )
+            else:
+                self.can_batch = self.unit
+                self.batch_eng_g = self.batch_eng_h = "bfs"
             n = len(self.snap.indexer)
             self.ws = BFSWorkspace(n) if self.unit else DijkstraWorkspace(n)
+            self.mws = MultiSourceWorkspace() if self.can_batch else None
         else:
             if snapshot is not None:
                 raise ValueError("snapshot= requires the csr backend")
             resolve_search(search)  # validate the name on the dict path
+            self.can_batch = False
         self.gv = g
         self.hv = h
+        self._pg: Dict[Tuple[Node, Node], float] = {}
+        self._ph: Dict[Tuple[Node, Node], float] = {}
 
     def set_scenario(self, faults: set) -> None:
         """Move to the next sampled fault set (O(|F|) on CSR)."""
@@ -166,7 +197,49 @@ class _AvailabilityProbes:
             self.gv = VertexFaultView(self.g, faults) if faults else self.g
             self.hv = VertexFaultView(self.h, faults) if faults else self.h
 
+    def prefetch(self, pairs: Sequence[Tuple[Node, Node]]) -> None:
+        """Answer a scenario's pair probes in one batched pass per side.
+
+        No-op unless the CSR batch plane applies; otherwise the graph
+        side sweeps every sampled pair grouped by source, and the
+        spanner side sweeps only the pairs the sampling loop will
+        actually re-ask (finite, nonzero graph distance) -- exactly
+        mirroring the lazy per-pair loop, so reports stay identical.
+        """
+        self._pg.clear()
+        self._ph.clear()
+        if not self.can_batch or not pairs:
+            return
+        index = self.index
+        ipairs = [(index(u), index(v)) for u, v in pairs]
+        dg = csr_multi_pair_distances(
+            self.snap.csr_g, ipairs, workspace=self.mws,
+            vertex_mask=self.snap.vmask, engine=self.batch_eng_g,
+            max_weight=self.mw_g,
+        )
+        pg = self._pg
+        for pair, d in zip(pairs, dg):
+            pg[pair] = d
+        need = [
+            (pair, ip)
+            for pair, ip in zip(pairs, ipairs)
+            if not math.isinf(pg[pair]) and pg[pair] != 0
+        ]
+        if not need:
+            return
+        dh = csr_multi_pair_distances(
+            self.snap.csr_h, [ip for _, ip in need], workspace=self.mws,
+            vertex_mask=self.snap.vmask, engine=self.batch_eng_h,
+            max_weight=self.mw_h,
+        )
+        ph = self._ph
+        for (pair, _), d in zip(need, dh):
+            ph[pair] = d
+
     def graph_distance(self, u: Node, v: Node) -> float:
+        hit = self._pg.get((u, v))
+        if hit is not None:
+            return hit
         if self.use_csr:
             return self._probe(
                 self.snap.csr_g, u, v, self.eng_g, self.mw_g
@@ -174,6 +247,9 @@ class _AvailabilityProbes:
         return dijkstra(self.gv, u, target=v).get(v, INFINITY)
 
     def spanner_distance(self, u: Node, v: Node) -> float:
+        hit = self._ph.get((u, v))
+        if hit is not None:
+            return hit
         if self.use_csr:
             return self._probe(
                 self.snap.csr_h, u, v, self.eng_h, self.mw_h
@@ -181,7 +257,7 @@ class _AvailabilityProbes:
         return dijkstra(self.hv, u, target=v).get(v, INFINITY)
 
     def _probe(self, csr, u: Node, v: Node, engine: str, mw: int) -> float:
-        index = self.snap.indexer.index
+        index = self.index
         iu, iv = index(u), index(v)
         if self.unit:
             path = csr_bounded_bfs_path(
@@ -240,8 +316,15 @@ def availability_analysis(
         faults = set(rng.sample(nodes, failures))
         probes.set_scenario(faults)
         survivors = [x for x in nodes if x not in faults]
-        for _ in range(pairs_per_scenario):
-            u, v = rng.sample(survivors, 2)
+        # Draw the whole scenario's pairs up front (the probes consume
+        # no randomness, so the stream is unchanged), then let the
+        # batch-capable backends answer them in one sweep per side.
+        pair_list = [
+            tuple(rng.sample(survivors, 2))
+            for _ in range(pairs_per_scenario)
+        ]
+        probes.prefetch(pair_list)
+        for u, v in pair_list:
             dg = probes.graph_distance(u, v)
             if math.isinf(dg) or dg == 0:
                 continue  # pair not connected in the graph: not counted

@@ -82,11 +82,13 @@ class FaultTolerantDistanceOracle:
         sweep then re-stamps it instead of freezing its own.
     search:
         The CSR weighted engine (``'auto'``/``'heap'``/``'bucket'``/
-        ``'bidir'``; see :data:`repro.graph.snapshot.SEARCH_MODES`).
-        ``'auto'`` resolves from the spanner snapshot's weight profile
-        -- integral-weight spanners answer single-source runs with the
-        Dial bucket queue.  Answers are identical on every legal
-        engine; ignored by the dict backend.
+        ``'bidir'``/``'batch'``; see
+        :data:`repro.graph.snapshot.SEARCH_MODES`).  ``'auto'`` resolves
+        from the spanner snapshot's weight profile -- integral-weight
+        spanners answer single-source runs with the Dial bucket queue --
+        and routes batch queries through the multi-source kernels, as
+        does ``'batch'``.  Answers are identical on every legal engine;
+        ignored by the dict backend.
 
     Examples
     --------
@@ -212,9 +214,14 @@ class FaultTolerantDistanceOracle:
 
         Element ``i`` equals ``distance(pairs[i][0], pairs[i][1],
         faults=faults)`` exactly; the batch form normalizes the fault
-        set once and groups the pairs by source so each distinct source
-        costs one single-source run regardless of LRU pressure or pair
-        order -- the "one scenario, many pairs" monitoring pattern.
+        set once, groups the pairs by source, and runs one single-source
+        search per *distinct* cache-missing source regardless of LRU
+        pressure or pair order -- the "one scenario, many pairs"
+        monitoring pattern.  On the CSR backend every cache miss of the
+        batch goes through one multi-source kernel pass
+        (:meth:`~repro.graph.snapshot.ScenarioSweep.distances_multi`),
+        and the runs populate the same ``(fault set, source)`` LRU
+        entries the single-query path uses.
         """
         pair_list = list(pairs)
         fault_key = self._normalize(faults)
@@ -222,17 +229,30 @@ class FaultTolerantDistanceOracle:
         by_source: "OrderedDict[Node, List[Tuple[int, Node]]]" = OrderedDict()
         for i, (u, v) in enumerate(pair_list):
             by_source.setdefault(u, []).append((i, v))
+        # First pass: validate endpoints (in the single-query order),
+        # answer self-pairs, and collect the sources that actually need
+        # a single-source run.
+        need: List[Node] = []
         for u, targets in by_source.items():
-            sssp: Optional[Dict[Node, float]] = None
+            needed = False
             for i, v in targets:
                 self._check_alive(v, fault_key)
                 if u == v:
                     self._check_alive(u, fault_key)
                     out[i] = 0.0
-                    continue
-                if sssp is None:
-                    sssp = self._sssp(fault_key, u)
-                out[i] = sssp.get(v, INFINITY)
+                elif not needed:
+                    self._check_alive(u, fault_key)
+                    needed = True
+            if needed:
+                need.append(u)
+        runs = self._sssp_many(fault_key, need)
+        for u, targets in by_source.items():
+            sssp = runs.get(u)
+            if sssp is None:
+                continue  # every pair of this group was a self-pair
+            for i, v in targets:
+                if u != v:
+                    out[i] = sssp.get(v, INFINITY)
         return out
 
     def distance_matrix(
@@ -243,13 +263,18 @@ class FaultTolerantDistanceOracle:
         """All distances from each source under one fault scenario.
 
         Returns ``{source: {node: distance}}`` (duplicate sources
-        collapse); each row equals :meth:`distances_from` for that
-        source.  On the CSR backend one shared snapshot serves the
-        whole matrix, at an O(|F|) scenario re-stamp per cache-missed
-        row.
+        collapse -- and cost one run, not one per occurrence); each row
+        equals :meth:`distances_from` for that source.  On the CSR
+        backend one shared snapshot serves the whole matrix and every
+        cache-missed row rides one multi-source batch pass.
         """
         fault_key = self._normalize(faults)
-        return {s: dict(self._sssp(fault_key, s)) for s in sources}
+        src_list = list(sources)
+        distinct = list(dict.fromkeys(src_list))
+        for s in distinct:
+            self._check_alive(s, fault_key)
+        runs = self._sssp_many(fault_key, distinct)
+        return {s: dict(runs[s]) for s in src_list}
 
     def path(
         self, u: Node, v: Node, faults: Optional[Iterable] = None
@@ -340,3 +365,44 @@ class FaultTolerantDistanceOracle:
         if len(self._cache) > self._cache_size:
             self._cache.popitem(last=False)
         return dist
+
+    def _sssp_many(
+        self, fault_key: FrozenSet, sources: List[Node]
+    ) -> Dict[Node, Dict[Node, float]]:
+        """One single-source run per distinct source, batched.
+
+        Callers have already validated the sources.  Cache hits are
+        served (and refreshed) from the LRU; the misses run as one
+        multi-source batch on the CSR backend and are stored under the
+        same ``(fault set, source)`` keys :meth:`_sssp` uses, so batched
+        and single-query paths share cache entries.  With the cache
+        disabled every distinct source still computes exactly once per
+        batch.
+        """
+        out: Dict[Node, Dict[Node, float]] = {}
+        missing: List[Node] = []
+        if self._cache_size == 0:
+            missing = [s for s in dict.fromkeys(sources)]
+        else:
+            for s in dict.fromkeys(sources):
+                cache_key = (fault_key, s)
+                hit = self._cache.get(cache_key)
+                if hit is not None:
+                    self._cache.move_to_end(cache_key)
+                    out[s] = hit
+                else:
+                    missing.append(s)
+        if not missing:
+            return out
+        if self.backend == "csr":
+            runs = self._stamped_sweep(fault_key).distances_multi(missing)
+        else:
+            view = self._view(fault_key)
+            runs = [dijkstra(view, s) for s in missing]
+        for s, dist in zip(missing, runs):
+            out[s] = dist
+            if self._cache_size:
+                self._cache[(fault_key, s)] = dist
+                if len(self._cache) > self._cache_size:
+                    self._cache.popitem(last=False)
+        return out

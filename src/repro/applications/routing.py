@@ -176,6 +176,52 @@ class SpannerRouter:
         """
         return self._table_for(self._normalize(faults), dest)
 
+    def tables(
+        self,
+        dests: Optional[Iterable[Node]] = None,
+        faults: Optional[Iterable] = None,
+    ) -> Dict[Node, Dict[Node, Node]]:
+        """Next-hop tables toward *many* destinations in one batch.
+
+        Returns ``{dest: table}`` with each table identical to
+        :meth:`table` for that destination; ``dests=None`` builds every
+        destination in the spanner.  Destinations already cached for
+        this fault set are served from the cache; on the CSR backend all
+        remaining destination-rooted trees ride one multi-source batch
+        pass (:meth:`~repro.graph.snapshot.ScenarioSweep.parents_multi`)
+        instead of one sweep per destination, and the results land in
+        the same per-``(fault set, dest)`` cache the single-destination
+        path uses.
+        """
+        fault_key = self._normalize(faults)
+        dest_list = (
+            list(self.spanner.nodes()) if dests is None else list(dests)
+        )
+        per_dest = self._tables.setdefault(fault_key, {})
+        missing: List[Node] = []
+        for dest in dict.fromkeys(dest_list):
+            if dest in per_dest:
+                continue
+            if not self.spanner.has_node(dest):
+                raise KeyError(f"destination {dest!r} not in graph")
+            if (
+                self.fault_model is FaultModel.VERTEX
+                and dest in fault_key
+            ):
+                raise ValueError(
+                    f"destination {dest!r} is in the fault set"
+                )
+            missing.append(dest)
+        if missing:
+            if self.backend == "csr":
+                built = self._stamped_sweep(fault_key).parents_multi(missing)
+            else:
+                view = self._view(fault_key)
+                built = [_dijkstra_parents(view, d) for d in missing]
+            for dest, parent in zip(missing, built):
+                per_dest[dest] = parent
+        return {dest: per_dest[dest] for dest in dest_list}
+
     def table_size(self) -> int:
         """Total next-hop entries currently materialized (all scenarios)."""
         return sum(

@@ -40,7 +40,11 @@ from typing import List, Optional
 from repro.core import resolve_backend
 from repro.graph import generators
 from repro.graph import io as graph_io
-from repro.graph.snapshot import SEARCH_MODES, UnsupportedSearch
+from repro.graph.snapshot import (
+    SEARCH_CAPABILITIES,
+    SEARCH_MODES,
+    UnsupportedSearch,
+)
 from repro.graph.traversal import connected_components, hop_diameter
 from repro.registry import (
     UnsupportedOption,
@@ -92,8 +96,12 @@ def _build_parser() -> argparse.ArgumentParser:
                             "(--verify): 'auto' picks per weight profile "
                             "(BFS / bucket queue / bidirectional "
                             "Dijkstra / heap); identical reports on "
-                            "every legal engine.  'bucket' and 'bidir' "
-                            "require integral edge weights.")
+                            "every legal engine.  'bucket', 'bidir' and "
+                            "'batch' require integral edge weights; "
+                            "'batch' sweeps many roots per frontier pass "
+                            "(numpy-accelerated when available, stdlib "
+                            "otherwise).  Default: REPRO_SEARCH when "
+                            "set, else 'auto'.")
     build.add_argument("--seed", type=int, default=None,
                        help="random seed for --random generation and for "
                             "seeded constructions (default 0)")
@@ -117,9 +125,9 @@ def _build_parser() -> argparse.ArgumentParser:
                              "the report is identical either way")
     verify.add_argument("--search", choices=SEARCH_MODES, default=None,
                         help="weighted search engine for the CSR sweep "
-                             "('bucket'/'bidir' need integral weights); "
-                             "the report is identical on every legal "
-                             "engine")
+                             "('bucket'/'bidir'/'batch' need integral "
+                             "weights); the report is identical on every "
+                             "legal engine")
 
     oracle = sub.add_parser(
         "oracle",
@@ -152,8 +160,12 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="weighted search engine for the CSR query "
                              "sweep: 'auto' resolves from the spanner's "
                              "weight profile (bucket queue on integral "
-                             "weights); answers are identical on every "
-                             "legal engine")
+                             "weights); 'batch' answers each scenario's "
+                             "query batch with one multi-source sweep "
+                             "(integral weights only; numpy-accelerated "
+                             "BFS planes when numpy is importable, pure "
+                             "stdlib otherwise); answers are identical "
+                             "on every legal engine")
     oracle.add_argument("--seed", type=int, default=0,
                         help="seed for --random generation and for "
                              "scenario/pair sampling (default 0)")
@@ -348,6 +360,11 @@ def _cmd_algorithms(args) -> int:
         if args.verbose:
             print(f"{'':<{width}}  {spec.summary}")
         print(f"{'':<{width}}  {spec.capabilities()}")
+    print()
+    print("search engines (--search; CSR backend execution policy):")
+    sw = max(len(name) for name in SEARCH_CAPABILITIES)
+    for name, constraint in SEARCH_CAPABILITIES.items():
+        print(f"  {name:<{sw}}  {constraint}")
     return 0
 
 

@@ -45,6 +45,8 @@ applications parity suite (`tests/test_applications_parity.py`) and
 from __future__ import annotations
 
 import math
+import os
+from itertools import islice
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.graph.csr import CSRGraph, FaultMask
@@ -52,14 +54,21 @@ from repro.graph.graph import Edge, Graph, Node
 from repro.graph.index import NodeIndexer
 from repro.graph.traversal import (
     BFSWorkspace,
+    BUCKET_MAX_WEIGHT,
     DijkstraWorkspace,
+    MultiSourceWorkspace,
     csr_bfs_distances,
+    csr_bfs_multi,
+    csr_bfs_multi_numpy,
     csr_bfs_parents,
     csr_bounded_bfs_path,
     csr_bounded_dijkstra_path,
+    csr_bucket_multi,
     csr_dijkstra,
     csr_dijkstra_parents,
     csr_weighted_distance,
+    resolve_batch_accel,
+    split_parent_plane,
     weight_profile,
 )
 
@@ -70,9 +79,35 @@ INFINITY = math.inf
 #: at freeze time): unit snapshots answer distances with hop-BFS,
 #: integral ones with the Dial bucket queue (single-source) and
 #: bidirectional Dijkstra (point-to-point), float ones with the binary
-#: heap.  Every engine is bit-identical to the dict backend wherever it
-#: is legal, so the choice is pure execution policy.
-SEARCH_MODES = ("auto", "heap", "bucket", "bidir")
+#: heap.  ``"batch"`` routes multi-root queries through the multi-source
+#: frontier kernels (integral weights only; single queries fall back to
+#: the matching sequential engine).  Every engine is bit-identical to
+#: the dict backend wherever it is legal, so the choice is pure
+#: execution policy.
+SEARCH_MODES = ("auto", "heap", "bucket", "bidir", "batch")
+
+#: Environment variable overriding the default search mode (the explicit
+#: ``search=`` keyword always wins over the environment), mirroring
+#: ``REPRO_BACKEND`` for the backend choice.
+SEARCH_ENV_VAR = "REPRO_SEARCH"
+
+#: How many roots one multi-source batch advances per shared sweep.  The
+#: label planes hold ``roots x num_nodes`` cells, so chunking bounds the
+#: workspace at ``BATCH_ROOT_LIMIT * n`` cells no matter how large a
+#: batch the caller submits (results are per-root, so chunking cannot
+#: change them).
+BATCH_ROOT_LIMIT = 128
+
+#: Cell budget for the *numpy* batch kernel, which allocates fresh
+#: per-call planes instead of reusing the grow-only workspace arenas.
+#: Its per-level vectorized passes amortize better over wide batches,
+#: so it chunks at ``max(BATCH_ROOT_LIMIT, NUMPY_BATCH_CELLS // n)``
+#: roots -- wider than the stdlib chunking on small graphs.  The budget
+#: is sized so the hot planes (int32 stamp/parent + bool seen, ~9 bytes
+#: per cell) stay cache-resident: the kernel's scatter/gather passes hit
+#: the planes at random, and keeping them ~1 MB is worth ~25% wall
+#: clock over letting one huge batch spill to main memory.
+NUMPY_BATCH_CELLS = 1 << 17
 
 
 class UnsupportedSearch(ValueError):
@@ -86,9 +121,15 @@ class UnsupportedSearch(ValueError):
 
 
 def resolve_search(search: Optional[str]) -> str:
-    """Validate a ``search=`` argument; ``None`` means ``"auto"``."""
+    """Validate a ``search=`` argument.
+
+    ``None`` means "use the default": ``"auto"`` unless the
+    :data:`SEARCH_ENV_VAR` environment variable names another mode.
+    """
     if search is None:
-        return "auto"
+        search = os.environ.get(SEARCH_ENV_VAR)
+        if search is None:
+            return "auto"
     if search not in SEARCH_MODES:
         raise UnsupportedSearch(
             f"unknown search engine {search!r}; expected one of "
@@ -105,7 +146,7 @@ def validate_search(search: Optional[str], *profiles: str) -> str:
     integral-only engines are rejected when any of them is ``"float"``.
     """
     s = resolve_search(search)
-    if s in ("bucket", "bidir") and "float" in profiles:
+    if s in ("bucket", "bidir", "batch") and "float" in profiles:
         raise UnsupportedSearch(
             f"search={s!r} requires positive integer edge weights "
             f"(path sums must be exact to preserve dict/CSR parity); "
@@ -121,6 +162,11 @@ def sssp_engine(search: str, profile: str) -> str:
     Returns ``"bfs"`` (unit fast path), ``"heap"`` or ``"bucket"``.
     ``"bidir"`` is a point-to-point engine, so single-source queries
     under it take the bucket engine (legal whenever bidir is).
+    ``"batch"`` resolves like ``"auto"``: its multi-source kernels *are*
+    the BFS and bucket disciplines, so a lone single-source query under
+    it runs the matching sequential kernel.  This doubles as the batch
+    kernel policy: ``"bfs"`` and ``"bucket"`` name multi-source kernels
+    and ``"heap"`` means "no batch kernel applies -- loop per root".
     """
     if search == "heap":
         return "heap"
@@ -135,8 +181,11 @@ def pair_engine(search: str, profile: str) -> str:
     """The point-to-point engine for one resolved search mode.
 
     Returns ``"bfs"``, ``"heap"``, ``"bucket"`` or ``"bidir"``.
+    ``"batch"`` resolves like ``"auto"`` (there is no batched variant of
+    a *single* point-to-point probe; many probes at once go through the
+    multi-pair kernel instead).
     """
-    if search != "auto":
+    if search not in ("auto", "batch"):
         return search
     if profile == "unit":
         return "bfs"
@@ -162,13 +211,29 @@ def path_engine(search: str, profile: str) -> str:
     Paths need the dict backend's tie-breaking, which the heap and
     bucket engines reproduce (bidir does not reconstruct paths; unit
     snapshots also use a weighted engine here, exactly like the dict
-    backend's path queries).
+    backend's path queries).  ``"batch"`` resolves like ``"auto"``.
     """
     if search == "heap":
         return "heap"
     if search in ("bucket", "bidir"):
         return "bucket"
     return "heap" if profile == "float" else "bucket"
+
+
+#: One-line capability constraint per search mode, surfaced by the CLI
+#: (``ftspanner algorithms`` and the ``--search`` help text).
+SEARCH_CAPABILITIES = {
+    "auto": "per-snapshot policy: BFS on unit, bucket/bidir on int, "
+            "heap on float weights",
+    "heap": "binary-heap Dijkstra; any non-negative weights",
+    "bucket": "Dial bucket queue; positive integer weights <= "
+              f"{BUCKET_MAX_WEIGHT}",
+    "bidir": "bidirectional Dijkstra for s-t probes; integral weights "
+             "only",
+    "batch": "multi-source frontier batching for multi-root queries; "
+             "integral weights only (BFS plane kernel vectorizes with "
+             "numpy when importable, stdlib fallback otherwise)",
+}
 
 #: Process-wide count of CSR freezes (one per :class:`CSRSnapshot`
 #: construction; a :class:`DualCSRSnapshot` built from scratch counts
@@ -290,8 +355,8 @@ class ScenarioSweep:
     """
 
     __slots__ = (
-        "snap", "vmask", "emask", "search", "_nodes",
-        "_bfs_ws", "_dij_ws", "_use_vmask", "_use_emask",
+        "snap", "vmask", "emask", "search", "_nodes", "_ident",
+        "_bfs_ws", "_dij_ws", "_multi_ws", "_use_vmask", "_use_emask",
     )
 
     def __init__(
@@ -306,8 +371,16 @@ class ScenarioSweep:
         self.vmask = FaultMask(snapshot.csr.num_nodes)
         self.emask = FaultMask(snapshot.csr.num_edges)
         self._nodes: List[Node] = list(snapshot.indexer)
+        # Identity labelling (node i is the int i) lets the batch
+        # planes emit kernel indices as labels directly, skipping the
+        # per-cell label translation.
+        self._ident = (
+            all(type(v) is int for v in self._nodes)
+            and self._nodes == list(range(len(self._nodes)))
+        )
         self._bfs_ws: Optional[BFSWorkspace] = None
         self._dij_ws: Optional[DijkstraWorkspace] = None
+        self._multi_ws: Optional[MultiSourceWorkspace] = None
         self._use_vmask = False
         self._use_emask = False
 
@@ -471,6 +544,179 @@ class ScenarioSweep:
         return {nodes[i]: nodes[p] for i, p in raw.items()}
 
     # ------------------------------------------------------------- #
+    # Batch plane (multi-source kernels)
+    # ------------------------------------------------------------- #
+
+    def distances_multi(
+        self, sources: Iterable[Node]
+    ) -> List[Dict[Node, float]]:
+        """One :meth:`distances_from` dict per source, batched.
+
+        The batch plane of the sweep: sources are validated exactly like
+        :meth:`distances_from` (an unknown or faulted source raises
+        ``KeyError``), repeated sources get independent -- identical --
+        results, and an empty batch returns ``[]``.  Whenever the
+        resolved engine has a multi-source kernel (BFS on unit
+        snapshots, the Dial bucket sweep on integral ones) all roots of
+        a chunk advance through one shared frontier, chunked at
+        :data:`BATCH_ROOT_LIMIT` roots to bound label-plane memory;
+        forced ``search="heap"`` and float-weighted snapshots fall back
+        to a per-root loop.  Answers are bit-identical either way.
+        """
+        srcs = list(sources)
+        idx = [self._source_index(s) for s in srcs]
+        engine = sssp_engine(self.search, self.snap.profile)
+        if engine == "heap":
+            return [self.distances_from(s) for s in srcs]
+        nodes = self._nodes
+        csr = self.snap.csr
+        n = csr.num_nodes
+        out: List[Dict[Node, float]] = []
+        if engine == "bfs" and resolve_batch_accel() == "numpy":
+            limit = max(BATCH_ROOT_LIMIT, NUMPY_BATCH_CELLS // max(1, n))
+            for start in range(0, len(idx), limit):
+                chunk = idx[start:start + limit]
+                for vs, ds, _ in csr_bfs_multi_numpy(
+                    csr, chunk, workspace=self._multi(),
+                    vertex_mask=self._vmask(), edge_mask=self._emask(),
+                    need_parents=False,
+                ):
+                    if self._ident:
+                        out.append(dict(zip(vs, ds)))
+                    else:
+                        out.append(dict(zip(map(nodes.__getitem__, vs), ds)))
+            return out
+        ws = self._multi()
+        for start in range(0, len(idx), BATCH_ROOT_LIMIT):
+            chunk = idx[start:start + BATCH_ROOT_LIMIT]
+            if engine == "bfs":
+                reached = csr_bfs_multi(
+                    csr, chunk, workspace=ws,
+                    vertex_mask=self._vmask(), edge_mask=self._emask(),
+                )
+                depth = ws.depth
+                base = 0
+                for lst in reached:
+                    out.append(
+                        {nodes[v]: float(depth[base + v]) for v in lst}
+                    )
+                    base += n
+            else:
+                reached = csr_bucket_multi(
+                    csr, chunk, workspace=ws,
+                    vertex_mask=self._vmask(), edge_mask=self._emask(),
+                    max_weight=self.snap.max_weight,
+                )
+                dist = ws.dist
+                base = 0
+                for lst in reached:
+                    out.append({nodes[v]: dist[base + v] for v in lst})
+                    base += n
+        return out
+
+    def parents_multi(
+        self, roots: Iterable[Node]
+    ) -> List[Dict[Node, Node]]:
+        """One :meth:`parents_toward` dict per root, batched.
+
+        Builds every destination-rooted shortest-path tree of the batch
+        through the shared multi-source kernels (same chunking, engine
+        fallback, and validation as :meth:`distances_multi`).  Each tree
+        is bit-identical to a sequential :meth:`parents_toward` call --
+        the per-root projection of the shared frontier preserves the
+        first-discoverer / strict-improvement predecessor rule.
+        """
+        rts = list(roots)
+        idx = [self._source_index(r, role="root") for r in rts]
+        engine = sssp_engine(self.search, self.snap.profile)
+        if engine == "heap":
+            return [self.parents_toward(r) for r in rts]
+        nodes = self._nodes
+        csr = self.snap.csr
+        n = csr.num_nodes
+        out: List[Dict[Node, Node]] = []
+        if engine == "bfs" and resolve_batch_accel() == "numpy":
+            limit = max(BATCH_ROOT_LIMIT, NUMPY_BATCH_CELLS // max(1, n))
+            get = nodes.__getitem__
+            for start in range(0, len(idx), limit):
+                chunk = idx[start:start + limit]
+                # Raw parent plane: the trees are dicts, so discovery
+                # order is irrelevant and the kernel can skip its sort;
+                # reached non-root cells are exactly those with a
+                # non-negative parent (roots, masked, and unreachable
+                # cells all carry -1).
+                plane = csr_bfs_multi_numpy(
+                    csr, chunk, workspace=self._multi(),
+                    vertex_mask=self._vmask(), edge_mask=self._emask(),
+                    need_depths=False, grouped=False,
+                )
+                if self._ident:
+                    neg = (plane < 0).nonzero()[0]
+                    if neg.size <= plane.size >> 2:
+                        # Dense plane (the common case: a connected
+                        # spanner under few faults reaches almost every
+                        # cell): build each tree as one dict(zip(...))
+                        # over the full row, then delete the few
+                        # non-reached cells (root, masked, unreachable).
+                        # Cheaper than extracting the reached cells'
+                        # indices and gathering their values.
+                        flat = plane.tolist()
+                        cuts = neg.searchsorted(
+                            [(r + 1) * n for r in range(len(chunk))]
+                        ).tolist()
+                        negl = neg.tolist()
+                        a = base = 0
+                        for r in range(len(chunk)):
+                            d = dict(zip(nodes, flat[base:base + n]))
+                            for c in negl[a:cuts[r]]:
+                                del d[c - base]
+                            a = cuts[r]
+                            base += n
+                            out.append(d)
+                        continue
+                    # Sparse plane: one shared pair stream consumed per
+                    # root skips the per-root list-slice copies.
+                    vs, ps, bounds = split_parent_plane(
+                        plane, len(chunk), n)
+                    pairs = zip(vs, ps)
+                    for r in range(len(chunk)):
+                        out.append(
+                            dict(islice(pairs, bounds[r + 1] - bounds[r]))
+                        )
+                else:
+                    vs, ps, bounds = split_parent_plane(
+                        plane, len(chunk), n)
+                    for r in range(len(chunk)):
+                        a, b = bounds[r], bounds[r + 1]
+                        out.append(
+                            dict(zip(map(get, vs[a:b]), map(get, ps[a:b])))
+                        )
+            return out
+        ws = self._multi()
+        for start in range(0, len(idx), BATCH_ROOT_LIMIT):
+            chunk = idx[start:start + BATCH_ROOT_LIMIT]
+            if engine == "bfs":
+                reached = csr_bfs_multi(
+                    csr, chunk, workspace=ws,
+                    vertex_mask=self._vmask(), edge_mask=self._emask(),
+                )
+            else:
+                reached = csr_bucket_multi(
+                    csr, chunk, workspace=ws,
+                    vertex_mask=self._vmask(), edge_mask=self._emask(),
+                    max_weight=self.snap.max_weight,
+                )
+            parent = ws.parent
+            base = 0
+            for lst in reached:
+                # lst[0] is the root itself (parent -1); skip it.
+                out.append(
+                    {nodes[v]: nodes[parent[base + v]] for v in lst[1:]}
+                )
+                base += n
+        return out
+
+    # ------------------------------------------------------------- #
     # Internals
     # ------------------------------------------------------------- #
 
@@ -497,6 +743,12 @@ class ScenarioSweep:
         ws = self._dij_ws
         if ws is None:
             ws = self._dij_ws = DijkstraWorkspace(self.snap.csr.num_nodes)
+        return ws
+
+    def _multi(self) -> MultiSourceWorkspace:
+        ws = self._multi_ws
+        if ws is None:
+            ws = self._multi_ws = MultiSourceWorkspace()
         return ws
 
     def __repr__(self) -> str:

@@ -58,15 +58,42 @@ The CSR Dijkstra primitives run on one of three interchangeable engines
 Engine *selection* (the ``"auto"`` policy keyed on a snapshot's weight
 profile) lives in :mod:`repro.graph.snapshot`; this module only executes
 whichever engine the caller resolved.
+
+Multi-source batch kernels
+--------------------------
+The batch engine (``search="batch"`` at the snapshot seam) amortizes the
+per-call interpreter overhead of the single-root kernels across many
+roots: :func:`csr_bfs_multi` advances *all* roots level-synchronously in
+one shared frontier, and :func:`csr_bucket_multi` settles all roots in
+one shared circular Dial sweep.  Both work on a
+:class:`MultiSourceWorkspace` whose buffers are flat *label planes* --
+``roots x num_nodes`` cells addressed by the packed code
+``root_index * num_nodes + node`` -- generation-stamped exactly like the
+single-root workspaces.  Each root's projection of the shared frontier
+(or bucket scan) enumerates nodes in precisely the order the sequential
+kernel would, so per-root distances, parents, and settle orders are
+bit-identical to the ``heap``/``bucket``/BFS engines, not merely
+equivalent.  :func:`csr_multi_pair_distances` is the pair-probe variant
+(many s-t probes, one sweep, early exit once every target is resolved).
+When numpy is importable the BFS batch kernel additionally offers a
+vectorized variant (:data:`HAVE_NUMPY`, ``REPRO_BATCH_ACCEL`` override)
+that processes whole frontiers as index arrays; the stdlib loops remain
+the always-available fallback and the reference for its parity tests.
 """
 
 from __future__ import annotations
 
 import heapq
 import math
+import os
 from array import array
 from collections import deque
-from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+try:  # optional acceleration for the batch BFS kernel (stdlib fallback)
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is present in CI
+    _np = None
 
 from repro.graph.csr import CSRLike, FaultMask
 from repro.graph.graph import Graph, Node
@@ -1530,6 +1557,874 @@ def csr_bounded_dijkstra_path_edges(
     nodes.reverse()
     eids.reverse()
     return nodes, eids
+
+
+# --------------------------------------------------------------------- #
+# CSR backend: multi-source batch kernels (the "batch" engine)
+# --------------------------------------------------------------------- #
+
+HAVE_NUMPY = _np is not None
+
+#: Environment variable overriding the batch kernel's acceleration
+#: choice: ``"auto"`` (numpy when importable, the default), ``"numpy"``
+#: (require it), or ``"stdlib"`` (force the pure-Python loops).
+BATCH_ACCEL_ENV_VAR = "REPRO_BATCH_ACCEL"
+
+
+def resolve_batch_accel(accel: Optional[str] = None) -> str:
+    """Resolve the batch BFS acceleration to ``"numpy"`` or ``"stdlib"``.
+
+    ``None`` consults :data:`BATCH_ACCEL_ENV_VAR` (default ``"auto"``).
+    Asking for numpy when it is not importable is an error; ``"auto"``
+    silently falls back to the stdlib loops.
+    """
+    if accel is None:
+        accel = os.environ.get(BATCH_ACCEL_ENV_VAR, "auto")
+    accel = accel.lower()
+    if accel not in ("auto", "numpy", "stdlib"):
+        raise ValueError(
+            f"unknown batch acceleration {accel!r}; expected 'auto', "
+            f"'numpy' or 'stdlib'"
+        )
+    if accel == "numpy" and not HAVE_NUMPY:
+        raise ValueError(
+            "batch acceleration 'numpy' requested but numpy is not "
+            "importable; use 'auto' or 'stdlib'"
+        )
+    if accel == "auto":
+        return "numpy" if HAVE_NUMPY else "stdlib"
+    return accel
+
+
+class MultiSourceWorkspace:
+    """Preallocated label planes for the multi-source batch kernels.
+
+    One workspace serves an unbounded number of batch calls: every
+    buffer is a flat arena of ``roots x num_nodes`` cells addressed by
+    the packed code ``root_index * num_nodes + node``, and ``ensure``
+    only ever extends it.  Two generation-stamped byte planes (``seen``:
+    the cell has a valid tentative label; ``settled``: the cell's
+    distance is final, bucket engine only) make the per-call reset O(1)
+    no matter how many roots the batch carries.  The circular Dial
+    buckets are shared across all roots of a batch -- entries are packed
+    codes, so one sweep settles every root's nodes in globally
+    nondecreasing distance order while each root's projection of that
+    order stays identical to a sequential bucket run.
+
+    Not thread-safe; use one workspace per thread.
+    """
+
+    __slots__ = (
+        "seen", "settled", "gen", "depth", "dist", "parent", "buckets",
+        "np_key", "np_indptr", "np_indices", "np_eids", "np_twin",
+    )
+
+    def __init__(self, cells: int = 0) -> None:
+        self.seen = bytearray(cells)
+        self.settled = bytearray(cells)
+        self.gen = 1
+        self.depth = [0] * cells
+        self.dist = array("d", bytes(8 * cells))
+        self.parent = [0] * cells
+        self.buckets: List[List[int]] = []
+        # Flattened CSR adjacency for the numpy kernel, cached per
+        # (graph identity, node count, edge count) so repeated batches
+        # over one snapshot flatten the rows exactly once.
+        self.np_key: Optional[Tuple[int, int, int]] = None
+        self.np_indptr = None
+        self.np_indices = None
+        self.np_eids = None
+        self.np_twin = None
+
+    def ensure(self, cells: int) -> None:
+        """Grow every plane to cover ``cells`` packed codes."""
+        short = cells - len(self.seen)
+        if short > 0:
+            self.seen.extend(bytes(short))
+            self.settled.extend(bytes(short))
+            self.depth.extend([0] * short)
+            self.dist.extend(array("d", bytes(8 * short)))
+            self.parent.extend([0] * short)
+
+    def ensure_buckets(self, count: int) -> List[List[int]]:
+        """The (empty) circular Dial buckets, grown to ``count`` slots."""
+        buckets = self.buckets
+        while len(buckets) < count:
+            buckets.append([])
+        return buckets
+
+    def next_generation(self) -> int:
+        """Advance and return the stamp generation (O(1) amortized)."""
+        self.gen += 1
+        if self.gen == 256:
+            self.seen[:] = bytes(len(self.seen))
+            self.settled[:] = bytes(len(self.settled))
+            self.gen = 1
+        return self.gen
+
+
+def _stamp_fault_planes(
+    plane: bytearray, gen: int, members: List[int], num_roots: int, n: int
+) -> None:
+    """Pre-stamp faulted vertices into every root's label plane."""
+    base = 0
+    for _ in range(num_roots):
+        for b in members:
+            plane[base + b] = gen
+        base += n
+
+
+def csr_bfs_multi(
+    csr: CSRLike,
+    sources: Sequence[int],
+    workspace: Optional[MultiSourceWorkspace] = None,
+    vertex_mask: Optional[FaultMask] = None,
+    edge_mask: Optional[FaultMask] = None,
+) -> List[List[int]]:
+    """Level-synchronous BFS from *many* roots in one frontier sweep.
+
+    Returns one list per root: the nodes it reached, in discovery order,
+    root first.  Hop counts and first-discoverer parents are left in the
+    workspace's ``depth`` / ``parent`` planes (``-1`` at each root) at
+    the packed code ``root_index * num_nodes + node`` -- callers read
+    the planes directly instead of paying a per-root dict build here.
+
+    The shared frontier holds packed codes from every root; advancing it
+    one level advances every root's search one level, so a batch of R
+    roots costs one interpreter pass per *level*, not per root.  Because
+    codes are appended root by root at each level and never interleave
+    within a row scan, each root's projection of the shared frontier
+    enumerates (node, parent) pairs in exactly the order
+    :func:`csr_bfs_distances` / :func:`csr_bfs_parents` would -- so
+    depths and parents are bit-identical to the sequential kernels.
+    """
+    roots = list(sources)
+    for s in roots:
+        _csr_check_terminal(csr, s, vertex_mask, "source")
+    if not roots:
+        return []
+    ws = workspace if workspace is not None else MultiSourceWorkspace()
+    n = csr.num_nodes
+    ws.ensure(len(roots) * n)
+    gen = ws.next_generation()
+    seen = ws.seen
+    depth = ws.depth
+    parent = ws.parent
+    rows = csr.neighbors
+    if vertex_mask is not None and vertex_mask.members:
+        _stamp_fault_planes(seen, gen, vertex_mask.members, len(roots), n)
+    reached: List[List[int]] = []
+    cur: List[int] = []
+    base = 0
+    for s in roots:
+        code = base + s
+        seen[code] = gen
+        depth[code] = 0
+        parent[code] = -1
+        reached.append([s])
+        cur.append(code)
+        base += n
+    level = 0
+    if edge_mask is not None:
+        estamp, egen = edge_mask.stamp, edge_mask.gen
+        eid_rows = csr.edge_id_rows
+        while cur:
+            level += 1
+            nxt: List[int] = []
+            for code in cur:
+                r, u = divmod(code, n)
+                base = code - u
+                out = reached[r]
+                row = rows[u]
+                erow = eid_rows[u]
+                for j in range(len(row)):
+                    nc = base + row[j]
+                    if seen[nc] == gen:
+                        continue
+                    if estamp[erow[j]] == egen:
+                        continue
+                    seen[nc] = gen
+                    depth[nc] = level
+                    parent[nc] = u
+                    out.append(row[j])
+                    nxt.append(nc)
+            cur = nxt
+    else:
+        while cur:
+            level += 1
+            nxt = []
+            for code in cur:
+                r, u = divmod(code, n)
+                base = code - u
+                out = reached[r]
+                for v in rows[u]:
+                    nc = base + v
+                    if seen[nc] == gen:
+                        continue
+                    seen[nc] = gen
+                    depth[nc] = level
+                    parent[nc] = u
+                    out.append(v)
+                    nxt.append(nc)
+            cur = nxt
+    return reached
+
+
+def csr_bucket_multi(
+    csr: CSRLike,
+    sources: Sequence[int],
+    workspace: Optional[MultiSourceWorkspace] = None,
+    vertex_mask: Optional[FaultMask] = None,
+    edge_mask: Optional[FaultMask] = None,
+    max_weight: Optional[int] = None,
+) -> List[List[int]]:
+    """Dial bucket sweep from *many* roots sharing one circular queue.
+
+    The multi-source twin of :func:`_csr_dijkstra_bucket`: valid for
+    positive integer weights ``<= max_weight``.  All roots start at
+    distance 0, so every queued tentative distance lies in
+    ``[d, d + max_weight]`` while distance ``d`` is being scanned and
+    the ``max_weight + 1``-slot circular mapping stays collision-free
+    exactly as in the single-root engine.
+
+    Returns one list per root: the nodes it settled, in settle order,
+    root first.  Final distances and strict-improvement predecessors are
+    left in the workspace's ``dist`` / ``parent`` planes (``-1`` at each
+    root).  Within a bucket, codes are scanned in append order and
+    appends happen exactly when a sequential run over that root would
+    push -- so each root's settle order, distances, and parents are
+    bit-identical to the ``bucket`` (and therefore ``heap``) engine.
+    """
+    roots = list(sources)
+    for s in roots:
+        _csr_check_terminal(csr, s, vertex_mask, "source")
+    if not roots:
+        return []
+    mw = _bucket_max_weight(csr, max_weight)
+    ws = workspace if workspace is not None else MultiSourceWorkspace()
+    n = csr.num_nodes
+    ws.ensure(len(roots) * n)
+    gen = ws.next_generation()
+    label = ws.seen
+    settled = ws.settled
+    dist = ws.dist
+    pred = ws.parent
+    rows = csr.neighbors
+    wrows = csr.weight_rows
+    if vertex_mask is not None and vertex_mask.members:
+        _stamp_fault_planes(settled, gen, vertex_mask.members, len(roots), n)
+    slots = mw + 1
+    buckets = ws.ensure_buckets(slots)
+    reached: List[List[int]] = []
+    first = buckets[0]
+    base = 0
+    for s in roots:
+        code = base + s
+        dist[code] = 0.0
+        label[code] = gen
+        pred[code] = -1
+        first.append(code)
+        reached.append([])
+        base += n
+    pending = len(roots)
+    estamp = egen = None
+    if edge_mask is not None:
+        estamp, egen = edge_mask.stamp, edge_mask.gen
+        eid_rows = csr.edge_id_rows
+    slot = 0
+    try:
+        while pending:
+            bucket = buckets[slot]
+            if bucket:
+                # Relaxed edges carry weight >= 1, so nothing is ever
+                # appended to the bucket being scanned; plain iteration
+                # is safe and preserves push order (see the single-root
+                # engine).
+                for code in bucket:
+                    pending -= 1
+                    if settled[code] == gen:
+                        continue  # stale entry (or pre-stamped fault)
+                    settled[code] = gen
+                    r, u = divmod(code, n)
+                    base = code - u
+                    reached[r].append(u)
+                    d = dist[code]
+                    if estamp is not None:
+                        row = rows[u]
+                        erow = eid_rows[u]
+                        wrow = wrows[u]
+                        for j in range(len(row)):
+                            nc = base + row[j]
+                            if settled[nc] == gen:
+                                continue
+                            if estamp[erow[j]] == egen:
+                                continue
+                            nd = d + wrow[j]
+                            if label[nc] != gen or nd < dist[nc]:
+                                label[nc] = gen
+                                dist[nc] = nd
+                                pred[nc] = u
+                                buckets[int(nd) % slots].append(nc)
+                                pending += 1
+                    else:
+                        for v, w in zip(rows[u], wrows[u]):
+                            nc = base + v
+                            if settled[nc] == gen:
+                                continue
+                            nd = d + w
+                            if label[nc] != gen or nd < dist[nc]:
+                                label[nc] = gen
+                                dist[nc] = nd
+                                pred[nc] = u
+                                buckets[int(nd) % slots].append(nc)
+                                pending += 1
+                del bucket[:]
+            slot += 1
+            if slot == slots:
+                slot = 0
+    finally:
+        for bucket in buckets:
+            if bucket:
+                del bucket[:]
+    return reached
+
+
+def csr_multi_pair_distances(
+    csr: CSRLike,
+    pairs: Sequence[Tuple[int, int]],
+    workspace: Optional[MultiSourceWorkspace] = None,
+    vertex_mask: Optional[FaultMask] = None,
+    edge_mask: Optional[FaultMask] = None,
+    engine: str = "bfs",
+    max_weight: Optional[int] = None,
+) -> List[float]:
+    """Many s-t distance probes answered by one multi-source sweep.
+
+    Groups the pairs by source, runs one batched BFS (``engine="bfs"``,
+    unit weights) or Dial bucket sweep (``engine="bucket"``, integral
+    weights) over the distinct sources, and reads each pair's distance
+    off the label planes -- with a global early exit the moment every
+    requested target has a final distance.  Returns one float per pair
+    (``inf`` for unreachable), identical to looping
+    :func:`csr_weighted_distance` pair by pair.
+    """
+    pair_list = list(pairs)
+    out = [INFINITY] * len(pair_list)
+    groups: Dict[int, List[Tuple[int, int]]] = {}
+    for i, (s, t) in enumerate(pair_list):
+        _csr_check_terminal(csr, s, vertex_mask, "source")
+        _csr_check_terminal(csr, t, vertex_mask, "target")
+        if s == t:
+            out[i] = 0.0
+        else:
+            groups.setdefault(s, []).append((i, t))
+    if not groups:
+        return out
+    roots = list(groups)
+    ws = workspace if workspace is not None else MultiSourceWorkspace()
+    n = csr.num_nodes
+    ws.ensure(len(roots) * n)
+    gen = ws.next_generation()
+    targets: Set[int] = set()
+    base = 0
+    for s in roots:
+        for _, t in groups[s]:
+            targets.add(base + t)
+        base += n
+    if engine == "bfs":
+        _bfs_multi_probe(csr, roots, ws, gen, vertex_mask, edge_mask, targets)
+        depth = ws.depth
+        seen = ws.seen
+        base = 0
+        for s in roots:
+            for i, t in groups[s]:
+                code = base + t
+                if seen[code] == gen:
+                    out[i] = float(depth[code])
+            base += n
+    elif engine == "bucket":
+        _bucket_multi_probe(
+            csr, roots, ws, gen, vertex_mask, edge_mask,
+            _bucket_max_weight(csr, max_weight), targets,
+        )
+        dist = ws.dist
+        settled = ws.settled
+        base = 0
+        for s in roots:
+            for i, t in groups[s]:
+                code = base + t
+                if settled[code] == gen:
+                    out[i] = dist[code]
+            base += n
+    else:
+        raise ValueError(
+            f"csr_multi_pair_distances runs on engine='bfs' or 'bucket', "
+            f"got {engine!r}"
+        )
+    return out
+
+
+def _bfs_multi_probe(
+    csr: CSRLike,
+    roots: List[int],
+    ws: MultiSourceWorkspace,
+    gen: int,
+    vertex_mask: Optional[FaultMask],
+    edge_mask: Optional[FaultMask],
+    targets: Set[int],
+) -> None:
+    """Batched BFS that stops once every target code is labeled.
+
+    A BFS depth is final the moment the node is stamped, so the sweep
+    may return as soon as the last outstanding target is discovered;
+    distances for everything stamped so far are already exact.
+    """
+    n = csr.num_nodes
+    seen = ws.seen
+    depth = ws.depth
+    rows = csr.neighbors
+    if vertex_mask is not None and vertex_mask.members:
+        _stamp_fault_planes(seen, gen, vertex_mask.members, len(roots), n)
+    outstanding = len(targets)
+    cur: List[int] = []
+    base = 0
+    for s in roots:
+        code = base + s
+        seen[code] = gen
+        depth[code] = 0
+        if code in targets:
+            outstanding -= 1
+        cur.append(code)
+        base += n
+    if not outstanding:
+        return
+    estamp = egen = None
+    if edge_mask is not None:
+        estamp, egen = edge_mask.stamp, edge_mask.gen
+        eid_rows = csr.edge_id_rows
+    level = 0
+    while cur:
+        level += 1
+        nxt: List[int] = []
+        for code in cur:
+            u = code % n
+            base = code - u
+            row = rows[u]
+            if estamp is not None:
+                erow = eid_rows[u]
+                for j in range(len(row)):
+                    nc = base + row[j]
+                    if seen[nc] == gen:
+                        continue
+                    if estamp[erow[j]] == egen:
+                        continue
+                    seen[nc] = gen
+                    depth[nc] = level
+                    nxt.append(nc)
+                    if nc in targets:
+                        outstanding -= 1
+                        if not outstanding:
+                            return
+            else:
+                for v in row:
+                    nc = base + v
+                    if seen[nc] == gen:
+                        continue
+                    seen[nc] = gen
+                    depth[nc] = level
+                    nxt.append(nc)
+                    if nc in targets:
+                        outstanding -= 1
+                        if not outstanding:
+                            return
+        cur = nxt
+
+
+def _bucket_multi_probe(
+    csr: CSRLike,
+    roots: List[int],
+    ws: MultiSourceWorkspace,
+    gen: int,
+    vertex_mask: Optional[FaultMask],
+    edge_mask: Optional[FaultMask],
+    max_weight: int,
+    targets: Set[int],
+) -> None:
+    """Batched Dial sweep that stops once every target code is settled.
+
+    Unlike BFS, a bucket label is only final at *settle* time, so the
+    early exit counts down on settles; targets still unsettled when the
+    sweep drains are unreachable and read back as ``inf``.
+    """
+    n = csr.num_nodes
+    label = ws.seen
+    settled = ws.settled
+    dist = ws.dist
+    rows = csr.neighbors
+    wrows = csr.weight_rows
+    if vertex_mask is not None and vertex_mask.members:
+        _stamp_fault_planes(settled, gen, vertex_mask.members, len(roots), n)
+    slots = max_weight + 1
+    buckets = ws.ensure_buckets(slots)
+    outstanding = len(targets)
+    first = buckets[0]
+    base = 0
+    for s in roots:
+        code = base + s
+        dist[code] = 0.0
+        label[code] = gen
+        first.append(code)
+        base += n
+    pending = len(roots)
+    estamp = egen = None
+    if edge_mask is not None:
+        estamp, egen = edge_mask.stamp, edge_mask.gen
+        eid_rows = csr.edge_id_rows
+    slot = 0
+    try:
+        while pending:
+            bucket = buckets[slot]
+            if bucket:
+                for code in bucket:
+                    pending -= 1
+                    if settled[code] == gen:
+                        continue  # stale entry (or pre-stamped fault)
+                    settled[code] = gen
+                    if code in targets:
+                        outstanding -= 1
+                        if not outstanding:
+                            return
+                    u = code % n
+                    base = code - u
+                    d = dist[code]
+                    if estamp is not None:
+                        row = rows[u]
+                        erow = eid_rows[u]
+                        wrow = wrows[u]
+                        for j in range(len(row)):
+                            nc = base + row[j]
+                            if settled[nc] == gen:
+                                continue
+                            if estamp[erow[j]] == egen:
+                                continue
+                            nd = d + wrow[j]
+                            if label[nc] != gen or nd < dist[nc]:
+                                label[nc] = gen
+                                dist[nc] = nd
+                                buckets[int(nd) % slots].append(nc)
+                                pending += 1
+                    else:
+                        for v, w in zip(rows[u], wrows[u]):
+                            nc = base + v
+                            if settled[nc] == gen:
+                                continue
+                            nd = d + w
+                            if label[nc] != gen or nd < dist[nc]:
+                                label[nc] = gen
+                                dist[nc] = nd
+                                buckets[int(nd) % slots].append(nc)
+                                pending += 1
+                del bucket[:]
+            slot += 1
+            if slot == slots:
+                slot = 0
+    finally:
+        for bucket in buckets:
+            if bucket:
+                del bucket[:]
+
+
+def _np_adjacency(ws: MultiSourceWorkspace, csr: CSRLike):
+    """Flatten the CSR rows into numpy index arrays, cached per graph."""
+    key = (id(csr), csr.num_nodes, csr.num_edges)
+    if ws.np_key != key:
+        rows = csr.neighbors
+        counts = [len(row) for row in rows]
+        # int32 throughout: the kernels are memory-bandwidth bound, and
+        # packed codes stay below 2**31 because the callers chunk the
+        # root dimension (NUMPY_BATCH_CELLS in graph.snapshot).
+        indptr = _np.zeros(len(rows) + 1, dtype=_np.int32)
+        _np.cumsum(counts, out=indptr[1:])
+        indices = _np.fromiter(
+            (v for row in rows for v in row), dtype=_np.int32,
+            count=int(indptr[-1]),
+        )
+        eids = _np.fromiter(
+            (e for row in csr.edge_id_rows for e in row), dtype=_np.int32,
+            count=int(indptr[-1]),
+        )
+        # Twin slot of each directed slot: slot e holds edge (t, h); its
+        # twin is h's slot for (h, t).  Sorting the slots once by (t, h)
+        # and once by (h, t) aligns each slot with its twin rank-for-rank
+        # (simple graph: keys are unique), giving the reverse map the
+        # bottom-up BFS step needs to locate a cell's offset inside its
+        # parent's row.
+        t = _np.repeat(_np.arange(len(rows), dtype=_np.int64), counts)
+        h = indices.astype(_np.int64)
+        nn = len(rows)
+        i1 = _np.argsort(t * nn + h, kind="stable")
+        i2 = _np.argsort(h * nn + t, kind="stable")
+        twin = _np.empty(indices.size, dtype=_np.int32)
+        twin[i2] = i1.astype(_np.int32)
+        ws.np_key = key
+        ws.np_indptr = indptr
+        ws.np_indices = indices
+        ws.np_eids = eids
+        ws.np_twin = twin
+    return ws.np_indptr, ws.np_indices, ws.np_eids, ws.np_twin
+
+
+def csr_bfs_multi_numpy(
+    csr: CSRLike,
+    sources: Sequence[int],
+    workspace: Optional[MultiSourceWorkspace] = None,
+    vertex_mask: Optional[FaultMask] = None,
+    edge_mask: Optional[FaultMask] = None,
+    need_parents: bool = True,
+    need_depths: bool = True,
+    grouped: bool = True,
+) -> List[Tuple[List[int], List[float], List[int]]]:
+    """Vectorized twin of :func:`csr_bfs_multi` (requires numpy).
+
+    Each level expands the whole shared frontier with array gathers over
+    the flattened adjacency instead of Python loops.  Returns one
+    ``(nodes, depths, parents)`` triple per root, nodes in discovery
+    order with the root first (depth ``0.0``, parent ``-1``).
+    ``need_parents=False`` / ``need_depths=False`` skip the parent and
+    depth bookkeeping respectively (the corresponding triple slot comes
+    back empty) -- single-output consumers shave a third or so of the
+    per-level work.  ``grouped=False`` (parents only) skips the
+    per-root discovery-order assembly entirely and returns the raw
+    parent *plane* -- a flat array of ``len(sources) * n`` cells where
+    cell ``r * n + v`` holds ``v``'s parent vertex in root ``r``'s tree
+    (``-1`` for roots, masked, and unreachable cells).  Consumers that
+    only build order-insensitive mappings (see
+    :func:`split_parent_plane`) save the sort and the big intermediate
+    lists; the parent *values* are identical either way.
+
+    Parity is preserved structurally: level candidates are enumerated in
+    (frontier order, row order) -- the same enumeration as the stdlib
+    kernel -- duplicates within a level keep their *first* discoverer
+    (a reversed position-stamp scatter makes the earliest candidate
+    win), and the next frontier keeps first-occurrence order.  Depths
+    and parents are therefore bit-identical to :func:`csr_bfs_multi`.
+
+    Direction optimization: once the frontier's outgoing-edge count
+    exceeds the estimated adjacency of the still-unseen cells, the
+    kernel flips to a bottom-up step -- each unseen cell scans *its own*
+    row for a frontier neighbour instead of the huge frontier pushing
+    into mostly-seen cells.  Parity survives the flip because the
+    sequential discovery key of a cell is its earliest flat candidate
+    position ``frontier_prefix_start(parent) + offset_in_parent_row``,
+    which bottom-up recovers exactly via the cached twin-slot map; new
+    cells are then ordered by that key, reproducing the top-down
+    enumeration bit for bit.
+    """
+    if _np is None:  # pragma: no cover - guarded by resolve_batch_accel
+        raise RuntimeError("csr_bfs_multi_numpy requires numpy")
+    np = _np
+    if not grouped and not need_parents:
+        raise ValueError("grouped=False requires need_parents=True")
+    roots = list(sources)
+    for s in roots:
+        _csr_check_terminal(csr, s, vertex_mask, "source")
+    if not roots:
+        return []
+    ws = workspace if workspace is not None else MultiSourceWorkspace()
+    n = csr.num_nodes
+    nroots = len(roots)
+    indptr, indices, eids, twin = _np_adjacency(ws, csr)
+    deg = indptr[1:] - indptr[:-1]
+    # Packed codes are kept in int32 when they fit (the snapshot layer's
+    # cell-budget chunking keeps them far below 2**31); the kernel is
+    # bandwidth bound, so halving the index width is a real win.
+    cdt = np.int32 if nroots * n < 2 ** 31 else np.int64
+    # Inverted visited plane: the hot per-level test is "is this
+    # candidate still unseen", so storing that bit directly saves a
+    # full-width boolean invert on every level.
+    unseen = np.ones(nroots * n, dtype=bool)
+    depth = np.zeros(nroots * n, dtype=np.float64) if need_depths else None
+    parent = (
+        np.full(nroots * n, -1, dtype=cdt) if need_parents else None
+    )
+    bases = np.arange(nroots, dtype=cdt) * n
+    if vertex_mask is not None and vertex_mask.members:
+        members = np.array(vertex_mask.members, dtype=cdt)
+        unseen[(bases[:, None] + members[None, :]).ravel()] = False
+    emask = None
+    if edge_mask is not None:
+        emask = (
+            np.frombuffer(edge_mask.stamp, dtype=np.uint8)[: csr.num_edges]
+            == edge_mask.gen
+        )
+    rcodes = bases + np.array(roots, dtype=cdt)
+    unseen[rcodes] = False
+    # Scratch plane doing double duty: top-down levels scatter candidate
+    # positions into it for the first-occurrence dedup (only cells
+    # written in the current level are read back), and bottom-up levels
+    # stamp the frontier with a per-level negative tag for membership
+    # tests.  The membership read touches *unwritten* cells, so the
+    # plane must start clean -- zeros never collide with the negative
+    # tags.
+    stamp = np.zeros(nroots * n, dtype=cdt)
+    frontier = rcodes
+    levels = [rcodes]
+    level = 0.0
+    cells = nroots * n
+    nunseen = int(unseen.sum())
+    avg_deg = indices.size / max(1, n)
+    sentinel = 1 << 62
+    pend = None  # unseen-cell list, materialized at the direction flip
+    startp = None
+    btag = 0
+    while frontier.size:
+        level += 1.0
+        if pend is None:
+            vs = frontier % n
+            bs = frontier - vs
+            cnt = deg[vs]
+            total = int(cnt.sum())
+            if total == 0:
+                break
+            # Direction flip: estimate the bottom-up step's work as the
+            # unseen cells' adjacency plus the one-off materialization
+            # cost, and switch once the frontier's own edge count beats
+            # it.  The estimate uses only sizes, so the choice -- and
+            # hence the output -- stays deterministic.
+            if total > nunseen * avg_deg + cells // 3:
+                pend = np.flatnonzero(unseen).astype(cdt)
+                pend = pend[deg[pend % n] > 0]
+                startp = np.empty(cells, dtype=np.int64)
+        if pend is not None:
+            # Bottom-up step: every unseen cell scans its own row for a
+            # frontier neighbour.  A cell's sequential discovery key is
+            # the flat candidate position its first discoverer would
+            # have enumerated it at -- frontier prefix start of the
+            # parent plus the cell's offset inside the parent's row
+            # (via the twin-slot map) -- so taking the per-cell minimum
+            # key and ordering new cells by it reproduces the top-down
+            # discovery order exactly.
+            if pend.size == 0:
+                break
+            uvs = pend % n
+            ucnt = deg[uvs]
+            ustarts = np.cumsum(ucnt) - ucnt
+            utotal = int(ustarts[-1] + ucnt[-1])
+            upos = np.arange(utotal) + np.repeat(indptr[uvs] - ustarts, ucnt)
+            nbr = indices[upos]
+            pcode = np.repeat(pend - uvs, ucnt) + nbr
+            btag -= 1
+            fcnt = deg[frontier % n]
+            cstart = np.cumsum(fcnt) - fcnt
+            stamp[frontier] = btag
+            startp[frontier] = cstart
+            member = stamp[pcode] == btag
+            if emask is not None:
+                member &= ~emask[eids[upos]]
+            keys = np.where(
+                member, startp[pcode] + (twin[upos] - indptr[nbr]), sentinel
+            )
+            minkey = np.minimum.reduceat(keys, ustarts)
+            disc = minkey < sentinel
+            if not disc.any():
+                break
+            dk = minkey[disc]
+            order = np.argsort(dk)
+            new = pend[disc][order]
+            if need_parents:
+                fi = np.searchsorted(cstart, dk[order], side="right") - 1
+                parent[new] = frontier[fi] % n
+            pend = pend[~disc]
+        else:
+            # Flat positions of each frontier entry's row, candidate i of
+            # entry e sitting at indptr[vs[e]] + i.  Positions index the
+            # flattened adjacency, so they fit the same narrow width as
+            # the codes whenever the level's candidate count does.
+            pdt = np.int32 if total < 2 ** 31 else np.int64
+            pos = np.arange(total, dtype=pdt) + np.repeat(
+                indptr[vs] - (np.cumsum(cnt, dtype=pdt) - cnt), cnt
+            )
+            ncodes = np.repeat(bs, cnt) + indices[pos]
+            if emask is not None:
+                keep = ~emask[eids[pos]]
+                ncodes = ncodes[keep]
+                if need_parents:
+                    pos = pos[keep]
+            fresh = unseen[ncodes]
+            ncodes = ncodes[fresh]
+            if need_parents:
+                # Defer compressing ``pos``: keep the surviving
+                # candidate indices instead and gather the few winners'
+                # positions at the end -- one narrow index array beats
+                # a full-width compress of ``pos`` per level.
+                fidx = np.flatnonzero(fresh)
+            if ncodes.size == 0:
+                break
+            # First-occurrence dedup within the level, no sorting: scatter
+            # candidate positions in reverse (so the earliest write wins),
+            # then a candidate that reads back its own position is the
+            # first discoverer of its cell.  Compressing by that mask keeps
+            # candidate order -- exactly the sequential kernel's discovery
+            # order.  Each winner's parent is the owner of its flat row
+            # position, recovered by bisecting indptr over winners only.
+            idxs = np.arange(ncodes.size, dtype=cdt)
+            stamp[ncodes[::-1]] = idxs[::-1]
+            win = stamp[ncodes] == idxs
+            new = ncodes[win]
+            if need_parents:
+                parent[new] = (
+                    np.searchsorted(indptr, pos[fidx[win]], side="right") - 1
+                )
+        unseen[new] = False
+        nunseen -= new.size
+        if need_depths:
+            depth[new] = level
+        levels.append(new)
+        frontier = new
+    if not grouped:
+        return parent
+    codes = np.concatenate(levels)
+    roots_of = codes // n
+    order = np.argsort(roots_of, kind="stable")
+    sorted_codes = codes[order]
+    counts = np.bincount(roots_of, minlength=nroots).tolist()
+    vs_all = (sorted_codes % n).tolist()
+    ds_all = depth[sorted_codes].tolist() if need_depths else []
+    ps_all = parent[sorted_codes].tolist() if need_parents else []
+    results: List[Tuple[List[int], List[float], List[int]]] = []
+    off = 0
+    for r in range(nroots):
+        end = off + counts[r]
+        results.append((
+            vs_all[off:end],
+            ds_all[off:end] if need_depths else [],
+            ps_all[off:end] if need_parents else [],
+        ))
+        off = end
+    return results
+
+
+def split_parent_plane(plane, nroots: int, n: int):
+    """Split a raw parent plane into per-root child/parent id lists.
+
+    Companion to ``csr_bfs_multi_numpy(..., grouped=False)``.  Returns
+    ``(children, parents, bounds)``: flat Python lists of child and
+    parent vertex ids covering every reached non-root cell (those with
+    ``parent >= 0``), plus per-root slice bounds so root ``r``'s pairs
+    live at ``bounds[r]:bounds[r + 1]``.  Children come out in ascending
+    vertex order rather than discovery order -- callers build mappings,
+    which are order-insensitive, and skipping the discovery-order sort
+    is precisely the point of the raw plane.
+    """
+    np = _np
+    codes = np.flatnonzero(plane >= 0)
+    parents = plane[codes].tolist()
+    children = (codes % n).tolist()
+    bounds = [0] * (nroots + 1)
+    bounds[1:] = np.searchsorted(
+        codes, np.arange(1, nroots + 1, dtype=np.int64) * n
+    ).tolist()
+    return children, parents, bounds
 
 
 def dijkstra(

@@ -105,6 +105,12 @@ class SpannerSession:
         profile (hop-BFS on unit graphs, Dial bucket queue /
         bidirectional Dijkstra on integral weights, binary heap
         otherwise); answers are bit-identical on every legal engine.
+        ``'batch'`` routes batched queries (oracle pair batches,
+        full routing tables, availability scenario probes) through the
+        multi-source kernels -- many roots per frontier pass -- and
+        resolves like ``'auto'`` for lone queries; it is integral-only,
+        like ``'bucket'``.  ``None`` consults the ``REPRO_SEARCH``
+        environment variable before falling back to ``'auto'``.
         Validated eagerly by name; the integral-only engines raise
         :class:`~repro.graph.snapshot.UnsupportedSearch` when a
         float-weighted snapshot is first probed.  The dict backend

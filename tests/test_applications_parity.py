@@ -180,7 +180,7 @@ def _engine_instance(weighted: bool, fault_model: str):
     return g, prebuilt, scenarios, rng
 
 
-ENGINES = ["auto", "heap", "bucket", "bidir"]
+ENGINES = ["auto", "heap", "bucket", "bidir", "batch"]
 
 
 @pytest.mark.parametrize("weighted", [False, True],
@@ -245,7 +245,7 @@ class TestSearchEngineValidationInApplications:
         prebuilt = fault_tolerant_spanner(g, 2, 1)
         from repro.graph.snapshot import UnsupportedSearch
 
-        for search in ("bucket", "bidir"):
+        for search in ("bucket", "bidir", "batch"):
             oracle = FaultTolerantDistanceOracle(
                 g, 2, 1, prebuilt=prebuilt, backend="csr", search=search
             )

@@ -333,7 +333,7 @@ class TestSearchEngineParity:
     onto graphs the auto policy would answer with BFS.
     """
 
-    ENGINES = ["auto", "heap", "bucket", "bidir"]
+    ENGINES = ["auto", "heap", "bucket", "bidir", "batch"]
 
     @staticmethod
     def _graph(weighted, seed=4):
@@ -414,7 +414,7 @@ class TestSearchEngineParity:
 
         g = generators.weighted_gnp(14, 0.3, seed=4)
         h = fault_tolerant_spanner(g, 2, 1).spanner
-        for search in ("bucket", "bidir"):
+        for search in ("bucket", "bidir", "batch"):
             with pytest.raises(UnsupportedSearch, match="float"):
                 verify_ft_spanner(g, h, t=3, f=1, backend="csr",
                                   search=search)

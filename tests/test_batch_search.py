@@ -1,0 +1,190 @@
+"""Property tests for the multi-source batch engine (``search="batch"``).
+
+The contract under test: a batched query is *bit-identical* to the
+sequential per-root queries it replaces -- same keys, same values, same
+python types -- across weight profiles, fault scenarios, repeated
+roots, disconnected graphs, and both the numpy and stdlib kernel
+variants.  The batch engine is pure execution policy; any observable
+difference from the sequential path is a bug.
+"""
+
+import random
+
+import pytest
+
+from repro.graph import generators
+from repro.graph.snapshot import (
+    SEARCH_ENV_VAR,
+    CSRSnapshot,
+    ScenarioSweep,
+    UnsupportedSearch,
+)
+from repro.graph.traversal import BATCH_ACCEL_ENV_VAR, HAVE_NUMPY
+
+
+def _instance(n, p, weights, seed):
+    g = generators.gnp_random_graph(n, p, seed=seed)
+    if weights == "int":
+        g = generators.with_random_weights(
+            g, low=1.0, high=9.0, seed=seed, integral=True
+        )
+    return g
+
+
+def _sweep_pair(g, faults=()):
+    """A batch sweep and a sequential (auto) sweep on one snapshot."""
+    snap = CSRSnapshot(g)
+    batch = ScenarioSweep(snap, search="batch")
+    seq = ScenarioSweep(snap, search="auto")
+    if faults:
+        batch.set_vertex_faults(faults)
+        seq.set_vertex_faults(faults)
+    return batch, seq
+
+
+class TestBatchEqualsSequential:
+    """distances_multi / parents_multi == per-root sequential calls."""
+
+    @pytest.mark.parametrize("weights", ["unit", "int"])
+    def test_random_graphs_random_faults(self, weights):
+        rng = random.Random(90)
+        for trial in range(12):
+            n = rng.choice([8, 25, 60])
+            g = _instance(n, rng.choice([0.08, 0.2, 0.4]), weights,
+                          seed=trial)
+            nodes = sorted(g.nodes())
+            faults = rng.sample(nodes, rng.randint(0, min(4, n - 1)))
+            alive = [v for v in nodes if v not in set(faults)]
+            if not alive:
+                continue
+            roots = rng.sample(alive, rng.randint(1, len(alive)))
+            batch, seq = _sweep_pair(g, faults)
+            dists = batch.distances_multi(roots)
+            parents = batch.parents_multi(roots)
+            for r, d, p in zip(roots, dists, parents):
+                assert d == seq.distances_from(r)
+                assert p == seq.parents_toward(r)
+                # Bit-identical includes python types (an int key must
+                # not come back as a numpy scalar).
+                for k, v in d.items():
+                    assert type(k) is int
+                    assert type(v) is float or type(v) is int
+                for k, v in p.items():
+                    assert type(k) is int and type(v) is int
+
+    def test_repeated_roots(self):
+        g = generators.ensure_connected(
+            _instance(30, 0.15, "unit", seed=5), seed=5
+        )
+        batch, seq = _sweep_pair(g)
+        roots = [3, 7, 3, 3, 11, 7]
+        dists = batch.distances_multi(roots)
+        parents = batch.parents_multi(roots)
+        for r, d, p in zip(roots, dists, parents):
+            assert d == seq.distances_from(r)
+            assert p == seq.parents_toward(r)
+        # Duplicates answer independently and identically.
+        assert dists[0] == dists[2] == dists[3]
+        assert parents[1] == parents[5]
+
+    def test_disconnected_components(self):
+        # No ensure_connected: sparse G(n, p) fragments, so batches mix
+        # roots whose reachable sets are small islands.
+        rng = random.Random(31)
+        for trial in range(6):
+            g = _instance(50, 0.03, "unit", seed=trial + 70)
+            nodes = sorted(g.nodes())
+            roots = rng.sample(nodes, 20)
+            batch, seq = _sweep_pair(g)
+            for r, d in zip(roots, batch.distances_multi(roots)):
+                assert d == seq.distances_from(r)
+            for r, p in zip(roots, batch.parents_multi(roots)):
+                assert p == seq.parents_toward(r)
+
+    def test_empty_batch(self):
+        g = _instance(10, 0.3, "unit", seed=2)
+        batch, _ = _sweep_pair(g)
+        assert batch.distances_multi([]) == []
+        assert batch.parents_multi([]) == []
+
+    def test_faulted_root_raises_keyerror(self):
+        g = generators.ensure_connected(
+            _instance(20, 0.2, "unit", seed=9), seed=9
+        )
+        batch, seq = _sweep_pair(g, faults=[4])
+        with pytest.raises(KeyError):
+            batch.distances_multi([0, 4, 1])
+        with pytest.raises(KeyError):
+            batch.parents_multi([4])
+        with pytest.raises(KeyError):
+            seq.distances_from(4)  # same contract as the sequential path
+
+    def test_unknown_root_raises_keyerror(self):
+        g = _instance(12, 0.3, "unit", seed=1)
+        batch, _ = _sweep_pair(g)
+        with pytest.raises(KeyError):
+            batch.distances_multi([0, "nope"])
+
+
+class TestAccelVariants:
+    """The numpy and stdlib kernels answer identically."""
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not importable")
+    def test_numpy_matches_stdlib(self, monkeypatch):
+        rng = random.Random(17)
+        for trial in range(6):
+            g = _instance(40, rng.choice([0.05, 0.15]), "unit",
+                          seed=trial + 40)
+            nodes = sorted(g.nodes())
+            faults = rng.sample(nodes, 2)
+            roots = [v for v in nodes if v not in set(faults)][:25]
+
+            monkeypatch.setenv(BATCH_ACCEL_ENV_VAR, "stdlib")
+            batch, _ = _sweep_pair(g, faults)
+            d_std = batch.distances_multi(roots)
+            p_std = batch.parents_multi(roots)
+
+            monkeypatch.setenv(BATCH_ACCEL_ENV_VAR, "numpy")
+            batch, _ = _sweep_pair(g, faults)
+            assert batch.distances_multi(roots) == d_std
+            assert batch.parents_multi(roots) == p_std
+
+    def test_stdlib_fallback_is_exact(self, monkeypatch):
+        # Forcing the stdlib loops must not change any answer relative
+        # to a sequential sweep (the gate HAVE_NUMPY protects).
+        monkeypatch.setenv(BATCH_ACCEL_ENV_VAR, "stdlib")
+        g = generators.ensure_connected(
+            _instance(25, 0.2, "unit", seed=3), seed=3
+        )
+        batch, seq = _sweep_pair(g)
+        roots = sorted(g.nodes())
+        for r, d in zip(roots, batch.distances_multi(roots)):
+            assert d == seq.distances_from(r)
+
+
+class TestSearchEnvOverride:
+    """REPRO_SEARCH names the default engine for search=None."""
+
+    def test_env_selects_batch(self, monkeypatch):
+        monkeypatch.setenv(SEARCH_ENV_VAR, "batch")
+        g = _instance(10, 0.4, "unit", seed=6)
+        sweep = ScenarioSweep(CSRSnapshot(g))
+        assert sweep.search == "batch"
+
+    def test_explicit_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv(SEARCH_ENV_VAR, "heap")
+        g = _instance(10, 0.4, "unit", seed=6)
+        sweep = ScenarioSweep(CSRSnapshot(g), search="batch")
+        assert sweep.search == "batch"
+
+    def test_invalid_env_value_rejected(self, monkeypatch):
+        monkeypatch.setenv(SEARCH_ENV_VAR, "warp")
+        g = _instance(10, 0.4, "unit", seed=6)
+        with pytest.raises(UnsupportedSearch, match="unknown"):
+            ScenarioSweep(CSRSnapshot(g))
+
+    def test_env_batch_rejected_on_float_snapshot(self, monkeypatch):
+        monkeypatch.setenv(SEARCH_ENV_VAR, "batch")
+        g = generators.weighted_gnp(10, 0.4, seed=8)
+        with pytest.raises(UnsupportedSearch, match="float"):
+            ScenarioSweep(CSRSnapshot(g))

@@ -112,7 +112,7 @@ class TestBucketEngineParity:
         snap = CSRSnapshot(g)
         sweeps = {
             s: ScenarioSweep(snap, search=s)
-            for s in ("heap", "bucket", "bidir")
+            for s in ("heap", "bucket", "bidir", "batch")
         }
         nodes = sorted(g.nodes())
         edges = list(g.edges())
@@ -246,7 +246,7 @@ class TestEngineSelection:
         with pytest.raises(UnsupportedSearch, match="unknown"):
             resolve_search("dial")
         assert validate_search("bucket", "int", "unit") == "bucket"
-        for s in ("bucket", "bidir"):
+        for s in ("bucket", "bidir", "batch"):
             with pytest.raises(UnsupportedSearch, match="float"):
                 validate_search(s, "int", "float")
         # The heap and auto engines run anywhere.
@@ -278,7 +278,7 @@ class TestEngineSelection:
 
     def test_sweep_rejects_integral_engines_on_float_snapshot(self):
         snap = CSRSnapshot(generators.weighted_gnp(10, 0.5, seed=2))
-        for s in ("bucket", "bidir"):
+        for s in ("bucket", "bidir", "batch"):
             with pytest.raises(UnsupportedSearch, match="float"):
                 ScenarioSweep(snap, search=s)
         ScenarioSweep(snap, search="heap")  # fine
