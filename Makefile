@@ -1,7 +1,7 @@
 PYTHON ?= python
 
-.PHONY: test verify bench bench-apps bench-weighted bench-batch \
-	check-bench examples
+.PHONY: test verify bench bench-apps bench-flow bench-weighted \
+	bench-batch check-bench examples
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -17,6 +17,12 @@ bench:
 # Full applications benchmark: rewrites BENCH_applications.json.
 bench-apps:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_applications.py
+
+# Flow-engine verification benchmark: exhaustive fault-set sweep vs
+# Dinic witness certificates, verdict parity asserted per instance.
+# Full mode rewrites BENCH_flow.json; CI runs it with QUICK=--quick.
+bench-flow:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_flow.py $(QUICK)
 
 # Weighted-engine parity smoke: the bucket-queue / bidirectional
 # Dijkstra scenarios only, quick instances, dict-vs-csr answers

@@ -19,7 +19,13 @@ Checks, per report:
   ``seconds_*`` timings (``seconds_dict``/``seconds_csr`` in the
   backend-comparison scenarios; other baseline pairs are legal), a
   ``speedup`` consistent with those timings (to rounding), and
-  ``identical_outputs`` exactly ``true``.
+  ``identical_outputs`` exactly ``true``;
+* flow-benchmark instances (``seconds_exhaustive`` vs
+  ``seconds_witness``, as in ``BENCH_flow.json``) additionally carry an
+  integral fault budget ``f >= 1`` and witness coverage counts with
+  ``0 <= pairs_witnessed <= pairs_checked`` -- here
+  ``identical_outputs`` asserts *verdict* parity between witness mode
+  and the exhaustive sweep at full proof strength.
 
 Exit status 0 when every report passes, 1 otherwise.
 
@@ -117,6 +123,29 @@ def check_report(path: Path, errors: list) -> None:
                       f"identical_outputs must be true, got "
                       f"{inst['identical_outputs']!r} -- the recorded "
                       f"speedup was not parity-checked")
+            if "seconds_witness" in timings:
+                _check_flow_instance(path, iw, inst, timings, errors)
+
+
+def _check_flow_instance(path, iw, inst, timings, errors) -> None:
+    """Extra schema for witness-vs-exhaustive rows (BENCH_flow.json)."""
+    if sorted(timings) != ["seconds_exhaustive", "seconds_witness"]:
+        _fail(errors, path, iw,
+              f"witness rows must time seconds_exhaustive against "
+              f"seconds_witness, got {sorted(timings)}")
+    f = inst.get("f")
+    if not (isinstance(f, int) and f >= 1):
+        _fail(errors, path, iw,
+              f"flow instance needs an integral fault budget f >= 1, "
+              f"got {f!r}")
+    checked = inst.get("pairs_checked")
+    witnessed = inst.get("pairs_witnessed")
+    if not (isinstance(checked, int) and isinstance(witnessed, int)
+            and 0 <= witnessed <= checked):
+        _fail(errors, path, iw,
+              f"need witness coverage counts with 0 <= pairs_witnessed "
+              f"<= pairs_checked, got pairs_witnessed={witnessed!r}, "
+              f"pairs_checked={checked!r}")
 
 
 def main(argv) -> int:

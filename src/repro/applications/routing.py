@@ -42,6 +42,8 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple, Union
 
 from repro.core.greedy_modified import fault_tolerant_spanner
 from repro.core.spanner import FaultModel, SpannerResult, resolve_backend
+from repro.flow.dinitz import DisjointPathNetwork, FlowWorkspace
+from repro.graph.csr import CSRGraph
 from repro.graph.graph import Edge, Graph, Node, edge_key
 from repro.graph.snapshot import CSRSnapshot, ScenarioSweep, resolve_search
 from repro.graph.views import EdgeFaultView, VertexFaultView
@@ -105,6 +107,9 @@ class SpannerRouter:
         # Per fault set: per destination: node -> next hop toward dest.
         self._tables: Dict[FrozenSet, Dict[Node, Dict[Node, Node]]] = {}
         self._sweep: Optional[ScenarioSweep] = None
+        # Lazy flow substrate for disjoint_routes: (csr, indexer,
+        # DisjointPathNetwork, FlowWorkspace), built on first use.
+        self._flow: Optional[Tuple] = None
         if snapshot is not None:
             if self.backend != "csr":
                 raise ValueError("snapshot= requires the csr backend")
@@ -164,6 +169,77 @@ class SpannerRouter:
         return sum(
             self.spanner.weight(a, b) for a, b in zip(path, path[1:])
         )
+
+    def disjoint_routes(
+        self,
+        source: Node,
+        dest: Node,
+        count: Optional[int] = None,
+        faults: Optional[Iterable] = None,
+    ) -> List[List[Node]]:
+        """``count`` pairwise disjoint routes from ``source`` to ``dest``.
+
+        Fault-diverse routing: the returned routes are pairwise
+        internally vertex-disjoint under the vertex model (edge-disjoint
+        under the edge model), so any single fault -- any ``count - 1``
+        faults, by Menger -- leaves at least one of them intact.
+        ``count`` defaults to ``f + 1``, matching the spanner's fault
+        budget.  Already-reported ``faults`` are excluded from every
+        route.
+
+        Routes come from the CSR Dinic engine
+        (:class:`repro.flow.dinitz.DisjointPathNetwork`) over the frozen
+        spanner, so a query costs one unit-capacity max-flow run, not a
+        table build; the network and workspace are cached on the router.
+        Raises :class:`RoutingError` when fewer than ``count`` disjoint
+        routes survive.
+        """
+        if source == dest:
+            raise ValueError("source equals destination")
+        if count is None:
+            count = self.f + 1
+        if count < 1:
+            raise ValueError(f"need count >= 1, got {count}")
+        for node in (source, dest):
+            if not self.spanner.has_node(node):
+                raise KeyError(f"{node!r} not in graph")
+        fault_key = self._normalize(faults)
+        if self.fault_model is FaultModel.VERTEX and (
+            source in fault_key or dest in fault_key
+        ):
+            raise ValueError("route endpoint is in the fault set")
+        csr, indexer, network, workspace = self._flow_engine()
+        banned_vertices: List[int] = []
+        banned_edges: List[int] = []
+        if fault_key:
+            if self.fault_model is FaultModel.VERTEX:
+                banned_vertices = [
+                    i
+                    for i in (indexer.get(x) for x in fault_key)
+                    if i is not None
+                ]
+            else:
+                for a, b in fault_key:
+                    ia = indexer.get(a)
+                    ib = indexer.get(b)
+                    if ia is None or ib is None or not csr.has_edge(ia, ib):
+                        continue
+                    banned_edges.append(csr.edge_id(ia, ib))
+        raw = network.disjoint_paths(
+            indexer.index(source),
+            indexer.index(dest),
+            workspace=workspace,
+            limit=count,
+            banned_vertices=banned_vertices,
+            banned_edges=banned_edges,
+        )
+        if len(raw) < count:
+            raise RoutingError(
+                f"only {len(raw)} disjoint routes from {source!r} to "
+                f"{dest!r} survive; {count} requested"
+            )
+        node_of = indexer.node
+        return [[node_of(i) for i in path] for path in raw]
 
     def table(
         self, dest: Node, faults: Optional[Iterable] = None
@@ -252,6 +328,34 @@ class SpannerRouter:
         if self.fault_model is FaultModel.VERTEX:
             return VertexFaultView(self.spanner, fault_key)
         return EdgeFaultView(self.spanner, fault_key)
+
+    def _flow_engine(self) -> Tuple:
+        """The cached (csr, indexer, network, workspace) flow substrate.
+
+        On the CSR backend the substrate shares the sweep's frozen
+        snapshot; the dict backend freezes its own CSR copy of the
+        spanner on first use (the spanner never mutates after
+        construction, so one freeze is enough either way).
+        """
+        if self._flow is None:
+            if self.backend == "csr":
+                sweep = self._sweep
+                if sweep is None:
+                    sweep = self._sweep = ScenarioSweep(
+                        self.spanner, search=self.search
+                    )
+                csr = sweep.snap.csr
+                indexer = sweep.snap.indexer
+            else:
+                csr = CSRGraph.from_graph(self.spanner)
+                indexer = csr.indexer
+            self._flow = (
+                csr,
+                indexer,
+                DisjointPathNetwork(csr, self.fault_model.value),
+                FlowWorkspace(),
+            )
+        return self._flow
 
     def _stamped_sweep(self, fault_key: FrozenSet) -> ScenarioSweep:
         """The shared snapshot sweep, re-stamped for ``fault_key``."""

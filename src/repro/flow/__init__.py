@@ -1,0 +1,30 @@
+"""Max-flow: the paper's namesake algorithm, as a certificate engine.
+
+Dinic's algorithm (level-graph BFS + blocking-flow DFS) runs on the
+same flat-array substrate as the rest of the library and exists here
+for one purpose: Menger's theorem turns disjoint-path counts into
+*polynomial* fault-tolerance witnesses -- f+1 pairwise disjoint short
+paths between a pair certify that no fault set of size f can stretch
+it, with no ``C(n, f)`` enumeration anywhere.
+
+:mod:`repro.flow.dinitz` holds the engine; the consumers are
+``verify_ft_spanner(mode="witness")``, the ``disjoint_paths``
+certificate API in :mod:`repro.verification.certificates`, and
+``SpannerRouter.disjoint_routes``.
+"""
+
+from repro.flow.dinitz import (
+    DisjointPathNetwork,
+    FlowNetwork,
+    FlowWorkspace,
+    decompose_paths,
+    dinitz_max_flow,
+)
+
+__all__ = [
+    "DisjointPathNetwork",
+    "FlowNetwork",
+    "FlowWorkspace",
+    "decompose_paths",
+    "dinitz_max_flow",
+]

@@ -1,0 +1,492 @@
+"""Dinic's (Dinitz') max-flow on CSR-derived residual networks.
+
+The engine follows the classic two-phase structure (the same shape as
+the exemplar C++ implementations this subsystem is modeled on):
+
+1. *Level phase* -- a BFS over the residual graph assigns each node its
+   hop level from the source; only arcs that step exactly one level
+   forward participate in the next phase.
+2. *Blocking-flow phase* -- a DFS with per-node current-arc pointers
+   repeatedly augments along level-increasing paths until none remain,
+   never rescanning an arc that was already rejected.
+
+State lives in a :class:`FlowWorkspace` with the same generation-stamp
+discipline as :class:`~repro.graph.traversal.BFSWorkspace`: the level
+and current-arc arrays are validated by a per-phase ``bytearray`` stamp,
+so starting a new phase (or a new query on a reused workspace) is O(1)
+instead of O(n) clears.
+
+Networks use the paired-arc residual layout: arcs are appended in
+pairs, arc ``a`` and ``a ^ 1`` are mutual reverses, and pushing ``x``
+units over ``a`` means ``cap[a] -= x; cap[a ^ 1] += x``.  Capacities
+are integers; the *unit* blocking flow (``unit=True``) exploits
+all-capacities-{0,1} networks -- every augmentation pushes exactly one
+unit and saturates its whole path -- while the *general* path computes
+the bottleneck explicitly.  Both take the same augmenting paths in the
+same order, so on a unit-capacity network their final residual arrays
+are bit-identical (``tests/test_flow.py`` asserts this).
+
+:class:`DisjointPathNetwork` is the consumer this subsystem exists for:
+it builds, straight from :class:`~repro.graph.csr.CSRGraph` rows, the
+unit-capacity network whose max s-t flow value *is* the number of
+pairwise edge-disjoint (fault model ``"edge"``) or internally
+vertex-disjoint (``"vertex"``, via the vertex-splitting transform)
+u-v paths -- Menger's theorem.  :func:`decompose_paths` then extracts
+the actual paths from the integral flow, which is what turns a flow
+value into a checkable fault-tolerance certificate.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Tuple
+
+from repro.graph.csr import CSRLike
+
+INFINITY = math.inf
+
+FLOW_FAULT_MODELS = ("vertex", "edge")
+
+
+class FlowWorkspace:
+    """Reusable, generation-stamped scratch state for Dinic's algorithm.
+
+    ``level[x]`` and ``arc_it[x]`` are only meaningful while
+    ``stamp[x] == gen``; a new BFS phase bumps the generation instead of
+    clearing the arrays.  ``arc_it`` holds the blocking-flow DFS's
+    current-arc pointer (an index into the node's adjacency row), the
+    invariant that makes a whole phase O(V * E) instead of O(V * E^2):
+    arcs rejected once stay rejected for the rest of the phase.
+
+    Grow-only (``ensure``), so one workspace serves many queries on
+    networks of varying size, exactly like ``BFSWorkspace``.
+    """
+
+    __slots__ = ("level", "arc_it", "stamp", "gen", "queue", "stack")
+
+    def __init__(self, num_nodes: int = 0) -> None:
+        self.level = [0] * num_nodes
+        self.arc_it = [0] * num_nodes
+        self.stamp = bytearray(num_nodes)
+        self.gen = 0
+        self.queue = [0] * num_nodes
+        self.stack: List[int] = []
+
+    def ensure(self, num_nodes: int) -> None:
+        """Grow every array to cover ``num_nodes`` flow nodes."""
+        have = len(self.level)
+        if num_nodes > have:
+            grow = num_nodes - have
+            self.level.extend([0] * grow)
+            self.arc_it.extend([0] * grow)
+            self.stamp.extend(b"\x00" * grow)
+            self.queue.extend([0] * grow)
+
+    def next_generation(self) -> int:
+        """Advance the stamp; zero-fill only on the 1-byte wraparound."""
+        self.gen += 1
+        if self.gen == 256:
+            self.gen = 1
+            self.stamp[:] = bytes(len(self.stamp))
+        return self.gen
+
+
+class FlowNetwork:
+    """A directed residual network in the paired-arc layout.
+
+    ``add_arc(u, v, cap, rev_cap)`` appends the forward arc and its
+    reverse as consecutive ids, so ``a ^ 1`` is always the partner.
+    ``cap`` holds *residual* capacities and is what max-flow mutates;
+    ``base`` keeps the as-built capacities so :meth:`reset` restores a
+    pristine network in one slice assignment and so ``flow_on`` can
+    recover the (antisymmetric) flow value per arc.  Arcs disabled for
+    the current query via :meth:`ban_arc` are tracked so flow
+    accounting treats their capacity as 0, not as saturated.
+    """
+
+    __slots__ = ("num_nodes", "head", "cap", "base", "adj", "banned")
+
+    def __init__(self, num_nodes: int) -> None:
+        self.num_nodes = num_nodes
+        self.head: List[int] = []
+        self.cap: List[int] = []
+        self.base: List[int] = []
+        self.adj: List[List[int]] = [[] for _ in range(num_nodes)]
+        self.banned: List[int] = []
+
+    def add_arc(self, u: int, v: int, cap: int, rev_cap: int = 0) -> int:
+        """Append the arc pair u->v / v->u; return the forward arc id."""
+        if cap < 0 or rev_cap < 0:
+            raise ValueError("arc capacities must be non-negative")
+        a = len(self.head)
+        self.head.append(v)
+        self.cap.append(cap)
+        self.base.append(cap)
+        self.adj[u].append(a)
+        self.head.append(u)
+        self.cap.append(rev_cap)
+        self.base.append(rev_cap)
+        self.adj[v].append(a + 1)
+        return a
+
+    @property
+    def num_arcs(self) -> int:
+        return len(self.head)
+
+    def reset(self) -> None:
+        """Restore every residual capacity to its as-built value."""
+        self.cap[:] = self.base
+        self.banned.clear()
+
+    def ban_arc(self, a: int) -> None:
+        """Disable arc ``a`` for the current query (until :meth:`reset`)."""
+        self.cap[a] = 0
+        self.banned.append(a)
+
+    def flow_on(self, a: int) -> int:
+        """Net flow currently carried by arc ``a`` (negative = reverse)."""
+        if a in self.banned:
+            return -self.cap[a]
+        return self.base[a] - self.cap[a]
+
+    def tail(self, a: int) -> int:
+        """The node arc ``a`` leaves (the head of its partner)."""
+        return self.head[a ^ 1]
+
+
+def _bfs_phase(net: FlowNetwork, s: int, t: int, ws: FlowWorkspace) -> bool:
+    """Assign residual-graph levels from ``s``; True when ``t`` is reached.
+
+    Stamping a node also resets its current-arc pointer -- BFS touches
+    each reachable node exactly once per phase, so this is where the
+    blocking-flow DFS's iterators are (lazily) initialized.
+    """
+    gen = ws.next_generation()
+    stamp, level, arc_it, queue = ws.stamp, ws.level, ws.arc_it, ws.queue
+    head, cap, adj = net.head, net.cap, net.adj
+    stamp[s] = gen
+    level[s] = 0
+    arc_it[s] = 0
+    queue[0] = s
+    qhead, qtail = 0, 1
+    reached_t = False
+    while qhead < qtail:
+        x = queue[qhead]
+        qhead += 1
+        d = level[x] + 1
+        for a in adj[x]:
+            if cap[a] <= 0:
+                continue
+            y = head[a]
+            if stamp[y] == gen:
+                continue
+            stamp[y] = gen
+            level[y] = d
+            arc_it[y] = 0
+            if y == t:
+                reached_t = True
+            queue[qtail] = y
+            qtail += 1
+    return reached_t
+
+
+def _augment(
+    net: FlowNetwork,
+    s: int,
+    t: int,
+    ws: FlowWorkspace,
+    limit: float,
+    unit: bool,
+) -> int:
+    """Push one augmenting path through the current level graph.
+
+    Returns the units pushed (0 when the phase's level graph is
+    exhausted).  The traversal is identical for both specializations --
+    advance via the current-arc pointer into the next level, retreat and
+    dead-mark on failure -- they differ only in the push: the unit path
+    pushes exactly 1 and knows every path arc saturates, the general
+    path computes the bottleneck (capped at ``limit``).
+    """
+    head, cap, adj = net.head, net.cap, net.adj
+    level, arc_it, stamp, gen = ws.level, ws.arc_it, ws.stamp, ws.gen
+    stack = ws.stack
+    stack.clear()
+    x = s
+    while True:
+        if x == t:
+            if unit:
+                push = 1
+            else:
+                push = limit
+                for a in stack:
+                    ca = cap[a]
+                    if ca < push:
+                        push = ca
+                push = int(push)
+            for a in stack:
+                cap[a] -= push
+                cap[a ^ 1] += push
+            return push
+        row = adj[x]
+        i = arc_it[x]
+        lx = level[x]
+        chosen = -1
+        n_row = len(row)
+        while i < n_row:
+            a = row[i]
+            if cap[a] > 0:
+                y = head[a]
+                if stamp[y] == gen and level[y] == lx + 1:
+                    chosen = a
+                    break
+            i += 1
+        arc_it[x] = i
+        if chosen >= 0:
+            stack.append(chosen)
+            x = head[chosen]
+        else:
+            # Dead end: nothing level-increasing leaves x this phase.
+            level[x] = -1
+            if not stack:
+                return 0
+            a = stack.pop()
+            x = head[a ^ 1]
+            arc_it[x] += 1  # skip the arc that led into the dead end
+
+
+def dinitz_max_flow(
+    net: FlowNetwork,
+    s: int,
+    t: int,
+    workspace: Optional[FlowWorkspace] = None,
+    limit: Optional[int] = None,
+    unit: Optional[bool] = None,
+) -> int:
+    """Max s-t flow of ``net``'s *current* residual state.
+
+    Mutates ``net.cap`` in place (call :meth:`FlowNetwork.reset` to
+    reuse the network).  ``limit`` stops early once that much flow is
+    routed -- for disjoint-path queries that only need to reach f+1,
+    the remaining phases are pure waste.  ``unit`` forces the
+    unit-capacity or general blocking-flow specialization; ``None``
+    auto-detects from the as-built capacities.  Both specializations
+    produce bit-identical residual arrays on unit-capacity networks.
+    """
+    if not (0 <= s < net.num_nodes and 0 <= t < net.num_nodes):
+        raise ValueError(f"terminals ({s}, {t}) outside the network")
+    if s == t:
+        raise ValueError("source equals sink")
+    ws = workspace if workspace is not None else FlowWorkspace()
+    ws.ensure(net.num_nodes)
+    if unit is None:
+        unit = all(c <= 1 for c in net.base)
+    remaining = INFINITY if limit is None else limit
+    flow = 0
+    while remaining > 0 and _bfs_phase(net, s, t, ws):
+        while remaining > 0:
+            pushed = _augment(net, s, t, ws, remaining, unit)
+            if pushed == 0:
+                break
+            flow += pushed
+            remaining -= pushed
+    return flow
+
+
+def decompose_paths(net: FlowNetwork, s: int, t: int) -> List[List[int]]:
+    """Extract the s-t paths carried by ``net``'s current flow.
+
+    Walks positive-flow arcs from ``s``, consuming one unit per step;
+    flow conservation guarantees every walk reaches ``t``.  Returns one
+    node sequence per flow unit (so ``len(result)`` equals the flow
+    value).  Flow cycles not on any s-t path are simply left
+    unconsumed; loops a walk does pick up are spliced out, so every
+    returned path is simple.
+    """
+    head, cap, base, adj = net.head, net.cap, net.base, net.adj
+    flow = [base[a] - cap[a] for a in range(len(base))]
+    for a in net.banned:
+        # A banned arc's effective capacity is 0: it carries no flow, it
+        # is not a saturated unit.
+        flow[a] = -cap[a]
+    value = sum(flow[a] for a in adj[s])
+    it = [0] * net.num_nodes
+    paths: List[List[int]] = []
+    for _ in range(value):
+        walk = [s]
+        x = s
+        while x != t:
+            row = adj[x]
+            i = it[x]
+            while flow[row[i]] <= 0:
+                i += 1
+            it[x] = i
+            a = row[i]
+            flow[a] -= 1
+            flow[a ^ 1] += 1
+            x = head[a]
+            walk.append(x)
+        paths.append(_splice_loops(walk))
+    return paths
+
+
+def _splice_loops(walk: List[int]) -> List[int]:
+    """Cut any loops out of a walk, leaving a simple path."""
+    simple: List[int] = []
+    pos = {}
+    for node in walk:
+        if node in pos:
+            k = pos[node]
+            for dropped in simple[k + 1:]:
+                del pos[dropped]
+            del simple[k + 1:]
+        else:
+            pos[node] = len(simple)
+            simple.append(node)
+    return simple
+
+
+class DisjointPathNetwork:
+    """Disjoint-path counting over a frozen CSR graph, via max-flow.
+
+    Built once per (graph, fault model) and reused across queries: each
+    call to :meth:`disjoint_paths` resets the residual capacities
+    (O(arcs) slice copy), re-applies the banned elements, and runs
+    Dinic's from one terminal to the other.
+
+    ``fault_model="edge"`` -- flow nodes are the graph's node indices;
+    each undirected edge {a, b} becomes ONE arc pair with capacity 1 in
+    both directions (each arc is the other's residual), so the max flow
+    is the number of pairwise edge-disjoint a-b paths.
+
+    ``fault_model="vertex"`` -- the vertex-splitting transform: node
+    ``x`` becomes ``x_in = 2x`` and ``x_out = 2x + 1`` joined by a
+    unit-capacity internal arc, and edge {a, b} becomes the two
+    unit-capacity arcs ``a_out -> b_in`` and ``b_out -> a_in``.  Flow
+    through any non-terminal vertex is then capped at 1, so the max
+    ``u_out -> v_in`` flow is the number of *internally* vertex-disjoint
+    u-v paths; the terminals' own internal arcs sit outside the s-t
+    flow and never constrain it.
+    """
+
+    __slots__ = ("csr", "fault_model", "net", "edge_arcs", "node_arcs")
+
+    def __init__(self, csr: CSRLike, fault_model: str = "vertex") -> None:
+        if fault_model not in FLOW_FAULT_MODELS:
+            raise ValueError(f"unknown fault model {fault_model!r}")
+        self.csr = csr
+        self.fault_model = fault_model
+        n = csr.num_nodes
+        m = csr.num_edges
+        edge_u, edge_v = csr.edge_u, csr.edge_v
+        self.edge_arcs: List[Tuple[int, ...]] = []
+        self.node_arcs: List[int] = []
+        if fault_model == "edge":
+            net = FlowNetwork(n)
+            for eid in range(m):
+                a = net.add_arc(edge_u[eid], edge_v[eid], 1, rev_cap=1)
+                self.edge_arcs.append((a,))
+        else:
+            net = FlowNetwork(2 * n)
+            for x in range(n):
+                self.node_arcs.append(net.add_arc(2 * x, 2 * x + 1, 1))
+            for eid in range(m):
+                a, b = edge_u[eid], edge_v[eid]
+                p = net.add_arc(2 * a + 1, 2 * b, 1)
+                q = net.add_arc(2 * b + 1, 2 * a, 1)
+                self.edge_arcs.append((p, q))
+        self.net = net
+
+    # ------------------------------------------------------------- #
+
+    def source_of(self, i: int) -> int:
+        """The flow node queries leave from, for graph index ``i``."""
+        return 2 * i + 1 if self.fault_model == "vertex" else i
+
+    def sink_of(self, i: int) -> int:
+        """The flow node queries arrive at, for graph index ``i``."""
+        return 2 * i if self.fault_model == "vertex" else i
+
+    def _ban_edge_id(self, eid: int) -> None:
+        for a in self.edge_arcs[eid]:
+            self.net.ban_arc(a)
+            self.net.ban_arc(a ^ 1)
+
+    def _ban_vertex(self, i: int) -> None:
+        if self.fault_model == "vertex":
+            a = self.node_arcs[i]
+            self.net.ban_arc(a)
+            self.net.ban_arc(a ^ 1)
+        else:
+            # No internal arc to cut; removing the vertex means removing
+            # its incident edges.
+            for eid in self.csr.edge_id_rows[i]:
+                self._ban_edge_id(eid)
+
+    def _to_graph_path(self, flow_path: List[int]) -> List[int]:
+        if self.fault_model == "edge":
+            return flow_path
+        path = []
+        for fn in flow_path:
+            g = fn >> 1
+            if not path or path[-1] != g:
+                path.append(g)
+        return path
+
+    # ------------------------------------------------------------- #
+
+    def max_flow(
+        self,
+        u: int,
+        v: int,
+        workspace: Optional[FlowWorkspace] = None,
+        limit: Optional[int] = None,
+        unit: Optional[bool] = True,
+        banned_vertices: Iterable[int] = (),
+        banned_edges: Iterable[int] = (),
+    ) -> int:
+        """The disjoint-path count from graph index ``u`` to ``v``.
+
+        Resets the network, bans the given vertices / edge ids, and
+        runs Dinic's.  The residual state is left in place afterwards so
+        :meth:`disjoint_paths` (which calls this) can decompose it.
+        """
+        if u == v:
+            raise ValueError("disjoint paths need distinct endpoints")
+        self.net.reset()
+        for x in banned_vertices:
+            self._ban_vertex(x)
+        for eid in banned_edges:
+            self._ban_edge_id(eid)
+        return dinitz_max_flow(
+            self.net, self.source_of(u), self.sink_of(v),
+            workspace=workspace, limit=limit, unit=unit,
+        )
+
+    def disjoint_paths(
+        self,
+        u: int,
+        v: int,
+        workspace: Optional[FlowWorkspace] = None,
+        limit: Optional[int] = None,
+        unit: Optional[bool] = True,
+        banned_vertices: Iterable[int] = (),
+        banned_edges: Iterable[int] = (),
+    ) -> List[List[int]]:
+        """Pairwise disjoint u-v paths, as graph-index node sequences.
+
+        Edge model: pairwise edge-disjoint.  Vertex model: pairwise
+        internally vertex-disjoint (only ``u`` and ``v`` shared).  The
+        returned list realizes the max flow (all of it, or ``limit``
+        paths when given) and is deterministic: arcs are scanned in CSR
+        construction order.
+        """
+        value = self.max_flow(
+            u, v, workspace=workspace, limit=limit, unit=unit,
+            banned_vertices=banned_vertices, banned_edges=banned_edges,
+        )
+        if value == 0:
+            return []
+        flow_paths = decompose_paths(
+            self.net, self.source_of(u), self.sink_of(v)
+        )
+        return [self._to_graph_path(p) for p in flow_paths]

@@ -255,13 +255,22 @@ class SpannerSession:
         t: Optional[float] = None,
         *,
         exhaustive_budget: int = 50_000,
-        samples: int = 300,
+        samples: Optional[int] = None,
+        mode: str = "sweep",
+        witness_pairs: Optional[int] = None,
     ) -> VerificationReport:
         """Verify the session spanner's fault-tolerance guarantee.
 
         ``t`` defaults to the session guarantee ``2k - 1``; fault budget,
         model, backend, and sampling seed come from the session.  On the
         CSR backend the sweep re-stamps the session's shared snapshot.
+
+        ``mode="witness"`` verifies via per-pair disjoint-path
+        certificates from the Dinic engine instead of the fault-set
+        sweep (same verdict, polynomial in f); in sweep mode a
+        fault-set space beyond ``exhaustive_budget`` raises
+        :class:`~repro.verification.SweepBudgetExceeded` unless
+        ``samples=`` opts into adversarial sampling.
         """
         h = self._require_result().spanner
         return verify_ft_spanner(
@@ -276,6 +285,8 @@ class SpannerSession:
             backend=self.backend,
             snapshot=self._dual_snapshot(),
             search=self.search,
+            mode=mode,
+            witness_pairs=witness_pairs,
         )
 
     def oracle(self, cache_size: int = 128) -> FaultTolerantDistanceOracle:

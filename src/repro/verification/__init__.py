@@ -11,7 +11,9 @@ Fault-tolerant spanner verification is itself expensive -- there are
   the *actual* worst-case stretch (with or without faults), used by the
   experiments to report measured stretch against the 2k-1 guarantee.
 * :mod:`~repro.verification.certificates` -- check LBC cut certificates
-  and greedy addition decisions independently of the construction code.
+  and greedy addition decisions independently of the construction code,
+  and produce/audit Menger disjoint-path certificates (the polynomial
+  YES-side witnesses behind ``verify_ft_spanner(mode="witness")``).
 
 Backends: the spanner check and the stretch sweeps run on the CSR
 backend by default (``backend=`` keyword / ``REPRO_BACKEND``; identical
@@ -23,7 +25,9 @@ certificate checks are dict-only replays (one BFS per certificate).
 """
 
 from repro.verification.spanner_check import (
+    VERIFY_MODES,
     Counterexample,
+    SweepBudgetExceeded,
     VerificationReport,
     is_spanner,
     verify_ft_spanner,
@@ -37,10 +41,14 @@ from repro.verification.stretch import (
 from repro.verification.certificates import (
     check_certificates,
     check_cut_certificate,
+    check_disjoint_paths,
+    disjoint_paths,
 )
 
 __all__ = [
+    "VERIFY_MODES",
     "Counterexample",
+    "SweepBudgetExceeded",
     "VerificationReport",
     "is_spanner",
     "verify_ft_spanner",
@@ -50,4 +58,6 @@ __all__ = [
     "stretch_of_pair",
     "check_certificates",
     "check_cut_certificate",
+    "check_disjoint_paths",
+    "disjoint_paths",
 ]

@@ -8,14 +8,41 @@ equivalent to the full definition but needs one Dijkstra per edge rather
 than all-pairs distances.
 
 Fault-set enumeration is exhaustive when ``C(n, f)`` (or ``C(m, f)``) is
-within ``exhaustive_budget``; otherwise a randomized adversary samples
-fault sets biased toward likely violations:
+within ``exhaustive_budget``; beyond the budget the caller must choose a
+fallback explicitly (:class:`SweepBudgetExceeded` otherwise): pass
+``samples=`` for a randomized adversary that draws fault sets biased
+toward likely violations --
 
 * uniform random sets (baseline),
 * sets concentrated in the neighborhood of a random edge's endpoints
   (local separators are how spanner paths actually die),
 * sets built by the LBC path-removal process itself (the strongest
-  structured attack available in the library).
+  structured attack available in the library)
+
+-- or ``mode="witness"`` for the polynomial certificate route.
+
+Witness mode
+------------
+``mode="witness"`` replaces fault-set enumeration with per-pair
+disjoint-path certificates (Menger's theorem): for each edge {u, v} of
+G, f+1 pairwise disjoint u-v paths in H -- internally vertex-disjoint
+under the vertex model, edge-disjoint under the edge model -- each of
+weighted length at most ``t * w(u, v)``, certify that *no* fault set of
+size <= f can break the pair: at most f of the paths can be hit, and a
+surviving one bounds ``d_{H\\F}(u, v)``.  The certificates come from
+the Dinic engine (:mod:`repro.flow.dinitz`) run on the ellipse-
+restricted spanner, polynomial per pair with no ``C(n, f)`` term
+anywhere.  An H-edge {u, v} within the length bound is a complete
+witness by itself: fault sets that break it also break the pair's
+relevance in G.
+
+Length-bounded Menger is not exact (a pair can survive every fault set
+without owning f+1 disjoint *short* paths), so a pair with no witness
+falls back to the exact per-pair fault sweep -- exhaustive within
+``exhaustive_budget``, else adversarially sampled.  The verdict
+therefore always agrees with ``mode="sweep"``; witness mode is the
+same decision computed with polynomial effort on every pair the flow
+engine can certify.
 
 Execution backends
 ------------------
@@ -50,13 +77,16 @@ from dataclasses import dataclass, field
 from typing import FrozenSet, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.core.spanner import resolve_backend
+from repro.flow.dinitz import DisjointPathNetwork, FlowWorkspace
 from repro.graph.csr import FaultMask
 from repro.graph.graph import Edge, Graph, Node, edge_key
 from repro.graph.traversal import (
     BFSWorkspace,
     DijkstraWorkspace,
     bounded_bfs_path,
+    csr_bfs_distances,
     csr_bounded_bfs_path,
+    csr_dijkstra,
     csr_weighted_distance,
     dijkstra,
 )
@@ -70,6 +100,43 @@ from repro.graph.snapshot import (
 )
 
 INFINITY = math.inf
+
+#: The verification modes ``verify_ft_spanner(mode=...)`` accepts, with
+#: their cost/soundness contracts -- the capability surface the CLI
+#: lists next to the algorithm registry.
+VERIFY_MODES = {
+    "sweep": "enumerate fault sets: exhaustive within exhaustive_budget "
+             "(a proof), else adversarial sampling via samples= "
+             "(evidence); cost grows as C(n, f)",
+    "witness": "per-pair (f+1)-disjoint-short-path certificates from "
+               "the Dinic max-flow engine (polynomial in n, m; no "
+               "C(n, f) term); pairs without a witness fall back to "
+               "the exact per-pair sweep -- verdict identical to "
+               "mode='sweep'",
+}
+
+
+class SweepBudgetExceeded(ValueError):
+    """The fault-set space exceeds the sweep budget and no fallback was
+    requested.
+
+    Raised by :func:`verify_ft_spanner` in ``mode="sweep"`` when the
+    number of fault sets is larger than ``exhaustive_budget`` and the
+    caller passed no ``samples=``: silently downgrading a proof to
+    sampled evidence buries the distinction, so the caller must pick
+    the fallback -- ``samples=`` for the adversarial sampler,
+    ``mode="witness"`` for polynomial certificates, or a bigger
+    ``exhaustive_budget``.
+    """
+
+    def __init__(self, total: int, budget: int) -> None:
+        super().__init__(
+            f"{total} fault sets exceed exhaustive_budget={budget}; "
+            f"pass samples= to sample adversarially, mode='witness' "
+            f"for disjoint-path certificates, or raise the budget"
+        )
+        self.total = total
+        self.budget = budget
 
 
 @dataclass(frozen=True)
@@ -94,15 +161,25 @@ class VerificationReport:
     """Outcome of a fault-tolerant spanner verification.
 
     ``ok`` is the verdict over everything that was checked;
-    ``exhaustive`` records whether the fault-set space was fully
-    enumerated (making ``ok=True`` a proof) or sampled (making it
-    evidence).
+    ``exhaustive`` records whether the verdict is a proof -- the fault
+    sets fully enumerated (sweep mode), or every pair either
+    certificate-witnessed or exhaustively fallback-swept (witness mode)
+    -- as opposed to sampled evidence.
+
+    ``mode`` echoes the verification mode; in witness mode
+    ``pairs_checked`` counts the pairs examined, ``pairs_witnessed``
+    how many of them were settled by a disjoint-path certificate (the
+    rest went through the per-pair fallback sweep, whose fault sets are
+    what ``fault_sets_checked`` counts).
     """
 
     ok: bool
     exhaustive: bool
     fault_sets_checked: int
     counterexample: Optional[Counterexample] = None
+    mode: str = "sweep"
+    pairs_checked: int = 0
+    pairs_witnessed: int = 0
 
     def __bool__(self) -> bool:
         return self.ok
@@ -138,20 +215,33 @@ def verify_ft_spanner(
     f: int,
     fault_model: str = "vertex",
     exhaustive_budget: int = 50_000,
-    samples: int = 300,
+    samples: Optional[int] = None,
     seed: Optional[int] = None,
     backend: Optional[str] = None,
     snapshot: Optional[DualCSRSnapshot] = None,
     search: Optional[str] = None,
+    mode: str = "sweep",
+    witness_pairs: Optional[int] = None,
 ) -> VerificationReport:
     """Verify that H is an f-fault-tolerant t-spanner of G.
 
-    Exhaustive when the number of fault sets of size exactly ``f`` is at
-    most ``exhaustive_budget`` (subsets of smaller size are covered
+    ``mode="sweep"`` (default) enumerates fault sets: exhaustive when
+    the number of fault sets of size up to ``f`` is at most
+    ``exhaustive_budget`` (subsets of smaller size are covered
     automatically: removing fewer faults only shrinks distances in both
     G and H... but not monotonically for the *ratio*, so smaller sizes
-    are enumerated too when exhaustive).  Otherwise ``samples`` fault
-    sets are drawn adversarially.
+    are enumerated too when exhaustive).  Beyond the budget, ``samples``
+    fault sets are drawn adversarially when ``samples=`` was given;
+    with no ``samples=`` the call raises :class:`SweepBudgetExceeded`
+    instead of silently downgrading the proof to sampled evidence.
+
+    ``mode="witness"`` checks the same property via per-pair
+    (f+1)-disjoint-short-path certificates from the Dinic max-flow
+    engine -- polynomial in n and m, no ``C(n, f)`` enumeration; pairs
+    the flow engine cannot certify fall back to the exact per-pair
+    sweep (see the module docstring).  ``witness_pairs=N`` spot-checks
+    ``N`` sampled pairs instead of every edge of G (the report is then
+    non-exhaustive).
 
     ``backend`` selects the sweep engine (see the module docstring); the
     report is identical either way.  On the CSR backend, ``snapshot``
@@ -165,19 +255,33 @@ def verify_ft_spanner(
         raise ValueError(f"unknown fault model {fault_model!r}")
     if f < 0:
         raise ValueError(f"need f >= 0, got {f}")
+    if mode not in VERIFY_MODES:
+        raise ValueError(
+            f"unknown verification mode {mode!r}; "
+            f"expected one of {tuple(VERIFY_MODES)}"
+        )
+    if witness_pairs is not None and mode != "witness":
+        raise ValueError("witness_pairs= requires mode='witness'")
     universe = _fault_universe(g, fault_model)
     unit = g.is_unit_weighted()
-    if resolve_backend(backend) == "csr":
+    backend_name = resolve_backend(backend)
+    if backend_name != "csr" and snapshot is not None:
+        raise ValueError("snapshot= requires the csr backend")
+    total = sum(_comb(len(universe), size) for size in range(f + 1))
+    if mode == "witness":
+        return _verify_witness(
+            g, h, t, f, fault_model, unit, universe, total,
+            exhaustive_budget, samples, seed, backend_name, snapshot,
+            search, witness_pairs,
+        )
+    if backend_name == "csr":
         check = _CSRSweep(
             g, h, t, fault_model, unit, snapshot=snapshot, search=search
         ).check
     else:
-        if snapshot is not None:
-            raise ValueError("snapshot= requires the csr backend")
         resolve_search(search)  # validate the name even on the dict path
         def check(faults):
             return _check_fault_set(g, h, t, faults, fault_model, unit)
-    total = sum(_comb(len(universe), size) for size in range(f + 1))
     checked = 0
     if total <= exhaustive_budget:
         for faults in _all_fault_sets(universe, f):
@@ -193,6 +297,8 @@ def verify_ft_spanner(
         return VerificationReport(
             ok=True, exhaustive=True, fault_sets_checked=checked
         )
+    if samples is None:
+        raise SweepBudgetExceeded(total, exhaustive_budget)
     rng = random.Random(seed)
     for faults in _adversarial_fault_sets(
         g, h, t, f, fault_model, rng, samples
@@ -240,21 +346,25 @@ def _check_fault_set(
     faults: Optional[Iterable],
     fault_model: str,
     unit: bool = False,
+    edges: Optional[List[Edge]] = None,
 ) -> Optional[Counterexample]:
     """Check the Lemma 3 condition for one fault set; None when it holds.
 
     ``unit`` marks a unit-weighted input, enabling two fast paths: the
     surviving edge itself always realizes d_{G\\F}(u, v) = 1 (no Dijkstra
     needed on the G side), and the H side can use hop-bounded BFS.
+    ``edges`` restricts the check to those edges of G (the witness
+    mode's per-pair fallback); default is every edge.
     """
     fault_list = list(faults) if faults is not None else []
+    candidates = list(g.edges()) if edges is None else edges
     if fault_model == "vertex":
         fault_set = set(fault_list)
         gv = VertexFaultView(g, fault_set) if fault_set else g
         hv = VertexFaultView(h, fault_set) if fault_set else h
         surviving = [
             (u, v)
-            for u, v in g.edges()
+            for u, v in candidates
             if u not in fault_set and v not in fault_set
         ]
     else:
@@ -262,7 +372,8 @@ def _check_fault_set(
         gv = EdgeFaultView(g, fault_set) if fault_set else g
         hv = EdgeFaultView(h, fault_set) if fault_set else h
         surviving = [
-            (u, v) for u, v in g.edges() if edge_key(u, v) not in fault_set
+            (u, v) for u, v in candidates
+            if edge_key(u, v) not in fault_set
         ]
     frozen = frozenset(fault_set)
     for u, v in surviving:
@@ -358,7 +469,7 @@ class _CSRSweep:
             for u, v in g.edges()
         ]
 
-    def _stamp(self, fault_list: List) -> Tuple[
+    def _stamp(self, fault_list: List, candidates: List) -> Tuple[
         FrozenSet, Optional[FaultMask], Optional[FaultMask],
         Optional[FaultMask], List,
     ]:
@@ -368,20 +479,31 @@ class _CSRSweep:
             vmask = self.snap.set_vertex_faults(fault_list)
             vstamp, vgen = vmask.stamp, vmask.gen
             surviving = [
-                row for row in self.edges
+                row for row in candidates
                 if vstamp[row[2]] != vgen and vstamp[row[3]] != vgen
             ]
             return frozen, vmask, None, None, surviving
         frozen = frozenset(edge_key(u, v) for u, v in fault_list)
         emask_g, emask_h = self.snap.set_edge_faults(fault_list)
         gstamp, ggen = emask_g.stamp, emask_g.gen
-        surviving = [row for row in self.edges if gstamp[row[5]] != ggen]
+        surviving = [row for row in candidates if gstamp[row[5]] != ggen]
         return frozen, None, emask_g, emask_h, surviving
 
-    def check(self, faults: Optional[Iterable]) -> Optional[Counterexample]:
-        """CSR twin of :func:`_check_fault_set`; None when Lemma 3 holds."""
+    def check(
+        self,
+        faults: Optional[Iterable],
+        edges: Optional[List] = None,
+    ) -> Optional[Counterexample]:
+        """CSR twin of :func:`_check_fault_set`; None when Lemma 3 holds.
+
+        ``edges`` restricts the check to those pre-resolved rows (the
+        witness mode's per-pair fallback); default is every edge of G.
+        """
         fault_list = list(faults) if faults is not None else []
-        frozen, vmask, emask_g, emask_h, surviving = self._stamp(fault_list)
+        candidates = self.edges if edges is None else edges
+        frozen, vmask, emask_g, emask_h, surviving = self._stamp(
+            fault_list, candidates
+        )
         t = self.t
         csr_g, csr_h, ws = self.snap.csr_g, self.snap.csr_h, self.ws
         if self.unit:
@@ -434,6 +556,176 @@ class _CSRSweep:
                         graph_distance=w, spanner_distance=dh_full,
                     )
         return None
+
+
+def _verify_witness(
+    g: Graph,
+    h: Graph,
+    t: float,
+    f: int,
+    fault_model: str,
+    unit: bool,
+    universe: List,
+    total: int,
+    exhaustive_budget: int,
+    samples: Optional[int],
+    seed: Optional[int],
+    backend_name: str,
+    snapshot: Optional[DualCSRSnapshot],
+    search: Optional[str],
+    witness_pairs: Optional[int],
+) -> VerificationReport:
+    """Witness-mode verification: disjoint-path certificates per pair.
+
+    For each candidate edge {u, v} of G (every edge, or a
+    ``witness_pairs``-sized sample), in order of increasing cost:
+
+    1. *Trivial witness* -- {u, v} in H within the length bound.  Any
+       fault set that removes it (the endpoints under the vertex model,
+       the edge itself under the edge model) also removes the pair's
+       G-edge, so nothing is required of those sets; every other set
+       leaves the H-edge as the bounded path.
+    2. *Flow witness* -- f+1 pairwise disjoint u-v paths in H, each of
+       weighted length <= t*w, from the Dinic engine run on the
+       ellipse restriction of H (edges on *some* length-<= t*w route;
+       a cheap overapproximation that keeps the decomposed paths
+       short).  At most f of the paths can be faulted, and under the
+       vertex model the endpoints -- the only shared vertices -- cannot
+       be, so a surviving path bounds d_{H\\F}(u, v) for every legal F.
+    3. *Fallback* -- length-bounded Menger is not exact, so a missing
+       witness is not a violation: the pair is decided by the exact
+       per-pair fault sweep (exhaustive within ``exhaustive_budget``,
+       else ``samples`` adversarial draws -- default 300 here, where
+       sampling is a per-pair last resort rather than the whole
+       verification).
+
+    The flow engine and distance probes always run on the CSR substrate
+    (that is the point of the subsystem); ``backend_name`` selects the
+    engine for the fallback sweep, and the dict backend's report stays
+    bit-identical to the CSR one because both fall back on exactly the
+    same pairs against the same fault sets.
+    """
+    if backend_name == "csr":
+        sweep = _CSRSweep(
+            g, h, t, fault_model, unit, snapshot=snapshot, search=search
+        )
+        snap = sweep.snap
+        rows: List = sweep.edges
+
+        def check_rows(faults, subset):
+            return sweep.check(faults, edges=subset)
+    else:
+        resolve_search(search)  # validate the name even on the dict path
+        snap = DualCSRSnapshot(g, h)
+        index = snap.indexer.index
+        rows = [
+            (u, v, index(u), index(v), g.weight(u, v))
+            for u, v in g.edges()
+        ]
+
+        def check_rows(faults, subset):
+            return _check_fault_set(
+                g, h, t, faults, fault_model, unit,
+                edges=[(r[0], r[1]) for r in subset],
+            )
+    rng = random.Random(seed)
+    full_coverage = True
+    if witness_pairs is not None and witness_pairs < len(rows):
+        rows = rng.sample(rows, witness_pairs)
+        full_coverage = False
+    csr_h = snap.csr_h
+    indexer = snap.indexer
+    unit_h = h.is_unit_weighted()
+    network = DisjointPathNetwork(csr_h, fault_model)
+    flow_ws = FlowWorkspace(network.net.num_nodes)
+    dist_ws: Union[BFSWorkspace, DijkstraWorkspace] = (
+        BFSWorkspace(csr_h.num_nodes) if unit_h
+        else DijkstraWorkspace(csr_h.num_nodes)
+    )
+    dist_cache: dict = {}
+
+    def distances(i: int) -> dict:
+        d = dist_cache.get(i)
+        if d is None:
+            if unit_h:
+                d = csr_bfs_distances(csr_h, i, workspace=dist_ws)
+            else:
+                d = csr_dijkstra(csr_h, i, workspace=dist_ws)
+            dist_cache[i] = d
+        return d
+
+    h_eu, h_ev, h_w = csr_h.edge_u, csr_h.edge_v, csr_h.weights
+    m_h = csr_h.num_edges
+    need = f + 1
+    samples_eff = 300 if samples is None else samples
+    checked = 0
+    witnessed = 0
+    sampled_fallback = False
+    for row in rows:
+        u, v, iu, iv, w = row[0], row[1], row[2], row[3], row[4]
+        bound = t * w
+        if h.has_edge(u, v) and h.weight(u, v) <= bound:
+            witnessed += 1
+            continue
+        du = distances(iu)
+        dv = distances(iv)
+        certified = False
+        if du.get(iv, INFINITY) <= bound:
+            banned = [
+                eid for eid in range(m_h)
+                if min(
+                    du.get(h_eu[eid], INFINITY) + h_w[eid]
+                    + dv.get(h_ev[eid], INFINITY),
+                    du.get(h_ev[eid], INFINITY) + h_w[eid]
+                    + dv.get(h_eu[eid], INFINITY),
+                ) > bound
+            ]
+            paths = network.disjoint_paths(
+                iu, iv, workspace=flow_ws, banned_edges=banned
+            )
+            short = 0
+            for path in paths:
+                length = 0.0
+                for a, b in zip(path, path[1:]):
+                    length += h.weight(indexer.node(a), indexer.node(b))
+                if length <= bound:
+                    short += 1
+                    if short >= need:
+                        break
+            certified = short >= need
+        if certified:
+            witnessed += 1
+            continue
+        if total <= exhaustive_budget:
+            fault_iter: Iterable = _all_fault_sets(universe, f)
+            exhaustive_here = True
+        else:
+            fault_iter = _adversarial_fault_sets(
+                g, h, t, f, fault_model, rng, samples_eff
+            )
+            exhaustive_here = False
+            sampled_fallback = True
+        for faults in fault_iter:
+            checked += 1
+            bad = check_rows(faults, [row])
+            if bad is not None:
+                return VerificationReport(
+                    ok=False,
+                    exhaustive=exhaustive_here,
+                    fault_sets_checked=checked,
+                    counterexample=bad,
+                    mode="witness",
+                    pairs_checked=len(rows),
+                    pairs_witnessed=witnessed,
+                )
+    return VerificationReport(
+        ok=True,
+        exhaustive=full_coverage and not sampled_fallback,
+        fault_sets_checked=checked,
+        mode="witness",
+        pairs_checked=len(rows),
+        pairs_witnessed=witnessed,
+    )
 
 
 def _adversarial_fault_sets(

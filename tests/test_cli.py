@@ -180,8 +180,42 @@ class TestVerify:
         assert rc == 1
         assert "FAILED" in capsys.readouterr().out
 
+    def test_verify_witness_mode(self, graph_file, tmp_path, capsys):
+        out_path = tmp_path / "spanner.txt"
+        main(["build", "--input", str(graph_file), "-k", "2", "-f", "1",
+              "--output", str(out_path)])
+        capsys.readouterr()
+        rc = main([
+            "verify", str(graph_file), str(out_path), "-t", "3", "-f", "1",
+            "--mode", "witness",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "witnessed" in out and "OK" in out
+
+    def test_verify_witness_catches_bad_spanner(
+        self, graph_file, tmp_path, capsys
+    ):
+        g = graph_io.load(graph_file)
+        bad = g.spanning_skeleton()
+        bad_path = tmp_path / "bad.txt"
+        graph_io.save(bad, bad_path)
+        rc = main([
+            "verify", str(graph_file), str(bad_path), "-t", "3", "-f", "1",
+            "--mode", "witness",
+        ])
+        assert rc == 1
+        assert "FAILED" in capsys.readouterr().out
+
 
 class TestAlgorithmsSubcommand:
+    def test_lists_verification_modes(self, capsys):
+        rc = main(["algorithms"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "verification modes" in out
+        assert "witness" in out and "sweep" in out
+
     def test_lists_every_registered_algorithm(self, capsys):
         from repro.registry import algorithm_names
 

@@ -119,3 +119,59 @@ class TestCachingAndPrebuilt:
         router = SpannerRouter(mesh, k=2, f=1, prebuilt=result)
         assert router.spanner is result.spanner
         assert router.route(0, 10)[-1] == 10
+
+
+class TestDisjointRoutes:
+    def test_default_count_is_f_plus_1(self, mesh):
+        router = SpannerRouter(mesh, k=2, f=2)
+        routes = router.disjoint_routes(0, 20)
+        assert len(routes) == 3
+        for route in routes:
+            assert route[0] == 0 and route[-1] == 20
+            for a, b in zip(route, route[1:]):
+                assert router.spanner.has_edge(a, b)
+        interiors = [set(r[1:-1]) for r in routes]
+        for i, a in enumerate(interiors):
+            for b in interiors[i + 1:]:
+                assert not a & b, "routes share interior vertices"
+
+    def test_edge_model_routes_edge_disjoint(self, mesh):
+        from repro.graph.graph import edge_key
+
+        router = SpannerRouter(mesh, k=2, f=1, fault_model="edge")
+        routes = router.disjoint_routes(0, 20)
+        assert len(routes) == 2
+        used = [
+            {edge_key(a, b) for a, b in zip(r, r[1:])} for r in routes
+        ]
+        assert not used[0] & used[1]
+
+    def test_routes_avoid_reported_faults(self, mesh):
+        router = SpannerRouter(mesh, k=2, f=1)
+        full = router.disjoint_routes(0, 20)
+        fault = full[0][1]  # first hop of the first route
+        survivors = router.disjoint_routes(0, 20, count=1, faults=[fault])
+        for route in survivors:
+            assert fault not in route
+
+    def test_backends_agree(self, mesh):
+        csr = SpannerRouter(mesh, k=2, f=1, backend="csr")
+        result = csr.construction
+        dict_ = SpannerRouter(mesh, k=2, f=1, backend="dict",
+                              prebuilt=result)
+        assert csr.disjoint_routes(0, 20) == dict_.disjoint_routes(0, 20)
+
+    def test_insufficient_routes_raise(self):
+        router = SpannerRouter(generators.path_graph(5), k=2, f=1)
+        with pytest.raises(RoutingError):
+            router.disjoint_routes(0, 4, count=2)
+
+    def test_validation(self, router):
+        with pytest.raises(ValueError):
+            router.disjoint_routes(3, 3)
+        with pytest.raises(ValueError):
+            router.disjoint_routes(0, 20, count=0)
+        with pytest.raises(ValueError):
+            router.disjoint_routes(0, 20, faults=[20])
+        with pytest.raises(KeyError):
+            router.disjoint_routes(0, 99)

@@ -142,6 +142,18 @@ class TestSessionParity:
         via_session = session.verify()
         assert via_session == free
 
+    def test_verify_witness_mode_matches_free_function(self, weighted_g):
+        session = SpannerSession(weighted_g, k=2, f=1, seed=3)
+        result = session.build("greedy")
+        free = verify_ft_spanner(
+            weighted_g, result.spanner, t=3, f=1, seed=3, mode="witness"
+        )
+        via_session = session.verify(mode="witness")
+        assert via_session == free
+        assert via_session.ok and via_session.mode == "witness"
+        # Witness verdict agrees with the sweep verdict.
+        assert via_session.ok == session.verify().ok
+
     def test_oracle_matches_free_construction(self, g):
         session = SpannerSession(g, k=2, f=2, seed=0)
         result = session.build("greedy")

@@ -21,7 +21,10 @@ from repro.verification import (
     stretch_of_pair,
     verify_ft_spanner,
 )
-from repro.verification.spanner_check import Counterexample
+from repro.verification.spanner_check import (
+    Counterexample,
+    SweepBudgetExceeded,
+)
 
 
 class TestStretchMeasures:
@@ -199,3 +202,82 @@ class TestCertificateChecks:
     def test_edge_model_certificates(self, small_gnp):
         result = fault_tolerant_spanner(small_gnp, 2, 1, fault_model="edge")
         assert check_certificates(small_gnp, result) == []
+
+    def test_replay_rejects_terminal_in_certificate(self, small_gnp):
+        # A certificate containing its own endpoint must be *reported*,
+        # not crash the replay, and must not mask later problems.
+        result = fault_tolerant_spanner(small_gnp, 2, 1)
+        victim = next(iter(result.certificates))
+        result.certificates[victim] = frozenset({victim[0]})
+        problems = check_certificates(small_gnp, result, replay=True)
+        assert any("endpoint" in p for p in problems)
+
+    def test_replay_rejects_oversized_certificate(self, small_gnp):
+        result = fault_tolerant_spanner(small_gnp, 2, 1)
+        victim = next(iter(result.certificates))
+        oversized = frozenset(
+            x for x in small_gnp.nodes() if x not in victim
+        )
+        assert len(oversized) > (2 * result.k - 1) * result.f
+        result.certificates[victim] = oversized
+        problems = check_certificates(small_gnp, result, replay=True)
+        assert any("size" in p for p in problems)
+
+    def test_replay_fails_on_forged_fault_set(self, small_gnp):
+        # Swap in a fault set that does NOT cut the pair at addition
+        # time: the replay must catch the forgery.
+        result = fault_tolerant_spanner(small_gnp, 2, 1)
+        assert check_certificates(small_gnp, result, replay=True) == []
+        # Find a victim whose pair is within t hops fault-free at its
+        # own addition time -- there the empty set is a detectable
+        # forgery (for the earliest edges even an empty cut may
+        # legitimately separate the still-sparse partial spanner).
+        partial = small_gnp.spanning_skeleton()
+        victim = None
+        for key in result.certificates:
+            u, v = key
+            if not check_cut_certificate(partial, u, v, t=3,
+                                         cut=frozenset()):
+                victim = key
+                break
+            partial.add_edge(u, v, weight=small_gnp.weight(u, v))
+        assert victim is not None, "fixture too sparse to forge against"
+        result.certificates[victim] = frozenset()
+        problems = check_certificates(small_gnp, result, replay=True)
+        assert any(
+            "does not cut" in p and str(victim) in p for p in problems
+        ), problems
+
+
+class TestSweepBudget:
+    """Oversized sweeps must be refused loudly, never silently sampled."""
+
+    def test_budget_exceeded_raises_typed_error(self, medium_gnp):
+        result = fault_tolerant_spanner(medium_gnp, 2, 2)
+        with pytest.raises(SweepBudgetExceeded) as exc:
+            verify_ft_spanner(
+                medium_gnp, result.spanner, t=3, f=2,
+                exhaustive_budget=100,
+            )
+        assert exc.value.total > exc.value.budget == 100
+        assert isinstance(exc.value, ValueError)  # old except clauses hold
+
+    def test_explicit_samples_still_sample(self, medium_gnp):
+        result = fault_tolerant_spanner(medium_gnp, 2, 2)
+        report = verify_ft_spanner(
+            medium_gnp, result.spanner, t=3, f=2,
+            exhaustive_budget=100, samples=30, seed=0,
+        )
+        assert not report.exhaustive
+        assert report.fault_sets_checked == 30
+
+    def test_witness_mode_needs_no_budget(self, medium_gnp):
+        # Witness mode has no C(n, f) sweep to budget; it must not
+        # raise even when the fault-set space dwarfs the budget.
+        result = fault_tolerant_spanner(medium_gnp, 2, 2)
+        report = verify_ft_spanner(
+            medium_gnp, result.spanner, t=3, f=2,
+            exhaustive_budget=100, mode="witness",
+        )
+        assert report.ok
+        assert report.mode == "witness"
