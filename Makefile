@@ -1,7 +1,7 @@
 PYTHON ?= python
 
 .PHONY: test verify bench bench-apps bench-flow bench-weighted \
-	bench-batch check-bench examples
+	bench-batch bench-serving check-bench examples
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -37,6 +37,14 @@ bench-weighted:
 # reports.
 bench-batch:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_applications.py --quick --only multi
+
+# Serving load test: open-loop throughput and p50/p99 latency through
+# the multi-process worker pool, healthy vs a 10% seeded chaos
+# injection (SIGKILLs + deadline-overrunning stalls), every completed
+# answer audited bit-identical against the in-process engine.  Full
+# mode rewrites BENCH_serving.json; CI runs it with QUICK=--quick.
+bench-serving:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_serving.py $(QUICK)
 
 # Validate the committed BENCH_*.json reports: schema, full-run (not
 # --quick) provenance, and identical_outputs on every instance.

@@ -25,7 +25,14 @@ Checks, per report:
   integral fault budget ``f >= 1`` and witness coverage counts with
   ``0 <= pairs_witnessed <= pairs_checked`` -- here
   ``identical_outputs`` asserts *verdict* parity between witness mode
-  and the exhaustive sweep at full proof strength.
+  and the exhaustive sweep at full proof strength;
+* serving-benchmark instances (any row carrying ``throughput_rps``, as
+  in ``BENCH_serving.json``) follow a load-test schema instead:
+  positive ``workers``/``requests``/``throughput_rps``/``deadline_ms``,
+  latency quantiles with ``p99_ms >= p50_ms >= 0``, a ``chaos_rate``
+  in ``[0, 1]``, non-negative ``deadline_errors``/``retries`` counters,
+  and ``parity_ok`` exactly ``true`` (every completed answer was
+  audited bit-identical against the in-process engine).
 
 Exit status 0 when every report passes, 1 otherwise.
 
@@ -82,6 +89,12 @@ def check_report(path: Path, errors: list) -> None:
             continue
         for i, inst in enumerate(instances):
             iw = f"{where} instance {i}"
+            if "throughput_rps" in inst:
+                # Serving rows (BENCH_serving.json) measure open-loop
+                # latency under a load generator, not a two-backend
+                # timing pair; they get their own schema.
+                _check_serving_instance(path, iw, inst, errors)
+                continue
             for key in INSTANCE_KEYS:
                 if key not in inst:
                     _fail(errors, path, iw, f"missing key {key!r}")
@@ -125,6 +138,63 @@ def check_report(path: Path, errors: list) -> None:
                       f"speedup was not parity-checked")
             if "seconds_witness" in timings:
                 _check_flow_instance(path, iw, inst, timings, errors)
+
+
+SERVING_KEYS = (
+    "n", "m", "workers", "requests", "throughput_rps", "p50_ms",
+    "p99_ms", "deadline_ms", "chaos_rate", "deadline_errors", "retries",
+    "parity_ok",
+)
+
+
+def _check_serving_instance(path, iw, inst, errors) -> None:
+    """Schema for dispatcher load-test rows (BENCH_serving.json).
+
+    A serving row is a resilience claim, not a speedup claim: every
+    *completed* request was audited bit-identical against an
+    in-process :class:`ScenarioSweep` (``parity_ok``), and every other
+    request resolved to a typed error counted in ``deadline_errors``
+    (never a wrong answer, never a hang).
+    """
+    for key in SERVING_KEYS:
+        if key not in inst:
+            _fail(errors, path, iw, f"missing key {key!r}")
+    if not all(key in inst for key in SERVING_KEYS):
+        return
+    for key in ("n", "workers", "requests"):
+        if not (isinstance(inst[key], int) and inst[key] > 0):
+            _fail(errors, path, iw,
+                  f"{key} must be a positive int, got {inst[key]!r}")
+    for key in ("m", "deadline_errors", "retries"):
+        if not (isinstance(inst[key], int) and inst[key] >= 0):
+            _fail(errors, path, iw,
+                  f"{key} must be a non-negative int, got {inst[key]!r}")
+    if not (isinstance(inst["throughput_rps"], (int, float))
+            and inst["throughput_rps"] > 0):
+        _fail(errors, path, iw,
+              f"throughput_rps must be a positive number, got "
+              f"{inst['throughput_rps']!r}")
+    p50, p99 = inst["p50_ms"], inst["p99_ms"]
+    if not all(isinstance(v, (int, float)) and v >= 0 for v in (p50, p99)):
+        _fail(errors, path, iw,
+              f"p50_ms/p99_ms must be non-negative numbers, got "
+              f"{p50!r}/{p99!r}")
+    elif p99 < p50:
+        _fail(errors, path, iw,
+              f"p99_ms ({p99}) must be >= p50_ms ({p50})")
+    if not (isinstance(inst["deadline_ms"], (int, float))
+            and inst["deadline_ms"] > 0):
+        _fail(errors, path, iw,
+              f"deadline_ms must be a positive number, got "
+              f"{inst['deadline_ms']!r}")
+    rate = inst["chaos_rate"]
+    if not (isinstance(rate, (int, float)) and 0 <= rate <= 1):
+        _fail(errors, path, iw,
+              f"chaos_rate must be in [0, 1], got {rate!r}")
+    if inst["parity_ok"] is not True:
+        _fail(errors, path, iw,
+              f"parity_ok must be true, got {inst['parity_ok']!r} -- "
+              f"a completed answer diverged from the in-process sweep")
 
 
 def _check_flow_instance(path, iw, inst, timings, errors) -> None:

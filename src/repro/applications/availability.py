@@ -66,6 +66,78 @@ from repro.graph.views import VertexFaultView
 
 INFINITY = math.inf
 
+#: Legal fault-scenario generators (``fault_process=`` keyword).
+FAULT_PROCESSES = ("independent", "clustered")
+
+
+def sample_fault_scenario(
+    nodes: Sequence[Node],
+    failures: int,
+    rng: random.Random,
+    fault_process: str = "independent",
+    neighbors=None,
+):
+    """Draw one fault set of exactly ``failures`` nodes.
+
+    ``fault_process`` selects the failure correlation model:
+
+    * ``"independent"`` -- a uniform draw without replacement (exactly
+      the classic ``set(rng.sample(nodes, failures))``, so existing
+      seeded availability streams are unchanged);
+    * ``"clustered"`` -- neighbor contagion: a seeded node fails
+      uniformly at random, then each subsequent failure is drawn
+      uniformly from the healthy *boundary* of the failed set (nodes
+      adjacent to a failure), jumping to a fresh uniform seed whenever
+      the boundary is empty (the failed component is isolated).  This
+      models rack/partition-style correlated outages, the regime where
+      an f-fault guarantee is spent on one neighborhood instead of
+      being spread thin.
+
+    ``neighbors`` is a callable ``node -> iterable of neighbors``
+    (required for ``"clustered"``).  The boundary is recomputed from
+    the fault *set* each step and sorted by ``repr``, so the draw
+    sequence depends only on the neighbor sets -- never on adjacency
+    iteration order -- making dict-vs-CSR parity structural.
+
+    ``nodes`` must be deterministically ordered (the availability
+    entry points pass ``sorted(g.nodes(), key=repr)``).
+    """
+    if failures < 0:
+        raise ValueError(f"failures must be >= 0, got {failures}")
+    if failures > len(nodes):
+        raise ValueError(
+            f"cannot fail {failures} of {len(nodes)} node(s)"
+        )
+    if fault_process == "independent":
+        return set(rng.sample(nodes, failures))
+    if fault_process != "clustered":
+        raise ValueError(
+            f"unknown fault_process {fault_process!r}; expected one of "
+            f"{FAULT_PROCESSES}"
+        )
+    if neighbors is None:
+        raise ValueError(
+            "fault_process='clustered' needs a neighbors callable"
+        )
+    faults: set = set()
+    while len(faults) < failures:
+        boundary = sorted(
+            {
+                v
+                for u in faults
+                for v in neighbors(u)
+                if v not in faults
+            },
+            key=repr,
+        )
+        if boundary:
+            pick = boundary[rng.randrange(len(boundary))]
+        else:
+            healthy = [x for x in nodes if x not in faults]
+            pick = healthy[rng.randrange(len(healthy))]
+        faults.add(pick)
+    return faults
+
 
 @dataclass
 class AvailabilityReport:
@@ -282,6 +354,7 @@ def availability_analysis(
     backend: Optional[str] = None,
     snapshot: Optional[DualCSRSnapshot] = None,
     search: Optional[str] = None,
+    fault_process: str = "independent",
 ) -> AvailabilityReport:
     """Sample ``scenarios`` random sets of exactly ``failures`` nodes.
 
@@ -295,11 +368,19 @@ def availability_analysis(
     :class:`repro.session.SpannerSession` -- so the probes re-stamp it
     instead of freezing their own, and ``search`` picks the weighted
     probe engine (identical report on every legal engine).
+    ``fault_process`` selects the scenario generator (see
+    :func:`sample_fault_scenario`); the default ``"independent"``
+    reproduces the historical uniform draw bit-for-bit.
     """
     if failures < 0:
         raise ValueError(f"failures must be >= 0, got {failures}")
     if guarantee < 1:
         raise ValueError(f"guarantee must be >= 1, got {guarantee}")
+    if fault_process not in FAULT_PROCESSES:
+        raise ValueError(
+            f"unknown fault_process {fault_process!r}; expected one of "
+            f"{FAULT_PROCESSES}"
+        )
     rng = random.Random(seed)
     nodes = sorted(g.nodes(), key=repr)
     if len(nodes) < failures + 2:
@@ -313,7 +394,13 @@ def availability_analysis(
     checked = 0
     violations = 0
     for _ in range(scenarios):
-        faults = set(rng.sample(nodes, failures))
+        # The scenario draw runs on the reference dict graph regardless
+        # of probe backend, so both backends see the identical fault
+        # stream (for "independent" this is the historical
+        # ``set(rng.sample(nodes, failures))`` draw, unchanged).
+        faults = sample_fault_scenario(
+            nodes, failures, rng, fault_process, neighbors=g.neighbors
+        )
         probes.set_scenario(faults)
         survivors = [x for x in nodes if x not in faults]
         # Draw the whole scenario's pairs up front (the probes consume
@@ -364,6 +451,7 @@ def degradation_profile(
     backend: Optional[str] = None,
     snapshot: Optional[DualCSRSnapshot] = None,
     search: Optional[str] = None,
+    fault_process: str = "independent",
 ) -> List[Tuple[int, AvailabilityReport]]:
     """Sweep simultaneous failures 0..max_failures.
 
@@ -376,7 +464,14 @@ def degradation_profile(
     ``snapshot`` or frozen here once), so each per-failure-count
     :func:`availability_analysis` call is pure mask re-stamping -- the
     profile performs one freeze per graph no matter how long the sweep.
+    ``fault_process`` selects the scenario generator for every failure
+    count (see :func:`sample_fault_scenario`).
     """
+    if fault_process not in FAULT_PROCESSES:
+        raise ValueError(
+            f"unknown fault_process {fault_process!r}; expected one of "
+            f"{FAULT_PROCESSES}"
+        )
     if max_failures < 0:
         raise ValueError(f"max_failures must be >= 0, got {max_failures}")
     if snapshot is None and resolve_backend(backend) == "csr":
@@ -394,6 +489,7 @@ def degradation_profile(
             backend=backend,
             snapshot=snapshot,
             search=search,
+            fault_process=fault_process,
         )
         out.append((j, report))
     return out

@@ -7,6 +7,10 @@ Subcommands
 ``verify``      Check that one graph file is an f-FT t-spanner of another.
 ``oracle``      Build a spanner-backed distance oracle and answer batched
                 post-fault queries across sampled failure scenarios.
+``serve``       Stand up the resilient multi-process serving core over a
+                built spanner and drive it with an open-loop load
+                generator (optionally under seeded chaos injection),
+                reporting throughput, latency quantiles, and parity.
 ``algorithms``  List every registered construction with its guarantee
                 and capabilities (the algorithm registry).
 ``info``        Print structural statistics of a graph file.
@@ -45,7 +49,11 @@ from repro.graph.snapshot import (
     SEARCH_MODES,
     UnsupportedSearch,
 )
-from repro.graph.traversal import connected_components, hop_diameter
+from repro.graph.traversal import (
+    HAVE_NUMPY,
+    connected_components,
+    hop_diameter,
+)
 from repro.registry import (
     UnsupportedOption,
     algorithm_names,
@@ -178,6 +186,70 @@ def _build_parser() -> argparse.ArgumentParser:
     oracle.add_argument("--seed", type=int, default=0,
                         help="seed for --random generation and for "
                              "scenario/pair sampling (default 0)")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the resilient serving core under an open-loop load "
+             "generator (optionally with chaos injection)",
+    )
+    serve.add_argument("--input", help="graph file (edge-list format)")
+    serve.add_argument("--random", type=int, metavar="N",
+                       help="generate a G(n, p) input instead of a file")
+    serve.add_argument("--p", type=float, default=0.1,
+                       help="edge probability for --random (default 0.1)")
+    serve.add_argument("-k", type=int, default=2,
+                       help="stretch parameter: stretch = 2k-1 (default 2)")
+    serve.add_argument("-f", type=int, default=1,
+                       help="fault budget per request scenario (default 1)")
+    serve.add_argument("--fault-model", choices=["vertex", "edge"],
+                       default="vertex")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="worker processes in the pool (default 2)")
+    serve.add_argument("--deadline-ms", type=float, default=2000.0,
+                       help="per-request latency budget in milliseconds "
+                            "(default 2000); expiry raises a typed "
+                            "DeadlineExceeded carrying partial results")
+    serve.add_argument("--requests", type=int, default=50,
+                       help="requests the load generator issues "
+                            "(default 50)")
+    serve.add_argument("--rate", type=float, default=None,
+                       help="open-loop arrival rate in requests/second "
+                            "(default: back-to-back closed loop)")
+    serve.add_argument("--pairs", type=int, default=8,
+                       help="distance pairs per request (default 8)")
+    serve.add_argument("--fault-process",
+                       choices=["independent", "clustered"],
+                       default="independent",
+                       help="per-request fault-scenario generator: "
+                            "'independent' uniform draws or 'clustered' "
+                            "neighbor-contagion sampling (default "
+                            "independent)")
+    serve.add_argument("--chaos-rate", type=float, default=0.0,
+                       help="probability a dispatched shard's worker is "
+                            "SIGKILLed mid-request (default 0: healthy)")
+    serve.add_argument("--stall-rate", type=float, default=0.0,
+                       help="probability a dispatched shard's worker "
+                            "stalls before answering (default 0)")
+    serve.add_argument("--stall-ms", type=float, default=50.0,
+                       help="stall duration in milliseconds (default 50)")
+    serve.add_argument("--spawn-fail-rate", type=float, default=0.0,
+                       help="probability an injected spawn failure "
+                            "rejects a worker (re)spawn (default 0)")
+    serve.add_argument("--no-degrade", action="store_true",
+                       help="raise ServingUnavailable instead of "
+                            "degrading to in-process execution when the "
+                            "pool is unusable")
+    serve.add_argument("--backend", choices=["dict", "csr"], default=None,
+                       help="session backend for the build (serving "
+                            "always executes on the CSR substrate; "
+                            "answers are identical)")
+    serve.add_argument("--search", choices=SEARCH_MODES, default=None,
+                       help="weighted search engine for the workers' "
+                            "sweeps (identical answers on every legal "
+                            "engine)")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="seed for --random generation, the workload, "
+                            "and the chaos schedule (default 0)")
 
     algorithms = sub.add_parser(
         "algorithms",
@@ -371,6 +443,77 @@ def _cmd_oracle(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.serving import ChaosPolicy, ServingConfig, run_load
+
+    backend = _resolve_backend_or_exit(args, "serve")
+    g = _load_or_generate(args, seed=args.seed)
+    session = SpannerSession(
+        g, k=args.k, f=args.f, fault_model=args.fault_model,
+        backend=backend, seed=args.seed, search=args.search,
+    )
+    start = time.perf_counter()
+    session.build("greedy")
+    build = time.perf_counter() - start
+    chaos = None
+    if args.chaos_rate or args.stall_rate or args.spawn_fail_rate:
+        try:
+            chaos = ChaosPolicy(
+                args.seed,
+                kill_rate=args.chaos_rate,
+                stall_rate=args.stall_rate,
+                stall_seconds=args.stall_ms / 1e3,
+                spawn_fail_rate=args.spawn_fail_rate,
+            )
+        except ValueError as exc:
+            raise SystemExit(f"ftspanner serve: error: {exc}")
+    try:
+        config = ServingConfig(
+            workers=args.workers,
+            deadline=args.deadline_ms / 1e3,
+            degrade=not args.no_degrade,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"ftspanner serve: error: {exc}")
+    try:
+        server = session.serve(config=config, chaos=chaos)
+    except UnsupportedSearch as exc:
+        raise SystemExit(f"ftspanner serve: error: {exc}")
+    with server:
+        print(f"serving {session.result.spanner.num_edges} spanner edges "
+              f"over {server.live_workers} worker(s) "
+              f"(built in {build:.3f}s; deadline "
+              f"{args.deadline_ms:.0f}ms"
+              + (f"; chaos seed {args.seed}" if chaos else "")
+              + ")")
+        try:
+            report = run_load(
+                server,
+                requests=args.requests,
+                rate=args.rate,
+                pairs_per_request=args.pairs,
+                failures=args.f,
+                fault_model=args.fault_model,
+                fault_process=args.fault_process,
+                seed=args.seed,
+            )
+        except ValueError as exc:
+            raise SystemExit(f"ftspanner serve: error: {exc}")
+    print(f"requests: {report.completed}/{report.requests} completed, "
+          f"{report.deadline_errors} deadline-exceeded, "
+          f"{report.unavailable} unavailable")
+    print(f"throughput: {report.throughput_rps:.1f} req/s   "
+          f"latency p50 {report.p50_ms:.2f}ms  p99 {report.p99_ms:.2f}ms")
+    s = report.stats
+    print(f"resilience: {s['retries']} retries, {s['worker_deaths']} "
+          f"worker deaths, {s['respawns']} respawns, "
+          f"{s['spawn_rejections']} spawn rejections, "
+          f"{s['degraded_shards']} degraded shards")
+    print(f"parity vs in-process sweep: "
+          f"{'OK (bit-identical)' if report.parity_ok else 'FAILED'}")
+    return 0 if report.parity_ok else 1
+
+
 def _cmd_algorithms(args) -> int:
     width = max(len(name) for name in algorithm_names())
     for spec in iter_algorithms():
@@ -383,6 +526,11 @@ def _cmd_algorithms(args) -> int:
     sw = max(len(name) for name in SEARCH_CAPABILITIES)
     for name, constraint in SEARCH_CAPABILITIES.items():
         print(f"  {name:<{sw}}  {constraint}")
+    print(f"  {'':<{sw}}  numpy batch acceleration: "
+          f"{'available' if HAVE_NUMPY else 'NOT importable'} on this "
+          f"interpreter (REPRO_BATCH_ACCEL=numpy "
+          f"{'honored' if HAVE_NUMPY else 'would be a typed error'}; "
+          f"'auto' always falls back to stdlib)")
     print()
     print("verification modes (verify --mode):")
     vw = max(len(name) for name in VERIFY_MODES)
@@ -439,6 +587,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "build": _cmd_build,
         "verify": _cmd_verify,
         "oracle": _cmd_oracle,
+        "serve": _cmd_serve,
         "algorithms": _cmd_algorithms,
         "info": _cmd_info,
         "demo": _cmd_demo,

@@ -46,6 +46,8 @@ from __future__ import annotations
 
 import math
 import os
+import pickle
+import struct
 from itertools import islice
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
@@ -322,11 +324,193 @@ class CSRSnapshot:
         self.profile, self.max_weight = weight_profile(self.csr.weights)
         self.unit = self.profile == "unit"
 
+    @classmethod
+    def from_csr(cls, csr: CSRGraph) -> "CSRSnapshot":
+        """Adopt an already-built :class:`~repro.graph.csr.CSRGraph`.
+
+        The adoption constructor behind :func:`adopt_snapshot`: wraps
+        ``csr`` (whose flat buffers may live in an external shared
+        segment) without re-freezing anything, so it does **not** bump
+        :func:`csr_freeze_count` -- adopting is not a freeze.  ``g`` is
+        ``None`` on adopted snapshots; every sweep-level consumer works
+        purely off ``csr``/``indexer``, and only callers that need the
+        source ``Graph`` object (none of the query layers do) may not
+        use one.
+        """
+        if csr.indexer is None:
+            raise ValueError(
+                "adopting a CSRGraph requires its NodeIndexer (queries "
+                "translate node objects through it)"
+            )
+        self = object.__new__(cls)
+        self.g = None
+        self.csr = csr
+        self.indexer = csr.indexer
+        self.profile, self.max_weight = weight_profile(csr.weights)
+        self.unit = self.profile == "unit"
+        return self
+
     def __repr__(self) -> str:
         return (
             f"CSRSnapshot(n={self.csr.num_nodes}, m={self.csr.num_edges}, "
             f"profile={self.profile!r})"
         )
+
+
+# --------------------------------------------------------------------- #
+# Shared-segment serialization (the serving layer's wire format)
+# --------------------------------------------------------------------- #
+
+#: Magic prefix + format version of a packed snapshot segment.  Bump the
+#: version whenever the layout below changes; adoption refuses segments
+#: it does not understand instead of misreading them.
+SNAPSHOT_MAGIC = b"FTSS"
+SNAPSHOT_FORMAT_VERSION = 1
+
+#: Packed header: magic, version, then the region element counts --
+#: ``n`` (nodes), ``m`` (edges), ``nnz`` (incidences, i.e.
+#: ``len(indices)``) and the byte length of the pickled node-label
+#: list.  40 bytes, so every 8-byte region that follows stays aligned.
+_SNAPSHOT_HEADER = struct.Struct("<4sIQQQQ")
+
+#: The flat regions following the header, in order.  Each is an array of
+#: 8-byte elements (``'q'`` int64 / ``'d'`` float64) sized by the header
+#: counts; the pickled label list comes last (labels are arbitrary
+#: hashables, so they take the generic serializer -- everything numeric
+#: stays raw and is adopted zero-copy).
+_SNAPSHOT_REGIONS = (
+    ("indptr", "q", lambda n, m, nnz: n + 1),
+    ("indices", "q", lambda n, m, nnz: nnz),
+    ("nbr_edge_ids", "q", lambda n, m, nnz: nnz),
+    ("edge_u", "q", lambda n, m, nnz: m),
+    ("edge_v", "q", lambda n, m, nnz: m),
+    ("weights", "d", lambda n, m, nnz: m),
+)
+
+
+def _snapshot_counts(snap: CSRSnapshot) -> Tuple[int, int, int]:
+    csr = snap.csr
+    return csr.num_nodes, csr.num_edges, len(csr.indices)
+
+
+def _packed_labels(snap: CSRSnapshot) -> bytes:
+    return pickle.dumps(list(snap.indexer), protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def snapshot_nbytes(snap: CSRSnapshot) -> int:
+    """Bytes needed to pack ``snap`` with :func:`pack_snapshot_into`.
+
+    Deterministic for a given snapshot, so a caller can size a
+    ``multiprocessing.shared_memory`` segment before packing.
+    """
+    n, m, nnz = _snapshot_counts(snap)
+    total = _SNAPSHOT_HEADER.size
+    for _, _, count in _SNAPSHOT_REGIONS:
+        total += 8 * count(n, m, nnz)
+    return total + len(_packed_labels(snap))
+
+
+def pack_snapshot_into(snap: CSRSnapshot, buf) -> int:
+    """Serialize ``snap`` into a writable buffer; returns bytes written.
+
+    ``buf`` is anything exposing a writable buffer -- a ``bytearray``,
+    an ``mmap``, or a ``multiprocessing.shared_memory`` segment's
+    ``.buf``.  The numeric regions are written as raw little-endian
+    64-bit elements in the layout :func:`adopt_snapshot` reads, so a
+    process attaching the same segment reconstructs the snapshot with
+    zero copies of the flat arrays.
+    """
+    labels = _packed_labels(snap)
+    n, m, nnz = _snapshot_counts(snap)
+    needed = _SNAPSHOT_HEADER.size + len(labels) + sum(
+        8 * count(n, m, nnz) for _, _, count in _SNAPSHOT_REGIONS
+    )
+    mv = memoryview(buf)
+    try:
+        if len(mv) < needed:
+            raise ValueError(
+                f"buffer of {len(mv)} bytes cannot hold a "
+                f"{needed}-byte packed snapshot (size with "
+                f"snapshot_nbytes())"
+            )
+        _SNAPSHOT_HEADER.pack_into(
+            mv, 0, SNAPSHOT_MAGIC, SNAPSHOT_FORMAT_VERSION, n, m, nnz,
+            len(labels),
+        )
+        off = _SNAPSHOT_HEADER.size
+        csr = snap.csr
+        for name, _, count in _SNAPSHOT_REGIONS:
+            nbytes = 8 * count(n, m, nnz)
+            src = memoryview(getattr(csr, name)).cast("B")
+            try:
+                mv[off:off + nbytes] = src
+            finally:
+                src.release()
+            off += nbytes
+        mv[off:off + len(labels)] = labels
+        off += len(labels)
+    finally:
+        mv.release()
+    return off
+
+
+def adopt_snapshot(buf) -> CSRSnapshot:
+    """Reconstruct a :class:`CSRSnapshot` over a packed buffer, zero-copy.
+
+    The inverse of :func:`pack_snapshot_into`: the returned snapshot's
+    flat arrays (``indptr``/``indices``/``nbr_edge_ids``/``edge_u``/
+    ``edge_v``/``weights``) are typed :class:`memoryview` casts into
+    ``buf`` -- no numeric data is copied, which is what lets a pool of
+    worker processes share one ``multiprocessing.shared_memory``
+    segment.  Derived per-node structures (neighbor list rows, the
+    edge-id map, the label indexer) are rebuilt locally in O(n + m);
+    they are small and mutable, so they stay private per process.
+
+    The caller must keep ``buf`` (and any shared-memory handle backing
+    it) alive for the snapshot's lifetime.  Adoption does not bump
+    :func:`csr_freeze_count` -- it is not a freeze.
+    """
+    mv = memoryview(buf)
+    if len(mv) < _SNAPSHOT_HEADER.size:
+        raise ValueError(
+            f"buffer too small for a packed snapshot header "
+            f"({len(mv)} < {_SNAPSHOT_HEADER.size} bytes)"
+        )
+    magic, version, n, m, nnz, labels_nbytes = _SNAPSHOT_HEADER.unpack_from(
+        mv, 0
+    )
+    if magic != SNAPSHOT_MAGIC:
+        raise ValueError(
+            f"buffer does not hold a packed snapshot (magic {magic!r})"
+        )
+    if version != SNAPSHOT_FORMAT_VERSION:
+        raise ValueError(
+            f"packed snapshot format v{version} is not supported "
+            f"(this build reads v{SNAPSHOT_FORMAT_VERSION})"
+        )
+    off = _SNAPSHOT_HEADER.size
+    regions = {}
+    for name, fmt, count in _SNAPSHOT_REGIONS:
+        nbytes = 8 * count(n, m, nnz)
+        if off + nbytes > len(mv):
+            raise ValueError(
+                f"packed snapshot truncated in region {name!r}"
+            )
+        regions[name] = mv[off:off + nbytes].cast(fmt)
+        off += nbytes
+    if off + labels_nbytes > len(mv):
+        raise ValueError("packed snapshot truncated in the label region")
+    labels = pickle.loads(mv[off:off + labels_nbytes])
+    if len(labels) != n:
+        raise ValueError(
+            f"packed snapshot carries {len(labels)} labels for {n} nodes"
+        )
+    csr = CSRGraph(
+        regions["indptr"], regions["indices"], regions["nbr_edge_ids"],
+        regions["weights"], regions["edge_u"], regions["edge_v"],
+        indexer=NodeIndexer(labels),
+    )
+    return CSRSnapshot.from_csr(csr)
 
 
 class ScenarioSweep:

@@ -1571,12 +1571,25 @@ HAVE_NUMPY = _np is not None
 BATCH_ACCEL_ENV_VAR = "REPRO_BATCH_ACCEL"
 
 
+class BatchAccelUnavailable(ValueError):
+    """numpy batch acceleration was required but numpy is missing.
+
+    The typed face of the ``accel='numpy'`` / ``REPRO_BATCH_ACCEL=numpy``
+    requirement: hard-requiring the vectorized frontier kernels on an
+    interpreter without numpy is a capability violation, not a silent
+    fallback (``'auto'`` is the fallback spelling).  Subclasses
+    ``ValueError`` so pre-existing callers that caught that keep
+    working.
+    """
+
+
 def resolve_batch_accel(accel: Optional[str] = None) -> str:
     """Resolve the batch BFS acceleration to ``"numpy"`` or ``"stdlib"``.
 
     ``None`` consults :data:`BATCH_ACCEL_ENV_VAR` (default ``"auto"``).
-    Asking for numpy when it is not importable is an error; ``"auto"``
-    silently falls back to the stdlib loops.
+    Asking for numpy when it is not importable raises
+    :class:`BatchAccelUnavailable`; ``"auto"`` silently falls back to
+    the stdlib loops.
     """
     if accel is None:
         accel = os.environ.get(BATCH_ACCEL_ENV_VAR, "auto")
@@ -1587,7 +1600,7 @@ def resolve_batch_accel(accel: Optional[str] = None) -> str:
             f"'numpy' or 'stdlib'"
         )
     if accel == "numpy" and not HAVE_NUMPY:
-        raise ValueError(
+        raise BatchAccelUnavailable(
             "batch acceleration 'numpy' requested but numpy is not "
             "importable; use 'auto' or 'stdlib'"
         )

@@ -57,6 +57,7 @@ from repro.core.spanner import (
     SpannerResult,
     resolve_backend,
 )
+from repro.graph.traversal import HAVE_NUMPY
 
 __all__ = [
     "AlgorithmSpec",
@@ -130,6 +131,13 @@ class AlgorithmSpec:
     distributed:
         Whether the construction runs on the message-passing simulator
         (its result carries a ``rounds`` count).
+    requires_numpy:
+        Whether the construction *hard-requires* numpy's vectorized
+        kernels (as opposed to the optional ``REPRO_BATCH_ACCEL``
+        acceleration, which always has a stdlib fallback).  **Enforced**
+        by :func:`build_spanner`: requesting such a construction on an
+        interpreter without numpy raises :class:`UnsupportedOption`
+        instead of failing deep inside the builder.
     accepts:
         Parameter names of ``builder``'s signature (introspected at
         registration; used to route options and validate extras).
@@ -145,6 +153,7 @@ class AlgorithmSpec:
     seedable: bool = False
     backend_aware: bool = False
     distributed: bool = False
+    requires_numpy: bool = False
     accepts: FrozenSet[str] = field(default_factory=frozenset)
 
     @property
@@ -275,6 +284,11 @@ class AlgorithmSpec:
         )
         if self.distributed:
             parts.append("distributed")
+        if self.requires_numpy:
+            parts.append(
+                "needs numpy"
+                + ("" if HAVE_NUMPY else " (MISSING on this interpreter)")
+            )
         if self.extra_options:
             parts.append("options: " + ", ".join(sorted(self.extra_options)))
         return " | ".join(parts)
@@ -294,6 +308,7 @@ def register_algorithm(
     seedable: bool = False,
     backend_aware: bool = False,
     distributed: bool = False,
+    requires_numpy: bool = False,
 ) -> Callable[[Callable[..., SpannerResult]], Callable[..., SpannerResult]]:
     """Register a construction under ``name`` and return it unchanged.
 
@@ -323,6 +338,7 @@ def register_algorithm(
             seedable=seedable,
             backend_aware=backend_aware,
             distributed=distributed,
+            requires_numpy=requires_numpy,
             accepts=frozenset(inspect.signature(fn).parameters),
         )
         return fn
@@ -405,6 +421,12 @@ def build_spanner(
         with the same arguments.
     """
     spec = get_algorithm(algorithm)
+    if spec.requires_numpy and not HAVE_NUMPY:
+        raise UnsupportedOption(
+            f"{spec.name!r} requires numpy's vectorized kernels, and "
+            f"numpy is not importable on this interpreter (pick another "
+            f"algorithm: ftspanner algorithms)"
+        )
     kwargs = spec.validate_request(
         f=f, fault_model=fault_model, seed=seed, backend=backend,
         options=options,

@@ -1,0 +1,550 @@
+"""`SpannerServer`: deadlines, retries, respawn, graceful degradation.
+
+The front end of the serving layer.  One server owns:
+
+* the packed snapshot in a ``multiprocessing.shared_memory`` segment
+  (written once at construction; workers adopt it zero-copy),
+* a supervised :class:`~repro.serving.pool.WorkerPool`,
+* and the dispatch loop that turns a batch request into per-worker
+  shards, enforces the request deadline, retries shards whose worker
+  died, respawns crashed workers, and -- when the pool is unusable --
+  degrades to in-process execution with bit-identical answers.
+
+Request model
+-------------
+Every public call (:meth:`SpannerServer.distances`,
+:meth:`~SpannerServer.distances_from`, :meth:`~SpannerServer.tables`)
+is one *fault scenario* plus a batch of queries.  The dispatcher splits
+the batch into contiguous shards (at most one per configured worker,
+never smaller than ``shard_min`` items), sends each shard to a worker
+as one message, and multiplexes completions with
+``multiprocessing.connection.wait`` under the remaining deadline.
+Shards are idempotent -- the snapshot is immutable, queries are pure --
+so a shard whose worker crashed is simply resent (bounded by
+``max_retries``, with exponential backoff in front of the respawn).
+
+Failure semantics (the contract the chaos suite pins):
+
+* worker death mid-shard -> reap + backoff + respawn + resend; after
+  ``max_retries`` resends the shard goes to the degradation path;
+* deadline expiry -> outstanding workers are SIGKILLed (a stalled
+  worker holds no cancellable state; the snapshot is shared so killing
+  is cheap) and :class:`~repro.serving.errors.DeadlineExceeded` is
+  raised carrying every already-completed item;
+* pool unusable (nothing alive, spawns exhausted) -> in-process
+  execution through the *same* ``execute_request`` the workers run --
+  bit-identical by construction -- or, with ``degrade=False``,
+  :class:`~repro.serving.errors.ServingUnavailable`;
+* an application error (e.g. ``KeyError`` for a faulted query source)
+  is deterministic, so it is *not* retried: it re-raises in the caller
+  exactly as the in-process sweep would.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from multiprocessing import connection, shared_memory
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.graph.graph import Graph, Node
+from repro.graph.snapshot import (
+    CSRSnapshot,
+    ScenarioSweep,
+    pack_snapshot_into,
+    snapshot_nbytes,
+    validate_search,
+)
+from repro.serving.errors import DeadlineExceeded, ServingUnavailable
+from repro.serving.pool import WorkerPool, execute_request
+
+
+@dataclass
+class ServingConfig:
+    """Tunables of one :class:`SpannerServer`.
+
+    Attributes
+    ----------
+    workers:
+        Pool size (also the maximum shards per request).
+    deadline:
+        Default per-request latency budget in seconds (overridable per
+        call with ``deadline=``).
+    max_retries:
+        How many times one shard may be *resent* after its worker died
+        (the first send is not a retry).
+    spawn_attempts / backoff_base / backoff_cap:
+        Spawn retry budget and the exponential backoff in front of
+        respawns (both spawn-level and shard-resend-level waits).
+    spawn_timeout:
+        Seconds a fresh worker gets to complete its startup handshake.
+    degrade:
+        Whether an unusable pool falls back to in-process execution
+        (bit-identical answers) instead of raising
+        :class:`~repro.serving.errors.ServingUnavailable`.
+    start_method:
+        ``multiprocessing`` start method (default: ``fork`` where
+        available, else the platform default).
+    shard_min:
+        Minimum items per shard; small batches use fewer shards so the
+        per-message overhead stays amortized.
+    """
+
+    workers: int = 2
+    deadline: float = 5.0
+    max_retries: int = 2
+    spawn_attempts: int = 3
+    backoff_base: float = 0.05
+    backoff_cap: float = 1.0
+    spawn_timeout: float = 10.0
+    degrade: bool = True
+    start_method: Optional[str] = None
+    shard_min: int = 8
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if not self.deadline > 0:
+            raise ValueError(f"deadline must be > 0, got {self.deadline}")
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.shard_min < 1:
+            raise ValueError(f"shard_min must be >= 1, got {self.shard_min}")
+
+
+@dataclass
+class ServingStats:
+    """Server-lifetime counters (updated in place; read at any time).
+
+    The pool-owned counters (``respawns``, ``spawn_rejections``) are
+    merged in by :meth:`SpannerServer.stats_dict`.
+    """
+
+    requests: int = 0
+    shards: int = 0
+    retries: int = 0
+    worker_deaths: int = 0
+    deadline_errors: int = 0
+    degraded_shards: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.__dict__)
+
+
+class _Job:
+    """One dispatched shard: kind, payload, result slot, retry count."""
+
+    __slots__ = ("kind", "payload", "index", "attempts", "result", "done")
+
+    def __init__(self, kind: str, payload, index: int) -> None:
+        self.kind = kind
+        self.payload = payload
+        self.index = index
+        self.attempts = 0
+        self.result = None
+        self.done = False
+
+
+class SpannerServer:
+    """A resilient multi-process query server over one frozen snapshot.
+
+    Parameters
+    ----------
+    snapshot:
+        A :class:`~repro.graph.snapshot.CSRSnapshot` (e.g. a
+        :class:`~repro.session.SpannerSession`'s spanner snapshot) or a
+        plain :class:`~repro.graph.graph.Graph` to freeze here.
+    config:
+        A :class:`ServingConfig`; defaults apply when omitted.
+    search:
+        Weighted search engine for every worker's sweep *and* the
+        degradation path (one of
+        :data:`~repro.graph.snapshot.SEARCH_MODES`; same semantics as
+        everywhere else -- answers are bit-identical on every legal
+        engine).
+    chaos:
+        Optional chaos policy (:mod:`repro.serving.chaos`) injecting
+        worker kills, stalls, and spawn failures -- test/benchmark
+        instrumentation; ``None`` in production.
+
+    Use as a context manager (or call :meth:`close`) to release the
+    worker processes and the shared segment.
+    """
+
+    def __init__(
+        self,
+        snapshot: Union[CSRSnapshot, Graph],
+        *,
+        config: Optional[ServingConfig] = None,
+        search: Optional[str] = None,
+        chaos=None,
+    ) -> None:
+        if not isinstance(snapshot, CSRSnapshot):
+            snapshot = CSRSnapshot(snapshot)
+        self.snapshot = snapshot
+        self.config = config or ServingConfig()
+        self.search = validate_search(search, snapshot.profile)
+        self.chaos = chaos
+        self.stats = ServingStats()
+        self._local: Optional[ScenarioSweep] = None
+        self._msg_counter = 0
+        self._closed = False
+        self._shm: Optional[shared_memory.SharedMemory] = None
+        self._pool: Optional[WorkerPool] = None
+        try:
+            shm = shared_memory.SharedMemory(
+                create=True, size=snapshot_nbytes(snapshot)
+            )
+            self._shm = shm
+            pack_snapshot_into(snapshot, shm.buf)
+            self._pool = WorkerPool(
+                shm.name,
+                self.config.workers,
+                search=self.search,
+                start_method=self.config.start_method,
+                chaos=chaos,
+                spawn_attempts=self.config.spawn_attempts,
+                backoff_base=self.config.backoff_base,
+                backoff_cap=self.config.backoff_cap,
+                spawn_timeout=self.config.spawn_timeout,
+            )
+            self._pool.start()
+        except BaseException:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------- #
+    # Public request surface
+    # ------------------------------------------------------------- #
+
+    def distances(
+        self,
+        pairs: Sequence[Tuple[Node, Node]],
+        faults: Sequence = (),
+        fault_model: str = "vertex",
+        deadline: Optional[float] = None,
+    ) -> List[float]:
+        """Batched s-t distances under one fault scenario.
+
+        Returns one distance per pair (``inf`` for unreachable),
+        bit-identical to
+        :meth:`~repro.graph.snapshot.ScenarioSweep.distance` per pair.
+        On deadline expiry raises
+        :class:`~repro.serving.errors.DeadlineExceeded` whose
+        ``partial`` aligns with ``pairs`` (``None`` holes).
+        """
+        pairs = list(pairs)
+        if not pairs:
+            return []
+        faults = list(faults)
+        shards = self._shard(pairs)
+        jobs = [
+            _Job("pairs", (shard, faults, fault_model), i)
+            for i, shard in enumerate(shards)
+        ]
+        try:
+            self._dispatch(jobs, deadline)
+        except DeadlineExceeded as exc:
+            partial: List = []
+            for shard, job in zip(shards, jobs):
+                partial.extend(
+                    job.result if job.done else [None] * len(shard)
+                )
+            raise DeadlineExceeded(
+                exc.deadline, exc.elapsed, partial,
+                sum(1 for x in partial if x is not None),
+            ) from None
+        out: List[float] = []
+        for job in jobs:
+            out.extend(job.result)
+        return out
+
+    def distances_from(
+        self,
+        source: Node,
+        faults: Sequence = (),
+        fault_model: str = "vertex",
+        deadline: Optional[float] = None,
+    ) -> Dict[Node, float]:
+        """Single-source distances under one fault scenario (one shard)."""
+        jobs = [_Job("sssp", (source, list(faults), fault_model), 0)]
+        try:
+            self._dispatch(jobs, deadline)
+        except DeadlineExceeded as exc:
+            raise DeadlineExceeded(
+                exc.deadline, exc.elapsed, [None], 0
+            ) from None
+        return jobs[0].result
+
+    def tables(
+        self,
+        roots: Sequence[Node],
+        faults: Sequence = (),
+        fault_model: str = "vertex",
+        deadline: Optional[float] = None,
+    ) -> List[Dict[Node, Node]]:
+        """Destination-rooted routing tables under one fault scenario.
+
+        One :meth:`~repro.graph.snapshot.ScenarioSweep.parents_toward`
+        dict per root; ``DeadlineExceeded.partial`` aligns with
+        ``roots``.
+        """
+        roots = list(roots)
+        if not roots:
+            return []
+        faults = list(faults)
+        shards = self._shard(roots)
+        jobs = [
+            _Job("parents", (shard, faults, fault_model), i)
+            for i, shard in enumerate(shards)
+        ]
+        try:
+            self._dispatch(jobs, deadline)
+        except DeadlineExceeded as exc:
+            partial = []
+            for shard, job in zip(shards, jobs):
+                partial.extend(
+                    job.result if job.done else [None] * len(shard)
+                )
+            raise DeadlineExceeded(
+                exc.deadline, exc.elapsed, partial,
+                sum(1 for x in partial if x is not None),
+            ) from None
+        out: List[Dict[Node, Node]] = []
+        for job in jobs:
+            out.extend(job.result)
+        return out
+
+    def ping(self, deadline: Optional[float] = None) -> bool:
+        """Round-trip a health probe through the pool (or degraded path)."""
+        jobs = [_Job("ping", None, 0)]
+        self._dispatch(jobs, deadline)
+        return jobs[0].result == "pong"
+
+    @property
+    def live_workers(self) -> int:
+        """Workers currently alive (0 when fully degraded)."""
+        pool = self._pool
+        if pool is None:
+            return 0
+        return sum(1 for w in pool.workers if w.alive())
+
+    def stats_dict(self) -> Dict[str, int]:
+        """Every resilience counter, including the pool-owned ones."""
+        d = self.stats.as_dict()
+        pool = self._pool
+        d["respawns"] = pool.respawns if pool is not None else 0
+        d["spawn_rejections"] = (
+            pool.spawn_rejections if pool is not None else 0
+        )
+        return d
+
+    # ------------------------------------------------------------- #
+    # Dispatch core
+    # ------------------------------------------------------------- #
+
+    def _shard(self, items: Sequence) -> List[List]:
+        """Split a batch into contiguous near-equal shards."""
+        n = len(items)
+        nshards = max(
+            1,
+            min(self.config.workers,
+                math.ceil(n / max(1, self.config.shard_min))),
+        )
+        base, extra = divmod(n, nshards)
+        shards: List[List] = []
+        pos = 0
+        for i in range(nshards):
+            size = base + (1 if i < extra else 0)
+            shards.append(list(items[pos:pos + size]))
+            pos += size
+        return shards
+
+    def _dispatch(self, jobs: List[_Job], deadline: Optional[float]) -> None:
+        """Run every job to completion, a typed error, or the deadline."""
+        if self._closed:
+            raise ServingUnavailable("this server is closed")
+        cfg = self.config
+        budget = cfg.deadline if deadline is None else deadline
+        if not budget > 0:
+            raise ValueError(f"deadline must be > 0, got {budget!r}")
+        start = time.monotonic()
+        deadline_at = start + budget
+        self.stats.requests += 1
+        self.stats.shards += len(jobs)
+        pending: List[_Job] = list(jobs)
+        busy: Dict[object, Tuple[object, _Job, int]] = {}
+        expected: Dict[object, int] = {}  # conn -> current msg_id
+        pool = self._pool
+
+        def remaining() -> float:
+            return deadline_at - time.monotonic()
+
+        def fail_deadline() -> None:
+            # A stalled worker holds no cancellable state; SIGKILL and
+            # let the next request's ensure() respawn it.
+            self.stats.deadline_errors += 1
+            for conn in list(busy):
+                worker, _, _ = busy.pop(conn)
+                self.stats.worker_deaths += 1
+                pool.discard(worker)
+            raise DeadlineExceeded(
+                budget, time.monotonic() - start,
+                [j.result if j.done else None for j in jobs],
+                sum(1 for j in jobs if j.done),
+            )
+
+        def degrade(job: _Job) -> None:
+            if not cfg.degrade:
+                raise ServingUnavailable(
+                    "worker pool unusable (crashes/spawn failures "
+                    "exhausted the retry budget) and degrade=False"
+                )
+            self.stats.degraded_shards += 1
+            job.result = execute_request(
+                self._local_sweep(), job.kind, job.payload
+            )
+            job.done = True
+
+        def worker_died(conn, worker, job: _Job) -> None:
+            # Reap it, back off, and resend within the retry budget.
+            busy.pop(conn, None)
+            self.stats.worker_deaths += 1
+            pool.discard(worker)
+            if job.attempts > cfg.max_retries:
+                degrade(job)
+                return
+            self.stats.retries += 1
+            pause = min(
+                cfg.backoff_base * (2 ** (job.attempts - 1)),
+                cfg.backoff_cap,
+                max(0.0, remaining()),
+            )
+            if pause > 0:
+                time.sleep(pause)
+            pending.append(job)
+
+        while pending or busy:
+            if remaining() <= 0:
+                fail_deadline()
+            # Fill idle workers with pending shards.
+            if pending:
+                live = pool.ensure(budget=max(0.0, remaining()))
+                idle = [w for w in live if w.conn not in busy]
+                while pending and idle:
+                    job = pending.pop(0)
+                    worker = idle.pop(0)
+                    directive = (
+                        self.chaos.directive()
+                        if self.chaos is not None else None
+                    )
+                    self._msg_counter += 1
+                    msg_id = self._msg_counter
+                    try:
+                        worker.conn.send(
+                            (msg_id, job.kind, job.payload, directive)
+                        )
+                    except (BrokenPipeError, OSError):
+                        self.stats.worker_deaths += 1
+                        pool.discard(worker)
+                        pending.insert(0, job)
+                        continue
+                    job.attempts += 1
+                    busy[worker.conn] = (worker, job, msg_id)
+                if pending and not busy:
+                    # Nothing alive and nothing spawnable: the pool is
+                    # unusable for this request.
+                    for job in list(pending):
+                        degrade(job)
+                    pending.clear()
+                    continue
+            # ensure() above may have reaped a dead *busy* worker and
+            # closed its pipe; route its shard through the death path
+            # before handing the fd set to connection.wait().
+            for conn in list(busy):
+                if conn.closed:
+                    worker, job, _ = busy[conn]
+                    worker_died(conn, worker, job)
+            if not busy:
+                continue
+            timeout = remaining()
+            if timeout <= 0:
+                fail_deadline()
+            ready = connection.wait(list(busy), timeout=timeout)
+            if not ready:
+                fail_deadline()
+            for conn in ready:
+                worker, job, msg_id = busy[conn]
+                try:
+                    reply = conn.recv()
+                except (EOFError, OSError):
+                    # Worker died mid-shard (SIGKILL, crash).
+                    worker_died(conn, worker, job)
+                    continue
+                rid, status, value = reply
+                if rid != msg_id:
+                    # Stale reply from a shard abandoned by an earlier
+                    # request (application error mid-flight); the
+                    # worker is still busy with the current shard.
+                    continue
+                del busy[conn]
+                if status == "ok":
+                    job.result = value
+                    job.done = True
+                else:
+                    # Deterministic application error: identical to
+                    # what the in-process sweep would raise.  Not
+                    # retried; outstanding shards are abandoned (their
+                    # late replies are discarded as stale above).
+                    raise value
+
+    def _local_sweep(self) -> ScenarioSweep:
+        """The in-process degradation engine (same snapshot, same code)."""
+        if self._local is None:
+            self._local = ScenarioSweep(self.snapshot, search=self.search)
+        return self._local
+
+    # ------------------------------------------------------------- #
+    # Lifecycle
+    # ------------------------------------------------------------- #
+
+    def close(self) -> None:
+        """Stop the pool and release the shared segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._pool is not None:
+            try:
+                self._pool.close()
+            finally:
+                pass
+        if self._shm is not None:
+            try:
+                self._shm.close()
+            finally:
+                try:
+                    self._shm.unlink()
+                except FileNotFoundError:
+                    pass
+
+    def __enter__(self) -> "SpannerServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:
+        return (
+            f"SpannerServer({self.snapshot!r}, workers="
+            f"{self.config.workers}, live={self.live_workers}, "
+            f"search={self.search!r})"
+        )

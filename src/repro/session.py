@@ -115,6 +115,10 @@ class SpannerSession:
         :class:`~repro.graph.snapshot.UnsupportedSearch` when a
         float-weighted snapshot is first probed.  The dict backend
         ignores the engine (it is CSR execution policy).
+    serving:
+        Optional session-wide default
+        :class:`~repro.serving.ServingConfig` for :meth:`serve`
+        (a per-call ``config=`` overrides it).
 
     Notes
     -----
@@ -135,6 +139,7 @@ class SpannerSession:
         backend: Optional[str] = None,
         seed: Optional[int] = None,
         search: Optional[str] = None,
+        serving=None,
     ) -> None:
         if k < 1:
             raise ValueError(f"need k >= 1, got {k}")
@@ -147,11 +152,13 @@ class SpannerSession:
         self.backend = resolve_backend(backend)
         self.seed = seed
         self.search = resolve_search(search)
+        self.serving = serving
         self._result: Optional[SpannerResult] = None
         self._indexer: Optional[NodeIndexer] = None
         self._snap_g: Optional[CSRSnapshot] = None
         self._snap_h: Optional[CSRSnapshot] = None
         self._dual: Optional[DualCSRSnapshot] = None
+        self._serve_snap: Optional[CSRSnapshot] = None
 
     # ------------------------------------------------------------- #
     # Construction
@@ -328,12 +335,15 @@ class SpannerSession:
         scenarios: int = 50,
         pairs_per_scenario: int = 30,
         guarantee: Optional[float] = None,
+        fault_process: str = "independent",
     ) -> AvailabilityReport:
         """Monte-Carlo availability of the session spanner under faults.
 
         ``failures`` defaults to the session fault budget ``f``;
         ``guarantee`` to the session stretch.  The probes re-stamp the
         session's shared dual snapshot on the CSR backend.
+        ``fault_process`` selects the scenario generator (see
+        :func:`~repro.applications.availability.sample_fault_scenario`).
         """
         h = self._require_result().spanner
         return availability_analysis(
@@ -347,6 +357,7 @@ class SpannerSession:
             backend=self.backend,
             snapshot=self._dual_snapshot(),
             search=self.search,
+            fault_process=fault_process,
         )
 
     def degradation(
@@ -356,6 +367,7 @@ class SpannerSession:
         scenarios: int = 30,
         pairs_per_scenario: int = 20,
         guarantee: Optional[float] = None,
+        fault_process: str = "independent",
     ) -> List[Tuple[int, AvailabilityReport]]:
         """Failure-count sweep 0..max_failures over the shared snapshot."""
         h = self._require_result().spanner
@@ -370,6 +382,48 @@ class SpannerSession:
             backend=self.backend,
             snapshot=self._dual_snapshot(),
             search=self.search,
+            fault_process=fault_process,
+        )
+
+    def serve(self, *, config=None, chaos=None):
+        """A resilient multi-process query server over the session spanner.
+
+        Packs the session's frozen spanner snapshot into a
+        ``multiprocessing.shared_memory`` segment and stands up a
+        :class:`~repro.serving.SpannerServer` -- a supervised worker
+        pool with per-request deadlines, retry-with-backoff on worker
+        death, health-checked respawn, and graceful degradation to
+        in-process execution (bit-identical answers either way; see
+        :mod:`repro.serving`).
+
+        ``config`` (a :class:`~repro.serving.ServingConfig`) overrides
+        the session's ``serving=`` default; ``chaos`` injects a
+        deterministic fault schedule (:mod:`repro.serving.chaos`).  The
+        caller owns the server: close it (or use it as a context
+        manager) to release the workers and the shared segment.
+
+        On the dict backend the spanner is frozen here once (serving
+        workers execute on the CSR substrate; answers are bit-identical
+        to the dict path, as everywhere).
+        """
+        from repro.serving import SpannerServer
+
+        snap = self._spanner_snapshot()
+        if snap is None:
+            # Dict-backend session: freeze once, cache privately so the
+            # session's "no CSR state on the dict backend" invariant
+            # (and the one-freeze discipline) both hold.
+            if self._serve_snap is None:
+                self._serve_snap = CSRSnapshot(
+                    self._require_result().spanner,
+                    indexer=self._shared_indexer(),
+                )
+            snap = self._serve_snap
+        return SpannerServer(
+            snap,
+            config=config if config is not None else self.serving,
+            search=self.search,
+            chaos=chaos,
         )
 
     # ------------------------------------------------------------- #

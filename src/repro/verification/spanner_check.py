@@ -129,14 +129,31 @@ class SweepBudgetExceeded(ValueError):
     ``exhaustive_budget``.
     """
 
-    def __init__(self, total: int, budget: int) -> None:
+    def __init__(
+        self,
+        total: int,
+        budget: int,
+        *,
+        fault_sets_checked: int = 0,
+        pairs_checked: int = 0,
+        pairs_witnessed: int = 0,
+    ) -> None:
         super().__init__(
-            f"{total} fault sets exceed exhaustive_budget={budget}; "
-            f"pass samples= to sample adversarially, mode='witness' "
-            f"for disjoint-path certificates, or raise the budget"
+            f"{total} fault sets exceed exhaustive_budget={budget} "
+            f"(progress so far: {fault_sets_checked} fault set(s), "
+            f"{pairs_checked} pair(s) checked, {pairs_witnessed} "
+            f"witnessed); pass samples= to sample adversarially, "
+            f"mode='witness' for disjoint-path certificates, or raise "
+            f"the budget"
         )
         self.total = total
         self.budget = budget
+        #: Partial progress at the moment the budget tripped.  Sweep
+        #: mode fails fast before enumerating (all zeros); callers that
+        #: interleave their own checking can re-raise with their counts.
+        self.fault_sets_checked = fault_sets_checked
+        self.pairs_checked = pairs_checked
+        self.pairs_witnessed = pairs_witnessed
 
 
 @dataclass(frozen=True)
@@ -298,7 +315,9 @@ def verify_ft_spanner(
             ok=True, exhaustive=True, fault_sets_checked=checked
         )
     if samples is None:
-        raise SweepBudgetExceeded(total, exhaustive_budget)
+        raise SweepBudgetExceeded(
+            total, exhaustive_budget, fault_sets_checked=checked
+        )
     rng = random.Random(seed)
     for faults in _adversarial_fault_sets(
         g, h, t, f, fault_model, rng, samples
