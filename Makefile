@@ -1,7 +1,7 @@
 PYTHON ?= python
 
 .PHONY: test verify bench bench-apps bench-flow bench-weighted \
-	bench-batch bench-serving check-bench examples
+	bench-batch bench-serving bench-dynamic check-bench examples
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -45,6 +45,13 @@ bench-batch:
 # mode rewrites BENCH_serving.json; CI runs it with QUICK=--quick.
 bench-serving:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_serving.py $(QUICK)
+
+# Dynamic-snapshot churn benchmark: delta-overlay streaming updates vs
+# a from-scratch CSR freeze after every batch, per-batch answer parity
+# asserted per instance.  Full mode rewrites BENCH_dynamic.json; CI
+# runs it with QUICK=--quick.
+bench-dynamic:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_dynamic.py $(QUICK)
 
 # Validate the committed BENCH_*.json reports: schema, full-run (not
 # --quick) provenance, and identical_outputs on every instance.

@@ -1,0 +1,254 @@
+"""Micro-benchmark: delta-overlay streaming updates vs refreeze-per-batch.
+
+Replays the same sliding-window churn stream through two serving
+strategies and checks they answer every query identically, writing the
+results to ``BENCH_dynamic.json`` at the repository root.  The cost
+being measured is the refreeze: without the overlay, every update batch
+forces a from-scratch :class:`CSRSnapshot` freeze (O(n + m) copy work)
+before the snapshot can answer again, so the per-batch cost is
+``freeze + queries``.  The :class:`DynamicSnapshot` overlay privatizes
+only the adjacency rows a batch touches and keeps serving through the
+same sweep object, so its per-batch cost is ``O(touched rows) +
+queries`` -- with the occasional policy-driven compaction folding the
+overlay back into a flat base.
+
+* ``churn_unit`` -- unit weights, BFS queries.
+* ``churn_weighted`` -- integral weights, Dijkstra queries.
+
+Each row replays ``batches`` batches of ``batch`` updates over a
+``G(n, p)`` instance, answering ``queries`` single-source queries after
+every batch.  ``parity_ok`` records that the overlay's answer stream
+was bit-identical to the refreeze baseline's, batch by batch -- the
+speedup is meaningless if the cheap mode answers differently.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_dynamic.py [--quick]
+
+``--quick`` shrinks to a seconds-long smoke run (used by CI); the JSON
+it writes is marked ``"quick": true`` so a full run's numbers are never
+silently overwritten by smoke ones unless you ask for it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.dynamic import DynamicSnapshot
+from repro.graph import generators
+from repro.graph.snapshot import CSRSnapshot, ScenarioSweep
+
+SEED = 42
+
+# (n, p, steps, window, batch, compact_every) per scenario row.  The
+# explicit update budget makes every row cross at least one compaction
+# boundary, so the overlay timings include the refreezes the policy
+# actually pays, not just the cheap steady-state.
+INSTANCES = [
+    (400, 0.03, 240, 30, 8, 180),
+    (900, 0.012, 240, 30, 8, 180),
+    (1600, 0.007, 240, 30, 8, 180),
+]
+QUICK_INSTANCES = [(120, 0.08, 60, 12, 6, 60)]
+QUERIES_PER_BATCH = 3
+
+DEFAULT_OUTPUT = (
+    Path(__file__).resolve().parent.parent / "BENCH_dynamic.json"
+)
+
+
+def _instance(n, p, weighted):
+    g = generators.ensure_connected(
+        generators.gnp_random_graph(n, p, seed=SEED), seed=SEED
+    )
+    if weighted:
+        g = generators.with_random_weights(
+            g, low=1.0, high=9.0, seed=SEED, integral=True
+        )
+    return g
+
+
+def _batches(ops, size):
+    return [ops[i:i + size] for i in range(0, len(ops), size)]
+
+
+def _sources(g, batches):
+    """One deterministic rotation of query sources per batch."""
+    nodes = sorted(g.nodes(), key=repr)
+    stride = max(1, len(nodes) // 7)
+    return [
+        [nodes[(b * stride + q * 3) % len(nodes)]
+         for q in range(QUERIES_PER_BATCH)]
+        for b in range(len(batches))
+    ]
+
+
+def _run_overlay(g, batches, sources, compact_every):
+    """Apply each batch through the overlay; only the compaction
+    policy ever refreezes."""
+    dyn = DynamicSnapshot(g, compact_every=compact_every)
+    sweep = dyn.sweep()
+    answers = []
+    start = time.perf_counter()
+    for ops, srcs in zip(batches, sources):
+        dyn.apply(ops)
+        answers.append([sweep.distances_from(s) for s in srcs])
+    elapsed = time.perf_counter() - start
+    return elapsed, answers, dyn
+
+
+def _run_refreeze(g, batches, sources):
+    """Apply each batch to the dict graph, freeze from scratch, query."""
+    answers = []
+    start = time.perf_counter()
+    for ops, srcs in zip(batches, sources):
+        for op in ops:
+            if op[0] == "insert":
+                g.add_edge(op[1], op[2], op[3] if len(op) > 3 else 1.0)
+            else:
+                g.remove_edge(op[1], op[2])
+        sweep = ScenarioSweep(CSRSnapshot(g))
+        answers.append([sweep.distances_from(s) for s in srcs])
+    elapsed = time.perf_counter() - start
+    return elapsed, answers
+
+
+def bench_churn(weighted, instances, repeats):
+    rows = []
+    for n, p, steps, window, batch, compact_every in instances:
+        stream_g = _instance(n, p, weighted)
+        ops = generators.sliding_window_churn(
+            stream_g, steps=steps, window=window, seed=SEED,
+            weights="int" if weighted else "unit",
+        )
+        batches = _batches(ops, batch)
+        sources = _sources(stream_g, batches)
+
+        t_overlay, dyn = float("inf"), None
+        overlay_answers = None
+        for _ in range(repeats):
+            elapsed, answers, d = _run_overlay(
+                _instance(n, p, weighted), batches, sources, compact_every
+            )
+            if elapsed < t_overlay:
+                t_overlay, overlay_answers, dyn = elapsed, answers, d
+        t_refreeze, refreeze_answers = float("inf"), None
+        for _ in range(repeats):
+            elapsed, answers = _run_refreeze(
+                _instance(n, p, weighted), batches, sources
+            )
+            if elapsed < t_refreeze:
+                t_refreeze, refreeze_answers = elapsed, answers
+
+        parity = overlay_answers == refreeze_answers
+        sec_ov = round(t_overlay, 4)
+        sec_rf = round(t_refreeze, 4)
+        row = {
+            "n": n,
+            "p": p,
+            "m": stream_g.num_edges,
+            "updates": len(ops),
+            "batches": len(batches),
+            "batch": batch,
+            "queries_per_batch": QUERIES_PER_BATCH,
+            "compact_every": compact_every,
+            "compactions": dyn.compactions,
+            "overlay_depth": dyn.overlay_depth,
+            "seconds_overlay": sec_ov,
+            "seconds_refreeze": sec_rf,
+            # From the rounded values on purpose: the committed JSON
+            # must be self-consistent for scripts/check_bench_json.py.
+            "speedup": round(sec_rf / sec_ov, 2)
+            if sec_ov > 0 else float("inf"),
+            "parity_ok": parity,
+        }
+        rows.append(row)
+        print(
+            f"  n={n:5d} m={stream_g.num_edges:6d} "
+            f"updates={len(ops):4d}/{len(batches):3d} batches  "
+            f"overlay {t_overlay:7.3f}s "
+            f"(depth {dyn.overlay_depth}, {dyn.compactions} compactions)  "
+            f"refreeze {t_refreeze:7.3f}s  "
+            f"speedup {row['speedup']:6.2f}x  "
+            f"parity={'ok' if parity else 'FAIL'}"
+        )
+    return {
+        "description": (
+            "sliding-window churn replayed two ways: DeltaOverlay "
+            "streaming updates (one epoch, auto-compaction) vs a "
+            "from-scratch CSRSnapshot freeze after every batch; both "
+            "answer the same single-source queries after each batch "
+            "and must agree batch-by-batch"
+        ),
+        "parameters": {
+            "weighted": weighted,
+            "queries_per_batch": QUERIES_PER_BATCH,
+        },
+        "instances": rows,
+    }
+
+
+def run(repeats: int = 3, quick: bool = False):
+    if quick:
+        repeats = 1
+        instances = QUICK_INSTANCES
+    else:
+        instances = INSTANCES
+    scenarios = {}
+    for name, weighted in [("churn_unit", False), ("churn_weighted", True)]:
+        print(f"{name}:")
+        scenarios[name] = bench_churn(weighted, instances, repeats)
+    report = {
+        "benchmark": "delta-overlay streaming vs refreeze-per-batch",
+        "quick": quick,
+        "seed": SEED,
+        "repeats": repeats,
+        "timing": "best-of-repeats",
+        "python": platform.python_version(),
+        "scenarios": scenarios,
+    }
+    # Headline trajectory: the largest instance's unit-weight row,
+    # where the per-batch freeze the overlay avoids is biggest.
+    report["overlay_speedup_at_max_n"] = (
+        scenarios["churn_unit"]["instances"][-1]["speedup"]
+    )
+    return report
+
+
+def _all_parity_ok(report) -> bool:
+    return all(
+        row["parity_ok"]
+        for scenario in report["scenarios"].values()
+        for row in scenario["instances"]
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help=f"where to write the JSON report "
+                             f"(default: {DEFAULT_OUTPUT})")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repetitions per mode (default 3)")
+    parser.add_argument("--quick", action="store_true",
+                        help="smoke run: tiny instance, one repeat "
+                             "(answer-parity checks still apply)")
+    args = parser.parse_args(argv)
+    report = run(repeats=args.repeats, quick=args.quick)
+    if args.quick and args.output == DEFAULT_OUTPUT:
+        print("quick run: skipping JSON write (pass --output to force)")
+    else:
+        args.output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"report written to {args.output}")
+    if not _all_parity_ok(report):
+        print("ERROR: overlay answers diverged from the refreeze baseline")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

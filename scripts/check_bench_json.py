@@ -32,7 +32,14 @@ Checks, per report:
   latency quantiles with ``p99_ms >= p50_ms >= 0``, a ``chaos_rate``
   in ``[0, 1]``, non-negative ``deadline_errors``/``retries`` counters,
   and ``parity_ok`` exactly ``true`` (every completed answer was
-  audited bit-identical against the in-process engine).
+  audited bit-identical against the in-process engine);
+* dynamic-benchmark instances (any row carrying ``seconds_overlay``,
+  as in ``BENCH_dynamic.json``) time the delta-overlay stream against
+  a refreeze-per-batch baseline: positive ``updates``/``batches``,
+  non-negative int ``compactions``/``overlay_depth``, a ``speedup``
+  consistent with ``seconds_overlay``/``seconds_refreeze``, and
+  ``parity_ok`` exactly ``true`` (every per-batch answer stream was
+  bit-identical between the two modes).
 
 Exit status 0 when every report passes, 1 otherwise.
 
@@ -94,6 +101,12 @@ def check_report(path: Path, errors: list) -> None:
                 # latency under a load generator, not a two-backend
                 # timing pair; they get their own schema.
                 _check_serving_instance(path, iw, inst, errors)
+                continue
+            if "seconds_overlay" in inst:
+                # Dynamic rows (BENCH_dynamic.json) compare churn
+                # strategies; their parity flag audits answer streams,
+                # not a single output, so they get their own schema.
+                _check_dynamic_instance(path, iw, inst, errors)
                 continue
             for key in INSTANCE_KEYS:
                 if key not in inst:
@@ -195,6 +208,52 @@ def _check_serving_instance(path, iw, inst, errors) -> None:
         _fail(errors, path, iw,
               f"parity_ok must be true, got {inst['parity_ok']!r} -- "
               f"a completed answer diverged from the in-process sweep")
+
+
+DYNAMIC_KEYS = (
+    "n", "m", "updates", "batches", "compactions", "overlay_depth",
+    "seconds_overlay", "seconds_refreeze", "speedup", "parity_ok",
+)
+
+
+def _check_dynamic_instance(path, iw, inst, errors) -> None:
+    """Schema for overlay-vs-refreeze churn rows (BENCH_dynamic.json).
+
+    A dynamic row claims the overlay served the whole update stream
+    bit-identically to a from-scratch freeze after every batch
+    (``parity_ok``), and records how much overlay machinery that took
+    (``compactions`` policy refreezes, final ``overlay_depth``).
+    """
+    for key in DYNAMIC_KEYS:
+        if key not in inst:
+            _fail(errors, path, iw, f"missing key {key!r}")
+    if not all(key in inst for key in DYNAMIC_KEYS):
+        return
+    for key in ("n", "updates", "batches"):
+        if not (isinstance(inst[key], int) and inst[key] > 0):
+            _fail(errors, path, iw,
+                  f"{key} must be a positive int, got {inst[key]!r}")
+    for key in ("m", "compactions", "overlay_depth"):
+        if not (isinstance(inst[key], int) and inst[key] >= 0):
+            _fail(errors, path, iw,
+                  f"{key} must be a non-negative int, got {inst[key]!r}")
+    t_ov, t_rf = inst["seconds_overlay"], inst["seconds_refreeze"]
+    if not all(isinstance(v, (int, float)) and v > 0 for v in (t_ov, t_rf)):
+        _fail(errors, path, iw,
+              f"timings must be positive numbers, got "
+              f"seconds_overlay={t_ov!r}, seconds_refreeze={t_rf!r}")
+        return
+    claimed = inst["speedup"]
+    actual = t_rf / t_ov
+    if abs(claimed - actual) > max(0.011, 0.01 * actual):
+        _fail(errors, path, iw,
+              f"speedup {claimed} inconsistent with timings "
+              f"(refreeze/overlay = {actual:.3f})")
+    if inst["parity_ok"] is not True:
+        _fail(errors, path, iw,
+              f"parity_ok must be true, got {inst['parity_ok']!r} -- "
+              f"the overlay's answers diverged from the refreeze "
+              f"baseline")
 
 
 def _check_flow_instance(path, iw, inst, timings, errors) -> None:

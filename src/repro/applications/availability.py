@@ -67,7 +67,7 @@ from repro.graph.views import VertexFaultView
 INFINITY = math.inf
 
 #: Legal fault-scenario generators (``fault_process=`` keyword).
-FAULT_PROCESSES = ("independent", "clustered")
+FAULT_PROCESSES = ("independent", "clustered", "cascade")
 
 
 def sample_fault_scenario(
@@ -92,12 +92,23 @@ def sample_fault_scenario(
       models rack/partition-style correlated outages, the regime where
       an f-fault guarantee is spent on one neighborhood instead of
       being spread thin.
+    * ``"cascade"`` -- load-redistribution chain failures: every node
+      starts carrying unit load; when a node fails, its load splits
+      equally among its healthy neighbors (shed entirely if it has
+      none), and each failure is drawn from the healthy nodes with
+      probability proportional to current load -- one ``rng.random()``
+      draw per failure, walked over the ``repr``-sorted healthy list.
+      With uniform loads (the first draw) this is a uniform pick;
+      afterwards overloaded neighbors of past failures are the likely
+      next casualties, modeling overload cascades where failures chase
+      the redistributed work.
 
     ``neighbors`` is a callable ``node -> iterable of neighbors``
-    (required for ``"clustered"``).  The boundary is recomputed from
-    the fault *set* each step and sorted by ``repr``, so the draw
-    sequence depends only on the neighbor sets -- never on adjacency
-    iteration order -- making dict-vs-CSR parity structural.
+    (required for ``"clustered"`` and ``"cascade"``).  Boundaries and
+    heir sets are recomputed from the fault *set* each step and sorted
+    by ``repr``, so the draw sequence depends only on the neighbor
+    sets -- never on adjacency iteration order -- making dict-vs-CSR
+    parity structural.
 
     ``nodes`` must be deterministically ordered (the availability
     entry points pass ``sorted(g.nodes(), key=repr)``).
@@ -110,16 +121,40 @@ def sample_fault_scenario(
         )
     if fault_process == "independent":
         return set(rng.sample(nodes, failures))
-    if fault_process != "clustered":
+    if fault_process not in FAULT_PROCESSES:
         raise ValueError(
             f"unknown fault_process {fault_process!r}; expected one of "
             f"{FAULT_PROCESSES}"
         )
     if neighbors is None:
         raise ValueError(
-            "fault_process='clustered' needs a neighbors callable"
+            f"fault_process={fault_process!r} needs a neighbors callable"
         )
-    faults: set = set()
+    if fault_process == "cascade":
+        loads = {x: 1.0 for x in nodes}
+        faults: set = set()
+        while len(faults) < failures:
+            healthy = [x for x in nodes if x not in faults]
+            total = sum(loads[x] for x in healthy)
+            r = rng.random() * total
+            acc = 0.0
+            pick = healthy[-1]  # guard against float accumulation slop
+            for x in healthy:
+                acc += loads[x]
+                if r < acc:
+                    pick = x
+                    break
+            faults.add(pick)
+            shed = loads.pop(pick)
+            heirs = sorted(
+                (v for v in neighbors(pick) if v not in faults), key=repr
+            )
+            if heirs:
+                share = shed / len(heirs)
+                for v in heirs:
+                    loads[v] += share
+        return faults
+    faults = set()
     while len(faults) < failures:
         boundary = sorted(
             {

@@ -134,6 +134,12 @@ class FaultTolerantDistanceOracle:
         self._cache_size = 0
         self.cache_size = cache_size  # validated + evicted by the setter
         self._sweep: Optional[ScenarioSweep] = None
+        # Churn stamp: cached single-source runs are only valid for the
+        # spanner state they were computed at; the dict graph's
+        # monotonic ``mutations`` counter (bumped by streaming updates
+        # on both backends -- overlay mutations mirror into the dict)
+        # tells the cache when that state moved.
+        self._version = self.spanner.mutations
         if snapshot is not None:
             if self.backend != "csr":
                 raise ValueError("snapshot= requires the csr backend")
@@ -332,6 +338,20 @@ class FaultTolerantDistanceOracle:
             return VertexFaultView(self.spanner, fault_key)
         return EdgeFaultView(self.spanner, fault_key)
 
+    def _flush_if_stale(self) -> None:
+        """Drop cached runs computed before the last streaming update.
+
+        On the CSR backend the sweep's masks/workspaces refresh
+        themselves through the overlay's version stamp; this extends
+        the same discipline to the oracle's (fault set, source) LRU on
+        *both* backends, which would otherwise serve pre-churn
+        distances verbatim.  Must run before any cache lookup.
+        """
+        v = self.spanner.mutations
+        if v != self._version:
+            self._version = v
+            self._cache.clear()
+
     def _stamped_sweep(self, fault_key: FrozenSet) -> ScenarioSweep:
         """The shared snapshot sweep, re-stamped for ``fault_key``."""
         sweep = self._sweep
@@ -344,6 +364,7 @@ class FaultTolerantDistanceOracle:
 
     def _sssp(self, fault_key: FrozenSet, source: Node) -> Dict[Node, float]:
         self._check_alive(source, fault_key)
+        self._flush_if_stale()
         # A zero-capacity LRU is fully disabled: no lookup, no store --
         # the run below is computed fresh and returned without touching
         # the (empty) cache, so there is nothing stale to reuse and
@@ -381,6 +402,7 @@ class FaultTolerantDistanceOracle:
         """
         out: Dict[Node, Dict[Node, float]] = {}
         missing: List[Node] = []
+        self._flush_if_stale()
         if self._cache_size == 0:
             missing = [s for s in dict.fromkeys(sources)]
         else:

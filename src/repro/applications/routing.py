@@ -110,6 +110,12 @@ class SpannerRouter:
         # Lazy flow substrate for disjoint_routes: (csr, indexer,
         # DisjointPathNetwork, FlowWorkspace), built on first use.
         self._flow: Optional[Tuple] = None
+        # Churn stamp: the spanner dict's monotonic ``mutations``
+        # counter bumps per streaming update (on both backends --
+        # overlay mutations mirror into the dict); tables and the flow
+        # network built before the bump describe the pre-churn topology
+        # and are dropped wholesale.
+        self._version = self.spanner.mutations
         if snapshot is not None:
             if self.backend != "csr":
                 raise ValueError("snapshot= requires the csr backend")
@@ -208,6 +214,7 @@ class SpannerRouter:
             source in fault_key or dest in fault_key
         ):
             raise ValueError("route endpoint is in the fault set")
+        self._flush_if_stale()
         csr, indexer, network, workspace = self._flow_engine()
         banned_vertices: List[int] = []
         banned_edges: List[int] = []
@@ -273,6 +280,7 @@ class SpannerRouter:
         dest_list = (
             list(self.spanner.nodes()) if dests is None else list(dests)
         )
+        self._flush_if_stale()
         per_dest = self._tables.setdefault(fault_key, {})
         missing: List[Node] = []
         for dest in dict.fromkeys(dest_list):
@@ -329,13 +337,29 @@ class SpannerRouter:
             return VertexFaultView(self.spanner, fault_key)
         return EdgeFaultView(self.spanner, fault_key)
 
+    def _flush_if_stale(self) -> None:
+        """Drop tables and the flow network built before the last update.
+
+        The sweep refreshes its own masks through the overlay's version
+        stamp; the router additionally owns next-hop tables and a Dinic
+        network whose arcs bake in the pre-churn edge list, so both are
+        rebuilt from scratch at the next query after the spanner's
+        ``mutations`` stamp moves (either backend).  Must run before
+        any ``_tables`` / ``_flow`` read.
+        """
+        v = self.spanner.mutations
+        if v != self._version:
+            self._version = v
+            self._tables.clear()
+            self._flow = None
+
     def _flow_engine(self) -> Tuple:
         """The cached (csr, indexer, network, workspace) flow substrate.
 
-        On the CSR backend the substrate shares the sweep's frozen
-        snapshot; the dict backend freezes its own CSR copy of the
-        spanner on first use (the spanner never mutates after
-        construction, so one freeze is enough either way).
+        On the CSR backend the substrate shares the sweep's snapshot;
+        the dict backend freezes its own CSR copy of the spanner on
+        first use.  One build serves until :meth:`_flush_if_stale`
+        sees a streaming update, which resets it.
         """
         if self._flow is None:
             if self.backend == "csr":
@@ -384,6 +408,7 @@ class SpannerRouter:
             and dest in fault_key
         ):
             raise ValueError(f"destination {dest!r} is in the fault set")
+        self._flush_if_stale()
         per_dest = self._tables.setdefault(fault_key, {})
         cached = per_dest.get(dest)
         if cached is not None:

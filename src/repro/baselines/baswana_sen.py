@@ -16,9 +16,18 @@ adjacent cluster of the final clustering.
 
 Expected size O(k n^(1+1/k)); stretch 2k - 1 for weighted graphs.
 
-Backend: dict only.  The k - 1 clustering rounds touch every edge a
+Execution backends (``backend=`` keyword, default resolved from
+``REPRO_BACKEND``): the k - 1 clustering rounds touch every edge a
 constant number of times each -- O(k m) total, no shortest-path probes
-at all -- so the CSR traversal machinery is not applicable.
+-- so the fold onto the CSR substrate is about the *clustering state*,
+not traversal kernels.  The ``"csr"`` path runs the identical logic
+over integer node indices: center assignments live in a flat list,
+per-vertex live-edge sets are built from the frozen CSR rows (which
+preserve dict neighbor order), and the dict path's ``repr``-based
+tie-breaks and center-sampling order are reproduced through one
+precomputed repr-rank permutation -- so both backends consume the
+identical RNG stream and emit the identical spanner, edge for edge, in
+the identical insertion order (asserted by the parity suite).
 """
 
 from __future__ import annotations
@@ -27,8 +36,10 @@ import math
 import random
 from typing import Dict, Optional, Set, Tuple, Union
 
-from repro.core.spanner import FaultModel, SpannerResult
+from repro.core.spanner import FaultModel, SpannerResult, resolve_backend
+from repro.graph.csr import CSRGraph
 from repro.graph.graph import Graph, Node
+from repro.graph.index import NodeIndexer
 from repro.registry import register_algorithm
 
 RngLike = Union[int, random.Random, None]
@@ -40,14 +51,21 @@ RngLike = Union[int, random.Random, None]
     guarantee="stretch 2k-1, expected O(k n^(1+1/k)) edges; no fault "
               "tolerance",
     seedable=True,
+    backend_aware=True,
 )
 def baswana_sen_spanner(
-    g: Graph, k: int, seed: RngLike = None
+    g: Graph, k: int, seed: RngLike = None, backend: Optional[str] = None
 ) -> SpannerResult:
-    """Build a (2k-1)-spanner of (possibly weighted) ``g`` per [BS07]."""
+    """Build a (2k-1)-spanner of (possibly weighted) ``g`` per [BS07].
+
+    ``backend`` selects the clustering-state engine (see the module
+    docstring); the output is identical either way.
+    """
     if k < 1:
         raise ValueError(f"need k >= 1, got {k}")
     rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    if resolve_backend(backend) == "csr":
+        return _baswana_sen_csr(g, k, rng)
     n = g.num_nodes
     h = g.spanning_skeleton()
     if n == 0:
@@ -119,6 +137,102 @@ def baswana_sen_spanner(
                 continue
             h.add_edge(v, u, weight=g.weight(v, u))
     return _result(h, g, k)
+
+
+def _baswana_sen_csr(g: Graph, k: int, rng: random.Random) -> SpannerResult:
+    """The index-space mirror of the dict clustering (identical output).
+
+    Every structure the dict path keeps keyed by node label lives here
+    in a flat list keyed by CSR node index; the one non-trivial bridge
+    is ``rank``, the permutation sorting indices by their labels'
+    ``repr`` -- comparing ``(w, rank[u])`` reproduces the dict path's
+    ``(w, repr(u))`` tie-break, and sorting centers by rank reproduces
+    its center-sampling order, so the RNG stream matches draw for draw.
+    """
+    n = g.num_nodes
+    h = g.spanning_skeleton()
+    if n == 0:
+        return _result(h, g, k)
+    indexer = NodeIndexer.from_graph(g)
+    csr = CSRGraph.from_graph(g, indexer=indexer)
+    node_of = indexer.node
+    rank = [0] * n
+    order = sorted(range(n), key=lambda i: repr(node_of(i)))
+    for r, i in enumerate(order):
+        rank[i] = r
+
+    NONE = -1  # a vertex that has left the clustering
+    center = list(range(n))
+    # live[v]: unresolved incident edges, in CSR row order -- which is
+    # the dict path's neighbor insertion order, so the per-cluster
+    # "first encountered" bookkeeping below matches it exactly.
+    live = [
+        dict(zip(csr.neighbors[v], csr.weight_rows[v])) for v in range(n)
+    ]
+    p = n ** (-1.0 / k)
+
+    for _ in range(k - 1):
+        centers = sorted({c for c in center if c != NONE}, key=rank.__getitem__)
+        survivors = {c for c in centers if rng.random() < p}
+        new_center = [NONE] * n
+        for v in range(n):
+            c = center[v]
+            if c == NONE:
+                continue
+            if c in survivors:
+                new_center[v] = c
+                continue
+            best = _lightest_by_index(live[v], center, rank)
+            surviving_best: Optional[Tuple[float, int, int, int]] = None
+            for cluster, (w, ru, u) in best.items():
+                if cluster in survivors:
+                    if surviving_best is None or (w, ru) < surviving_best[:2]:
+                        surviving_best = (w, ru, u, cluster)
+            if surviving_best is not None:
+                join_weight, _, u, cluster = surviving_best
+                h.add_edge(node_of(v), node_of(u), weight=live[v][u])
+                new_center[v] = cluster
+                resolved = {cluster}
+                for other, (w, rx, x) in best.items():
+                    if other != cluster and w < join_weight:
+                        h.add_edge(node_of(v), node_of(x), weight=live[v][x])
+                        resolved.add(other)
+                live[v] = {
+                    x: w
+                    for x, w in live[v].items()
+                    if center[x] not in resolved
+                }
+            else:
+                for cluster, (w, ru, u) in best.items():
+                    h.add_edge(node_of(v), node_of(u), weight=live[v][u])
+                live[v] = {}
+        center = new_center
+
+    for v in range(n):
+        if center[v] == NONE:
+            continue
+        incident = dict(zip(csr.neighbors[v], csr.weight_rows[v]))
+        best = _lightest_by_index(incident, center, rank)
+        for cluster, (w, ru, u) in best.items():
+            if cluster == center[v]:
+                continue
+            h.add_edge(node_of(v), node_of(u), weight=w)
+    return _result(h, g, k)
+
+
+def _lightest_by_index(
+    incident: Dict[int, float], center, rank
+) -> Dict[int, Tuple[float, int, int]]:
+    """Index-space `_lightest_edge_per_cluster`: cluster -> (w, rank, u)."""
+    best: Dict[int, Tuple[float, int, int]] = {}
+    for u, w in incident.items():
+        c = center[u]
+        if c == -1:
+            continue
+        cur = best.get(c)
+        if cur is None or (w, rank[u]) < cur[:2]:
+            best[c] = (w, rank[u], u)
+    return best
 
 
 def _sample_centers(

@@ -11,6 +11,10 @@ Subcommands
                 built spanner and drive it with an open-loop load
                 generator (optionally under seeded chaos injection),
                 reporting throughput, latency quantiles, and parity.
+``churn``       Stream seeded edge insert/delete updates through a built
+                spanner session (delta overlays + compaction policy),
+                probing distances during churn and checking them against
+                the reference engine.
 ``algorithms``  List every registered construction with its guarantee
                 and capabilities (the algorithm registry).
 ``info``        Print structural statistics of a graph file.
@@ -218,11 +222,12 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--pairs", type=int, default=8,
                        help="distance pairs per request (default 8)")
     serve.add_argument("--fault-process",
-                       choices=["independent", "clustered"],
+                       choices=["independent", "clustered", "cascade"],
                        default="independent",
                        help="per-request fault-scenario generator: "
-                            "'independent' uniform draws or 'clustered' "
-                            "neighbor-contagion sampling (default "
+                            "'independent' uniform draws, 'clustered' "
+                            "neighbor-contagion sampling, or 'cascade' "
+                            "load-redistribution chain failures (default "
                             "independent)")
     serve.add_argument("--chaos-rate", type=float, default=0.0,
                        help="probability a dispatched shard's worker is "
@@ -250,6 +255,53 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--seed", type=int, default=0,
                        help="seed for --random generation, the workload, "
                             "and the chaos schedule (default 0)")
+
+    churn = sub.add_parser(
+        "churn",
+        help="stream edge updates through a spanner session (delta "
+             "overlays + compaction) and probe distances during churn",
+    )
+    churn.add_argument("--input", help="graph file (edge-list format)")
+    churn.add_argument("--random", type=int, metavar="N",
+                       help="generate a G(n, p) input instead of a file")
+    churn.add_argument("--p", type=float, default=0.1,
+                       help="edge probability for --random (default 0.1)")
+    churn.add_argument("-k", type=int, default=2,
+                       help="stretch parameter: stretch = 2k-1 (default 2)")
+    churn.add_argument("-f", type=int, default=1,
+                       help="fault budget for the build (default 1)")
+    churn.add_argument("--steps", type=int, default=200,
+                       help="insert steps of the sliding-window churn "
+                            "stream (default 200); deletes ride along "
+                            "once the window is full")
+    churn.add_argument("--window", type=int, default=25,
+                       help="max live churn edges at any time (default 25)")
+    churn.add_argument("--weights", choices=["unit", "int", "float"],
+                       default="unit",
+                       help="weight profile of inserted edges (default "
+                            "unit)")
+    churn.add_argument("--batch", type=int, default=20,
+                       help="ops applied per update batch (default 20)")
+    churn.add_argument("--compact-every", type=int, default=None,
+                       help="compact the overlay after this many "
+                            "effective updates (default: density-driven "
+                            "auto mode only)")
+    churn.add_argument("--max-density", type=float, default=0.25,
+                       help="auto-compact once overlay churn exceeds "
+                            "this fraction of the base epoch's edges "
+                            "(default 0.25; 0 disables)")
+    churn.add_argument("--probes", type=int, default=5,
+                       help="distance probes checked per batch "
+                            "(default 5)")
+    churn.add_argument("--backend", choices=["dict", "csr"], default=None,
+                       help="session backend (the overlay engine serves "
+                            "the csr backend; dict mutates in place; "
+                            "answers are identical)")
+    churn.add_argument("--search", choices=SEARCH_MODES, default=None,
+                       help="weighted search engine for the probes")
+    churn.add_argument("--seed", type=int, default=0,
+                       help="seed for --random generation, the churn "
+                            "stream, and probe sampling (default 0)")
 
     algorithms = sub.add_parser(
         "algorithms",
@@ -514,6 +566,73 @@ def _cmd_serve(args) -> int:
     return 0 if report.parity_ok else 1
 
 
+def _cmd_churn(args) -> int:
+    import random as _random
+
+    from repro.graph.traversal import dijkstra
+
+    backend = _resolve_backend_or_exit(args, "churn")
+    g = _load_or_generate(args, seed=args.seed)
+    session = SpannerSession(
+        g, k=args.k, f=args.f, backend=backend, seed=args.seed,
+        search=args.search,
+    )
+    start = time.perf_counter()
+    session.build("greedy")
+    build = time.perf_counter() - start
+    ops = generators.sliding_window_churn(
+        g, steps=args.steps, window=args.window, seed=args.seed,
+        weights=args.weights,
+    )
+    print(f"built {session.result.spanner.num_edges}-edge spanner in "
+          f"{build:.3f}s; streaming {len(ops)} ops "
+          f"({args.steps} inserts, window {args.window}, "
+          f"{args.weights} weights) in batches of {args.batch}")
+    rng = _random.Random(args.seed)
+    h = session.result.spanner
+    oracle = session.oracle()
+    checked = 0
+    mismatches = 0
+    start = time.perf_counter()
+    for lo in range(0, len(ops), max(1, args.batch)):
+        batch = ops[lo:lo + max(1, args.batch)]
+        try:
+            session.apply_updates(
+                batch,
+                compact_every=args.compact_every,
+                max_density=args.max_density or None,
+            )
+        except UnsupportedSearch as exc:
+            raise SystemExit(f"ftspanner churn: error: {exc}")
+        nodes = sorted(h.nodes(), key=repr)
+        for _ in range(args.probes):
+            u, v = rng.sample(nodes, 2)
+            got = oracle.distance(u, v)
+            want = dijkstra(h, u, target=v).get(v, float("inf"))
+            checked += 1
+            if got != want:
+                mismatches += 1
+    elapsed = time.perf_counter() - start
+    print(f"applied {len(ops)} ops in {elapsed:.3f}s "
+          f"({len(ops) / elapsed:.0f} ops/s including probes)")
+    stats = session.churn_stats()
+    if stats is not None:
+        for side in ("g", "h"):
+            s = stats[side]
+            print(f"  {side.upper()}: {s['effective']:.0f} effective "
+                  f"updates, {s['compactions']:.0f} compactions, "
+                  f"overlay depth {s['overlay_depth']:.0f}, "
+                  f"density {s['density']:.3f}, "
+                  f"{s['live_edges']:.0f} live edges")
+    else:
+        print(f"  dict backend: graphs mutated in place "
+              f"({g.num_edges} graph edges, {h.num_edges} spanner edges)")
+    print(f"probe parity vs reference engine: "
+          f"{checked - mismatches}/{checked} identical "
+          f"({'OK' if mismatches == 0 else 'FAILED'})")
+    return 0 if mismatches == 0 else 1
+
+
 def _cmd_algorithms(args) -> int:
     width = max(len(name) for name in algorithm_names())
     for spec in iter_algorithms():
@@ -588,6 +707,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "verify": _cmd_verify,
         "oracle": _cmd_oracle,
         "serve": _cmd_serve,
+        "churn": _cmd_churn,
         "algorithms": _cmd_algorithms,
         "info": _cmd_info,
         "demo": _cmd_demo,

@@ -1,0 +1,33 @@
+"""Streaming-update subsystem over the frozen CSR substrate.
+
+See docs/architecture.md ("Dynamic snapshots & compaction"): typed
+update ops and the append-only log (:mod:`repro.dynamic.log`), the
+copy-on-write delta overlay (:mod:`repro.dynamic.overlay`), and the
+compacting :class:`DynamicSnapshot` the session/applications layer
+serves churn through (:mod:`repro.dynamic.snapshot`).
+"""
+
+from repro.dynamic.log import (
+    EdgeDelete,
+    EdgeInsert,
+    UpdateConflict,
+    UpdateLog,
+    UpdateOp,
+    classify_op,
+    coerce_op,
+)
+from repro.dynamic.overlay import DeltaOverlay
+from repro.dynamic.snapshot import CompactionPolicy, DynamicSnapshot
+
+__all__ = [
+    "CompactionPolicy",
+    "DeltaOverlay",
+    "DynamicSnapshot",
+    "EdgeDelete",
+    "EdgeInsert",
+    "UpdateConflict",
+    "UpdateLog",
+    "UpdateOp",
+    "classify_op",
+    "coerce_op",
+]

@@ -1,0 +1,193 @@
+"""Typed streaming-update operations and the append-only update log.
+
+A dynamic snapshot consumes a stream of *ops* -- :class:`EdgeInsert` and
+:class:`EdgeDelete` records -- and must give every op exactly one of
+three fates before the graph mutates:
+
+* **apply** -- the op changes graph state (a new edge, a weight change,
+  a removal of a live edge);
+* **no-op** -- the op is idempotent against the current state (an insert
+  of an edge that already exists with the same weight) and is recorded
+  but changes nothing;
+* **conflict** -- the op can never be valid (self-loop, negative
+  weight) or contradicts the current state (deleting an absent edge),
+  raised as a typed :class:`UpdateConflict` *before* any mutation, so a
+  failed batch never leaves the graph half-applied op.
+
+:func:`classify_op` is that decision procedure, shared by
+:class:`~repro.dynamic.snapshot.DynamicSnapshot` and the property tests;
+:class:`UpdateLog` is the append-only record of every accepted op (both
+applied and no-op), which makes the overlay's state reproducible:
+replaying the log over the base graph reconstructs the current graph.
+
+Ops may also be written as plain tuples -- ``("insert", u, v[, w])`` /
+``("delete", u, v)`` -- which :func:`coerce_op` normalizes; the workload
+generators in :mod:`repro.graph.generators` emit that tuple form so they
+stay import-independent of this package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple, Union
+
+from repro.graph.graph import Graph, Node
+
+__all__ = [
+    "EdgeInsert",
+    "EdgeDelete",
+    "UpdateConflict",
+    "UpdateLog",
+    "UpdateOp",
+    "classify_op",
+    "coerce_op",
+]
+
+
+class UpdateConflict(ValueError):
+    """A streaming update contradicts the current graph state.
+
+    Raised by :func:`classify_op` (and therefore by
+    :meth:`~repro.dynamic.snapshot.DynamicSnapshot.apply` and
+    :meth:`~repro.session.SpannerSession.apply_updates`) for self-loop
+    inserts, negative weights, and deletions of absent edges -- always
+    *before* the offending op mutates anything.
+    """
+
+
+@dataclass(frozen=True)
+class EdgeInsert:
+    """Insert the undirected edge ``{u, v}`` with ``weight``.
+
+    Inserting an edge that already exists with the *same* weight is an
+    idempotent no-op; with a different weight it is an in-place weight
+    update (mirroring ``Graph.add_edge`` overwrite semantics).
+    """
+
+    u: Node
+    v: Node
+    weight: float = 1.0
+
+
+@dataclass(frozen=True)
+class EdgeDelete:
+    """Delete the undirected edge ``{u, v}``.
+
+    Deleting an edge that does not exist is a conflict, not a no-op:
+    a deletion stream that drifts from the graph state is a caller bug
+    the log should surface, not absorb.
+    """
+
+    u: Node
+    v: Node
+
+
+UpdateOp = Union[EdgeInsert, EdgeDelete]
+
+#: Verbs accepted by the tuple op form.
+_TUPLE_VERBS = ("insert", "delete")
+
+
+def coerce_op(op: Union[UpdateOp, Sequence]) -> UpdateOp:
+    """Normalize an op or a ``("insert"/"delete", u, v[, w])`` tuple."""
+    if isinstance(op, (EdgeInsert, EdgeDelete)):
+        return op
+    if isinstance(op, (tuple, list)) and op and op[0] in _TUPLE_VERBS:
+        verb = op[0]
+        if verb == "insert" and len(op) in (3, 4):
+            weight = float(op[3]) if len(op) == 4 else 1.0
+            return EdgeInsert(op[1], op[2], weight)
+        if verb == "delete" and len(op) == 3:
+            return EdgeDelete(op[1], op[2])
+    raise TypeError(
+        f"not an update op: {op!r} (expected EdgeInsert/EdgeDelete or "
+        f"('insert', u, v[, w]) / ('delete', u, v))"
+    )
+
+
+def classify_op(g: Graph, op: UpdateOp) -> str:
+    """Decide an op's fate against the current state of ``g``.
+
+    Returns ``"insert"`` (new edge), ``"update"`` (weight change on a
+    live edge), ``"delete"``, or ``"noop"`` (idempotent re-insert);
+    raises :class:`UpdateConflict` for invalid ops.  Never mutates.
+    """
+    if isinstance(op, EdgeInsert):
+        if op.u == op.v:
+            raise UpdateConflict(
+                f"insert of self-loop on {op.u!r} is not allowed"
+            )
+        if op.weight < 0:
+            raise UpdateConflict(
+                f"insert of {op.u!r}-{op.v!r} carries negative weight "
+                f"{op.weight!r}"
+            )
+        if g.has_edge(op.u, op.v):
+            if g.weight(op.u, op.v) == op.weight:
+                return "noop"
+            return "update"
+        return "insert"
+    if isinstance(op, EdgeDelete):
+        if not g.has_edge(op.u, op.v):
+            raise UpdateConflict(
+                f"delete of absent edge {op.u!r}-{op.v!r}"
+            )
+        return "delete"
+    raise TypeError(f"not an update op: {op!r}")
+
+
+class UpdateLog:
+    """Append-only record of accepted streaming updates.
+
+    Every op that passed :func:`classify_op` is appended exactly once,
+    tagged with its fate, so ``len(log)`` counts accepted ops and
+    :attr:`effective` counts the subset that changed state.  Replaying
+    ``ops()`` over the pre-churn graph reproduces the current one, which
+    is what makes a delta overlay auditable.
+    """
+
+    __slots__ = ("_ops", "_fates", "effective")
+
+    def __init__(self) -> None:
+        self._ops: List[UpdateOp] = []
+        self._fates: List[str] = []
+        self.effective = 0
+
+    def append(self, op: UpdateOp, fate: str) -> None:
+        """Record one accepted op and its fate."""
+        self._ops.append(op)
+        self._fates.append(fate)
+        if fate != "noop":
+            self.effective += 1
+
+    def ops(self) -> Tuple[UpdateOp, ...]:
+        """Every accepted op, in application order."""
+        return tuple(self._ops)
+
+    def fates(self) -> Tuple[str, ...]:
+        """The recorded fate of each op, aligned with :meth:`ops`."""
+        return tuple(self._fates)
+
+    def replay(self, g: Graph) -> Graph:
+        """Apply the logged ops to ``g`` in order (dict semantics).
+
+        Mutates and returns ``g``; no-ops re-classify as no-ops against
+        the replayed state, so replay is exact, not merely equivalent.
+        """
+        for op in self._ops:
+            if isinstance(op, EdgeInsert):
+                g.add_edge(op.u, op.v, op.weight)
+            else:
+                g.remove_edge(op.u, op.v)
+        return g
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def __iter__(self) -> Iterable[UpdateOp]:
+        return iter(self._ops)
+
+    def __repr__(self) -> str:
+        return (
+            f"UpdateLog(ops={len(self._ops)}, effective={self.effective})"
+        )

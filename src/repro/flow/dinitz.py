@@ -378,11 +378,20 @@ class DisjointPathNetwork:
         n = csr.num_nodes
         m = csr.num_edges
         edge_u, edge_v = csr.edge_u, csr.edge_v
+        # Delta overlays retire edge ids on delete without renumbering,
+        # so their flat endpoint arrays carry stale slots; skip those
+        # (an empty arc tuple keeps ``edge_arcs`` aligned with eids so
+        # banning a retired id is a harmless no-op).  Frozen CSR graphs
+        # have no retired ids and take the unconditional path.
+        owns = getattr(csr, "owns_edge_id", None)
         self.edge_arcs: List[Tuple[int, ...]] = []
         self.node_arcs: List[int] = []
         if fault_model == "edge":
             net = FlowNetwork(n)
             for eid in range(m):
+                if owns is not None and not owns(eid):
+                    self.edge_arcs.append(())
+                    continue
                 a = net.add_arc(edge_u[eid], edge_v[eid], 1, rev_cap=1)
                 self.edge_arcs.append((a,))
         else:
@@ -390,6 +399,9 @@ class DisjointPathNetwork:
             for x in range(n):
                 self.node_arcs.append(net.add_arc(2 * x, 2 * x + 1, 1))
             for eid in range(m):
+                if owns is not None and not owns(eid):
+                    self.edge_arcs.append(())
+                    continue
                 a, b = edge_u[eid], edge_v[eid]
                 p = net.add_arc(2 * a + 1, 2 * b, 1)
                 q = net.add_arc(2 * b + 1, 2 * a, 1)

@@ -358,3 +358,136 @@ def ensure_connected(g: Graph, seed: RngLike = None) -> Graph:
         out.add_edge(a, b)
         components = connected_components(out)
     return out
+
+
+# --------------------------------------------------------------------- #
+# Temporal workloads (streaming-update experiments)
+# --------------------------------------------------------------------- #
+
+
+def degree_constrained_process(
+    n: int,
+    d: int = 2,
+    steps: Optional[int] = None,
+    seed: RngLike = None,
+) -> Graph:
+    """The degree-constrained random graph process, run to saturation.
+
+    Edges arrive one at a time: each step joins a uniformly random pair
+    of distinct, non-adjacent vertices that *both* still have degree
+    below ``d`` (the random d-process studied in the dynamic
+    random-graph literature, e.g. arXiv:2601.10249's analysis of the
+    critical window for ``d >= 3``).  The process stops when no legal
+    pair remains -- the terminal graphs are near-d-regular -- or after
+    ``steps`` edges if given, which exposes the pre-critical prefix.
+
+    Legal pairs are drawn by rejection sampling (two uniform vertex
+    picks per attempt); once the eligible set gets too thin to hit, the
+    remaining legal pairs are enumerated in sorted order and drawn
+    uniformly, so termination is exact and the stream is a pure
+    function of ``(n, d, steps, seed)``.
+    """
+    if n < 0:
+        raise ValueError(f"need n >= 0, got {n}")
+    if d < 1:
+        raise ValueError(f"need d >= 1, got {d}")
+    rng = _rng(seed)
+    g = Graph()
+    g.add_nodes(range(n))
+    budget = math.inf if steps is None else steps
+    added = 0
+    while added < budget:
+        placed = False
+        for _ in range(50):  # rejection phase
+            u = rng.randrange(n)
+            v = rng.randrange(n)
+            if (
+                u != v
+                and g.degree(u) < d
+                and g.degree(v) < d
+                and not g.has_edge(u, v)
+            ):
+                g.add_edge(u, v)
+                placed = True
+                break
+        if not placed:
+            # Thin regime: enumerate what is left (eligible vertices
+            # only, so this is cheap exactly when rejection is slow).
+            eligible = [x for x in range(n) if g.degree(x) < d]
+            legal = [
+                (u, v)
+                for i, u in enumerate(eligible)
+                for v in eligible[i + 1:]
+                if not g.has_edge(u, v)
+            ]
+            if not legal:
+                break
+            u, v = legal[rng.randrange(len(legal))]
+            g.add_edge(u, v)
+        added += 1
+    return g
+
+
+def sliding_window_churn(
+    g: Graph,
+    steps: int,
+    window: int,
+    seed: RngLike = None,
+    weights: str = "unit",
+) -> List[Tuple]:
+    """A reproducible edge-churn op stream with a sliding lifetime window.
+
+    Each of the ``steps`` ticks inserts one uniformly random absent
+    pair of ``g``'s nodes; once more than ``window`` of the stream's
+    own inserts are alive, the oldest is deleted first (FIFO), so at
+    most ``window`` churn edges exist at any time.  Only edges this
+    stream inserted are ever deleted -- the base graph always survives
+    -- and ``g`` itself is **not** mutated: the returned list holds the
+    tuple ops (``("insert", u, v, w)`` / ``("delete", u, v)``) consumed
+    by :meth:`repro.dynamic.snapshot.DynamicSnapshot.apply` and
+    :meth:`repro.session.SpannerSession.apply_updates`.
+
+    ``weights`` sets the inserted profile: ``"unit"`` (1.0),
+    ``"int"`` (uniform integral 1..10), or ``"float"`` (uniform in
+    [1, 10]) -- letting churn tests drive every engine family.
+    """
+    if steps < 0:
+        raise ValueError(f"need steps >= 0, got {steps}")
+    if window < 1:
+        raise ValueError(f"need window >= 1, got {window}")
+    if weights not in ("unit", "int", "float"):
+        raise ValueError(f"unknown weights profile {weights!r}")
+    rng = _rng(seed)
+    nodes = sorted(g.nodes(), key=repr)
+    if len(nodes) < 2:
+        raise ValueError("need at least 2 nodes to churn")
+    present = {
+        (u, v) if repr(u) <= repr(v) else (v, u) for u, v in g.edges()
+    }
+    live: List[Tuple] = []  # FIFO of this stream's own inserts
+    ops: List[Tuple] = []
+    for _ in range(steps):
+        pair = None
+        for _ in range(200):
+            u, v = rng.sample(nodes, 2)
+            key = (u, v) if repr(u) <= repr(v) else (v, u)
+            if key not in present:
+                pair = (u, v)
+                present.add(key)
+                break
+        if pair is None:
+            break  # graph (plus window) is essentially complete
+        if weights == "unit":
+            w = 1.0
+        elif weights == "int":
+            w = float(rng.randint(1, 10))
+        else:
+            w = rng.uniform(1.0, 10.0)
+        ops.append(("insert", pair[0], pair[1], w))
+        live.append(pair)
+        if len(live) > window:
+            ou, ov = live.pop(0)
+            okey = (ou, ov) if repr(ou) <= repr(ov) else (ov, ou)
+            present.discard(okey)
+            ops.append(("delete", ou, ov))
+    return ops

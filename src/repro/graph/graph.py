@@ -90,7 +90,7 @@ class Graph:
     5.0
     """
 
-    __slots__ = ("_adj", "_num_edges")
+    __slots__ = ("_adj", "_num_edges", "mutations")
 
     def __init__(self, edges: Optional[Iterable[Tuple]] = None) -> None:
         """Create a graph, optionally from an iterable of edges.
@@ -99,6 +99,11 @@ class Graph:
         """
         self._adj: Dict[Node, Dict[Node, float]] = {}
         self._num_edges = 0
+        # Monotonic edge-mutation stamp: bumps on every add_edge /
+        # remove_edge (weight overwrites included).  Consumers that
+        # cache derived answers (oracle LRU, routing tables) compare it
+        # to detect streaming updates; never reset, never decremented.
+        self.mutations = 0
         if edges is not None:
             for item in edges:
                 if len(item) == 2:
@@ -140,6 +145,7 @@ class Graph:
             self._num_edges += 1
         self._adj[u][v] = weight
         self._adj[v][u] = weight
+        self.mutations += 1
 
     def remove_edge(self, u: Node, v: Node) -> None:
         """Remove the edge ``{u, v}``; raises ``KeyError`` if absent."""
@@ -148,6 +154,7 @@ class Graph:
         del self._adj[u][v]
         del self._adj[v][u]
         self._num_edges -= 1
+        self.mutations += 1
 
     def remove_node(self, u: Node) -> None:
         """Remove node ``u`` and all incident edges; KeyError if absent."""

@@ -535,12 +535,24 @@ class ScenarioSweep:
     engines raise :class:`UnsupportedSearch` on float-weighted
     snapshots.
 
+    Sweeps follow *dynamic* snapshots automatically: when the underlying
+    graph carries a mutation ``version`` stamp (a
+    :class:`~repro.dynamic.overlay.DeltaOverlay` behind a
+    :class:`~repro.dynamic.snapshot.DynamicSnapshot` view), every
+    stamping and query entry point first re-sizes the masks, extends the
+    node table, re-validates the engine against the current weight
+    profile, and drops the stamped scenario (stale fault indices must be
+    re-stamped by the caller -- the oracle/router/availability layers
+    already stamp per scenario).  Frozen snapshots carry no version and
+    skip the check in O(1).
+
     Not thread-safe; use one sweep per thread.
     """
 
     __slots__ = (
         "snap", "vmask", "emask", "search", "_nodes", "_ident",
         "_bfs_ws", "_dij_ws", "_multi_ws", "_use_vmask", "_use_emask",
+        "_version",
     )
 
     def __init__(
@@ -567,10 +579,45 @@ class ScenarioSweep:
         self._multi_ws: Optional[MultiSourceWorkspace] = None
         self._use_vmask = False
         self._use_emask = False
+        self._version = getattr(snapshot.csr, "version", None)
 
     # ------------------------------------------------------------- #
     # Scenario control
     # ------------------------------------------------------------- #
+
+    def _refresh_if_stale(self) -> None:
+        """Track a dynamic snapshot across updates and compactions.
+
+        O(1) when the graph is frozen (no ``version`` attribute) or
+        unchanged.  On a version change: grow the fault masks to the
+        current node/edge-id spaces, extend the node table with any
+        newly-indexed nodes, re-validate the engine choice against the
+        live weight profile (churn can move it -- a float insert makes
+        ``search="bucket"`` illegal, surfaced as the usual typed
+        :class:`UnsupportedSearch`), and drop the stamped scenario:
+        fault indices stamped against the old state must be re-stamped
+        by the caller.
+        """
+        v = getattr(self.snap.csr, "version", None)
+        if v == self._version:
+            return
+        self._version = v
+        csr = self.snap.csr
+        validate_search(self.search, self.snap.profile)
+        self.vmask.ensure(csr.num_nodes)
+        self.emask.ensure(csr.num_edges)
+        self.clear_faults()
+        nodes = self._nodes
+        indexer = self.snap.indexer
+        if len(nodes) < len(indexer):
+            start = len(nodes)
+            node_of = indexer.node
+            nodes.extend(node_of(i) for i in range(start, len(indexer)))
+            if self._ident:
+                self._ident = all(
+                    type(x) is int and x == i
+                    for i, x in enumerate(nodes[start:], start)
+                )
 
     def set_vertex_faults(self, faults: Iterable[Node]) -> FaultMask:
         """Re-stamp the vertex mask with a new fault set in O(|F|).
@@ -579,6 +626,7 @@ class ScenarioSweep:
         (filtering something that is not there is a no-op).  Clears any
         previously-stamped edge faults.
         """
+        self._refresh_if_stale()
         mask = _stamp_vertex_mask(self.snap.indexer, self.vmask, faults)
         self._use_vmask = True
         self._use_emask = False
@@ -590,6 +638,7 @@ class ScenarioSweep:
         Edges absent from the graph are ignored, matching the lazy
         views.  Clears any previously-stamped vertex faults.
         """
+        self._refresh_if_stale()
         mask = _stamp_edge_mask(
             self.snap.indexer, self.snap.csr, self.emask, faults
         )
@@ -635,6 +684,7 @@ class ScenarioSweep:
         -- unit distances are exact small-integer floats); otherwise the
         resolved weighted engine (heap or bucket) runs.
         """
+        self._refresh_if_stale()
         iu = self._source_index(source)
         nodes = self._nodes
         engine = sssp_engine(self.search, self.snap.profile)
@@ -657,6 +707,7 @@ class ScenarioSweep:
         Early-exits on the target; mirrors
         ``dijkstra(view, u, target=v).get(v, INFINITY)``.
         """
+        self._refresh_if_stale()
         iu = self._source_index(u)
         iv = self.snap.indexer.get(v)
         if iv is None or (self._use_vmask and iv in self.vmask):
@@ -684,6 +735,7 @@ class ScenarioSweep:
         Dijkstra path variants reproduce the dict backend's
         tie-breaking), so it is used for paths even on unit snapshots.
         """
+        self._refresh_if_stale()
         indexer = self.snap.indexer
         iu, iv = indexer.get(u), indexer.get(v)
         if iu is None:
@@ -711,6 +763,7 @@ class ScenarioSweep:
         BFS parents, which coincide exactly: with equal weights the
         first discoverer wins under both disciplines.
         """
+        self._refresh_if_stale()
         iroot = self._source_index(root, role="root")
         nodes = self._nodes
         engine = sssp_engine(self.search, self.snap.profile)
@@ -747,6 +800,7 @@ class ScenarioSweep:
         forced ``search="heap"`` and float-weighted snapshots fall back
         to a per-root loop.  Answers are bit-identical either way.
         """
+        self._refresh_if_stale()
         srcs = list(sources)
         idx = [self._source_index(s) for s in srcs]
         engine = sssp_engine(self.search, self.snap.profile)
@@ -810,6 +864,7 @@ class ScenarioSweep:
         the per-root projection of the shared frontier preserves the
         first-discoverer / strict-improvement predecessor rule.
         """
+        self._refresh_if_stale()
         rts = list(roots)
         idx = [self._source_index(r, role="root") for r in rts]
         engine = sssp_engine(self.search, self.snap.profile)

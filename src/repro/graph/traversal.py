@@ -1641,9 +1641,10 @@ class MultiSourceWorkspace:
         self.parent = [0] * cells
         self.buckets: List[List[int]] = []
         # Flattened CSR adjacency for the numpy kernel, cached per
-        # (graph identity, node count, edge count) so repeated batches
-        # over one snapshot flatten the rows exactly once.
-        self.np_key: Optional[Tuple[int, int, int]] = None
+        # (graph identity, node count, edge count, mutation version) so
+        # repeated batches over one snapshot flatten the rows exactly
+        # once and a mutated overlay re-flattens on its next batch.
+        self.np_key: Optional[Tuple[int, int, int, int]] = None
         self.np_indptr = None
         self.np_indices = None
         self.np_eids = None
@@ -2148,8 +2149,18 @@ def _bucket_multi_probe(
 
 
 def _np_adjacency(ws: MultiSourceWorkspace, csr: CSRLike):
-    """Flatten the CSR rows into numpy index arrays, cached per graph."""
-    key = (id(csr), csr.num_nodes, csr.num_edges)
+    """Flatten the CSR rows into numpy index arrays, cached per graph.
+
+    The key carries the graph's mutation ``version`` stamp when it has
+    one (a delta overlay behind a dynamic snapshot): deletions retire
+    edge ids without changing ``num_edges``, so the counts alone cannot
+    detect that the rows moved under the cache.  Frozen graphs carry no
+    version and key as before.
+    """
+    key = (
+        id(csr), csr.num_nodes, csr.num_edges,
+        getattr(csr, "version", 0),
+    )
     if ws.np_key != key:
         rows = csr.neighbors
         counts = [len(row) for row in rows]

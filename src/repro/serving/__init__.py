@@ -31,6 +31,7 @@ from repro.serving.errors import (
     DeadlineExceeded,
     ServingError,
     ServingUnavailable,
+    SnapshotStale,
     WorkerCrashed,
 )
 from repro.serving.loadgen import LoadReport, run_load
@@ -48,6 +49,7 @@ __all__ = [
     "ServingError",
     "ServingStats",
     "ServingUnavailable",
+    "SnapshotStale",
     "SpannerServer",
     "WorkerCrashed",
     "WorkerPool",

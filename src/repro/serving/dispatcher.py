@@ -332,6 +332,18 @@ class SpannerServer:
             return 0
         return sum(1 for w in pool.workers if w.alive())
 
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run (the snapshot lease is over).
+
+        The session's streaming-update guard reads this: a server still
+        open holds the pre-update snapshot in shared memory, so
+        ``apply_updates()`` raises
+        :class:`~repro.serving.errors.SnapshotStale` until every server
+        built from the session is closed.
+        """
+        return self._closed
+
     def stats_dict(self) -> Dict[str, int]:
         """Every resilience counter, including the pool-owned ones."""
         d = self.stats.as_dict()

@@ -19,6 +19,9 @@ Hierarchy
 * :class:`ChaosSpawnFailure` -- internal: a chaos policy rejected a
   spawn (deterministic fault injection, see
   :mod:`repro.serving.chaos`).
+* :class:`SnapshotStale` -- streaming updates were applied while a live
+  server still holds the pre-update snapshot; close the server, apply,
+  and ``serve()`` again.
 """
 
 from __future__ import annotations
@@ -74,6 +77,22 @@ class ServingUnavailable(ServingError):
     shard exceeded its retry budget) and the server was configured with
     ``degrade=False``; with degradation enabled the dispatcher answers
     in-process instead and this error never escapes.
+    """
+
+
+class SnapshotStale(ServingError):
+    """Streaming updates would silently outdate a live server's snapshot.
+
+    A :class:`~repro.serving.dispatcher.SpannerServer` packs its
+    snapshot into shared memory once, at construction -- workers never
+    see later graph mutations, by design.  So
+    :meth:`repro.session.SpannerSession.apply_updates` refuses to run
+    while a server built from the session is still open: silently
+    serving pre-update answers would violate the "bit-identical or
+    typed error" contract.  The remedy is the refreeze-then-serve path:
+    ``server.close()`` (or leave the ``with`` block), apply the
+    updates, then call ``serve()`` again for a server over the updated
+    snapshot.
     """
 
 

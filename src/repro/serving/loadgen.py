@@ -10,8 +10,8 @@ completion.
 
 Every request is one fault scenario (drawn by
 :func:`repro.applications.availability.sample_fault_scenario`, so the
-``fault_process=`` models -- independent or clustered -- apply here
-too) plus a batch of distance pairs among the survivors.  The whole
+``fault_process=`` models -- independent, clustered, or cascade --
+apply here too) plus a batch of distance pairs among the survivors.  The whole
 workload is pre-generated from one seeded RNG before the clock starts,
 which keeps it independent of the server's chaos draws.
 

@@ -58,6 +58,8 @@ from repro.applications.availability import (
 from repro.applications.oracle import FaultTolerantDistanceOracle
 from repro.applications.routing import SpannerRouter
 from repro.core.spanner import FaultModel, SpannerResult, resolve_backend
+from repro.dynamic.log import EdgeDelete, EdgeInsert, classify_op, coerce_op
+from repro.dynamic.snapshot import CompactionPolicy, DynamicSnapshot
 from repro.graph.graph import Graph
 from repro.graph.index import NodeIndexer
 from repro.graph.snapshot import CSRSnapshot, DualCSRSnapshot, resolve_search
@@ -159,6 +161,13 @@ class SpannerSession:
         self._snap_h: Optional[CSRSnapshot] = None
         self._dual: Optional[DualCSRSnapshot] = None
         self._serve_snap: Optional[CSRSnapshot] = None
+        # Streaming-update state: the dynamic (overlay) views of G and H
+        # once apply_updates() has run, and every server handed out by
+        # serve() (their snapshots are immutable, so updates are refused
+        # while one is still open -- see SnapshotStale).
+        self._dyn_g: Optional[DynamicSnapshot] = None
+        self._dyn_h: Optional[DynamicSnapshot] = None
+        self._servers: List = []
 
     # ------------------------------------------------------------- #
     # Construction
@@ -408,7 +417,14 @@ class SpannerSession:
         """
         from repro.serving import SpannerServer
 
-        snap = self._spanner_snapshot()
+        if self._dyn_h is not None:
+            # Post-churn serve: the overlay view has no contiguous CSR
+            # arrays to pack into shared memory, so fold pending updates
+            # into the base epoch and hand the server that flat freeze
+            # (the refreeze-then-serve path documented on SnapshotStale).
+            snap = self._dyn_h.refreeze()
+        else:
+            snap = self._spanner_snapshot()
         if snap is None:
             # Dict-backend session: freeze once, cache privately so the
             # session's "no CSR state on the dict backend" invariant
@@ -419,12 +435,176 @@ class SpannerSession:
                     indexer=self._shared_indexer(),
                 )
             snap = self._serve_snap
-        return SpannerServer(
+        server = SpannerServer(
             snap,
             config=config if config is not None else self.serving,
             search=self.search,
             chaos=chaos,
         )
+        # Remember the lease: a live server pins the packed (pre-update)
+        # snapshot, so apply_updates() refuses until it is closed.
+        self._servers = [s for s in self._servers if not s.closed]
+        self._servers.append(server)
+        return server
+
+    # ------------------------------------------------------------- #
+    # Streaming updates (delta overlay + compaction)
+    # ------------------------------------------------------------- #
+
+    def apply_updates(
+        self,
+        ops,
+        *,
+        compact_every: Optional[int] = None,
+        max_density: Optional[float] = CompactionPolicy.DEFAULT_MAX_DENSITY,
+    ) -> int:
+        """Apply streaming edge updates to the session's graphs.
+
+        ``ops`` is an iterable of typed ops
+        (:class:`~repro.dynamic.log.EdgeInsert` /
+        :class:`~repro.dynamic.log.EdgeDelete`) or their tuple forms
+        ``("insert", u, v[, w])`` / ``("delete", u, v)``.  Every op is
+        applied to the input graph G **and mirrored into the spanner
+        H**: inserts (and weight updates) are added to H as well -- a
+        churned edge is served at stretch 1 by construction -- and
+        deletes remove the edge from H when present, so H stays a
+        subgraph of G.  Deletion churn can erode the ``2k - 1``
+        guarantee for *other* pairs until the next :meth:`build`;
+        :meth:`verify` (which follows the updates) re-certifies the
+        current state.
+
+        On the CSR backend the graphs keep serving through
+        :class:`~repro.dynamic.snapshot.DynamicSnapshot` delta overlays
+        -- no refreeze per batch; the overlays fold into a refreeze per
+        the compaction policy (``compact_every`` / ``max_density``,
+        honored from the first call; see
+        :class:`~repro.dynamic.snapshot.CompactionPolicy`).  Oracles,
+        routers, and sweeps already handed out by this session follow
+        the updates automatically (their caches flush on the overlay's
+        version stamp) and stay bit-identical to a from-scratch freeze
+        of the mutated graphs.  On the dict backend the updates mutate
+        the dicts directly -- same answers, as everywhere.
+
+        Raises :class:`~repro.serving.errors.SnapshotStale` while a
+        server from :meth:`serve` is still open (its workers hold the
+        pre-update snapshot; close it, apply, then serve again), and
+        :class:`~repro.dynamic.log.UpdateConflict` on invalid ops
+        (self-loops, negative weights, deleting an absent edge).
+        Returns the number of effective updates applied to G.
+        """
+        h = self._require_result().spanner
+        self._servers = [s for s in self._servers if not s.closed]
+        if self._servers:
+            from repro.serving.errors import SnapshotStale
+
+            raise SnapshotStale(
+                f"{len(self._servers)} server(s) from this session are "
+                f"still open and hold the pre-update snapshot; close "
+                f"them (server.close() or leave the 'with' block), "
+                f"apply the updates, then serve() again"
+            )
+        op_list = [coerce_op(op) for op in ops]
+        if self._use_csr():
+            dyn_g, dyn_h = self._dynamic_pair(compact_every, max_density)
+            applied = 0
+            for op in op_list:
+                fate = classify_op(self.g, op)
+                if fate != "noop":
+                    applied += 1
+                dyn_g.apply([op])
+                mirror = self._mirror_op(op, h)
+                if mirror is not None:
+                    dyn_h.apply([mirror])
+            self._sync_profiles()
+        else:
+            applied = 0
+            for op in op_list:
+                fate = classify_op(self.g, op)
+                mirror = self._mirror_op(op, h)
+                if isinstance(op, EdgeInsert):
+                    self.g.add_edge(op.u, op.v, op.weight)
+                else:
+                    self.g.remove_edge(op.u, op.v)
+                if mirror is not None:
+                    if isinstance(mirror, EdgeInsert):
+                        h.add_edge(mirror.u, mirror.v, mirror.weight)
+                    else:
+                        h.remove_edge(mirror.u, mirror.v)
+                if fate != "noop":
+                    applied += 1
+        # The assembled dual and any dict-backend serving freeze hold
+        # pre-update state; both rebuild lazily from the current state.
+        self._dual = None
+        self._serve_snap = None
+        return applied
+
+    @staticmethod
+    def _mirror_op(op, h: Graph):
+        """The H-side twin of a G-side op (None when H is untouched)."""
+        if isinstance(op, EdgeInsert):
+            return op
+        if isinstance(op, EdgeDelete) and h.has_edge(op.u, op.v):
+            return op
+        return None
+
+    def _dynamic_pair(
+        self, compact_every: Optional[int], max_density: Optional[float]
+    ):
+        """The (G, H) dynamic snapshots, created from the session freezes.
+
+        First call adopts the session's frozen snapshots as the initial
+        overlay epochs (no extra freeze); later calls reuse the live
+        overlays (the compaction knobs of the *first* call stick).
+        """
+        if self._dyn_g is None:
+            policy = CompactionPolicy(compact_every, max_density)
+            self._dyn_g = DynamicSnapshot(
+                self.g, base=self._graph_snapshot(), policy=policy
+            )
+            self._dyn_h = DynamicSnapshot(
+                self._require_result().spanner,
+                base=self._spanner_snapshot(),
+                policy=policy,
+            )
+            # Retarget the session's frozen snapshot *objects* onto the
+            # overlays: oracles, routers, and sweeps handed out before
+            # this first update hold those objects, and the swap makes
+            # their version-stamped refresh logic see churn -- no
+            # consumer is left silently serving the pre-update epoch.
+            if self._snap_g is not None:
+                self._snap_g.csr = self._dyn_g.overlay
+            if self._snap_h is not None:
+                self._snap_h.csr = self._dyn_h.overlay
+        return self._dyn_g, self._dyn_h
+
+    def _sync_profiles(self) -> None:
+        """Re-stamp the retargeted frozen snapshots' engine-selection slots.
+
+        A plain :class:`CSRSnapshot` stamps ``profile`` / ``max_weight``
+        / ``unit`` once at freeze time; once its ``csr`` is an overlay
+        those must track the live weight counters so engine validation
+        (and Dial bucket sizing) stays correct after every batch.
+        """
+        for snap, dyn in (
+            (self._snap_g, self._dyn_g),
+            (self._snap_h, self._dyn_h),
+        ):
+            if snap is None or dyn is None:
+                continue
+            snap.profile = dyn.overlay.profile
+            snap.max_weight = dyn.overlay.max_weight
+            snap.unit = snap.profile == "unit"
+
+    def churn_stats(self) -> Optional[dict]:
+        """Overlay counters after :meth:`apply_updates` (CSR backend).
+
+        ``{"g": ..., "h": ...}`` per-graph stats dicts (ops, effective
+        updates, overlay depth, compactions, version, density), or
+        ``None`` before any update / on the dict backend.
+        """
+        if self._dyn_g is None or self._dyn_h is None:
+            return None
+        return {"g": self._dyn_g.stats(), "h": self._dyn_h.stats()}
 
     # ------------------------------------------------------------- #
     # The snapshot substrate (one freeze per graph per session)
@@ -439,10 +619,12 @@ class SpannerSession:
 
     def _set_result(self, result: SpannerResult) -> None:
         self._result = result
-        # A new spanner invalidates its snapshot and the dual built on
-        # it; the input graph's freeze (and the shared indexer) stay.
+        # A new spanner invalidates its snapshot, the dual built on it,
+        # and its dynamic overlay; the input graph's freeze (and the
+        # shared indexer) stay.
         self._snap_h = None
         self._dual = None
+        self._dyn_h = None
 
     def _use_csr(self) -> bool:
         return self.backend == "csr"
@@ -459,17 +641,30 @@ class SpannerSession:
         return self._indexer
 
     def _graph_snapshot(self) -> Optional[CSRSnapshot]:
-        """G frozen at most once per session (None on the dict backend)."""
+        """G frozen at most once per session (None on the dict backend).
+
+        After :meth:`apply_updates` this is the *dynamic* view of G --
+        a live :class:`~repro.graph.snapshot.CSRSnapshot` window onto
+        the delta overlay -- so every later consumer follows churn.
+        """
         if not self._use_csr():
             return None
+        if self._dyn_g is not None:
+            return self._dyn_g.view
         if self._snap_g is None:
             self._snap_g = CSRSnapshot(self.g, indexer=self._shared_indexer())
         return self._snap_g
 
     def _spanner_snapshot(self) -> Optional[CSRSnapshot]:
-        """H frozen at most once per build (None on the dict backend)."""
+        """H frozen at most once per build (None on the dict backend).
+
+        The dynamic view of H once :meth:`apply_updates` has run,
+        exactly like :meth:`_graph_snapshot`.
+        """
         if not self._use_csr():
             return None
+        if self._dyn_h is not None:
+            return self._dyn_h.view
         if self._snap_h is None:
             self._snap_h = CSRSnapshot(
                 self._require_result().spanner, indexer=self._shared_indexer()

@@ -237,6 +237,73 @@ class TestSearchEngineApplicationsParity:
         )
 
 
+@pytest.mark.parametrize("weighted", [False, True],
+                         ids=["unit", "int-weighted"])
+@pytest.mark.parametrize("fault_model", ["vertex", "edge"])
+@pytest.mark.parametrize("search", ENGINES)
+class TestDynamicEngineApplicationsParity:
+    """The ``dynamic`` column of the engine matrix: every engine cell
+    answers exactly like the dict reference *after* streaming updates
+    have churned the graph, with faults drawn from the post-churn
+    state (so scenarios can hit overlay-inserted edges)."""
+
+    def _churned_pair(self, weighted, fault_model, search):
+        from repro.session import SpannerSession
+
+        g = generators.gnp_random_graph(32, 0.18, seed=555)
+        if weighted:
+            g = generators.with_random_weights(
+                g, low=1.0, high=8.0, seed=555, integral=True
+            )
+        g = generators.ensure_connected(g, seed=555)
+        sd = SpannerSession(
+            g, k=2, f=2, fault_model=fault_model, backend="dict", seed=0
+        )
+        sc = SpannerSession(
+            g.copy(), k=2, f=2, fault_model=fault_model, backend="csr",
+            seed=0, search=search,
+        )
+        sd.build()
+        sc.build()
+        ops = generators.sliding_window_churn(
+            g, steps=25, window=6, seed=555,
+            weights="int" if weighted else "unit",
+        )
+        assert sd.apply_updates(list(ops)) == sc.apply_updates(list(ops))
+        rng = random.Random(9)
+        universe = (
+            sorted(sd.g.nodes()) if fault_model == "vertex"
+            else list(sd.g.edges())
+        )
+        scenarios = [[]] + [rng.sample(universe, 2) for _ in range(3)]
+        return sd, sc, scenarios, rng
+
+    def test_oracle_answers_identical(self, weighted, fault_model, search):
+        sd, sc, scenarios, rng = self._churned_pair(
+            weighted, fault_model, search
+        )
+        od, oc = sd.oracle(), sc.oracle()
+        for faults in scenarios:
+            alive = _survivors(sd.g, faults, fault_model)
+            pairs = [tuple(rng.sample(alive, 2)) for _ in range(8)]
+            assert oc.distances(pairs, faults=faults) == \
+                [od.distance(u, v, faults=faults) for u, v in pairs]
+            for u, v in pairs[:3]:
+                assert od.path(u, v, faults=faults) == \
+                    oc.path(u, v, faults=faults)
+
+    def test_router_tables_identical(self, weighted, fault_model, search):
+        sd, sc, scenarios, rng = self._churned_pair(
+            weighted, fault_model, search
+        )
+        rd, rc = sd.router(), sc.router()
+        for faults in scenarios:
+            alive = _survivors(sd.g, faults, fault_model)
+            for dest in alive[:3]:
+                assert rd.table(dest, faults=faults) == \
+                    rc.table(dest, faults=faults)
+
+
 class TestSearchEngineValidationInApplications:
     def test_float_weights_reject_integral_engines(self):
         g = generators.ensure_connected(

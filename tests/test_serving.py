@@ -365,4 +365,4 @@ class TestBudgetAndDegradationEdges:
             availability_analysis(
                 g, g, failures=1, guarantee=3.0, fault_process="weird"
             )
-        assert FAULT_PROCESSES == ("independent", "clustered")
+        assert FAULT_PROCESSES == ("independent", "clustered", "cascade")
