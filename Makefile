@@ -1,7 +1,8 @@
 PYTHON ?= python
 
 .PHONY: test verify bench bench-apps bench-flow bench-weighted \
-	bench-batch bench-serving bench-dynamic check-bench examples
+	bench-batch bench-serving bench-dynamic bench-distributed \
+	check-bench examples
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -52,6 +53,13 @@ bench-serving:
 # runs it with QUICK=--quick.
 bench-dynamic:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_dynamic.py $(QUICK)
+
+# Parallel CONGEST execution benchmark: distributed constructions on
+# the substrate worker pool vs the sequential simulator, bit-identical
+# outputs (spanner edges + RunStats) asserted per row.  Full mode
+# rewrites BENCH_distributed.json; CI runs it with QUICK=--quick.
+bench-distributed:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_distributed.py $(QUICK)
 
 # Validate the committed BENCH_*.json reports: schema, full-run (not
 # --quick) provenance, and identical_outputs on every instance.

@@ -1,0 +1,275 @@
+"""Micro-benchmark: parallel CONGEST execution vs the sequential simulator.
+
+Runs the distributed constructions twice -- sequentially (``workers=None``)
+and on the shared parallel substrate (:mod:`repro.parallel`) -- and checks
+the outputs are bit-identical before recording any timing, writing the
+results to ``BENCH_distributed.json`` at the repository root.
+
+* ``instances_congest_ft`` -- the Theorem 15 fault-tolerant construction
+  (:func:`congest_ft_spanner`).  Its N Baswana-Sen instances are the
+  embarrassingly parallel axis: ``workers=W`` shards them into one
+  contiguous slice per worker process.  This scenario carries the
+  headline ``parallel_speedup_at_max_n``.
+* ``rounds_congest_bs`` -- the Theorem 14 Baswana-Sen CONGEST protocol
+  (:func:`congest_baswana_sen`) with its *rounds* partitioned across
+  workers (per-worker node partitions, message exchange at every round
+  barrier).  This measures the round-barrier cost: cross-partition
+  messages are pickled through pipes once per round, so the row also
+  reports per-round latency for both modes.
+
+``parity_ok`` records that the parallel run produced the bit-identical
+spanner, round count, and measured extras as the sequential simulator --
+the substrate's one correctness contract, asserted per row (a parity
+failure fails the run).  The *speedup* is a measurement, not an
+assertion: it depends on the CPUs actually available (recorded top-level
+as ``cpus``).  On a single-core runner the parallel path cannot beat
+sequential wall-clock for CPU-bound rounds; the report then records the
+substrate's overhead honestly instead of a speedup.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_distributed.py [--quick]
+
+``--quick`` shrinks to a seconds-long smoke run (used by CI); the JSON
+it writes is marked ``"quick": true`` so a full run's numbers are never
+silently overwritten by smoke ones unless you ask for it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+from repro.distributed import congest_baswana_sen, congest_ft_spanner
+from repro.graph import generators
+
+SEED = 42
+RUN_SEED = 7
+WORKERS = 2
+
+# (n, p) rows per scenario; the ft rows are the headline trajectory.
+FT_INSTANCES = [(400, 0.025), (900, 0.012), (1400, 0.008)]
+FT_QUICK = [(120, 0.08)]
+BS_INSTANCES = [(150, 0.06), (300, 0.035)]
+BS_QUICK = [(60, 0.12)]
+
+DEFAULT_OUTPUT = (
+    Path(__file__).resolve().parent.parent / "BENCH_distributed.json"
+)
+
+
+def _instance(n, p):
+    return generators.ensure_connected(
+        generators.gnp_random_graph(n, p, seed=SEED), seed=SEED
+    )
+
+
+def _fingerprint(result):
+    """Everything observable about a SpannerResult, comparably."""
+    return (
+        sorted((repr(u), repr(v)) for u, v in result.spanner.edges()),
+        result.rounds,
+        sorted((result.extra or {}).items()),
+    )
+
+
+def _time_pair(run_sequential, run_parallel, repeats):
+    """Best-of-``repeats`` for both modes, alternating seq/par so
+    machine noise lands on both sides evenly."""
+    t_seq = t_par = float("inf")
+    r_seq = r_par = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        r_seq = run_sequential()
+        t_seq = min(t_seq, time.perf_counter() - start)
+        start = time.perf_counter()
+        r_par = run_parallel()
+        t_par = min(t_par, time.perf_counter() - start)
+    return t_seq, r_seq, t_par, r_par
+
+
+def bench_ft_instances(instances, repeats):
+    """Instance-sharded congest_ft: sequential vs substrate workers."""
+    rows = []
+    for n, p in instances:
+        g = _instance(n, p)
+
+        def seq():
+            return congest_ft_spanner(
+                g, 2, 2, seed=RUN_SEED, iteration_constant=0.5
+            )
+
+        def par():
+            return congest_ft_spanner(
+                g, 2, 2, seed=RUN_SEED, iteration_constant=0.5,
+                workers=WORKERS,
+            )
+
+        t_seq, r_seq, t_par, r_par = _time_pair(seq, par, repeats)
+        parity = _fingerprint(r_seq) == _fingerprint(r_par)
+        sec_seq = round(t_seq, 4)
+        sec_par = round(t_par, 4)
+        row = {
+            "n": n,
+            "p": p,
+            "m": g.num_edges,
+            "workers": WORKERS,
+            "instances": int(r_seq.extra["instances_run"]),
+            "rounds": r_seq.rounds,
+            "seconds_sequential": sec_seq,
+            "seconds_parallel": sec_par,
+            # From the rounded values on purpose: the committed JSON
+            # must be self-consistent for scripts/check_bench_json.py.
+            "speedup": round(sec_seq / sec_par, 2)
+            if sec_par > 0 else float("inf"),
+            "parity_ok": parity,
+        }
+        rows.append(row)
+        print(
+            f"  n={n:5d} m={g.num_edges:6d} "
+            f"instances={row['instances']:3d}  "
+            f"seq {t_seq:7.3f}s  par({WORKERS}w) {t_par:7.3f}s  "
+            f"speedup {row['speedup']:5.2f}x  "
+            f"parity={'ok' if parity else 'FAIL'}"
+        )
+    return {
+        "description": (
+            "Theorem 15 congest_ft_spanner end to end: the qualifying "
+            "Baswana-Sen instances run serially in-process vs sharded "
+            "into contiguous slices over substrate worker processes; "
+            "spanner edges, round schedule, and measured extras must be "
+            "bit-identical"
+        ),
+        "parameters": {
+            "k": 2, "f": 2, "seed": RUN_SEED,
+            "iteration_constant": 0.5, "workers": WORKERS,
+        },
+        "instances": rows,
+    }
+
+
+def bench_bs_rounds(instances, repeats):
+    """Round-partitioned congest_bs: every round crosses the barrier."""
+    rows = []
+    for n, p in instances:
+        g = _instance(n, p)
+
+        def seq():
+            return congest_baswana_sen(g, 3, seed=RUN_SEED)
+
+        def par():
+            return congest_baswana_sen(
+                g, 3, seed=RUN_SEED, workers=WORKERS
+            )
+
+        t_seq, r_seq, t_par, r_par = _time_pair(seq, par, repeats)
+        parity = _fingerprint(r_seq) == _fingerprint(r_par)
+        rounds = r_seq.rounds or 1
+        sec_seq = round(t_seq, 4)
+        sec_par = round(t_par, 4)
+        row = {
+            "n": n,
+            "p": p,
+            "m": g.num_edges,
+            "workers": WORKERS,
+            "rounds": r_seq.rounds,
+            "ms_per_round_sequential": round(1000.0 * t_seq / rounds, 3),
+            "ms_per_round_parallel": round(1000.0 * t_par / rounds, 3),
+            "seconds_sequential": sec_seq,
+            "seconds_parallel": sec_par,
+            "speedup": round(sec_seq / sec_par, 2)
+            if sec_par > 0 else float("inf"),
+            "parity_ok": parity,
+        }
+        rows.append(row)
+        print(
+            f"  n={n:5d} m={g.num_edges:6d} rounds={r_seq.rounds:4d}  "
+            f"seq {t_seq:7.3f}s ({row['ms_per_round_sequential']:7.2f} "
+            f"ms/round)  par({WORKERS}w) {t_par:7.3f}s "
+            f"({row['ms_per_round_parallel']:7.2f} ms/round)  "
+            f"parity={'ok' if parity else 'FAIL'}"
+        )
+    return {
+        "description": (
+            "Theorem 14 congest_baswana_sen with rounds executed "
+            "across worker processes over node partitions (per-worker "
+            "inboxes, pickled cross-partition bundles at every round "
+            "barrier) vs the sequential simulator; this prices the "
+            "round barrier itself, so per-round latency is reported "
+            "for both modes"
+        ),
+        "parameters": {"k": 3, "seed": RUN_SEED, "workers": WORKERS},
+        "instances": rows,
+    }
+
+
+def run(repeats: int = 3, quick: bool = False):
+    if quick:
+        repeats = 1
+        ft_rows, bs_rows = FT_QUICK, BS_QUICK
+    else:
+        ft_rows, bs_rows = FT_INSTANCES, BS_INSTANCES
+    scenarios = {}
+    print("instances_congest_ft:")
+    scenarios["instances_congest_ft"] = bench_ft_instances(
+        ft_rows, repeats
+    )
+    print("rounds_congest_bs:")
+    scenarios["rounds_congest_bs"] = bench_bs_rounds(bs_rows, repeats)
+    report = {
+        "benchmark": "parallel CONGEST execution vs sequential simulator",
+        "quick": quick,
+        "seed": RUN_SEED,
+        "repeats": repeats,
+        "timing": "best-of-repeats",
+        "python": platform.python_version(),
+        "cpus": len(os.sched_getaffinity(0))
+        if hasattr(os, "sched_getaffinity") else (os.cpu_count() or 1),
+        "scenarios": scenarios,
+    }
+    # Headline trajectory: the instance-sharded scenario at its largest
+    # n, where per-run substrate overhead is smallest relative to work.
+    report["parallel_speedup_at_max_n"] = (
+        scenarios["instances_congest_ft"]["instances"][-1]["speedup"]
+    )
+    return report
+
+
+def _all_parity_ok(report) -> bool:
+    return all(
+        row["parity_ok"]
+        for scenario in report["scenarios"].values()
+        for row in scenario["instances"]
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help=f"where to write the JSON report "
+                             f"(default: {DEFAULT_OUTPUT})")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repetitions per mode (default 3)")
+    parser.add_argument("--quick", action="store_true",
+                        help="smoke run: tiny instances, one repeat "
+                             "(parity checks still apply)")
+    args = parser.parse_args(argv)
+    report = run(repeats=args.repeats, quick=args.quick)
+    if args.quick and args.output == DEFAULT_OUTPUT:
+        print("quick run: skipping JSON write (pass --output to force)")
+    else:
+        args.output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"report written to {args.output}")
+    if not _all_parity_ok(report):
+        print("ERROR: parallel execution diverged from the sequential "
+              "simulator")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -39,7 +39,18 @@ Checks, per report:
   non-negative int ``compactions``/``overlay_depth``, a ``speedup``
   consistent with ``seconds_overlay``/``seconds_refreeze``, and
   ``parity_ok`` exactly ``true`` (every per-batch answer stream was
-  bit-identical between the two modes).
+  bit-identical between the two modes);
+* distributed-benchmark instances (any row carrying
+  ``seconds_sequential``, as in ``BENCH_distributed.json``) time
+  parallel CONGEST execution on the substrate worker pool against the
+  sequential simulator: positive ``workers``, non-negative int
+  ``rounds``, a ``speedup`` consistent with
+  ``seconds_sequential``/``seconds_parallel``, and ``parity_ok``
+  exactly ``true`` (spanner edges, round count, and measured extras
+  bit-identical between the two modes).  The speedup itself is
+  machine-dependent -- it reflects the CPUs the run actually had
+  (recorded top-level as ``cpus``) -- so its *value* is recorded, not
+  asserted; parity is the invariant.
 
 Exit status 0 when every report passes, 1 otherwise.
 
@@ -107,6 +118,12 @@ def check_report(path: Path, errors: list) -> None:
                 # strategies; their parity flag audits answer streams,
                 # not a single output, so they get their own schema.
                 _check_dynamic_instance(path, iw, inst, errors)
+                continue
+            if "seconds_sequential" in inst:
+                # Distributed rows (BENCH_distributed.json) compare
+                # parallel substrate execution against the sequential
+                # simulator; machine-dependent speedups, parity-gated.
+                _check_distributed_instance(path, iw, inst, errors)
                 continue
             for key in INSTANCE_KEYS:
                 if key not in inst:
@@ -254,6 +271,56 @@ def _check_dynamic_instance(path, iw, inst, errors) -> None:
               f"parity_ok must be true, got {inst['parity_ok']!r} -- "
               f"the overlay's answers diverged from the refreeze "
               f"baseline")
+
+
+DISTRIBUTED_KEYS = (
+    "n", "m", "workers", "rounds", "seconds_sequential",
+    "seconds_parallel", "speedup", "parity_ok",
+)
+
+
+def _check_distributed_instance(path, iw, inst, errors) -> None:
+    """Schema for parallel-vs-sequential rows (BENCH_distributed.json).
+
+    A distributed row is first a determinism claim: the substrate run
+    produced the bit-identical spanner, round count, and measured
+    extras as the sequential simulator (``parity_ok``).  The speedup is
+    consistency-checked against the recorded timings but its value is
+    machine-dependent (a single-core runner honestly records the
+    substrate's overhead as a sub-1x "speedup"), so no floor is
+    enforced here.
+    """
+    for key in DISTRIBUTED_KEYS:
+        if key not in inst:
+            _fail(errors, path, iw, f"missing key {key!r}")
+    if not all(key in inst for key in DISTRIBUTED_KEYS):
+        return
+    for key in ("n", "workers"):
+        if not (isinstance(inst[key], int) and inst[key] > 0):
+            _fail(errors, path, iw,
+                  f"{key} must be a positive int, got {inst[key]!r}")
+    for key in ("m", "rounds"):
+        if not (isinstance(inst[key], int) and inst[key] >= 0):
+            _fail(errors, path, iw,
+                  f"{key} must be a non-negative int, got {inst[key]!r}")
+    t_seq, t_par = inst["seconds_sequential"], inst["seconds_parallel"]
+    if not all(isinstance(v, (int, float)) and v > 0
+               for v in (t_seq, t_par)):
+        _fail(errors, path, iw,
+              f"timings must be positive numbers, got "
+              f"seconds_sequential={t_seq!r}, seconds_parallel={t_par!r}")
+        return
+    claimed = inst["speedup"]
+    actual = t_seq / t_par
+    if abs(claimed - actual) > max(0.011, 0.01 * actual):
+        _fail(errors, path, iw,
+              f"speedup {claimed} inconsistent with timings "
+              f"(sequential/parallel = {actual:.3f})")
+    if inst["parity_ok"] is not True:
+        _fail(errors, path, iw,
+              f"parity_ok must be true, got {inst['parity_ok']!r} -- "
+              f"the parallel run diverged from the sequential "
+              f"simulator")
 
 
 def _check_flow_instance(path, iw, inst, timings, errors) -> None:

@@ -15,6 +15,11 @@ Subcommands
                 spanner session (delta overlays + compaction policy),
                 probing distances during churn and checking them against
                 the reference engine.
+``distributed`` Run one of the LOCAL/CONGEST constructions end to end on
+                the message-passing simulator, optionally across
+                ``--workers`` partition processes (bit-identical to
+                sequential execution) and, for the LOCAL spanner, with
+                the ``--deterministic`` ruling-set decomposition.
 ``algorithms``  List every registered construction with its guarantee
                 and capabilities (the algorithm registry).
 ``info``        Print structural statistics of a graph file.
@@ -302,6 +307,51 @@ def _build_parser() -> argparse.ArgumentParser:
     churn.add_argument("--seed", type=int, default=0,
                        help="seed for --random generation, the churn "
                             "stream, and probe sampling (default 0)")
+
+    distributed_names = tuple(
+        spec.name for spec in iter_algorithms() if spec.distributed
+    )
+    distributed = sub.add_parser(
+        "distributed",
+        help="run a LOCAL/CONGEST construction on the round simulator",
+    )
+    distributed.add_argument("--input", help="graph file (edge-list format)")
+    distributed.add_argument("--random", type=int, metavar="N",
+                             help="generate a G(n, p) input instead of a "
+                                  "file")
+    distributed.add_argument("--p", type=float, default=0.1,
+                             help="edge probability for --random "
+                                  "(default 0.1)")
+    distributed.add_argument("-k", type=int, default=2,
+                             help="stretch parameter: stretch = 2k-1 "
+                                  "(default 2)")
+    distributed.add_argument("-f", type=int, default=1,
+                             help="fault budget (default 1); non-fault-"
+                                  "tolerant protocols run with f=0 (a "
+                                  "note is printed)")
+    distributed.add_argument("--fault-model", choices=["vertex", "edge"],
+                             default=None,
+                             help="which objects fail (default vertex); "
+                                  "noted and ignored for non-fault-"
+                                  "tolerant protocols")
+    distributed.add_argument("--algorithm", choices=distributed_names,
+                             default="local",
+                             help="a distributed construction from the "
+                                  "registry (default local)")
+    distributed.add_argument("--workers", type=int, default=None,
+                             help="partition worker processes for the "
+                                  "round engine (default: in-process "
+                                  "sequential execution; any value is "
+                                  "bit-identical)")
+    distributed.add_argument("--seed", type=int, default=None,
+                             help="random seed for --random generation "
+                                  "and the protocol's randomness "
+                                  "(default 0)")
+    distributed.add_argument("--deterministic", action="store_true",
+                             help="use the deterministic ruling-set "
+                                  "decomposition instead of random "
+                                  "shifts (derandomizable protocols "
+                                  "only; see: ftspanner algorithms)")
 
     algorithms = sub.add_parser(
         "algorithms",
@@ -633,6 +683,82 @@ def _cmd_churn(args) -> int:
     return 0 if mismatches == 0 else 1
 
 
+def _cmd_distributed(args) -> int:
+    from repro.registry import build_spanner
+
+    spec = get_algorithm(args.algorithm)
+    f = args.f
+    if f and not spec.fault_tolerant:
+        print(f"note: '{spec.name}' is not fault-tolerant; running with "
+              f"f=0 instead of f={f}")
+        f = 0
+    fault_model = args.fault_model or "vertex"
+    if args.fault_model is not None and not spec.fault_tolerant:
+        print(f"note: '{spec.name}' is not fault-tolerant; ignoring "
+              f"--fault-model {args.fault_model}")
+    options = {}
+    if args.workers is not None:
+        if args.workers < 1:
+            raise SystemExit(
+                "ftspanner distributed: error: --workers must be >= 1"
+            )
+        options["workers"] = args.workers
+    if args.deterministic:
+        if "deterministic" not in spec.extra_options:
+            raise SystemExit(
+                f"ftspanner distributed: error: '{spec.name}' has no "
+                f"deterministic mode (derandomizable protocols are "
+                f"tagged in: ftspanner algorithms)"
+            )
+        options["deterministic"] = True
+    seed = 0 if args.seed is None else args.seed
+    try:
+        spec.validate_request(
+            f=f,
+            fault_model=fault_model if spec.fault_tolerant else None,
+            seed=seed if spec.seedable else None,
+            options=options,
+        )
+    except UnsupportedOption as exc:
+        raise SystemExit(f"ftspanner distributed: error: {exc}")
+    g = _load_or_generate(args, seed=seed)
+    start = time.perf_counter()
+    try:
+        result = build_spanner(
+            g,
+            args.algorithm,
+            k=args.k,
+            f=f,
+            fault_model=fault_model if spec.fault_tolerant else None,
+            seed=seed if spec.seedable else None,
+            **options,
+        )
+    except UnsupportedOption as exc:
+        raise SystemExit(f"ftspanner distributed: error: {exc}")
+    elapsed = time.perf_counter() - start
+    print(result.describe())
+    mode = (
+        f"{args.workers} partition workers"
+        if args.workers is not None else "sequential in-process"
+    )
+    print(f"simulator: {result.rounds} rounds ({mode})   "
+          f"time: {elapsed:.3f}s")
+    print(f"input edges: {g.num_edges}   kept: {result.spanner.num_edges} "
+          f"({100.0 * result.compression_ratio(g):.1f}%)")
+    extra = result.extra or {}
+    interesting = (
+        "messages", "max_message_words", "num_partitions",
+        "instances_run", "edge_congestion", "deterministic",
+        "uncovered_direct",
+    )
+    shown = [
+        f"{key}={extra[key]:g}" for key in interesting if key in extra
+    ]
+    if shown:
+        print("measured: " + "  ".join(shown))
+    return 0
+
+
 def _cmd_algorithms(args) -> int:
     width = max(len(name) for name in algorithm_names())
     for spec in iter_algorithms():
@@ -708,6 +834,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "oracle": _cmd_oracle,
         "serve": _cmd_serve,
         "churn": _cmd_churn,
+        "distributed": _cmd_distributed,
         "algorithms": _cmd_algorithms,
         "info": _cmd_info,
         "demo": _cmd_demo,

@@ -20,6 +20,15 @@ Algorithms:
   Baswana-Sen as a CONGEST protocol, O(k^2) rounds, O(1)-word messages.
 * :func:`~repro.distributed.congest_ft.congest_ft_spanner` -- Theorem 15:
   the pipelined DK11 x Baswana-Sen fault-tolerant construction.
+* :func:`~repro.distributed.ruling_set.deterministic_ruling_set` /
+  :func:`~repro.distributed.ruling_set.deterministic_decomposition` --
+  the deterministic (2, O(log n))-ruling-set clustering (after
+  Rozhon-Ghaffari / Pai-Pemmaraju) behind ``local_ft_spanner``'s
+  ``deterministic=True`` mode.
+
+Every entry point takes ``workers=`` to run its simulator rounds across
+that many processes on the shared parallel substrate
+(:mod:`repro.parallel`) with bit-identical outputs and statistics.
 """
 
 from repro.distributed.runtime import (
@@ -38,6 +47,12 @@ from repro.distributed.decomposition import (
 from repro.distributed.local_spanner import local_ft_spanner
 from repro.distributed.congest_bs import congest_baswana_sen
 from repro.distributed.congest_ft import congest_ft_spanner
+from repro.distributed.ruling_set import (
+    RulingSet,
+    deterministic_decomposition,
+    deterministic_ruling_set,
+    verify_ruling_set,
+)
 
 __all__ = [
     "CongestViolation",
@@ -52,4 +67,8 @@ __all__ = [
     "local_ft_spanner",
     "congest_baswana_sen",
     "congest_ft_spanner",
+    "RulingSet",
+    "deterministic_decomposition",
+    "deterministic_ruling_set",
+    "verify_ruling_set",
 ]

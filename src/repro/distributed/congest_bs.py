@@ -227,6 +227,16 @@ class _BaswanaSenProtocol(NodeProtocol):
         return frozenset(self.spanner_edges)
 
 
+class _BaswanaSenFactory:
+    """Module-level protocol factory (picklable for spawned workers)."""
+
+    def __init__(self, k: int) -> None:
+        self.k = k
+
+    def __call__(self) -> _BaswanaSenProtocol:
+        return _BaswanaSenProtocol(self.k)
+
+
 @register_algorithm(
     "congest-bs",
     summary="Theorem 14: Baswana-Sen as a CONGEST protocol",
@@ -240,12 +250,15 @@ def congest_baswana_sen(
     k: int,
     seed: Optional[int] = None,
     congest_word_limit: int = 8,
+    workers: Optional[int] = None,
 ) -> SpannerResult:
     """Run the Theorem 14 CONGEST Baswana-Sen protocol end to end.
 
     The returned ``rounds`` is the simulator's actual round count and
     ``extra['max_message_words']`` certifies the CONGEST budget was
     respected (the engine raises on violation; the stat shows headroom).
+    ``workers`` executes the rounds across that many partition worker
+    processes -- output and stats are bit-identical to ``workers=None``.
     """
     if k < 1:
         raise ValueError(f"need k >= 1, got {k}")
@@ -254,7 +267,7 @@ def congest_baswana_sen(
     )
     schedule_len = _phase_schedule(k)[-1][0]
     outputs = network.run(
-        lambda: _BaswanaSenProtocol(k), max_rounds=schedule_len + 4
+        _BaswanaSenFactory(k), max_rounds=schedule_len + 4, workers=workers
     )
     spanner = network.collect_spanner(outputs)
     return SpannerResult(

@@ -44,6 +44,90 @@ from repro.registry import register_algorithm
 RngLike = Union[int, random.Random, None]
 
 
+def _instance_executor(g: Graph, k: int, congest_word_limit: int):
+    """Executor factory for instance workers (substrate pool).
+
+    Each worker holds the input graph and answers ``("bs", [(
+    participants, seed), ...])`` jobs: run a contiguous slice of
+    Baswana-Sen instances on their induced subgraphs and return each
+    instance's measured costs plus its spanner edges *in the instance's
+    own edge order*, so the parent's merge reproduces the serial loop's
+    insertion order exactly.  One job per worker (not per instance)
+    keeps the pipe round-trips independent of the instance count.
+    """
+
+    def executor(kind: str, payload):
+        if kind != "bs":
+            raise ValueError(f"unknown instance request kind {kind!r}")
+        out = []
+        for participants, inst_seed in payload:
+            sub = g.subgraph(list(participants))
+            result = congest_baswana_sen(
+                sub, k, seed=inst_seed,
+                congest_word_limit=congest_word_limit,
+            )
+            out.append(
+                (
+                    result.rounds or 0,
+                    int(result.extra["max_message_words"]),
+                    list(result.spanner.edges()),
+                )
+            )
+        return out
+
+    return executor
+
+
+def _run_instances(
+    g: Graph,
+    k: int,
+    congest_word_limit: int,
+    instances: List[Tuple[Tuple[Node, ...], int]],
+    workers: Optional[int],
+) -> List[Tuple[int, int, List[Tuple[Node, Node]]]]:
+    """Run the qualifying Baswana-Sen instances, serially or pooled.
+
+    Instances are pure functions of ``(participants, seed)`` --
+    idempotent, so the substrate's retry-on-worker-death semantics are
+    sound -- and results come back in instance order either way, so the
+    spanner union is bit-identical for every ``workers`` value.  The
+    pooled path shards the instance list into one contiguous slice per
+    worker (instances all have ~n/f participants, so contiguous slices
+    are balanced) and reassembles the slices in order.
+    """
+    if workers is None:
+        return _instance_executor(g, k, congest_word_limit)(
+            "bs", instances
+        )
+
+    from repro.parallel.dispatch import Dispatcher, Job
+    from repro.parallel.pool import WorkerPool
+
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if not instances:
+        return []
+    shards = min(workers, len(instances))
+    chunk = math.ceil(len(instances) / shards)
+    slices = [
+        instances[i:i + chunk] for i in range(0, len(instances), chunk)
+    ]
+    pool = WorkerPool(
+        _instance_executor, (g, k, congest_word_limit), shards
+    )
+    try:
+        pool.start()
+        dispatcher = Dispatcher(pool, deadline=600.0, max_retries=2)
+        jobs = [Job("bs", s, i) for i, s in enumerate(slices)]
+        dispatcher.dispatch(jobs)
+        out: List[Tuple[int, int, List[Tuple[Node, Node]]]] = []
+        for job in jobs:
+            out.extend(job.result)
+        return out
+    finally:
+        pool.close()
+
+
 @register_algorithm(
     "congest",
     summary="Theorem 15: pipelined DK11 x Baswana-Sen in CONGEST",
@@ -61,6 +145,7 @@ def congest_ft_spanner(
     iterations: Optional[int] = None,
     iteration_constant: float = 1.0,
     congest_word_limit: int = 8,
+    workers: Optional[int] = None,
 ) -> SpannerResult:
     """Run the Theorem 15 CONGEST fault-tolerant spanner construction.
 
@@ -73,6 +158,12 @@ def congest_ft_spanner(
     ``extra`` carries every measured component: per-instance round
     maxima, realized edge congestion, selection-list maxima, and the
     packing factor.
+
+    ``workers`` distributes the independent Baswana-Sen instances over
+    that many substrate worker processes (the instances are the
+    embarrassingly parallel axis of the construction).  Per-instance
+    seeds are drawn up front in the serial loop's exact order, so the
+    result is bit-identical to ``workers=None``.
     """
     if k < 1:
         raise ValueError(f"need k >= 1, got {k}")
@@ -110,10 +201,11 @@ def congest_ft_spanner(
     phase1_rounds = math.ceil(max_list / per_message) if max_list else 0
 
     # --- Phase 2: run every iteration's Baswana-Sen instance. ----------
-    h = g.spanning_skeleton()
-    max_instance_rounds = 0
-    instance_count = 0
-    max_message_words = 0
+    # Qualifying instances and their seeds are materialized first, with
+    # the seed drawn in the serial loop's exact order (only qualifying
+    # instances consume one), so the pooled path replays the identical
+    # randomness.
+    instances: List[Tuple[Tuple[Node, ...], int]] = []
     for i in range(iterations):
         participants = [v for v in nodes if i in selections[v]]
         if len(participants) < 2:
@@ -121,18 +213,18 @@ def congest_ft_spanner(
         sub = g.subgraph(participants)
         if sub.num_edges == 0:
             continue
-        instance_count += 1
-        result = congest_baswana_sen(
-            sub,
-            k,
-            seed=rng.getrandbits(32),
-            congest_word_limit=congest_word_limit,
-        )
-        max_instance_rounds = max(max_instance_rounds, result.rounds or 0)
-        max_message_words = max(
-            max_message_words, int(result.extra["max_message_words"])
-        )
-        for u, v in result.spanner.edges():
+        instances.append((tuple(participants), rng.getrandbits(32)))
+
+    h = g.spanning_skeleton()
+    max_instance_rounds = 0
+    max_message_words = 0
+    instance_count = len(instances)
+    for rounds, words, edges in _run_instances(
+        g, k, congest_word_limit, instances, workers
+    ):
+        max_instance_rounds = max(max_instance_rounds, rounds)
+        max_message_words = max(max_message_words, words)
+        for u, v in edges:
             if not h.has_edge(u, v):
                 h.add_edge(u, v, weight=g.weight(u, v))
 

@@ -156,18 +156,32 @@ class _ShiftFloodProtocol(NodeProtocol):
         ]
 
 
+class _ShiftFloodFactory:
+    """Module-level protocol factory (picklable for spawned workers)."""
+
+    def __init__(self, num_partitions: int, beta: float, radius: int) -> None:
+        self.num_partitions = num_partitions
+        self.beta = beta
+        self.radius = radius
+
+    def __call__(self) -> _ShiftFloodProtocol:
+        return _ShiftFloodProtocol(self.num_partitions, self.beta, self.radius)
+
+
 def padded_decomposition(
     g: Graph,
     beta: float = 0.25,
     num_partitions: Optional[int] = None,
     seed: Optional[int] = None,
+    workers: Optional[int] = None,
 ) -> Tuple[Decomposition, RunStats]:
     """Run the Theorem 11 decomposition on the LOCAL simulator.
 
     Returns the decomposition plus the engine's round/message statistics.
     ``beta`` trades cluster radius (``O(log n / beta)``) against per-
     partition edge-cut probability (``<= beta``); ``num_partitions``
-    defaults to ``ceil(2 * log2 n) + 1``.
+    defaults to ``ceil(2 * log2 n) + 1``.  ``workers`` runs the flood
+    rounds on the parallel substrate (bit-identical output and stats).
     """
     if not 0.0 < beta < 1.0:
         raise ValueError(f"beta must be in (0, 1), got {beta}")
@@ -182,8 +196,9 @@ def padded_decomposition(
     radius = max(1, math.ceil(2 * math.log(max(n, 2)) / beta))
     network = SyncNetwork(g, model="LOCAL", seed=seed)
     outputs = network.run(
-        lambda: _ShiftFloodProtocol(num_partitions, beta, radius),
+        _ShiftFloodFactory(num_partitions, beta, radius),
         max_rounds=radius + 4,
+        workers=workers,
     )
     assignment: List[Dict[Node, Node]] = [dict() for _ in range(num_partitions)]
     parent: List[Dict[Node, Optional[Node]]] = [

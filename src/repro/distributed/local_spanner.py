@@ -34,6 +34,7 @@ from repro.core.greedy_exact import exponential_greedy_spanner
 from repro.core.greedy_modified import fault_tolerant_spanner
 from repro.core.spanner import FaultModel, SpannerResult
 from repro.distributed.decomposition import Decomposition, padded_decomposition
+from repro.distributed.ruling_set import deterministic_decomposition
 from repro.distributed.runtime import (
     Message,
     NodeContext,
@@ -188,21 +189,41 @@ def local_ft_spanner(
     num_partitions: Optional[int] = None,
     seed: Optional[int] = None,
     use_exact_greedy: bool = False,
+    workers: Optional[int] = None,
+    deterministic: bool = False,
 ) -> SpannerResult:
     """Run the Theorem 12 LOCAL fault-tolerant spanner end to end.
 
     Returns a :class:`SpannerResult` whose ``rounds`` field is the *total*
     simulator rounds (decomposition + gather + compute + flood-down) and
     whose ``extra`` carries the decomposition statistics.
+
+    ``deterministic=True`` swaps the randomized padded decomposition for
+    the ruling-set-based deterministic one
+    (:func:`~repro.distributed.ruling_set.deterministic_decomposition`,
+    after Rozhon-Ghaffari arXiv:1907.10937 / Pai-Pemmaraju
+    arXiv:2205.12686): the whole construction then draws no randomness
+    (``seed`` becomes irrelevant), and any edge the partition budget
+    left uncovered is added to the spanner directly at stretch 1, so
+    the f-FT (2k-1) guarantee holds *unconditionally* rather than whp.
+    ``workers`` runs every simulator phase on the parallel substrate
+    (bit-identical to sequential execution).
     """
     model = FaultModel.coerce(fault_model)
     if k < 1:
         raise ValueError(f"need k >= 1, got {k}")
     if f < 0:
         raise ValueError(f"need f >= 0, got {f}")
-    decomposition, decomp_stats = padded_decomposition(
-        g, beta=beta, num_partitions=num_partitions, seed=seed
-    )
+    uncovered: List[Tuple[Node, Node]] = []
+    if deterministic:
+        decomposition, uncovered, decomp_stats = deterministic_decomposition(
+            g, num_partitions=num_partitions, workers=workers
+        )
+    else:
+        decomposition, decomp_stats = padded_decomposition(
+            g, beta=beta, num_partitions=num_partitions, seed=seed,
+            workers=workers,
+        )
     if g.num_nodes == 0:
         return SpannerResult(
             spanner=g.spanning_skeleton(),
@@ -226,9 +247,26 @@ def local_ft_spanner(
     outputs = network.run(
         lambda_factory(decomposition, radius, k, f, model, use_exact_greedy, g),
         max_rounds=2 * radius + 8,
+        workers=workers,
     )
     spanner = network.collect_spanner(outputs)
+    for u, v in uncovered:
+        # Budget-exhausted leftovers ride along at stretch 1 (they are
+        # their own fault-tolerant spanner path).
+        if not spanner.has_edge(u, v):
+            spanner.add_edge(u, v, weight=g.weight(u, v))
     total_rounds = decomposition.rounds + network.stats.rounds
+    extra = {
+        "decomposition_rounds": float(decomposition.rounds),
+        "gather_rounds": float(network.stats.rounds),
+        "num_partitions": float(decomposition.num_partitions),
+        "messages": float(
+            network.stats.messages + decomp_stats.messages
+        ),
+    }
+    if deterministic:
+        extra["deterministic"] = 1.0
+        extra["uncovered_direct"] = float(len(uncovered))
     return SpannerResult(
         spanner=spanner,
         k=k,
@@ -236,36 +274,47 @@ def local_ft_spanner(
         fault_model=model,
         algorithm="local-ft",
         rounds=total_rounds,
-        extra={
-            "decomposition_rounds": float(decomposition.rounds),
-            "gather_rounds": float(network.stats.rounds),
-            "num_partitions": float(decomposition.num_partitions),
-            "messages": float(
-                network.stats.messages + decomp_stats.messages
-            ),
-        },
+        extra=extra,
     )
 
 
-def lambda_factory(decomposition, radius, k, f, model, use_exact, g):
-    """Per-node protocol factory closing over node-local knowledge.
+class _GatherComputeFactory:
+    """Per-node protocol factory: the engine hands it each node ID.
 
-    The engine calls the factory once per node in its own iteration
-    order; we mirror that order here, handing each instance its node ID
-    and the decomposition rows that node computed in phase 1.
+    Replaces the old shared-iterator closure, which leaned on the
+    engine calling the factory *exactly once per node in sorted order*
+    -- an invariant no partitioned execution could keep.  The engine
+    now passes the node to any factory with a positional parameter, so
+    this works identically (and spawn-safely) on every execution path.
     """
-    order = iter(sorted(g.nodes(), key=repr))
 
-    def make() -> _GatherComputeProtocol:
-        node = next(order)
+    def __init__(self, decomposition, radius, k, f, model, use_exact) -> None:
+        self.decomposition = decomposition
+        self.radius = radius
+        self.k = k
+        self.f = f
+        self.model = model
+        self.use_exact = use_exact
+
+    def __call__(self, node: Node) -> _GatherComputeProtocol:
         return _GatherComputeProtocol(
             node=node,
-            decomposition=decomposition,
-            radius=radius,
-            k=k,
-            f=f,
-            fault_model=model,
-            use_exact_greedy=use_exact,
+            decomposition=self.decomposition,
+            radius=self.radius,
+            k=self.k,
+            f=self.f,
+            fault_model=self.model,
+            use_exact_greedy=self.use_exact,
         )
 
-    return make
+
+def lambda_factory(decomposition, radius, k, f, model, use_exact, g=None):
+    """Per-node protocol factory closing over node-local knowledge.
+
+    Kept as the historical entry point; the returned factory now takes
+    the node ID from the engine (see :class:`_GatherComputeFactory`)
+    instead of replaying the engine's iteration order from a shared
+    iterator.  ``g`` is accepted for signature compatibility and
+    unused.
+    """
+    return _GatherComputeFactory(decomposition, radius, k, f, model, use_exact)

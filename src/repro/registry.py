@@ -284,6 +284,8 @@ class AlgorithmSpec:
         )
         if self.distributed:
             parts.append("distributed")
+        if "deterministic" in self.extra_options:
+            parts.append("derandomizable (deterministic=True)")
         if self.requires_numpy:
             parts.append(
                 "needs numpy"

@@ -1,168 +1,18 @@
-"""Deterministic chaos harness for the serving layer.
+"""Deterministic chaos harness (re-export).
 
-Fault injection is only useful when it is *reproducible*: a flaky chaos
-test is worse than none.  Both policies here are consumed by the
-dispatcher from a single thread in dispatch order, so a fixed seed (or
-a fixed script) yields the same kill/stall/spawn-failure sequence on
-every run -- ``tests/test_serving_chaos.py`` replays identical chaos
-schedules and asserts identical outcome sequences.
-
-Directives
-----------
-A *directive* is what the dispatcher attaches to one dispatched shard:
-
-* ``None`` -- healthy execution;
-* ``("kill",)`` -- the worker SIGKILLs itself on receipt, before
-  computing (a mid-request crash: the parent sees the pipe close with
-  the request outstanding);
-* ``("stall", seconds)`` -- the worker sleeps before computing (a slow
-  replica: long enough stalls trip the request deadline).
-
-Spawn failures are drawn separately, once per spawn attempt.
-
-:class:`ChaosPolicy` draws directives from a seeded RNG at configured
-rates (the benchmark's "10%-chaos" runs); :class:`ScriptedChaos` plays
-back an explicit schedule for precise unit tests ("kill exactly the
-second shard").
+The chaos policies moved into the shared parallel-execution substrate
+(:mod:`repro.parallel.chaos`) in PR 10 -- the distributed runtime's
+pools take the same directives.  This module re-exports them under the
+serving layer's historical import path.
 """
 
 from __future__ import annotations
 
-import random
-from collections import deque
-from typing import Iterable, Optional, Tuple
+from repro.parallel.chaos import (
+    KILL,
+    ChaosPolicy,
+    ScriptedChaos,
+    validate_directive,
+)
 
 __all__ = ["ChaosPolicy", "ScriptedChaos", "KILL", "validate_directive"]
-
-#: The kill directive (module-level constant for readable test scripts).
-KILL = ("kill",)
-
-_DIRECTIVE_KINDS = ("kill", "stall")
-
-
-def validate_directive(directive) -> None:
-    """Reject malformed chaos directives eagerly (at policy build time)."""
-    if directive is None:
-        return
-    if (
-        not isinstance(directive, tuple)
-        or not directive
-        or directive[0] not in _DIRECTIVE_KINDS
-    ):
-        raise ValueError(
-            f"chaos directive must be None, ('kill',) or "
-            f"('stall', seconds), got {directive!r}"
-        )
-    if directive[0] == "stall":
-        if len(directive) != 2 or not directive[1] >= 0:
-            raise ValueError(
-                f"stall directive needs a non-negative duration, got "
-                f"{directive!r}"
-            )
-    elif len(directive) != 1:
-        raise ValueError(f"kill directive takes no arguments: {directive!r}")
-
-
-class ChaosPolicy:
-    """Seeded random fault injection at configured rates.
-
-    One uniform draw per dispatched shard decides its directive
-    (``kill`` with probability ``kill_rate``, else ``stall`` with
-    probability ``stall_rate``, else healthy), and one draw per spawn
-    attempt decides injected spawn failures.  The draws happen in the
-    dispatcher's single-threaded dispatch order, so the whole chaos
-    schedule is a pure function of the seed and the request sequence.
-    """
-
-    def __init__(
-        self,
-        seed: int = 0,
-        *,
-        kill_rate: float = 0.0,
-        stall_rate: float = 0.0,
-        spawn_fail_rate: float = 0.0,
-        stall_seconds: float = 0.05,
-    ) -> None:
-        for name, rate in (
-            ("kill_rate", kill_rate),
-            ("stall_rate", stall_rate),
-            ("spawn_fail_rate", spawn_fail_rate),
-        ):
-            if not 0.0 <= rate <= 1.0:
-                raise ValueError(f"{name} must be in [0, 1], got {rate!r}")
-        if kill_rate + stall_rate > 1.0:
-            raise ValueError(
-                f"kill_rate + stall_rate must not exceed 1 "
-                f"(got {kill_rate} + {stall_rate})"
-            )
-        if stall_seconds < 0:
-            raise ValueError(
-                f"stall_seconds must be >= 0, got {stall_seconds!r}"
-            )
-        self.seed = seed
-        self.kill_rate = kill_rate
-        self.stall_rate = stall_rate
-        self.spawn_fail_rate = spawn_fail_rate
-        self.stall_seconds = stall_seconds
-        self._rng = random.Random(seed)
-
-    def directive(self) -> Optional[Tuple]:
-        """The next shard's directive (one seeded draw)."""
-        r = self._rng.random()
-        if r < self.kill_rate:
-            return KILL
-        if r < self.kill_rate + self.stall_rate:
-            return ("stall", self.stall_seconds)
-        return None
-
-    def spawn_fails(self) -> bool:
-        """Whether the next spawn attempt is rejected (one seeded draw)."""
-        return self._rng.random() < self.spawn_fail_rate
-
-    def __repr__(self) -> str:
-        return (
-            f"ChaosPolicy(seed={self.seed}, kill={self.kill_rate}, "
-            f"stall={self.stall_rate}, spawn_fail={self.spawn_fail_rate})"
-        )
-
-
-class ScriptedChaos:
-    """Play back an explicit chaos schedule (for precise tests).
-
-    ``directives`` are consumed one per dispatched shard, in dispatch
-    order; once the script runs out, every further shard is healthy.
-    ``spawn_failures`` rejects that many spawn attempts before letting
-    spawns succeed again.
-    """
-
-    def __init__(
-        self,
-        directives: Iterable[Optional[Tuple]] = (),
-        spawn_failures: int = 0,
-    ) -> None:
-        directives = list(directives)
-        for d in directives:
-            validate_directive(d)
-        if spawn_failures < 0:
-            raise ValueError(
-                f"spawn_failures must be >= 0, got {spawn_failures}"
-            )
-        self._directives = deque(directives)
-        self._spawn_failures = spawn_failures
-
-    def directive(self) -> Optional[Tuple]:
-        """The next scripted directive (``None`` once exhausted)."""
-        return self._directives.popleft() if self._directives else None
-
-    def spawn_fails(self) -> bool:
-        """Reject spawns until the scripted failure budget is spent."""
-        if self._spawn_failures > 0:
-            self._spawn_failures -= 1
-            return True
-        return False
-
-    def __repr__(self) -> str:
-        return (
-            f"ScriptedChaos(pending={len(self._directives)}, "
-            f"spawn_failures={self._spawn_failures})"
-        )

@@ -1,14 +1,21 @@
-"""`SpannerServer`: deadlines, retries, respawn, graceful degradation.
+"""`SpannerServer`: a thin serving client over the parallel substrate.
 
 The front end of the serving layer.  One server owns:
 
 * the packed snapshot in a ``multiprocessing.shared_memory`` segment
   (written once at construction; workers adopt it zero-copy),
-* a supervised :class:`~repro.serving.pool.WorkerPool`,
-* and the dispatch loop that turns a batch request into per-worker
-  shards, enforces the request deadline, retries shards whose worker
-  died, respawns crashed workers, and -- when the pool is unusable --
-  degrades to in-process execution with bit-identical answers.
+* a supervised :class:`~repro.serving.pool.WorkerPool` (the substrate
+  pool running the snapshot-adopting executor factory),
+* and a :class:`~repro.parallel.dispatch.Dispatcher` that turns a
+  batch request into per-worker shards, enforces the request deadline,
+  retries shards whose worker died, respawns crashed workers, and --
+  when the pool is unusable -- degrades to in-process execution with
+  bit-identical answers.
+
+Since PR 10 the deadline/retry/respawn loop itself lives in
+:mod:`repro.parallel.dispatch`; this module contributes the serving
+semantics only: sharding policy, payload construction, the
+``DeadlineExceeded.partial`` alignment, and the degradation executor.
 
 Request model
 -------------
@@ -43,9 +50,8 @@ Failure semantics (the contract the chaos suite pins):
 from __future__ import annotations
 
 import math
-import time
 from dataclasses import dataclass
-from multiprocessing import connection, shared_memory
+from multiprocessing import shared_memory
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.graph.graph import Graph, Node
@@ -56,6 +62,7 @@ from repro.graph.snapshot import (
     snapshot_nbytes,
     validate_search,
 )
+from repro.parallel.dispatch import DispatchStats, Dispatcher, Job as _Job
 from repro.serving.errors import DeadlineExceeded, ServingUnavailable
 from repro.serving.pool import WorkerPool, execute_request
 
@@ -116,36 +123,14 @@ class ServingConfig:
 
 
 @dataclass
-class ServingStats:
+class ServingStats(DispatchStats):
     """Server-lifetime counters (updated in place; read at any time).
 
-    The pool-owned counters (``respawns``, ``spawn_rejections``) are
-    merged in by :meth:`SpannerServer.stats_dict`.
+    Inherits the substrate's :class:`~repro.parallel.dispatch.
+    DispatchStats` fields; the pool-owned counters (``respawns``,
+    ``spawn_rejections``) are merged in by
+    :meth:`SpannerServer.stats_dict`.
     """
-
-    requests: int = 0
-    shards: int = 0
-    retries: int = 0
-    worker_deaths: int = 0
-    deadline_errors: int = 0
-    degraded_shards: int = 0
-
-    def as_dict(self) -> Dict[str, int]:
-        return dict(self.__dict__)
-
-
-class _Job:
-    """One dispatched shard: kind, payload, result slot, retry count."""
-
-    __slots__ = ("kind", "payload", "index", "attempts", "result", "done")
-
-    def __init__(self, kind: str, payload, index: int) -> None:
-        self.kind = kind
-        self.payload = payload
-        self.index = index
-        self.attempts = 0
-        self.result = None
-        self.done = False
 
 
 class SpannerServer:
@@ -166,7 +151,7 @@ class SpannerServer:
         everywhere else -- answers are bit-identical on every legal
         engine).
     chaos:
-        Optional chaos policy (:mod:`repro.serving.chaos`) injecting
+        Optional chaos policy (:mod:`repro.parallel.chaos`) injecting
         worker kills, stalls, and spawn failures -- test/benchmark
         instrumentation; ``None`` in production.
 
@@ -190,10 +175,10 @@ class SpannerServer:
         self.chaos = chaos
         self.stats = ServingStats()
         self._local: Optional[ScenarioSweep] = None
-        self._msg_counter = 0
         self._closed = False
         self._shm: Optional[shared_memory.SharedMemory] = None
         self._pool: Optional[WorkerPool] = None
+        self._dispatcher: Optional[Dispatcher] = None
         try:
             shm = shared_memory.SharedMemory(
                 create=True, size=snapshot_nbytes(snapshot)
@@ -210,6 +195,16 @@ class SpannerServer:
                 backoff_base=self.config.backoff_base,
                 backoff_cap=self.config.backoff_cap,
                 spawn_timeout=self.config.spawn_timeout,
+            )
+            self._dispatcher = Dispatcher(
+                self._pool,
+                deadline=self.config.deadline,
+                max_retries=self.config.max_retries,
+                backoff_base=self.config.backoff_base,
+                backoff_cap=self.config.backoff_cap,
+                degrade=self._degrade_job,
+                chaos=chaos,
+                stats=self.stats,
             )
             self._pool.start()
         except BaseException:
@@ -355,7 +350,7 @@ class SpannerServer:
         return d
 
     # ------------------------------------------------------------- #
-    # Dispatch core
+    # Dispatch glue (the loop itself lives in repro.parallel.dispatch)
     # ------------------------------------------------------------- #
 
     def _shard(self, items: Sequence) -> List[List]:
@@ -376,142 +371,22 @@ class SpannerServer:
         return shards
 
     def _dispatch(self, jobs: List[_Job], deadline: Optional[float]) -> None:
-        """Run every job to completion, a typed error, or the deadline."""
         if self._closed:
             raise ServingUnavailable("this server is closed")
-        cfg = self.config
-        budget = cfg.deadline if deadline is None else deadline
-        if not budget > 0:
-            raise ValueError(f"deadline must be > 0, got {budget!r}")
-        start = time.monotonic()
-        deadline_at = start + budget
-        self.stats.requests += 1
-        self.stats.shards += len(jobs)
-        pending: List[_Job] = list(jobs)
-        busy: Dict[object, Tuple[object, _Job, int]] = {}
-        expected: Dict[object, int] = {}  # conn -> current msg_id
-        pool = self._pool
+        self._dispatcher.dispatch(jobs, deadline)
 
-        def remaining() -> float:
-            return deadline_at - time.monotonic()
-
-        def fail_deadline() -> None:
-            # A stalled worker holds no cancellable state; SIGKILL and
-            # let the next request's ensure() respawn it.
-            self.stats.deadline_errors += 1
-            for conn in list(busy):
-                worker, _, _ = busy.pop(conn)
-                self.stats.worker_deaths += 1
-                pool.discard(worker)
-            raise DeadlineExceeded(
-                budget, time.monotonic() - start,
-                [j.result if j.done else None for j in jobs],
-                sum(1 for j in jobs if j.done),
+    def _degrade_job(self, job: _Job) -> None:
+        """The substrate's degradation callback: in-process execution."""
+        if not self.config.degrade:
+            raise ServingUnavailable(
+                "worker pool unusable (crashes/spawn failures "
+                "exhausted the retry budget) and degrade=False"
             )
-
-        def degrade(job: _Job) -> None:
-            if not cfg.degrade:
-                raise ServingUnavailable(
-                    "worker pool unusable (crashes/spawn failures "
-                    "exhausted the retry budget) and degrade=False"
-                )
-            self.stats.degraded_shards += 1
-            job.result = execute_request(
-                self._local_sweep(), job.kind, job.payload
-            )
-            job.done = True
-
-        def worker_died(conn, worker, job: _Job) -> None:
-            # Reap it, back off, and resend within the retry budget.
-            busy.pop(conn, None)
-            self.stats.worker_deaths += 1
-            pool.discard(worker)
-            if job.attempts > cfg.max_retries:
-                degrade(job)
-                return
-            self.stats.retries += 1
-            pause = min(
-                cfg.backoff_base * (2 ** (job.attempts - 1)),
-                cfg.backoff_cap,
-                max(0.0, remaining()),
-            )
-            if pause > 0:
-                time.sleep(pause)
-            pending.append(job)
-
-        while pending or busy:
-            if remaining() <= 0:
-                fail_deadline()
-            # Fill idle workers with pending shards.
-            if pending:
-                live = pool.ensure(budget=max(0.0, remaining()))
-                idle = [w for w in live if w.conn not in busy]
-                while pending and idle:
-                    job = pending.pop(0)
-                    worker = idle.pop(0)
-                    directive = (
-                        self.chaos.directive()
-                        if self.chaos is not None else None
-                    )
-                    self._msg_counter += 1
-                    msg_id = self._msg_counter
-                    try:
-                        worker.conn.send(
-                            (msg_id, job.kind, job.payload, directive)
-                        )
-                    except (BrokenPipeError, OSError):
-                        self.stats.worker_deaths += 1
-                        pool.discard(worker)
-                        pending.insert(0, job)
-                        continue
-                    job.attempts += 1
-                    busy[worker.conn] = (worker, job, msg_id)
-                if pending and not busy:
-                    # Nothing alive and nothing spawnable: the pool is
-                    # unusable for this request.
-                    for job in list(pending):
-                        degrade(job)
-                    pending.clear()
-                    continue
-            # ensure() above may have reaped a dead *busy* worker and
-            # closed its pipe; route its shard through the death path
-            # before handing the fd set to connection.wait().
-            for conn in list(busy):
-                if conn.closed:
-                    worker, job, _ = busy[conn]
-                    worker_died(conn, worker, job)
-            if not busy:
-                continue
-            timeout = remaining()
-            if timeout <= 0:
-                fail_deadline()
-            ready = connection.wait(list(busy), timeout=timeout)
-            if not ready:
-                fail_deadline()
-            for conn in ready:
-                worker, job, msg_id = busy[conn]
-                try:
-                    reply = conn.recv()
-                except (EOFError, OSError):
-                    # Worker died mid-shard (SIGKILL, crash).
-                    worker_died(conn, worker, job)
-                    continue
-                rid, status, value = reply
-                if rid != msg_id:
-                    # Stale reply from a shard abandoned by an earlier
-                    # request (application error mid-flight); the
-                    # worker is still busy with the current shard.
-                    continue
-                del busy[conn]
-                if status == "ok":
-                    job.result = value
-                    job.done = True
-                else:
-                    # Deterministic application error: identical to
-                    # what the in-process sweep would raise.  Not
-                    # retried; outstanding shards are abandoned (their
-                    # late replies are discarded as stale above).
-                    raise value
+        self.stats.degraded_shards += 1
+        job.result = execute_request(
+            self._local_sweep(), job.kind, job.payload
+        )
+        job.done = True
 
     def _local_sweep(self) -> ScenarioSweep:
         """The in-process degradation engine (same snapshot, same code)."""

@@ -1,4 +1,10 @@
-"""Supervised worker processes over one shared-memory snapshot.
+"""Serving workers over one shared-memory snapshot (substrate client).
+
+Since PR 10 the pool machinery itself -- spawn/handshake/backoff,
+reap/respawn, the worker request loop, chaos gating -- lives in the
+shared parallel-execution substrate (:mod:`repro.parallel.pool`).
+What remains here is the *serving workload*: the request executor and
+the executor factory each worker runs at startup.
 
 Each worker attaches the server's ``multiprocessing.shared_memory``
 segment, adopts the packed :class:`~repro.graph.snapshot.CSRSnapshot`
@@ -9,44 +15,22 @@ executor -- :func:`execute_request` -- is a plain function shared with
 the dispatcher's in-process degradation path, so a degraded answer is
 bit-identical to a pooled one *by construction*: same code, same
 immutable snapshot, different process.
-
-:class:`WorkerPool` owns spawn / health-check / reap / respawn.  A
-fresh worker must complete a startup handshake (it sends ``("hello",
-pid)`` once its sweep is ready) before it joins the rotation, so a
-worker that dies adopting the segment never receives a request.  Spawn
-attempts are bounded, run through the chaos policy's injected spawn
-failures, and back off exponentially; crashed workers are reaped on
-every :meth:`WorkerPool.ensure` and respawned up to the pool size.
-
-Protocol (one tuple per message, pickled by ``multiprocessing``):
-
-* parent -> worker: ``(msg_id, kind, payload, directive)`` or ``None``
-  (shut down);
-* worker -> parent: ``("hello", pid)`` once at startup, then
-  ``(msg_id, "ok", result)`` / ``(msg_id, "error", exception)`` per
-  request.
-
-``directive`` is a chaos directive (:mod:`repro.serving.chaos`),
-honored *before* computing: ``("kill",)`` SIGKILLs the worker
-mid-request, ``("stall", s)`` sleeps -- the two failure modes the
-dispatcher's retry and deadline machinery exist for.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-import os
-import signal
-import time
-from multiprocessing import shared_memory
-from typing import List, Optional
+from typing import Optional
 
 from repro.graph.snapshot import ScenarioSweep, adopt_snapshot
-from repro.serving.errors import (
-    ChaosSpawnFailure,
-    ServingUnavailable,
-    WorkerCrashed,
+from repro.parallel.pool import (
+    Worker,
+    WorkerPool as _SubstratePool,
+    attach_shared as _attach_shared,
+    default_start_method as _default_start_method,
+    worker_main,
 )
+
+__all__ = ["REQUEST_KINDS", "Worker", "WorkerPool", "execute_request"]
 
 #: Request kinds the executor understands (the serving layer's verb set).
 REQUEST_KINDS = ("pairs", "sssp", "parents", "ping")
@@ -91,122 +75,36 @@ def execute_request(sweep: ScenarioSweep, kind: str, payload) -> object:
     )
 
 
-def _attach_shared(name: str) -> shared_memory.SharedMemory:
-    """Attach an existing shared segment without tracker side effects.
+def sweep_executor(shm_name: str, search: Optional[str]):
+    """Executor factory run inside each serving worker (spawn-safe).
 
-    ``SharedMemory(name=...)`` registers the segment with the process's
-    resource tracker, which (a) warns about "leaked" segments the
-    attacher never owned and (b) can unlink a segment other processes
-    still use when an attacher's tracker cleans up.  Python 3.13+ has
-    ``track=False`` for exactly this.  On older versions we suppress
-    the registration call itself while attaching: unregister-after-
-    attach (the other folk workaround) is wrong under ``fork``, where
-    the worker shares the parent's tracker process and the unregister
-    would erase the *owner's* registration.
+    Attaches the shared segment, adopts the snapshot zero-copy, and
+    binds :func:`execute_request` to the resulting sweep.  The returned
+    closure must keep the ``SharedMemory`` handle referenced alongside
+    the sweep: the sweep's typed memoryviews are exports over the
+    segment's mmap, and dropping the handle would run its ``__del__``
+    -> ``close()`` under them, raising ``BufferError`` noise in every
+    worker.  Held for the worker's whole life, it is then skipped by
+    the substrate's ``os._exit`` teardown (no interpreter GC), so the
+    exports are never closed out from under the sweep at all.
     """
-    try:
-        return shared_memory.SharedMemory(name=name, track=False)
-    except TypeError:
-        from multiprocessing import resource_tracker
+    shm = _attach_shared(shm_name)
+    sweep = ScenarioSweep(adopt_snapshot(shm.buf), search=search)
 
-        original = resource_tracker.register
-        resource_tracker.register = lambda *a, **k: None
-        try:
-            return shared_memory.SharedMemory(name=name)
-        finally:
-            resource_tracker.register = original
+    def executor(kind: str, payload, _segment=shm) -> object:
+        return execute_request(sweep, kind, payload)
+
+    return executor
 
 
-def worker_main(conn, shm_name: str, search: Optional[str]) -> None:
-    """Entry point of one worker process (module-level: spawn-safe)."""
-    # The parent owns lifecycle; a terminal-wide SIGINT (Ctrl-C) should
-    # interrupt the dispatcher, not spray worker tracebacks.
-    signal.signal(signal.SIGINT, signal.SIG_IGN)
-    code = 0
-    try:
-        shm = _attach_shared(shm_name)
-        sweep = ScenarioSweep(adopt_snapshot(shm.buf), search=search)
-        conn.send(("hello", os.getpid()))
-        while True:
-            try:
-                msg = conn.recv()
-            except EOFError:
-                break
-            if msg is None:
-                break
-            msg_id, kind, payload, directive = msg
-            if directive is not None:
-                if directive[0] == "kill":
-                    # A real mid-request crash: no goodbye, no reply.
-                    os.kill(os.getpid(), signal.SIGKILL)
-                elif directive[0] == "stall":
-                    time.sleep(directive[1])
-            try:
-                result = execute_request(sweep, kind, payload)
-            except Exception as exc:
-                conn.send((msg_id, "error", exc))
-            else:
-                conn.send((msg_id, "ok", result))
-    except BaseException:
-        code = 1
-    finally:
-        try:
-            conn.close()
-        except Exception:
-            pass
-        # Skip interpreter teardown: the sweep still holds memoryview
-        # exports over the shared segment, and letting GC close the
-        # mmap under them raises BufferError noise for every worker.
-        os._exit(code)
+class WorkerPool(_SubstratePool):
+    """The serving pool: substrate workers running :func:`sweep_executor`.
 
-
-class Worker:
-    """One pool member: its process, pipe, and liveness."""
-
-    __slots__ = ("proc", "conn")
-
-    def __init__(self, proc, conn) -> None:
-        self.proc = proc
-        self.conn = conn
-
-    def alive(self) -> bool:
-        return self.proc.is_alive()
-
-    def kill(self) -> None:
-        """SIGKILL the worker and release its pipe (idempotent)."""
-        try:
-            self.proc.kill()
-        except Exception:
-            pass
-        self.proc.join(timeout=5.0)
-        try:
-            self.conn.close()
-        except Exception:
-            pass
-
-    def __repr__(self) -> str:
-        state = "alive" if self.alive() else "dead"
-        return f"Worker(pid={self.proc.pid}, {state})"
-
-
-def _default_start_method() -> str:
-    # fork is the fast path (no re-import, instant spawn); fall back to
-    # whatever the platform offers when it is unavailable.
-    methods = multiprocessing.get_all_start_methods()
-    return "fork" if "fork" in methods else methods[0]
-
-
-class WorkerPool:
-    """Spawn, health-check, reap, and respawn serving workers.
-
-    The pool never blocks indefinitely: spawn handshakes are bounded by
-    ``spawn_timeout``, spawn retries by ``spawn_attempts`` with
-    exponential backoff (``backoff_base`` doubling up to
-    ``backoff_cap``), and :meth:`ensure` takes an optional time budget
-    so a request's deadline caps respawn work done on its behalf.
-
-    Counters (``respawns``, ``spawn_rejections``) are pool-lifetime
-    totals surfaced through the server's stats.
+    Keeps the serving layer's historical constructor signature
+    (``WorkerPool(shm_name, size, search=...)``); everything else --
+    spawn/health-check/reap/respawn, the backoff and chaos semantics,
+    the ``respawns`` / ``spawn_rejections`` counters -- is inherited
+    unchanged from :class:`repro.parallel.pool.WorkerPool`.
     """
 
     def __init__(
@@ -222,165 +120,16 @@ class WorkerPool:
         backoff_cap: float = 1.0,
         spawn_timeout: float = 10.0,
     ) -> None:
-        if size < 1:
-            raise ValueError(f"pool size must be >= 1, got {size}")
-        if spawn_attempts < 1:
-            raise ValueError(
-                f"spawn_attempts must be >= 1, got {spawn_attempts}"
-            )
+        super().__init__(
+            sweep_executor,
+            (shm_name, search),
+            size,
+            start_method=start_method,
+            chaos=chaos,
+            spawn_attempts=spawn_attempts,
+            backoff_base=backoff_base,
+            backoff_cap=backoff_cap,
+            spawn_timeout=spawn_timeout,
+        )
         self.shm_name = shm_name
-        self.size = size
         self.search = search
-        self.chaos = chaos
-        self.spawn_attempts = spawn_attempts
-        self.backoff_base = backoff_base
-        self.backoff_cap = backoff_cap
-        self.spawn_timeout = spawn_timeout
-        self._ctx = multiprocessing.get_context(
-            start_method or _default_start_method()
-        )
-        self.workers: List[Worker] = []
-        self.respawns = 0
-        self.spawn_rejections = 0
-        self._started = False
-
-    # ------------------------------------------------------------- #
-    # Spawning
-    # ------------------------------------------------------------- #
-
-    def _spawn_once(self) -> Worker:
-        """One spawn attempt: chaos gate, fork/spawn, health handshake."""
-        if self.chaos is not None and self.chaos.spawn_fails():
-            self.spawn_rejections += 1
-            raise ChaosSpawnFailure("chaos policy rejected this spawn")
-        parent_conn, child_conn = self._ctx.Pipe()
-        proc = self._ctx.Process(
-            target=worker_main,
-            args=(child_conn, self.shm_name, self.search),
-            daemon=True,
-        )
-        proc.start()
-        child_conn.close()
-        # Health-checked admission: the worker is in the rotation only
-        # after it proves it adopted the snapshot and can talk.
-        if parent_conn.poll(self.spawn_timeout):
-            try:
-                msg = parent_conn.recv()
-            except (EOFError, OSError):
-                msg = None
-            if isinstance(msg, tuple) and msg and msg[0] == "hello":
-                return Worker(proc, parent_conn)
-        try:
-            proc.kill()
-        except Exception:
-            pass
-        proc.join(timeout=5.0)
-        parent_conn.close()
-        raise WorkerCrashed("worker failed its startup health check")
-
-    def spawn(self, budget: Optional[float] = None) -> Worker:
-        """Spawn one healthy worker within the attempt/time budget.
-
-        Raises :class:`ServingUnavailable` when every attempt fails (or
-        the time budget runs out first); the last underlying failure is
-        chained as ``__cause__``.
-        """
-        deadline = None if budget is None else time.monotonic() + budget
-        delay = self.backoff_base
-        last: Optional[Exception] = None
-        for attempt in range(self.spawn_attempts):
-            if deadline is not None and time.monotonic() >= deadline:
-                break
-            try:
-                return self._spawn_once()
-            except (ChaosSpawnFailure, WorkerCrashed) as exc:
-                last = exc
-                if attempt + 1 < self.spawn_attempts:
-                    pause = delay
-                    if deadline is not None:
-                        pause = min(pause, deadline - time.monotonic())
-                    if pause > 0:
-                        time.sleep(pause)
-                    delay = min(delay * 2, self.backoff_cap)
-        raise ServingUnavailable(
-            f"could not spawn a healthy worker within "
-            f"{self.spawn_attempts} attempt(s)"
-        ) from last
-
-    def start(self) -> int:
-        """Best-effort initial fill; returns how many workers are live.
-
-        Spawn failures here are not fatal -- the dispatcher re-ensures
-        the pool per request and degrades (or raises a typed error)
-        only when it genuinely cannot serve.
-        """
-        self._started = True
-        for _ in range(self.size - len(self.workers)):
-            try:
-                self.workers.append(self.spawn())
-            except ServingUnavailable:
-                break
-        return len(self.workers)
-
-    # ------------------------------------------------------------- #
-    # Supervision
-    # ------------------------------------------------------------- #
-
-    def reap(self) -> int:
-        """Drop dead workers from the rotation; returns how many."""
-        dead = [w for w in self.workers if not w.alive()]
-        for w in dead:
-            w.kill()  # joins the corpse and closes the pipe
-            self.workers.remove(w)
-        return len(dead)
-
-    def discard(self, worker: Worker) -> None:
-        """Remove one (crashed or condemned) worker immediately."""
-        worker.kill()
-        if worker in self.workers:
-            self.workers.remove(worker)
-
-    def ensure(self, budget: Optional[float] = None) -> List[Worker]:
-        """Reap corpses, respawn up to ``size``, return the live list.
-
-        Respawning is best-effort within ``budget`` seconds; an empty
-        return (no live workers, none spawnable) is the dispatcher's
-        cue to degrade or raise :class:`ServingUnavailable`.
-        """
-        self.reap()
-        deadline = None if budget is None else time.monotonic() + budget
-        while len(self.workers) < self.size:
-            remaining = None
-            if deadline is not None:
-                remaining = deadline - time.monotonic()
-                if remaining <= 0 and self.workers:
-                    break  # out of time, but we have someone to serve with
-            try:
-                worker = self.spawn(budget=remaining)
-            except ServingUnavailable:
-                break
-            self.workers.append(worker)
-            if self._started:
-                self.respawns += 1
-        return list(self.workers)
-
-    def close(self) -> None:
-        """Shut every worker down (polite stop, then SIGKILL)."""
-        for w in self.workers:
-            try:
-                w.conn.send(None)
-            except Exception:
-                pass
-        for w in self.workers:
-            w.proc.join(timeout=1.0)
-            w.kill()
-        self.workers.clear()
-
-    def __len__(self) -> int:
-        return len(self.workers)
-
-    def __repr__(self) -> str:
-        return (
-            f"WorkerPool(size={self.size}, live={len(self.workers)}, "
-            f"respawns={self.respawns})"
-        )

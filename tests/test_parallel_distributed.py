@@ -1,0 +1,290 @@
+"""PR 10: parallel CONGEST/LOCAL execution and the deterministic path.
+
+Two contracts pinned here:
+
+1. **Parity matrix** -- every distributed protocol produces the
+   bit-identical spanner, round count, and extras for worker counts
+   {1, 2, 4} as for sequential execution (``workers=None``).  This is
+   the parallel substrate's correctness statement: partitioned round
+   execution is an implementation detail, never an observable.
+2. **Deterministic mode** -- the ruling-set machinery behind
+   ``local_ft_spanner(deterministic=True)`` satisfies its stated
+   (2, beta)-ruling-set / decomposition properties, and the resulting
+   spanner keeps the fault-tolerance guarantee.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributed import (
+    congest_baswana_sen,
+    congest_ft_spanner,
+    deterministic_decomposition,
+    deterministic_ruling_set,
+    local_ft_spanner,
+    padded_decomposition,
+    verify_decomposition,
+    verify_ruling_set,
+)
+from repro.graph import generators
+from repro.graph.graph import Graph
+from repro.verification import verify_ft_spanner
+from tests.conftest import assert_is_subgraph
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _fingerprint(result):
+    """Everything observable about a SpannerResult, hashably."""
+    return (
+        sorted((repr(u), repr(v)) for u, v in result.spanner.edges()),
+        result.rounds,
+        tuple(sorted((result.extra or {}).items())),
+    )
+
+
+class TestParityMatrix:
+    """protocol x worker-count: outputs and stats bit-identical."""
+
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return generators.random_geometric_graph(40, radius=0.35, seed=21)
+
+    def test_congest_baswana_sen(self, graph):
+        base = _fingerprint(congest_baswana_sen(graph, 3, seed=17))
+        for w in WORKER_COUNTS:
+            assert _fingerprint(
+                congest_baswana_sen(graph, 3, seed=17, workers=w)
+            ) == base, f"workers={w}"
+
+    def test_congest_ft(self, graph):
+        base = _fingerprint(
+            congest_ft_spanner(
+                graph, 2, 1, seed=17, iteration_constant=0.2
+            )
+        )
+        for w in WORKER_COUNTS:
+            assert _fingerprint(
+                congest_ft_spanner(
+                    graph, 2, 1, seed=17, iteration_constant=0.2, workers=w
+                )
+            ) == base, f"workers={w}"
+
+    def test_local_spanner(self, graph):
+        base = _fingerprint(local_ft_spanner(graph, 2, 1, seed=17))
+        for w in WORKER_COUNTS:
+            assert _fingerprint(
+                local_ft_spanner(graph, 2, 1, seed=17, workers=w)
+            ) == base, f"workers={w}"
+
+    def test_local_spanner_deterministic(self, graph):
+        base = _fingerprint(local_ft_spanner(graph, 2, 1, deterministic=True))
+        for w in WORKER_COUNTS:
+            assert _fingerprint(
+                local_ft_spanner(graph, 2, 1, deterministic=True, workers=w)
+            ) == base, f"workers={w}"
+
+    def test_decomposition(self, graph):
+        dec0, st0 = padded_decomposition(graph, seed=17)
+        for w in WORKER_COUNTS:
+            dec, st = padded_decomposition(graph, seed=17, workers=w)
+            assert dec.assignment == dec0.assignment, f"workers={w}"
+            assert dec.parent == dec0.parent, f"workers={w}"
+            assert dec.rounds == dec0.rounds, f"workers={w}"
+            assert st.__dict__ == st0.__dict__, f"workers={w}"
+
+
+class TestRulingSet:
+    """The deterministic (2, beta)-ruling set and its decomposition."""
+
+    @pytest.mark.parametrize("n,seed", [(5, 0), (24, 1), (60, 2), (60, 3)])
+    def test_properties(self, n, seed):
+        g = generators.gnp_random_graph(n, 0.2, seed=seed)
+        rs, stats = deterministic_ruling_set(g)
+        problems = verify_ruling_set(g, rs)
+        assert not problems, problems[:3]
+        assert stats.rounds <= 2 * rs.radius_bound + 1
+        # CONGEST-compatible: every message within the word budget.
+        assert stats.max_message_words <= 8
+
+    def test_deterministic_pure_function(self):
+        g = generators.gnp_random_graph(30, 0.2, seed=4)
+        a, sa = deterministic_ruling_set(g)
+        b, sb = deterministic_ruling_set(g)
+        assert a.rulers == b.rulers
+        assert a.assignment == b.assignment
+        assert sa.__dict__ == sb.__dict__
+
+    def test_singleton_and_empty(self):
+        g1 = Graph()
+        g1.add_node(0)
+        rs, _ = deterministic_ruling_set(g1)
+        assert rs.rulers == (0,)
+        assert rs.assignment == {0: 0}
+        rs0, _ = deterministic_ruling_set(Graph())
+        assert rs0.rulers == ()
+
+    def test_disconnected_graph(self):
+        g = Graph([(0, 1, 1.0), (2, 3, 1.0)])
+        rs, _ = deterministic_ruling_set(g)
+        assert not verify_ruling_set(g, rs)
+        # Each component gets at least one ruler.
+        assert {rs.assignment[0], rs.assignment[1]} <= {0, 1}
+        assert {rs.assignment[2], rs.assignment[3]} <= {2, 3}
+
+    @pytest.mark.parametrize("n,seed", [(24, 5), (60, 6)])
+    def test_decomposition_covers_everything(self, n, seed):
+        g = generators.gnp_random_graph(n, 0.2, seed=seed)
+        dec, uncovered, _stats = deterministic_decomposition(g)
+        # The budget is generous; coverage completes on these sizes.
+        assert not uncovered
+        problems = verify_decomposition(
+            g, dec, diameter_bound=2 * dec.radius_bound
+        )
+        assert not problems, problems[:3]
+
+    def test_partition_budget_leftovers_reported(self):
+        g = generators.gnp_random_graph(40, 0.25, seed=7)
+        dec, uncovered, _stats = deterministic_decomposition(
+            g, num_partitions=1
+        )
+        assert dec.num_partitions == 1
+        covered = {
+            frozenset(e)
+            for e in g.edges()
+            if dec.assignment[0][e[0]] == dec.assignment[0][e[1]]
+        }
+        assert {frozenset(e) for e in uncovered} == {
+            frozenset(e) for e in g.edges()
+        } - covered
+
+
+class TestDeterministicSpanner:
+    """local_ft_spanner(deterministic=True): valid, seed-free, guaranteed."""
+
+    def test_spanner_correct_exhaustive(self):
+        g = generators.gnp_random_graph(24, 0.3, seed=93)
+        result = local_ft_spanner(g, k=2, f=1, deterministic=True)
+        assert_is_subgraph(result.spanner, g)
+        assert result.extra["deterministic"] == 1.0
+        report = verify_ft_spanner(
+            g, result.spanner, t=3, f=1, exhaustive_budget=10_000
+        )
+        assert report.exhaustive
+        assert report.ok, str(report.counterexample)
+
+    def test_weighted_graph(self):
+        g = generators.weighted_gnp(24, 0.3, seed=97)
+        result = local_ft_spanner(g, k=2, f=1, deterministic=True)
+        report = verify_ft_spanner(
+            g, result.spanner, t=3, f=1, exhaustive_budget=10_000
+        )
+        assert report.ok, str(report.counterexample)
+
+    def test_seed_is_irrelevant(self):
+        g = generators.gnp_random_graph(30, 0.2, seed=8)
+        a = _fingerprint(local_ft_spanner(g, 2, 1, deterministic=True, seed=1))
+        b = _fingerprint(local_ft_spanner(g, 2, 1, deterministic=True, seed=2))
+        c = _fingerprint(local_ft_spanner(g, 2, 1, deterministic=True))
+        assert a == b == c
+
+    def test_budget_leftovers_ride_along_at_stretch_one(self):
+        g = generators.gnp_random_graph(30, 0.25, seed=9)
+        result = local_ft_spanner(
+            g, k=2, f=1, deterministic=True, num_partitions=1
+        )
+        # Whatever one partition failed to cover went in directly, so
+        # the guarantee holds regardless of the tiny budget.
+        report = verify_ft_spanner(
+            g, result.spanner, t=3, f=1,
+            exhaustive_budget=500, samples=200, seed=0,
+        )
+        assert report.ok, str(report.counterexample)
+
+    def test_registry_exposes_deterministic(self):
+        from repro.registry import build_spanner, get_algorithm
+
+        spec = get_algorithm("local")
+        assert "deterministic" in spec.extra_options
+        assert "workers" in spec.extra_options
+        assert "derandomizable (deterministic=True)" in spec.capabilities()
+        g = generators.gnp_random_graph(20, 0.3, seed=10)
+        via_registry = build_spanner(
+            g, "local", k=2, f=1, deterministic=True
+        )
+        direct = local_ft_spanner(g, 2, 1, deterministic=True)
+        assert _fingerprint(via_registry) == _fingerprint(direct)
+
+
+class TestDistributedCLI:
+    """The ftspanner distributed subcommand (PR 10)."""
+
+    def test_runs_local_with_workers_and_seed(self, capsys):
+        from repro.cli import main
+
+        rc = main([
+            "distributed", "--random", "30", "--p", "0.2", "-k", "2",
+            "-f", "1", "--algorithm", "local", "--seed", "4",
+            "--workers", "2",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "2 partition workers" in out
+        assert "rounds" in out
+
+    def test_workers_do_not_change_the_output(self, capsys):
+        from repro.cli import main
+
+        def run(extra):
+            rc = main([
+                "distributed", "--random", "25", "--p", "0.25",
+                "-k", "2", "-f", "1", "--seed", "6",
+            ] + extra)
+            assert rc == 0
+            out = capsys.readouterr().out
+            return [
+                line for line in out.splitlines()
+                if line.startswith(("local-ft", "input edges", "measured"))
+            ]
+
+        assert run([]) == run(["--workers", "3"])
+
+    def test_deterministic_flag(self, capsys):
+        from repro.cli import main
+
+        rc = main([
+            "distributed", "--random", "25", "--p", "0.25", "-k", "2",
+            "-f", "1", "--deterministic",
+        ])
+        assert rc == 0
+        assert "deterministic=1" in capsys.readouterr().out
+
+    def test_deterministic_rejected_for_congest_bs(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="no deterministic mode"):
+            main([
+                "distributed", "--random", "20", "--algorithm",
+                "congest-bs", "--deterministic",
+            ])
+
+    def test_nonfault_tolerant_notes_f(self, capsys):
+        from repro.cli import main
+
+        rc = main([
+            "distributed", "--random", "20", "-k", "2", "-f", "1",
+            "--algorithm", "congest-bs", "--seed", "1",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "not fault-tolerant" in out
+        assert "max_message_words" in out
+
+    def test_algorithms_listing_tags_derandomizable(self, capsys):
+        from repro.cli import main
+
+        assert main(["algorithms"]) == 0
+        assert "derandomizable (deterministic=True)" in (
+            capsys.readouterr().out
+        )
